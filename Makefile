@@ -1,0 +1,42 @@
+# Development targets for oblivfd.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The race detector needs more than one core to be interesting, but still
+# catches ordering bugs on one.
+test-race:
+	$(GO) test -race ./internal/obsort/ ./internal/store/ ./internal/transport/ ./internal/trace/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at quick sizes; raise the flags toward
+# the paper's scales for closer comparison (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/fdbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/dynamic
+	$(GO) run ./examples/query_optimization
+	$(GO) run ./examples/adversary_view
+	$(GO) run ./examples/parallel_enclave
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command fdbench regenerates every table and figure of the paper's
+// evaluation (§VII). Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records a full run.
+//
+// Usage:
+//
+//	fdbench -exp all                # everything, quick sizes
+//	fdbench -exp fig4 -maxn 4096    # one experiment, bigger sweep
+//	fdbench -exp table2 -rows 8192 -runs 9   # paper-scale obliviousness test
+//
+// Quick sizes keep the full suite in the minutes range; raise -rows/-maxn
+// toward the paper's 2^13–2^15 for closer comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|all")
+		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
+		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
+		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
+		minn    = flag.Int("minn", 128, "smallest n in scalability sweeps")
+		fign    = flag.Int("fig6a-n", 512, "n for the fig6a thread sweep; paper uses 32768")
+		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts for fig6a")
+		rtt     = flag.Duration("rtt", 200*time.Microsecond, "modeled network RTT per storage op (fig6a)")
+		t2rtt   = flag.Duration("table2-rtt", 0, "modeled network RTT for table2 (0 = in-process timings)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var v int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &v); err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1, 2, 4, 8, 16}
+	}
+	return out
+}
+
+func sweep(minn, maxn int) []int {
+	var out []int
+	for n := minn; n <= maxn; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+type renderer interface{ Render() string }
+
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, seed int64) error {
+	experiments := []struct {
+		name string
+		run  func() (renderer, error)
+	}{
+		{"table1", func() (renderer, error) { return bench.Table1(0, seed) }},
+		{"table2", func() (renderer, error) {
+			return bench.Table2(bench.Table2Config{Rows: rows, Runs: runs, Seed: seed, RTT: t2rtt})
+		}},
+		{"table3", func() (renderer, error) { return bench.Table3(sweep(minn, maxn), seed) }},
+		{"fig4", func() (renderer, error) { return bench.Fig4(sweep(minn, maxn), seed) }},
+		{"fig5", func() (renderer, error) { return bench.Fig5(sweep(minn, maxn), seed) }},
+		{"fig6a", func() (renderer, error) { return bench.Fig6a(fign, threads, rtt, seed) }},
+		{"fig6b", func() (renderer, error) { return bench.Fig6b(sweep(minn, maxn), seed) }},
+		{"fig7", func() (renderer, error) { return bench.Fig7(sweep(minn, maxn/2), seed) }},
+		{"ablation-compression", func() (renderer, error) { return bench.AblationCompression(minn*4, 6, seed) }},
+		{"ablation-network", func() (renderer, error) { return bench.AblationNetwork(sweep(minn, maxn/2), seed) }},
+		{"security-levels", func() (renderer, error) { return bench.SecurityLevels(sweep(minn, maxn/4), 2, seed) }},
+		{"ablation-oram", func() (renderer, error) { return bench.AblationORAM(sweep(16, minn*4), seed) }},
+		{"comm", func() (renderer, error) { return bench.Comm(sweep(minn, maxn/2), seed) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if exp != "all" && exp != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("=== %s (took %s) ===\n%s\n", e.name, time.Since(start).Round(time.Millisecond), res.Render())
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"1,2,4", []int{1, 2, 4}},
+		{" 8 , 16 ", []int{8, 16}},
+		{"", []int{1, 2, 4, 8, 16}},     // default
+		{"x,y", []int{1, 2, 4, 8, 16}},  // unparseable → default
+		{"0,-3", []int{1, 2, 4, 8, 16}}, // non-positive rejected
+		{"3,zz,5", []int{3, 5}},         // partial
+	}
+	for _, c := range cases {
+		got := parseInts(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	got := sweep(16, 128)
+	want := []int{16, 32, 64, 128}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Tiny parameters: every experiment must run end to end.
+	for _, exp := range []string{"table1", "fig5", "fig7"} {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 1); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

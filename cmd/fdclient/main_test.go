@@ -1,0 +1,47 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/transport"
+)
+
+func TestClientAgainstServer(t *testing.T) {
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = transport.Serve(l, backend) }()
+
+	path := filepath.Join(t.TempDir(), "t.csv")
+	csv := "a,b\n1,x\n1,x\n2,y\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(l.Addr().String(), "sort", 2, 0, path); err != nil {
+		t.Errorf("run: %v", err)
+	}
+	// The server must have seen ciphertext uploads and reveals.
+	if backend.Trace().TotalOps() == 0 {
+		t.Error("server saw no operations")
+	}
+	if len(backend.Reveals()) == 0 {
+		t.Error("server log holds no FD decisions")
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	if err := run("127.0.0.1:1", "sort", 1, 0, "x.csv"); err == nil {
+		t.Error("dead server accepted")
+	}
+	backendless := "127.0.0.1:1"
+	if err := run(backendless, "bogus", 1, 0, "x.csv"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "emp.csv")
+	csv := "Position,Department\nEngineer,R&D\nEngineer,R&D\nSales,Market\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	path := writeCSV(t)
+	for _, proto := range []string{"sort", "or-oram", "ex-oram", "plaintext", "enclave"} {
+		if err := run(path, proto, "bitonic", 2, 0, false, true); err != nil {
+			t.Errorf("run(%s): %v", proto, err)
+		}
+	}
+}
+
+func TestRunAggregateAndMaxLHS(t *testing.T) {
+	path := writeCSV(t)
+	if err := run(path, "plaintext", "odd-even", 1, 1, true, false); err != nil {
+		t.Errorf("run with aggregate: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("missing.csv", "sort", "bitonic", 1, 0, false, true); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(writeCSV(t), "bogus", "bitonic", 1, 0, false, true); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestRunUnknownNetwork(t *testing.T) {
+	if err := run(writeCSV(t), "sort", "zigzag", 1, 0, false, true); err == nil {
+		t.Error("unknown network accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Command fdserver runs the untrusted storage server S: it holds only
+// ciphertexts and answers the storage protocol over TCP. Pair it with
+// fdclient (or any securefd.DialTCP client) to reproduce the paper's
+// two-machine deployment (§VII-A).
+//
+//	fdserver -listen :7066
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/transport"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7066", "address to listen on")
+		stats    = flag.Duration("stats", 0, "if > 0, print storage stats at this interval")
+		latency  = flag.Duration("latency", 0, "artificial per-operation delay, to model a slower network")
+		snapshot = flag.String("snapshot", "", "persistence file: loaded at startup if present, written on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *stats, *latency, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "fdserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, statsEvery, latency time.Duration, snapshotPath string) error {
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	return serve(l, statsEvery, latency, snapshotPath)
+}
+
+// serve runs the server on an established listener until it closes.
+func serve(l net.Listener, statsEvery, latency time.Duration, snapshotPath string) error {
+	srv := store.NewServer()
+	if snapshotPath != "" {
+		if f, err := os.Open(snapshotPath); err == nil {
+			err = srv.LoadSnapshot(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+			}
+			st, _ := srv.Stats()
+			fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", snapshotPath, st.Objects, st.StoredBytes)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	svc := store.WithLatency(store.Service(srv), latency)
+	fmt.Printf("fdserver listening on %s (the server sees only ciphertexts and access patterns)\n", l.Addr())
+
+	if statsEvery > 0 {
+		go func() {
+			for range time.Tick(statsEvery) {
+				st, err := srv.Stats()
+				if err != nil {
+					continue
+				}
+				fmt.Printf("stats: %d objects, %d bytes stored, %d ops observed\n",
+					st.Objects, st.StoredBytes, srv.Trace().TotalOps())
+			}
+		}()
+	}
+
+	// Shut down cleanly on interrupt.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		l.Close()
+	}()
+
+	err := transport.Serve(l, svc)
+	if snapshotPath != "" {
+		f, ferr := os.Create(snapshotPath)
+		if ferr != nil {
+			return ferr
+		}
+		if serr := srv.SaveSnapshot(f); serr != nil {
+			f.Close()
+			return serr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Printf("saved snapshot to %s\n", snapshotPath)
+	}
+	return err
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/transport"
+)
+
+func TestServeAcceptsClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(l, 0, 0, "") }()
+
+	c, err := transport.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c.CreateArray("a", 4); err != nil {
+		t.Fatalf("CreateArray: %v", err)
+	}
+	if err := c.WriteCells("a", []int64{0}, [][]byte{{1, 2}}); err != nil {
+		t.Fatalf("WriteCells: %v", err)
+	}
+	got, err := c.ReadCells("a", []int64{0})
+	if err != nil || len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("ReadCells = %v, %v", got, err)
+	}
+	c.Close()
+	l.Close()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("serve did not return after listener close")
+	}
+}
+
+func TestServeWithLatency(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = serve(l, 0, 2*time.Millisecond, "") }()
+
+	c, err := transport.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.CreateArray("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Errorf("latency not applied: call took %v", d)
+	}
+}
+
+func TestRunBadAddress(t *testing.T) {
+	if err := run("256.256.256.256:0", 0, 0, ""); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+// TestSnapshotPersistence: state written before shutdown is visible after a
+// restart with the same -snapshot path.
+func TestSnapshotPersistence(t *testing.T) {
+	path := t.TempDir() + "/state.gob"
+
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serve(l1, 0, 0, path) }()
+	c1, err := transport.Dial(l1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.CreateArray("persist", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.WriteCells("persist", []int64{1}, [][]byte{{42}}); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	l1.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("first serve: %v", err)
+	}
+
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	go func() { _ = serve(l2, 0, 0, path) }()
+	c2, err := transport.Dial(l2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, err := c2.ReadCells("persist", []int64{1})
+	if err != nil {
+		t.Fatalf("ReadCells after restart: %v", err)
+	}
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 42 {
+		t.Errorf("restored cell = %v, want [42]", got)
+	}
+}

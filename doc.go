@@ -1,0 +1,9 @@
+// Package oblivfd reproduces "Secure and Practical Functional Dependency
+// Discovery in Outsourced Databases" (ICDE 2024) as a production-quality Go
+// library.
+//
+// Import github.com/oblivfd/oblivfd/securefd for the public API. This root
+// package holds only the repository-level benchmarks (bench_test.go), one
+// per table and figure of the paper's evaluation; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for reproduction results.
+package oblivfd

@@ -1,0 +1,70 @@
+// Parallelism and enclaves: the sorting protocol's two deployment levers
+// (§IV-D, §VII-D / Fig. 6).
+//
+// The bitonic network's stages contain only disjoint compare-exchanges, so
+// the protocol parallelizes up to n/2; and because the client logic is a
+// tiny constant-memory loop, it fits a secure enclave, where dropping the
+// client↔server transfer and re-encryption yields orders-of-magnitude
+// speedups.
+//
+//	go run ./examples/parallel_enclave
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/oblivfd/oblivfd/securefd"
+)
+
+// rtt models the client↔server network round trip of a real deployment
+// (the paper's client and server sit on a 1 Gbps LAN). Network latency —
+// unlike CPU time — is what parallel workers overlap.
+const rtt = 100 * time.Microsecond
+
+func main() {
+	const rows = 256
+	rel := securefd.GenerateRND(4, rows, 42)
+
+	fmt.Printf("sorting protocol on RND %d×%d, full discovery each run, %v modeled RTT\n\n", rows, rel.NumAttrs(), rtt)
+
+	// Lever 1: parallel workers on the client-server protocol.
+	fmt.Println("threads  runtime   speedup   (client-server protocol)")
+	var base time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		d, fds := discover(rel, securefd.ProtocolSort, workers)
+		if base == 0 {
+			base = d
+		}
+		fmt.Printf("%7d  %8s  %7.2fx  (%d FDs)\n", workers, d.Round(time.Millisecond), float64(base)/float64(d), fds)
+	}
+
+	// Lever 2: the enclave deployment — same algorithm, plaintext secure
+	// memory, no transfer, no re-encryption.
+	d, fds := discover(rel, securefd.ProtocolEnclave, 4)
+	fmt.Printf("\nenclave  %8s  %7.0fx  (%d FDs) — simulated SGX deployment\n",
+		d.Round(time.Microsecond), float64(base)/float64(d), fds)
+	fmt.Println("\nthe paper reports a 22,000x speedup for SGX over its Python/LAN baseline (Fig. 6b);")
+	fmt.Println("our non-enclave baseline is already in-process Go, so the measured factor is smaller,")
+	fmt.Println("but the shape — enclave >> protocol, parallelism with diminishing returns — matches.")
+}
+
+func discover(rel *securefd.Relation, p securefd.Protocol, workers int) (time.Duration, int) {
+	svc := securefd.WithLatency(securefd.NewServer(), rtt)
+	db, err := securefd.Outsource(svc, rel, securefd.Options{
+		Protocol: p,
+		Workers:  workers,
+		MaxLHS:   2, // keep the demo snappy
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	start := time.Now()
+	report, err := db.Discover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start), len(report.Minimal)
+}

@@ -1,0 +1,3 @@
+module github.com/oblivfd/oblivfd
+
+go 1.22

@@ -1,0 +1,93 @@
+// Package baseline provides an independent correctness oracle for FD
+// discovery: an exhaustive search over the attribute-set lattice using
+// direct partition counting on plaintext. It shares no code with the
+// lattice or engines in internal/core, so agreement between the two is
+// meaningful evidence of correctness. It is exponential in the attribute
+// count and intended for small test relations only.
+package baseline
+
+import (
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// MinimalFDs returns every minimal functional dependency X → A (singleton
+// right-hand side, A ∉ X, no proper subset of X determining A) of the
+// relation, in deterministic order. For constant attributes it includes
+// ∅ → A (empty LHS).
+func MinimalFDs(rel *relation.Relation) []relation.FD {
+	m := rel.NumAttrs()
+	var fds []relation.FD
+
+	// Enumerate candidate LHS sets in subset-size order so minimality can
+	// be checked against already-found smaller FDs.
+	determinedBy := make(map[int][]relation.AttrSet) // attr → minimal LHSs found
+
+	sets := allSetsBySize(m)
+	for _, lhs := range sets {
+		for a := 0; a < m; a++ {
+			if lhs.Has(a) {
+				continue
+			}
+			if hasSubsetDeterminer(determinedBy[a], lhs) {
+				continue // not minimal
+			}
+			if holdsDirect(rel, lhs, a) {
+				fd := relation.FD{LHS: lhs, RHS: relation.SingleAttr(a)}
+				fds = append(fds, fd)
+				determinedBy[a] = append(determinedBy[a], lhs)
+			}
+		}
+	}
+	relation.SortFDs(fds)
+	return fds
+}
+
+// holdsDirect checks lhs → a by the pairwise definition via hashing.
+func holdsDirect(rel *relation.Relation, lhs relation.AttrSet, a int) bool {
+	seen := make(map[string]string, rel.NumRows())
+	for i := 0; i < rel.NumRows(); i++ {
+		k := rel.ProjectKey(i, lhs)
+		v := rel.Value(i, a)
+		if prev, ok := seen[k]; ok {
+			if prev != v {
+				return false
+			}
+		} else {
+			seen[k] = v
+		}
+	}
+	return true
+}
+
+// hasSubsetDeterminer reports whether any recorded determiner of a is a
+// subset of lhs (including equality and the empty set).
+func hasSubsetDeterminer(determiners []relation.AttrSet, lhs relation.AttrSet) bool {
+	for _, d := range determiners {
+		if lhs.Contains(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// allSetsBySize enumerates every subset of [m] (including the empty set) in
+// ascending size order, deterministic within a size.
+func allSetsBySize(m int) []relation.AttrSet {
+	bySize := make([][]relation.AttrSet, m+1)
+	total := 1 << m
+	for raw := 0; raw < total; raw++ {
+		s := relation.AttrSet(raw)
+		bySize[s.Size()] = append(bySize[s.Size()], s)
+	}
+	var out []relation.AttrSet
+	for _, group := range bySize {
+		out = append(out, group...)
+	}
+	return out
+}
+
+// Holds checks an arbitrary FD A → B directly on the relation; it is the
+// oracle for Validate-style queries.
+func Holds(rel *relation.Relation, fd relation.FD) bool {
+	return fd.Holds(rel)
+}

@@ -1,0 +1,82 @@
+// Package core implements the paper's contribution: oblivious partition
+// computation at the attribute level (Algorithms 1–5), the set-level
+// cardinality check (Theorem 1), and the database-level top-down lattice
+// search (TANE-style, with Property 1's partition-friendly guarantee),
+// assembled into secure FD discovery protocols:
+//
+//   - OrEngine  — the ORAM-based method of §IV-C (static + insertions)
+//   - ExEngine  — the extended ORAM method of §V (fully dynamic)
+//   - SortEngine — the oblivious-sorting method of §IV-D (static, parallel)
+//   - PlainEngine — the insecure plaintext comparator used as a baseline
+//
+// All engines share one Engine interface so the lattice (database level) is
+// written once and every protocol inherits identical leakage there.
+package core
+
+import (
+	"encoding/binary"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+)
+
+// Attribute compression (§IV-B). Every record's value under an attribute
+// set X is compressed to a fixed-width pair (key_X, label_X):
+//
+//   - |X| = 1: the paper uses r[X] itself as key_X. We instead use an
+//     8-byte PRF image of r[X] under the client's key, which keeps every
+//     ORAM block and sort record the same size for every column and every
+//     dataset (collisions occur with probability ≈ n²/2⁶⁴, negligible at
+//     the paper's scales). This strictly reduces what block geometry could
+//     reveal and preserves the injective-mapping property the algorithms
+//     need.
+//   - |X| ≥ 2: key_X = label_{X1}·n + label_{X2} ∈ [n²+n], exactly the
+//     paper's construction, where X1 ∪ X2 = X are the two previously
+//     computed proper subsets guaranteed by Property 1.
+//
+// label_X ∈ [n] is assigned densely in first-appearance order by the
+// incremental card_X counter of Algorithms 1/2/4.
+
+// keyWidth is the fixed ORAM/sort key width in bytes.
+const keyWidth = 8
+
+// labelWidth is the fixed label width in bytes.
+const labelWidth = 8
+
+// singleKey compresses a single-attribute cell value to its fixed-width
+// key_X via the client's PRF.
+func singleKey(c *crypto.Cipher, value string) uint64 {
+	return c.PRF([]byte(value))
+}
+
+// unionKey builds key_X for |X| ≥ 2 from the labels of the two covering
+// subsets. The paper pairs them as label1·n + label2 ∈ [n²+n], which is
+// injective while labels stay below n. In the dynamic protocol labels must
+// keep growing monotonically across insert/delete cycles (reusing a
+// decremented card_X as the next label could collide with a live label and
+// corrupt superset keys — see ExEngine), so we use the equivalent
+// fixed-base pairing label1·2³² + label2, injective for all labels < 2³².
+// Same width (8 bytes), same role, strictly safer.
+func unionKey(label1, label2 uint64) uint64 {
+	return label1<<32 | label2
+}
+
+// maxLabel bounds labels so unionKey stays injective.
+const maxLabel = 1 << 32
+
+// encodeUint64 renders a uint64 as a fixed 8-byte big-endian string, the
+// canonical key/value encoding used by every engine.
+func encodeUint64(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return string(b[:])
+}
+
+// decodeUint64 reverses encodeUint64 for an 8-byte prefix.
+func decodeUint64(s []byte) uint64 {
+	return binary.BigEndian.Uint64(s[:8])
+}
+
+// idKey encodes a record identifier r[ID] as an ORAM key.
+func idKey(id int) string {
+	return encodeUint64(uint64(id))
+}

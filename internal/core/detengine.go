@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// DetEngine reproduces the security level of the paper's main prior work
+// (Dong & Wang, ICDE 2017 — the paper's [14]): FD discovery over
+// *deterministically* encrypted cells. Equal plaintexts produce equal
+// ciphertexts, so the partition of any column is computable by anyone who
+// can read the stored ciphertexts — including the server. Discovery is fast
+// (no ORAM, no oblivious sorting; one linear grouping pass per attribute
+// set), but the server learns the full frequency histogram of every column,
+// the leakage the paper calls "extremely dangerous" (§I-B) and which
+// frequency-analysis attacks exploit (see TestFrequencyAttack…).
+//
+// It exists as the insecure-but-fast comparator the secure protocols
+// replace. DO NOT use it for sensitive data.
+type DetEngine struct {
+	edb      *EncryptedDB
+	instance string
+	n        int
+	sets     map[relation.AttrSet]*detState
+	// detTags caches the per-record deterministic tag of each
+	// materialized set, exactly the view the server has.
+	tags map[relation.AttrSet][]uint64
+}
+
+type detState struct {
+	labels []uint64
+	card   uint64
+}
+
+var detEngines atomic.Int64
+
+// NewDetEngine builds a deterministic-encryption engine over an uploaded
+// database. The EncryptedDB's cells stay semantically secure; the engine
+// additionally derives and stores per-cell deterministic tags on the
+// server, which is what creates the frequency leakage (Dong & Wang encrypt
+// the cells themselves deterministically; storing tags beside semantically
+// secure cells leaks the same information and keeps the upload format
+// shared with the other engines).
+func NewDetEngine(edb *EncryptedDB) *DetEngine {
+	return &DetEngine{
+		edb:      edb,
+		instance: fmt.Sprintf("det%d", detEngines.Add(1)),
+		n:        edb.NumRows(),
+		sets:     make(map[relation.AttrSet]*detState),
+		tags:     make(map[relation.AttrSet][]uint64),
+	}
+}
+
+// NumRows implements Engine.
+func (e *DetEngine) NumRows() int { return e.n }
+
+// tagArrayName is the server object holding a set's deterministic tags.
+func (e *DetEngine) tagArrayName(x relation.AttrSet) string {
+	return fmt.Sprintf("%s:%x:TAGS", e.instance, uint64(x))
+}
+
+// materialize publishes the tag column to the server (the leakage!) and
+// groups it into a partition.
+func (e *DetEngine) materialize(x relation.AttrSet, tags []uint64) (*detState, error) {
+	// Publish: the server stores the deterministic tags in the clear.
+	// (They are PRF images, but equal values collide — that equality
+	// pattern IS the frequency leakage.)
+	name := e.tagArrayName(x)
+	if err := e.edb.svc.CreateArray(name, len(tags)); err != nil {
+		return nil, fmt.Errorf("core: publishing tags for %v: %w", x, err)
+	}
+	idx := make([]int64, len(tags))
+	cts := make([][]byte, len(tags))
+	for i, tag := range tags {
+		idx[i] = int64(i)
+		cts[i] = []byte(encodeUint64(tag))
+	}
+	if err := e.edb.svc.WriteCells(name, idx, cts); err != nil {
+		return nil, fmt.Errorf("core: publishing tags for %v: %w", x, err)
+	}
+
+	// Group — this is exactly the computation the server could run by
+	// itself on the published tags.
+	st := &detState{labels: make([]uint64, len(tags))}
+	seen := make(map[uint64]uint64, len(tags))
+	for i, tag := range tags {
+		lbl, ok := seen[tag]
+		if !ok {
+			lbl = st.card
+			st.card++
+			seen[tag] = lbl
+		}
+		st.labels[i] = lbl
+	}
+	e.tags[x] = tags
+	return st, nil
+}
+
+// CardinalitySingle implements Engine.
+func (e *DetEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	tags := make([]uint64, e.n)
+	for i := 0; i < e.n; i++ {
+		v, err := e.edb.CellValue(i, attr)
+		if err != nil {
+			return 0, err
+		}
+		tags[i] = singleKey(e.edb.cipher, v) // deterministic PRF tag
+	}
+	st, err := e.materialize(x, tags)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityUnion implements Engine.
+func (e *DetEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	x, err := validateUnion(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+	}
+	tags := make([]uint64, e.n)
+	for i := 0; i < e.n; i++ {
+		tags[i] = unionKey(st1.labels[i], st2.labels[i])
+	}
+	st, err := e.materialize(x, tags)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// Cardinality implements Engine.
+func (e *DetEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return int(st.card), true
+}
+
+// PublishedTags returns the deterministic tags of a materialized set — the
+// adversary's view of that column. Frequency-attack tests consume this.
+func (e *DetEngine) PublishedTags(x relation.AttrSet) ([]uint64, bool) {
+	tags, ok := e.tags[x]
+	if !ok {
+		return nil, false
+	}
+	return append([]uint64(nil), tags...), true
+}
+
+// Release implements Engine.
+func (e *DetEngine) Release(x relation.AttrSet) error {
+	if _, ok := e.sets[x]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotMaterialized, x)
+	}
+	if err := e.edb.svc.Delete(e.tagArrayName(x)); err != nil {
+		return err
+	}
+	delete(e.sets, x)
+	delete(e.tags, x)
+	return nil
+}
+
+// ClientMemoryBytes implements Engine.
+func (e *DetEngine) ClientMemoryBytes() int {
+	total := 0
+	for _, st := range e.sets {
+		total += 8 * len(st.labels)
+	}
+	return total
+}
+
+// Close implements Engine.
+func (e *DetEngine) Close() error {
+	for x := range e.sets {
+		if err := e.Release(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

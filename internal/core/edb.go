@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// EncryptedDB is the client's handle to an outsourced database: each cell is
+// individually encrypted (cell-level encryption, §II-A) and stored in one
+// server array per column. The server sees only ciphertexts and their
+// positions; ciphertext lengths reveal cell lengths, which is part of the
+// accepted size leakage of cell-level encrypted databases.
+type EncryptedDB struct {
+	svc      store.Service
+	cipher   *crypto.Cipher
+	name     string
+	schema   *relation.Schema
+	n        int // rows written (monotonic: appended rows get ids n, n+1, …)
+	capacity int
+}
+
+// Upload encrypts rel cell by cell and stores it on the server under the
+// given database name. The column arrays are sized to rel's row count;
+// use UploadWithCapacity to leave headroom for appended rows.
+func Upload(svc store.Service, cipher *crypto.Cipher, name string, rel *relation.Relation) (*EncryptedDB, error) {
+	return UploadWithCapacity(svc, cipher, name, rel, rel.NumRows())
+}
+
+// UploadWithCapacity uploads rel into column arrays sized for capacity rows,
+// so the client can later append up to capacity-n additional records (the
+// dynamic setting of §V).
+func UploadWithCapacity(svc store.Service, cipher *crypto.Cipher, name string, rel *relation.Relation, capacity int) (*EncryptedDB, error) {
+	if capacity < rel.NumRows() {
+		return nil, fmt.Errorf("core: capacity %d < %d rows", capacity, rel.NumRows())
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("core: capacity must be positive")
+	}
+	e := &EncryptedDB{
+		svc:      svc,
+		cipher:   cipher,
+		name:     name,
+		schema:   rel.Schema(),
+		n:        rel.NumRows(),
+		capacity: capacity,
+	}
+	for j := 0; j < rel.NumAttrs(); j++ {
+		col := e.columnName(j)
+		if err := svc.CreateArray(col, capacity); err != nil {
+			return nil, fmt.Errorf("core: uploading column %d: %w", j, err)
+		}
+		if rel.NumRows() == 0 {
+			continue
+		}
+		idx := make([]int64, rel.NumRows())
+		cts := make([][]byte, rel.NumRows())
+		for i := 0; i < rel.NumRows(); i++ {
+			ct, err := cipher.Encrypt([]byte(rel.Value(i, j)))
+			if err != nil {
+				return nil, fmt.Errorf("core: encrypting cell (%d,%d): %w", i, j, err)
+			}
+			idx[i] = int64(i)
+			cts[i] = ct
+		}
+		if err := svc.WriteCells(col, idx, cts); err != nil {
+			return nil, fmt.Errorf("core: uploading column %d: %w", j, err)
+		}
+	}
+	return e, nil
+}
+
+// AppendRow encrypts and stores a new record, returning its id. The row
+// occupies the next free slot; capacity bounds total appends.
+func (e *EncryptedDB) AppendRow(row relation.Row) (int, error) {
+	if len(row) != e.schema.Width() {
+		return 0, fmt.Errorf("%w: row has %d values, schema %d", ErrRowWidth, len(row), e.schema.Width())
+	}
+	if e.n >= e.capacity {
+		return 0, fmt.Errorf("core: database full (%d rows, capacity %d)", e.n, e.capacity)
+	}
+	id := e.n
+	for j, v := range row {
+		ct, err := e.cipher.Encrypt([]byte(v))
+		if err != nil {
+			return 0, fmt.Errorf("core: encrypting appended cell %d: %w", j, err)
+		}
+		if err := e.svc.WriteCells(e.columnName(j), []int64{int64(id)}, [][]byte{ct}); err != nil {
+			return 0, fmt.Errorf("core: appending cell %d: %w", j, err)
+		}
+	}
+	e.n++
+	return id, nil
+}
+
+// Capacity returns the maximum row count.
+func (e *EncryptedDB) Capacity() int { return e.capacity }
+
+func (e *EncryptedDB) columnName(j int) string {
+	return fmt.Sprintf("db:%s:col%d", e.name, j)
+}
+
+// Name returns the database name.
+func (e *EncryptedDB) Name() string { return e.name }
+
+// Schema returns the schema (attribute names are metadata the server knows).
+func (e *EncryptedDB) Schema() *relation.Schema { return e.schema }
+
+// NumRows returns n.
+func (e *EncryptedDB) NumRows() int { return e.n }
+
+// NumAttrs returns m.
+func (e *EncryptedDB) NumAttrs() int { return e.schema.Width() }
+
+// CellValue retrieves and decrypts one cell: the server transfers the
+// ciphertext of r_i[X], the client decrypts it (Algorithm 1 line 4).
+func (e *EncryptedDB) CellValue(i, j int) (string, error) {
+	cts, err := e.svc.ReadCells(e.columnName(j), []int64{int64(i)})
+	if err != nil {
+		return "", fmt.Errorf("core: reading cell (%d,%d): %w", i, j, err)
+	}
+	pt, err := e.cipher.Decrypt(cts[0])
+	if err != nil {
+		return "", fmt.Errorf("core: decrypting cell (%d,%d): %w", i, j, err)
+	}
+	return string(pt), nil
+}
+
+// Delete removes the database's column arrays from the server.
+func (e *EncryptedDB) Delete() error {
+	for j := 0; j < e.schema.Width(); j++ {
+		if err := e.svc.Delete(e.columnName(j)); err != nil {
+			return fmt.Errorf("core: deleting column %d: %w", j, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// Engine computes partition cardinalities obliviously at the attribute
+// level. The database-level lattice drives it in an order satisfying
+// Property 1: every multi-attribute set is requested as the union of two
+// previously materialized proper subsets.
+//
+// Engines retain the materialized partition of each computed set (the
+// paper's π_X, as ORAM pairs or a sorted label array) until Release is
+// called, because supersets derive their keys from it.
+type Engine interface {
+	// NumRows returns n, the number of live records.
+	NumRows() int
+	// CardinalitySingle materializes π_{attr} for a single attribute and
+	// returns |π_{attr}| (Algorithm 1 / 3 / 4 with |X| = 1).
+	CardinalitySingle(attr int) (int, error)
+	// CardinalityUnion materializes π_{x1∪x2} from the materialized
+	// partitions of x1 and x2 and returns its cardinality (Algorithm 2 /
+	// 3 / 4 with |X| ≥ 2). Both inputs must be materialized and distinct
+	// proper subsets of the union.
+	CardinalityUnion(x1, x2 relation.AttrSet) (int, error)
+	// Cardinality returns the cached |π_x| of a materialized set.
+	Cardinality(x relation.AttrSet) (int, bool)
+	// Release frees the server-side state backing π_x.
+	Release(x relation.AttrSet) error
+	// ClientMemoryBytes estimates client-held protocol memory (Fig. 5).
+	ClientMemoryBytes() int
+	// Close releases all remaining server-side state.
+	Close() error
+}
+
+// DynamicEngine extends Engine with incremental maintenance: every
+// materialized partition is updated in O(polylog n) per operation instead of
+// being recomputed (§V, the non-trivial dynamic protocol of Definition 5).
+type DynamicEngine interface {
+	Engine
+	// Insert appends a record with the next free identifier, updating all
+	// materialized partitions, and returns its id.
+	Insert(row relation.Row) (int, error)
+	// Delete removes the record with the given identifier from all
+	// materialized partitions (Algorithm 5).
+	Delete(id int) error
+}
+
+// Common engine errors.
+var (
+	// ErrNotMaterialized is returned when a requested subset partition has
+	// not been computed yet (a Property 1 ordering violation by the
+	// caller).
+	ErrNotMaterialized = errors.New("core: partition not materialized")
+	// ErrBadUnion is returned when CardinalityUnion arguments do not form
+	// a valid two-subset cover.
+	ErrBadUnion = errors.New("core: invalid union cover")
+	// ErrRowWidth is returned by Insert when the row width does not match
+	// the schema.
+	ErrRowWidth = errors.New("core: row width mismatch")
+	// ErrUnknownID is returned by Delete for an id that is not live.
+	ErrUnknownID = errors.New("core: unknown record id")
+)
+
+// sortSets orders attribute sets by size then value, so every Property 1
+// cover precedes its union when engines replay per-set work (insertions).
+func sortSets(sets []relation.AttrSet) {
+	sort.Slice(sets, func(i, j int) bool {
+		si, sj := sets[i].Size(), sets[j].Size()
+		if si != sj {
+			return si < sj
+		}
+		return sets[i] < sets[j]
+	})
+}
+
+// validateUnion checks the Property 1 contract shared by all engines.
+func validateUnion(x1, x2 relation.AttrSet) (relation.AttrSet, error) {
+	if x1.IsEmpty() || x2.IsEmpty() {
+		return 0, fmt.Errorf("%w: empty subset", ErrBadUnion)
+	}
+	if x1 == x2 {
+		return 0, fmt.Errorf("%w: identical subsets %v", ErrBadUnion, x1)
+	}
+	x := x1.Union(x2)
+	if x == x1 || x == x2 {
+		return 0, fmt.Errorf("%w: %v and %v are not proper subsets of %v", ErrBadUnion, x1, x2, x)
+	}
+	return x, nil
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/obsort"
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// engineFactory builds an Engine over a relation for conformance tests.
+type engineFactory struct {
+	name string
+	make func(t *testing.T, rel *relation.Relation) Engine
+}
+
+func uploadFor(t *testing.T, rel *relation.Relation) *EncryptedDB {
+	t.Helper()
+	srv := store.NewServer()
+	edb, err := Upload(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", rel)
+	if err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	return edb
+}
+
+func allEngines() []engineFactory {
+	return []engineFactory{
+		{"plain", func(t *testing.T, rel *relation.Relation) Engine {
+			return NewPlainEngine(rel)
+		}},
+		{"or-oram", func(t *testing.T, rel *relation.Relation) Engine {
+			return NewOrEngine(uploadFor(t, rel))
+		}},
+		{"ex-oram", func(t *testing.T, rel *relation.Relation) Engine {
+			e, err := NewExEngine(uploadFor(t, rel))
+			if err != nil {
+				t.Fatalf("NewExEngine: %v", err)
+			}
+			return e
+		}},
+		{"sort", func(t *testing.T, rel *relation.Relation) Engine {
+			return NewSortEngine(uploadFor(t, rel), 2)
+		}},
+	}
+}
+
+func testRelation() *relation.Relation {
+	schema := relation.MustNewSchema("Name", "City", "Birth")
+	return relation.MustFromRows(schema, []relation.Row{
+		{"Alice", "Boston", "Jan"},
+		{"Bob", "Boston", "May"},
+		{"Bob", "Boston", "Jan"},
+		{"Carol", "New York", "Sep"},
+	})
+}
+
+// TestEngineCardinalitiesMatchOracle runs every engine over several
+// relations and compares every single and pairwise-union cardinality with
+// the plaintext partition oracle.
+func TestEngineCardinalitiesMatchOracle(t *testing.T) {
+	rels := map[string]*relation.Relation{
+		"paper":      testRelation(),
+		"random":     randomRel(4, 24, 3, 11),
+		"all-equal":  randomRel(3, 10, 1, 1),
+		"distinct":   randomRel(3, 8, 26, 2),
+		"single-row": randomRel(4, 1, 3, 3),
+	}
+	for _, ef := range allEngines() {
+		for relName, rel := range rels {
+			t.Run(ef.name+"/"+relName, func(t *testing.T) {
+				eng := ef.make(t, rel)
+				defer eng.Close()
+				m := rel.NumAttrs()
+				if eng.NumRows() != rel.NumRows() {
+					t.Fatalf("NumRows = %d, want %d", eng.NumRows(), rel.NumRows())
+				}
+				for a := 0; a < m; a++ {
+					got, err := eng.CardinalitySingle(a)
+					if err != nil {
+						t.Fatalf("CardinalitySingle(%d): %v", a, err)
+					}
+					want := relation.PartitionOf(rel, relation.SingleAttr(a)).Classes
+					if got != want {
+						t.Errorf("|π_{%d}| = %d, want %d", a, got, want)
+					}
+				}
+				for a := 0; a < m; a++ {
+					for b := a + 1; b < m; b++ {
+						x1, x2 := relation.SingleAttr(a), relation.SingleAttr(b)
+						got, err := eng.CardinalityUnion(x1, x2)
+						if err != nil {
+							t.Fatalf("CardinalityUnion(%d,%d): %v", a, b, err)
+						}
+						want := relation.PartitionOf(rel, x1.Union(x2)).Classes
+						if got != want {
+							t.Errorf("|π_{%d,%d}| = %d, want %d", a, b, got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEngineTripleUnions exercises |X| = 3 via Property 1 covers.
+func TestEngineTripleUnions(t *testing.T) {
+	rel := randomRel(4, 20, 2, 5)
+	for _, ef := range allEngines() {
+		t.Run(ef.name, func(t *testing.T) {
+			eng := ef.make(t, rel)
+			defer eng.Close()
+			for a := 0; a < 3; a++ {
+				if _, err := eng.CardinalitySingle(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ab, err := eng.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = ab
+			if _, err := eng.CardinalityUnion(relation.SingleAttr(1), relation.SingleAttr(2)); err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.CardinalityUnion(relation.NewAttrSet(0, 1), relation.NewAttrSet(1, 2))
+			if err != nil {
+				t.Fatalf("triple union: %v", err)
+			}
+			want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1, 2)).Classes
+			if got != want {
+				t.Errorf("|π_{0,1,2}| = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestEngineUnionValidation(t *testing.T) {
+	rel := testRelation()
+	for _, ef := range allEngines() {
+		t.Run(ef.name, func(t *testing.T) {
+			eng := ef.make(t, rel)
+			defer eng.Close()
+			if _, err := eng.CardinalitySingle(0); err != nil {
+				t.Fatal(err)
+			}
+			// Same set twice.
+			if _, err := eng.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(0)); !errors.Is(err, ErrBadUnion) {
+				t.Errorf("identical subsets err = %v", err)
+			}
+			// Empty subset.
+			if _, err := eng.CardinalityUnion(0, relation.SingleAttr(0)); !errors.Is(err, ErrBadUnion) {
+				t.Errorf("empty subset err = %v", err)
+			}
+			// Non-proper subset (x1 ⊇ x1 ∪ x2).
+			if _, err := eng.CardinalityUnion(relation.NewAttrSet(0, 1), relation.SingleAttr(1)); !errors.Is(err, ErrBadUnion) {
+				t.Errorf("non-proper subset err = %v", err)
+			}
+			// Unmaterialized input.
+			if _, err := eng.CardinalityUnion(relation.SingleAttr(1), relation.SingleAttr(2)); !errors.Is(err, ErrNotMaterialized) {
+				t.Errorf("unmaterialized err = %v", err)
+			}
+		})
+	}
+}
+
+func TestEngineCachingAndRelease(t *testing.T) {
+	rel := testRelation()
+	for _, ef := range allEngines() {
+		t.Run(ef.name, func(t *testing.T) {
+			eng := ef.make(t, rel)
+			defer eng.Close()
+			if _, ok := eng.Cardinality(relation.SingleAttr(0)); ok {
+				t.Error("Cardinality reported before materialization")
+			}
+			c1, err := eng.CardinalitySingle(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c, ok := eng.Cardinality(relation.SingleAttr(0)); !ok || c != c1 {
+				t.Errorf("cached Cardinality = %d,%v; want %d,true", c, ok, c1)
+			}
+			// Second call must hit the cache (same value, no error).
+			c2, err := eng.CardinalitySingle(0)
+			if err != nil || c2 != c1 {
+				t.Errorf("re-materialization = %d, %v", c2, err)
+			}
+			if err := eng.Release(relation.SingleAttr(0)); err != nil {
+				t.Fatalf("Release: %v", err)
+			}
+			if _, ok := eng.Cardinality(relation.SingleAttr(0)); ok {
+				t.Error("Cardinality survives Release")
+			}
+			if err := eng.Release(relation.SingleAttr(0)); !errors.Is(err, ErrNotMaterialized) {
+				t.Errorf("double Release err = %v", err)
+			}
+		})
+	}
+}
+
+func TestEngineCloseFreesServerStorage(t *testing.T) {
+	rel := testRelation()
+	srv := store.NewServer()
+	edb, err := Upload(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := srv.Stats()
+	eng := NewOrEngine(edb)
+	if _, err := eng.CardinalitySingle(0); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := srv.Stats()
+	if mid.StoredBytes <= base.StoredBytes {
+		t.Error("materialization did not grow server storage")
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	end, _ := srv.Stats()
+	if end.Objects != base.Objects || end.StoredBytes != base.StoredBytes {
+		t.Errorf("Close did not restore storage: %+v vs %+v", end, base)
+	}
+}
+
+func TestClientMemoryShapes(t *testing.T) {
+	// Fig. 5's qualitative claim: Sort's client memory is O(1); ORAM
+	// methods grow with n.
+	small := randomRel(2, 16, 4, 1)
+	big := randomRel(2, 256, 4, 1)
+
+	mem := func(ef engineFactory, rel *relation.Relation) int {
+		eng := ef.make(t, rel)
+		defer eng.Close()
+		if _, err := eng.CardinalitySingle(0); err != nil {
+			t.Fatal(err)
+		}
+		return eng.ClientMemoryBytes()
+	}
+	for _, ef := range allEngines() {
+		if ef.name == "plain" {
+			continue
+		}
+		sm, bm := mem(ef, small), mem(ef, big)
+		switch ef.name {
+		case "sort":
+			if sm != bm {
+				t.Errorf("sort client memory grew with n: %d -> %d", sm, bm)
+			}
+		default:
+			if bm <= sm {
+				t.Errorf("%s client memory did not grow with n: %d -> %d", ef.name, sm, bm)
+			}
+		}
+	}
+}
+
+// TestEnginesWithLinearORAM: both ORAM engines stay correct when backed by
+// the trivial scan ORAM instead of PathORAM.
+func TestEnginesWithLinearORAM(t *testing.T) {
+	rel := randomRel(3, 12, 2, 29)
+	t.Run("or", func(t *testing.T) {
+		eng := NewOrEngine(uploadFor(t, rel))
+		eng.Factory = oram.LinearFactory
+		defer eng.Close()
+		for a := 0; a < 3; a++ {
+			got, err := eng.CardinalitySingle(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := relation.PartitionOf(rel, relation.SingleAttr(a)).Classes; got != want {
+				t.Errorf("|π_%d| = %d, want %d", a, got, want)
+			}
+		}
+		got, err := eng.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1)).Classes; got != want {
+			t.Errorf("union = %d, want %d", got, want)
+		}
+	})
+	t.Run("ex-dynamic", func(t *testing.T) {
+		srv := store.NewServer()
+		edb, err := UploadWithCapacity(srv, crypto.MustNewCipher(crypto.MustNewKey()), "lin", rel, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewExEngine(edb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Factory = oram.LinearFactory
+		defer eng.Close()
+		if _, err := eng.CardinalitySingle(0); err != nil {
+			t.Fatal(err)
+		}
+		id, err := eng.Insert(relation.Row{"a", "a", "a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := eng.Cardinality(relation.SingleAttr(0))
+		if want := relation.PartitionOf(rel, relation.SingleAttr(0)).Classes; got != want {
+			t.Errorf("after insert+delete: |π_0| = %d, want %d", got, want)
+		}
+	})
+}
+
+// TestSortEngineOddEvenNetwork: the engine produces identical results with
+// either comparison network.
+func TestSortEngineOddEvenNetwork(t *testing.T) {
+	rel := randomRel(3, 25, 2, 19)
+	eng := NewSortEngine(uploadFor(t, rel), 2)
+	eng.Network = obsort.OddEvenMerge
+	defer eng.Close()
+	for a := 0; a < 3; a++ {
+		got, err := eng.CardinalitySingle(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := relation.PartitionOf(rel, relation.SingleAttr(a)).Classes
+		if got != want {
+			t.Errorf("odd-even |π_%d| = %d, want %d", a, got, want)
+		}
+	}
+	got, err := eng.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1)).Classes; got != want {
+		t.Errorf("odd-even union = %d, want %d", got, want)
+	}
+}
+
+// TestCardinalityRawMatchesCompressed cross-checks the ablation baseline:
+// the uncompressed direct computation must agree with the compressed path
+// and the plaintext oracle for every set size.
+func TestCardinalityRawMatchesCompressed(t *testing.T) {
+	rel := randomRel(4, 30, 2, 17)
+	raw := NewSortEngine(uploadFor(t, rel), 1)
+	defer raw.Close()
+	for size := 1; size <= 4; size++ {
+		x := relation.FullSet(size)
+		got, err := raw.CardinalityRaw(x)
+		if err != nil {
+			t.Fatalf("CardinalityRaw(%v): %v", x, err)
+		}
+		want := relation.PartitionOf(rel, x).Classes
+		if got != want {
+			t.Errorf("raw |π_%v| = %d, want %d", x, got, want)
+		}
+	}
+	// Raw-materialized partitions are cached and reusable as union covers.
+	if _, err := raw.CardinalityRaw(relation.NewAttrSet(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := raw.CardinalityUnion(relation.NewAttrSet(0, 1), relation.NewAttrSet(1, 2))
+	if err != nil {
+		t.Fatalf("union over raw-materialized covers: %v", err)
+	}
+	if want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1, 2)).Classes; got != want {
+		t.Errorf("union over raw covers = %d, want %d", got, want)
+	}
+	if _, err := raw.CardinalityRaw(0); err == nil {
+		t.Error("CardinalityRaw on empty set accepted")
+	}
+}
+
+// randomRel builds a reproducible random relation for engine tests.
+func randomRel(m, n, cardinality int, seed int64) *relation.Relation {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	rel := relation.New(relation.MustNewSchema(names...))
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < n; i++ {
+		row := make(relation.Row, m)
+		for j := range row {
+			row[j] = string(rune('a' + int(next())%cardinality))
+		}
+		if err := rel.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// ExEngine is the extended ORAM-based method of §V (Algorithms 4 and 5),
+// the first non-trivial secure FD protocol for fully dynamic databases. For
+// each materialized attribute set X it maintains:
+//
+//	Key-(Label,Frequency) ORAM  O_X^KLF : key_X → (label_X, fre_X)
+//	ID-(Key,Label)        ORAM  O_X^IKL : r[ID] → (key_X, label_X)
+//
+// fre_X counts how many live records share key_X, which is exactly what
+// deletion needs: a key's pair is removed from O^KLF only when its last
+// record goes (Algorithm 5's flag arithmetic). Our ORAM's Remove is
+// trace-indistinguishable from Write, so both deletion branches look
+// identical to the server; the paper encodes the same idea by writing
+// (⊥, ⊥).
+//
+// One deviation: labels are drawn from a monotone counter instead of the
+// paper's card_X. Algorithm 5 decrements card_X, so reusing it as the next
+// label (Algorithm 4 line 6) could hand a new key the label of a live one
+// and corrupt every superset's key_X = pair(label_{X1}, label_{X2}). The
+// monotone counter preserves the injective key→label mapping the
+// construction depends on; card_X is tracked separately and still equals
+// |π_X| at all times.
+type ExEngine struct {
+	edb      *EncryptedDB
+	instance string
+	// Factory builds the oblivious key-value stores backing each
+	// partition; nil means the paper's PathORAM (oram.PathFactory).
+	Factory  oram.Factory
+	capacity int
+	liveIDs  map[int]bool
+	sets     map[relation.AttrSet]*exState
+	seq      atomic.Int64
+	timing   func(x relation.AttrSet, d time.Duration)
+}
+
+// SetTimingHook installs a callback receiving the duration of each
+// per-attribute-set maintenance step performed by Insert and Delete. The
+// Fig. 7 benchmark uses it to isolate the marginal cost of one partition.
+func (e *ExEngine) SetTimingHook(fn func(x relation.AttrSet, d time.Duration)) {
+	e.timing = fn
+}
+
+type exState struct {
+	klf, ikl  oram.Store
+	card      uint64 // |π_X|
+	nextLabel uint64 // monotone label source
+	cover     [2]relation.AttrSet
+}
+
+var exEngines atomic.Int64
+
+// NewExEngine builds a dynamic engine over an uploaded database. The
+// database's capacity bounds total insertions over the engine's lifetime.
+func NewExEngine(edb *EncryptedDB) (*ExEngine, error) {
+	if edb.Capacity() >= maxLabel {
+		return nil, fmt.Errorf("core: capacity %d exceeds label space", edb.Capacity())
+	}
+	live := make(map[int]bool, edb.NumRows())
+	for i := 0; i < edb.NumRows(); i++ {
+		live[i] = true
+	}
+	return &ExEngine{
+		edb:      edb,
+		instance: fmt.Sprintf("ex%d", exEngines.Add(1)),
+		capacity: edb.Capacity(),
+		liveIDs:  live,
+		sets:     make(map[relation.AttrSet]*exState),
+	}, nil
+}
+
+// NumRows implements Engine.
+func (e *ExEngine) NumRows() int { return len(e.liveIDs) }
+
+// liveOrdered returns live ids in ascending order (the traversal order of
+// Algorithms 4's loop; ids are public row numbers).
+func (e *ExEngine) liveOrdered() []int {
+	ids := make([]int, 0, len(e.liveIDs))
+	for id := range e.liveIDs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func (e *ExEngine) newState(x relation.AttrSet, cover [2]relation.AttrSet) (*exState, error) {
+	seq := e.seq.Add(1)
+	factory := e.Factory
+	if factory == nil {
+		factory = oram.PathFactory
+	}
+	mk := func(kind string) (oram.Store, error) {
+		return factory(e.edb.svc, e.edb.cipher,
+			fmt.Sprintf("%s:%d:%s", e.instance, seq, kind),
+			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: 2 * labelWidth})
+	}
+	klf, err := mk("KLF")
+	if err != nil {
+		return nil, fmt.Errorf("core: setting up O^KLF for %v: %w", x, err)
+	}
+	ikl, err := mk("IKL")
+	if err != nil {
+		return nil, fmt.Errorf("core: setting up O^IKL for %v: %w", x, err)
+	}
+	return &exState{klf: klf, ikl: ikl, cover: cover}, nil
+}
+
+// pair16 packs two uint64s into the engines' fixed 16-byte ORAM value.
+func pair16(a, b uint64) []byte {
+	out := make([]byte, 16)
+	copy(out, encodeUint64(a))
+	copy(out[8:], encodeUint64(b))
+	return out
+}
+
+// step executes Algorithm 4's loop body: read O^KLF, update label and
+// frequency branchlessly, write both ORAMs. Exactly three ORAM accesses
+// regardless of data.
+func (st *exState) step(id int, key uint64) error {
+	keyStr := encodeUint64(key)
+	v, found, err := st.klf.Read(keyStr)
+	if err != nil {
+		return fmt.Errorf("core: O^KLF read: %w", err)
+	}
+	label, fre := st.nextLabel, uint64(0)
+	if found {
+		label, fre = decodeUint64(v), decodeUint64(v[8:])
+	}
+	fre++
+	if err := st.ikl.Write(idKey(id), pair16(key, label)); err != nil {
+		return fmt.Errorf("core: O^IKL write: %w", err)
+	}
+	if err := st.klf.Write(keyStr, pair16(label, fre)); err != nil {
+		return fmt.Errorf("core: O^KLF write: %w", err)
+	}
+	if !found {
+		st.card++
+		st.nextLabel++
+	}
+	return nil
+}
+
+// remove executes Algorithm 5 for one record: find the record's key via
+// O^IKL, decrement or remove its O^KLF pair, and remove its O^IKL pair.
+// Both branches perform one O^KLF operation and one O^IKL operation, and
+// Remove ≡ Write on the wire, so the trace is fixed: 2 reads + 2 updates.
+func (st *exState) remove(id int) error {
+	v, found, err := st.ikl.Read(idKey(id))
+	if err != nil {
+		return fmt.Errorf("core: O^IKL read: %w", err)
+	}
+	if !found {
+		return fmt.Errorf("%w: id %d", ErrUnknownID, id)
+	}
+	key := decodeUint64(v)
+	keyStr := encodeUint64(key)
+	lf, found, err := st.klf.Read(keyStr)
+	if err != nil {
+		return fmt.Errorf("core: O^KLF read: %w", err)
+	}
+	if !found {
+		return fmt.Errorf("core: O^KLF missing key for live id %d", id)
+	}
+	label, fre := decodeUint64(lf), decodeUint64(lf[8:])
+	if fre == 1 {
+		if err := st.klf.Remove(keyStr); err != nil {
+			return fmt.Errorf("core: O^KLF remove: %w", err)
+		}
+		st.card--
+	} else {
+		if err := st.klf.Write(keyStr, pair16(label, fre-1)); err != nil {
+			return fmt.Errorf("core: O^KLF write: %w", err)
+		}
+	}
+	if err := st.ikl.Remove(idKey(id)); err != nil {
+		return fmt.Errorf("core: O^IKL remove: %w", err)
+	}
+	return nil
+}
+
+// singleKeyFor compresses record id's value under a single attribute.
+func (e *ExEngine) singleKeyFor(id, attr int) (uint64, error) {
+	v, err := e.edb.CellValue(id, attr)
+	if err != nil {
+		return 0, err
+	}
+	return singleKey(e.edb.cipher, v), nil
+}
+
+// unionKeyFor builds key_X for record id from the covering subsets'
+// ID-(Key,Label) ORAMs.
+func (e *ExEngine) unionKeyFor(id int, st1, st2 *exState) (uint64, error) {
+	v1, found, err := st1.ikl.Read(idKey(id))
+	if err != nil {
+		return 0, fmt.Errorf("core: O^IKL read: %w", err)
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: id %d missing from subset partition", ErrNotMaterialized, id)
+	}
+	v2, found, err := st2.ikl.Read(idKey(id))
+	if err != nil {
+		return 0, fmt.Errorf("core: O^IKL read: %w", err)
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: id %d missing from subset partition", ErrNotMaterialized, id)
+	}
+	return unionKey(decodeUint64(v1[8:]), decodeUint64(v2[8:])), nil
+}
+
+// CardinalitySingle implements Engine (Algorithm 4).
+func (e *ExEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st, err := e.newState(x, [2]relation.AttrSet{})
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range e.liveOrdered() {
+		key, err := e.singleKeyFor(id, attr)
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityUnion implements Engine (Algorithm 4's multi-attribute variant,
+// which obtains key_X as in Algorithm 2 lines 4–6).
+func (e *ExEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	x, err := validateUnion(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+	}
+	st, err := e.newState(x, [2]relation.AttrSet{x1, x2})
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range e.liveOrdered() {
+		key, err := e.unionKeyFor(id, st1, st2)
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// Cardinality implements Engine.
+func (e *ExEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return int(st.card), true
+}
+
+// Insert implements DynamicEngine: the new record is an untraversed record,
+// processed by one Algorithm 4 step per materialized set, covers first.
+func (e *ExEngine) Insert(row relation.Row) (int, error) {
+	id, err := e.edb.AppendRow(row)
+	if err != nil {
+		return 0, err
+	}
+	for _, x := range e.setsBySize() {
+		st := e.sets[x]
+		start := time.Now()
+		var key uint64
+		if x.Size() == 1 {
+			key, err = e.singleKeyFor(id, x.First())
+		} else {
+			st1, ok1 := e.sets[st.cover[0]]
+			st2, ok2 := e.sets[st.cover[1]]
+			if !ok1 || !ok2 {
+				return 0, fmt.Errorf("%w: cover of %v was released; dynamic use requires keeping partitions", ErrNotMaterialized, x)
+			}
+			key, err = e.unionKeyFor(id, st1, st2)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+		if e.timing != nil {
+			e.timing(x, time.Since(start))
+		}
+	}
+	e.liveIDs[id] = true
+	return id, nil
+}
+
+// Delete implements DynamicEngine: one Algorithm 5 pass per materialized
+// set. Deletions across sets are order-independent (§V-C).
+func (e *ExEngine) Delete(id int) error {
+	if !e.liveIDs[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	for _, x := range e.setsBySize() {
+		start := time.Now()
+		if err := e.sets[x].remove(id); err != nil {
+			return err
+		}
+		if e.timing != nil {
+			e.timing(x, time.Since(start))
+		}
+	}
+	delete(e.liveIDs, id)
+	return nil
+}
+
+func (e *ExEngine) setsBySize() []relation.AttrSet {
+	out := make([]relation.AttrSet, 0, len(e.sets))
+	for x := range e.sets {
+		out = append(out, x)
+	}
+	sortSets(out)
+	return out
+}
+
+// Release implements Engine.
+func (e *ExEngine) Release(x relation.AttrSet) error {
+	st, ok := e.sets[x]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotMaterialized, x)
+	}
+	if err := st.klf.Destroy(); err != nil {
+		return err
+	}
+	if err := st.ikl.Destroy(); err != nil {
+		return err
+	}
+	delete(e.sets, x)
+	return nil
+}
+
+// ClientMemoryBytes implements Engine.
+func (e *ExEngine) ClientMemoryBytes() int {
+	total := 8 * len(e.liveIDs)
+	for _, st := range e.sets {
+		total += st.klf.ClientMemoryBytes() + st.ikl.ClientMemoryBytes()
+	}
+	return total
+}
+
+// Close implements Engine.
+func (e *ExEngine) Close() error {
+	for x := range e.sets {
+		if err := e.Release(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// This file demonstrates WHY the paper insists on minimal leakage (§I-B,
+// §VIII): the frequency information revealed by its predecessor's approach
+// (deterministic tags, DetEngine) enables the classic frequency-analysis
+// attack of Naveed–Kamara–Wright (the paper's [39]): an adversary who knows
+// an auxiliary distribution of the column (e.g. public census statistics)
+// matches the observed tag frequencies against it and recovers plaintexts
+// without any key. The same attack against the oblivious engines' server
+// state recovers nothing, because every stored ciphertext is unique.
+
+// skewedColumn builds a single-attribute relation whose values follow a
+// heavily skewed (roughly Zipfian) distribution, like real categorical
+// data.
+func skewedColumn(n int, seed int64) (*relation.Relation, []string) {
+	values := []string{
+		"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo",
+		"Other-A", "Other-B", "Other-C", "Other-D",
+	}
+	weights := []int{800, 96, 31, 10, 5, 3, 2, 1}
+	rng := rand.New(rand.NewSource(seed))
+	rel := relation.New(relation.MustNewSchema("race"))
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	for i := 0; i < n; i++ {
+		x := rng.Intn(total)
+		for j, w := range weights {
+			if x < w {
+				if err := rel.Append(relation.Row{values[j]}); err != nil {
+					panic(err)
+				}
+				break
+			}
+			x -= w
+		}
+	}
+	return rel, values
+}
+
+// frequencyAttack sorts observed tags and auxiliary values by frequency and
+// matches rank-for-rank — the simplest form of the attack, already
+// devastating on skewed data.
+func frequencyAttack(tags []uint64, auxiliary map[string]int) map[uint64]string {
+	counts := make(map[uint64]int)
+	for _, tag := range tags {
+		counts[tag]++
+	}
+	type tf struct {
+		tag uint64
+		n   int
+	}
+	observed := make([]tf, 0, len(counts))
+	for tag, n := range counts {
+		observed = append(observed, tf{tag, n})
+	}
+	sort.Slice(observed, func(i, j int) bool {
+		if observed[i].n != observed[j].n {
+			return observed[i].n > observed[j].n
+		}
+		return observed[i].tag < observed[j].tag
+	})
+	type vf struct {
+		value string
+		n     int
+	}
+	aux := make([]vf, 0, len(auxiliary))
+	for v, n := range auxiliary {
+		aux = append(aux, vf{v, n})
+	}
+	sort.Slice(aux, func(i, j int) bool {
+		if aux[i].n != aux[j].n {
+			return aux[i].n > aux[j].n
+		}
+		return aux[i].value < aux[j].value
+	})
+	guess := make(map[uint64]string)
+	for i := 0; i < len(observed) && i < len(aux); i++ {
+		guess[observed[i].tag] = aux[i].value
+	}
+	return guess
+}
+
+// TestFrequencyAttackBreaksDeterministicTags: with a matching auxiliary
+// distribution, the attack recovers the overwhelming majority of cells
+// protected only by deterministic tags.
+func TestFrequencyAttackBreaksDeterministicTags(t *testing.T) {
+	const n = 2000
+	rel, _ := skewedColumn(n, 1)
+	srv := store.NewServer()
+	edb, err := Upload(srv, crypto.MustNewCipher(crypto.MustNewKey()), "det", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewDetEngine(edb)
+	defer eng.Close()
+	if _, err := eng.CardinalitySingle(0); err != nil {
+		t.Fatal(err)
+	}
+	tags, ok := eng.PublishedTags(relation.SingleAttr(0))
+	if !ok {
+		t.Fatal("tags not published")
+	}
+
+	// Auxiliary knowledge: the adversary knows the distribution from a
+	// *different* sample of the same population.
+	auxRel, _ := skewedColumn(n, 999)
+	auxiliary := make(map[string]int)
+	for i := 0; i < auxRel.NumRows(); i++ {
+		auxiliary[auxRel.Value(i, 0)]++
+	}
+
+	guess := frequencyAttack(tags, auxiliary)
+	recovered := 0
+	for i, tag := range tags {
+		if guess[tag] == rel.Value(i, 0) {
+			recovered++
+		}
+	}
+	rate := float64(recovered) / float64(n)
+	t.Logf("frequency attack recovered %.1f%% of %d deterministic cells", 100*rate, n)
+	if rate < 0.9 {
+		t.Errorf("attack recovered only %.1f%%; the leakage demonstration is broken", 100*rate)
+	}
+}
+
+// TestFrequencyAttackFailsAgainstObliviousEngines: the same adversary
+// looking at the oblivious protocols' server state sees no repeated
+// ciphertexts at all — every stored blob is unique — so frequency analysis
+// has nothing to grab.
+func TestFrequencyAttackFailsAgainstObliviousEngines(t *testing.T) {
+	const n = 256
+	rel, _ := skewedColumn(n, 2)
+
+	for _, kind := range []struct {
+		name string
+		make func(edb *EncryptedDB) Engine
+	}{
+		{"or-oram", func(edb *EncryptedDB) Engine { return NewOrEngine(edb) }},
+		{"sort", func(edb *EncryptedDB) Engine { return NewSortEngine(edb, 1) }},
+	} {
+		t.Run(kind.name, func(t *testing.T) {
+			srv := store.NewServer()
+			edb, err := Upload(srv, crypto.MustNewCipher(crypto.MustNewKey()), "obl", rel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := kind.make(edb)
+			defer eng.Close()
+			if _, err := eng.CardinalitySingle(0); err != nil {
+				t.Fatal(err)
+			}
+
+			// The adversary's snapshot: every stored byte string.
+			var snap struct{ blobs map[string]int }
+			snap.blobs = make(map[string]int)
+			collect := func(name string, count int) {
+				for i := 0; i < count; i++ {
+					cts, err := srv.ReadCells(name, []int64{int64(i)})
+					if err != nil {
+						return
+					}
+					if len(cts[0]) > 0 {
+						snap.blobs[string(cts[0])]++
+					}
+				}
+			}
+			collect("db:obl:col0", n)
+			for blob, count := range snap.blobs {
+				if count > 1 {
+					t.Errorf("repeated ciphertext (%d bytes) appears %d times", len(blob), count)
+				}
+			}
+			// Full server state: no byte-identical non-empty blobs
+			// anywhere (cells, buckets, anything).
+			if dup := duplicateBlobCount(t, srv); dup > 0 {
+				t.Errorf("%d duplicate blobs in full server state", dup)
+			}
+		})
+	}
+}
+
+// duplicateBlobCount snapshots the server and counts repeated non-empty
+// byte strings across all storage.
+func duplicateBlobCount(t *testing.T, srv *store.Server) int {
+	t.Helper()
+	var snapBuf bytesBuffer
+	if err := srv.SaveSnapshot(&snapBuf); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot serializes every stored blob. Rather than parse gob,
+	// count repeated fixed-size windows: ciphertexts are ≥ 24 bytes of
+	// high-entropy data, so identical aligned 24-byte windows only arise
+	// from identical blobs (a conservative detector).
+	const window = 24
+	seen := make(map[string]int)
+	raw := snapBuf.data
+	dups := 0
+	for i := 0; i+window <= len(raw); i += window {
+		w := string(raw[i : i+window])
+		seen[w]++
+	}
+	for _, c := range seen {
+		if c > 1 {
+			dups += c - 1
+		}
+	}
+	return dups
+}
+
+// bytesBuffer is a minimal io.ReadWriter over a byte slice.
+type bytesBuffer struct {
+	data []byte
+	off  int
+}
+
+func (b *bytesBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *bytesBuffer) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+// TestDetEngineMatchesOracle: leaky, but correct — the comparator must
+// produce the right answers to be a fair baseline.
+func TestDetEngineMatchesOracle(t *testing.T) {
+	rel := randomRel(4, 30, 3, 23)
+	srv := store.NewServer()
+	edb, err := Upload(srv, crypto.MustNewCipher(crypto.MustNewKey()), "det2", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewDetEngine(edb)
+	defer eng.Close()
+	for a := 0; a < 4; a++ {
+		got, err := eng.CardinalitySingle(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := relation.PartitionOf(rel, relation.SingleAttr(a)).Classes; got != want {
+			t.Errorf("|π_%d| = %d, want %d", a, got, want)
+		}
+	}
+	got, err := eng.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1)).Classes; got != want {
+		t.Errorf("union = %d, want %d", got, want)
+	}
+	// Full discovery agrees with the oracle too.
+	srv2 := store.NewServer()
+	edb2, err := Upload(srv2, crypto.MustNewCipher(crypto.MustNewKey()), "det3", rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewDetEngine(edb2)
+	defer eng2.Close()
+	res, err := Discover(eng2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Discover(NewPlainEngine(rel), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.FDSetEqual(res.Minimal, res2.Minimal) {
+		t.Errorf("DetEngine FDs = %v, want %v", res.Minimal, res2.Minimal)
+	}
+}

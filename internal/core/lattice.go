@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// This file is the database level (§IV-A): the top-down levelwise search of
+// TANE (Huhtala et al., the paper's [23]) over the attribute-set containment
+// lattice, with its C⁺ candidate pruning and key pruning. The traversal
+// order is a deterministic function of (m, n, the discovered FDs) — exactly
+// the allowed leakage L(DB) — and every node's partition is requested as
+// the union of two previously materialized subsets, which is Property 1.
+//
+// The set level is the two lines marked "set-level check" below: the client
+// compares two cardinalities it alone can decrypt and (optionally) reveals
+// only the boolean to the server.
+
+// Options configures Discover.
+type Options struct {
+	// KeepPartitions retains every materialized partition on the server
+	// instead of releasing levels as the search ascends. Required when the
+	// engine will be used dynamically (insert/delete) afterwards.
+	KeepPartitions bool
+	// MaxLHS bounds the size of left-hand sides searched; 0 means no
+	// bound (search the full lattice).
+	MaxLHS int
+	// Reveal, if non-nil, is invoked for every set-level decision with
+	// the candidate FD and whether it holds — the protocol's only
+	// disclosure to the server beyond the access pattern.
+	Reveal func(fd relation.FD, holds bool)
+}
+
+// Result is the outcome of a discovery run.
+type Result struct {
+	// Minimal holds the minimal functional dependencies: X → A with
+	// singleton RHS, where no proper subset of X determines A. Every
+	// valid FD of the database is implied by this set.
+	Minimal []relation.FD
+	// Cardinalities caches |π_X| for every materialized set (client-side
+	// knowledge; the server never sees these values).
+	Cardinalities map[relation.AttrSet]int
+	// SetsMaterialized counts attribute sets whose partition was computed.
+	SetsMaterialized int
+	// Checks counts set-level validations performed.
+	Checks int
+}
+
+// Discover runs secure FD discovery over an engine covering m attributes.
+// The engine's partitions are materialized level by level; unless
+// opts.KeepPartitions is set, levels are released once no longer needed.
+func Discover(engine Engine, m int, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if m < 1 || m > relation.MaxAttrs {
+		return nil, fmt.Errorf("core: attribute count %d out of range", m)
+	}
+	n := engine.NumRows()
+	if n < 1 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+
+	res := &Result{Cardinalities: make(map[relation.AttrSet]int)}
+	universe := relation.FullSet(m)
+	cplus := map[relation.AttrSet]relation.AttrSet{0: universe}
+
+	// cplusOf returns C⁺(x), reconstructing it recursively as the
+	// intersection of its parents' C⁺ when x itself was never a lattice
+	// node (pruned branches still participate in the key-pruning
+	// condition below). Memoized into cplus.
+	var cplusOf func(x relation.AttrSet) relation.AttrSet
+	cplusOf = func(x relation.AttrSet) relation.AttrSet {
+		if c, ok := cplus[x]; ok {
+			return c
+		}
+		cp := universe
+		x.Subsets(func(sub relation.AttrSet) {
+			cp = cp.Intersect(cplusOf(sub))
+		})
+		cplus[x] = cp
+		return cp
+	}
+
+	// Level 1: materialize every singleton partition.
+	level := relation.AllSingletons(m)
+	for _, x := range level {
+		card, err := engine.CardinalitySingle(x.First())
+		if err != nil {
+			return nil, err
+		}
+		res.Cardinalities[x] = card
+		res.SetsMaterialized++
+	}
+
+	var prevLevel []relation.AttrSet // sets eligible for release next round
+
+	for l := 1; len(level) > 0; l++ {
+		// ComputeDependencies: refresh C⁺ for this level.
+		for _, x := range level {
+			cp := universe
+			x.Subsets(func(sub relation.AttrSet) {
+				cp = cp.Intersect(cplusOf(sub))
+			})
+			cplus[x] = cp
+		}
+		for _, x := range level {
+			for _, a := range x.Intersect(cplus[x]).Attrs() {
+				lhs := x.Remove(a)
+				lhsCard := 1 // |π_∅| = 1 on a non-empty database
+				if !lhs.IsEmpty() {
+					lhsCard = res.Cardinalities[lhs]
+				}
+				// Set-level check (Theorem 1): X\{A} → A iff
+				// |π_{X\{A}}| = |π_X|.
+				holds := lhsCard == res.Cardinalities[x]
+				res.Checks++
+				fd := relation.FD{LHS: lhs, RHS: relation.SingleAttr(a)}
+				if opts.Reveal != nil {
+					opts.Reveal(fd, holds)
+				}
+				if holds {
+					res.Minimal = append(res.Minimal, fd)
+					cp := cplus[x].Remove(a)
+					cp = cp.Minus(universe.Minus(x))
+					cplus[x] = cp
+				}
+			}
+		}
+
+		// Prune: drop nodes with empty C⁺ and superkeys (after harvesting
+		// the superkeys' remaining dependencies).
+		kept := level[:0]
+		inLevel := make(map[relation.AttrSet]bool, len(level))
+		release := func(x relation.AttrSet) error {
+			if opts.KeepPartitions {
+				return nil
+			}
+			return engine.Release(x)
+		}
+		for _, x := range level {
+			if cplus[x].IsEmpty() {
+				if err := release(x); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if res.Cardinalities[x] == n { // X is a (super)key
+				// The harvested FDs have |LHS| = |X| = l, one more than
+				// the dependencies found by ComputeDependencies at this
+				// level, so the MaxLHS bound must be re-checked here.
+				if opts.MaxLHS == 0 || x.Size() <= opts.MaxLHS {
+					for _, a := range cplus[x].Minus(x).Attrs() {
+						ok := true
+						x.Subsets(func(sub relation.AttrSet) {
+							if !cplusOf(sub.Add(a)).Has(a) {
+								ok = false
+							}
+						})
+						if ok {
+							res.Minimal = append(res.Minimal, relation.FD{LHS: x, RHS: relation.SingleAttr(a)})
+							if opts.Reveal != nil {
+								opts.Reveal(relation.FD{LHS: x, RHS: relation.SingleAttr(a)}, true)
+							}
+						}
+					}
+				}
+				if err := release(x); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			kept = append(kept, x)
+			inLevel[x] = true
+		}
+
+		if opts.MaxLHS > 0 && l >= opts.MaxLHS+1 {
+			break // LHS at the next level would exceed the bound
+		}
+
+		// GenerateNextLevel: TANE's prefix-bucket join — two l-sets join
+		// iff they share everything but their largest attribute, so
+		// bucketing by that prefix generates each candidate exactly once
+		// without the O(|level|²) pair scan. Candidates then pass the
+		// all-subsets check and are materialized from their Property 1
+		// cover.
+		buckets := make(map[relation.AttrSet][]relation.AttrSet, len(kept))
+		var prefixes []relation.AttrSet
+		for _, x := range kept {
+			prefix := x.Remove(x.Last())
+			if _, ok := buckets[prefix]; !ok {
+				prefixes = append(prefixes, prefix)
+			}
+			buckets[prefix] = append(buckets[prefix], x)
+		}
+		// Deterministic traversal order: the access pattern must be a
+		// function of (m, n, FD(DB)) alone, never of map iteration.
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+		var next []relation.AttrSet
+		for _, prefix := range prefixes {
+			group := buckets[prefix]
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					z := group[i].Union(group[j])
+					allIn := true
+					z.Subsets(func(sub relation.AttrSet) {
+						if !inLevel[sub] {
+							allIn = false
+						}
+					})
+					if !allIn {
+						continue
+					}
+					x1, x2 := z.SplitCover()
+					card, err := engine.CardinalityUnion(x1, x2)
+					if err != nil {
+						return nil, err
+					}
+					res.Cardinalities[z] = card
+					res.SetsMaterialized++
+					next = append(next, z)
+				}
+			}
+		}
+		// Sets two levels down are no longer anyone's cover.
+		if !opts.KeepPartitions {
+			for _, x := range prevLevel {
+				if err := engine.Release(x); err != nil {
+					return nil, err
+				}
+			}
+		}
+		prevLevel = kept
+		level = next
+	}
+
+	relation.SortFDs(res.Minimal)
+	return res, nil
+}
+
+// AggregateFDs merges minimal FDs sharing a left-hand side into the paper's
+// pair form (A, B) with composite right-hand sides: if A → B₁ and A → B₂
+// then A → B₁ ∪ B₂.
+func AggregateFDs(minimal []relation.FD) []relation.FD {
+	byLHS := make(map[relation.AttrSet]relation.AttrSet)
+	for _, fd := range minimal {
+		byLHS[fd.LHS] = byLHS[fd.LHS].Union(fd.RHS)
+	}
+	out := make([]relation.FD, 0, len(byLHS))
+	for lhs, rhs := range byLHS {
+		out = append(out, relation.FD{LHS: lhs, RHS: rhs})
+	}
+	relation.SortFDs(out)
+	return out
+}
+
+// Validate checks a single dependency X → Y on an engine by materializing
+// the partition chain for X and X ∪ Y (respecting Property 1) and applying
+// Theorem 1. It returns whether the FD holds.
+func Validate(engine Engine, x, y relation.AttrSet) (bool, error) {
+	if x.IsEmpty() || y.IsEmpty() {
+		return false, fmt.Errorf("core: Validate needs non-empty attribute sets")
+	}
+	cardX, err := materializeChain(engine, x)
+	if err != nil {
+		return false, err
+	}
+	union := x.Union(y)
+	if union == x {
+		return true, nil // Y ⊆ X: trivial dependency
+	}
+	cardXY, err := materializeChain(engine, union)
+	if err != nil {
+		return false, err
+	}
+	return cardX == cardXY, nil
+}
+
+// materializeChain materializes π_x by growing one attribute at a time:
+// {a₁}, {a₁,a₂}, … — each step a valid two-subset cover.
+func materializeChain(engine Engine, x relation.AttrSet) (int, error) {
+	attrs := x.Attrs()
+	card, err := engine.CardinalitySingle(attrs[0])
+	if err != nil {
+		return 0, err
+	}
+	cur := relation.SingleAttr(attrs[0])
+	for _, a := range attrs[1:] {
+		if _, err := engine.CardinalitySingle(a); err != nil {
+			return 0, err
+		}
+		card, err = engine.CardinalityUnion(cur, relation.SingleAttr(a))
+		if err != nil {
+			return 0, err
+		}
+		cur = cur.Add(a)
+	}
+	return card, nil
+}

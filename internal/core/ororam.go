@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// OrEngine is the original ORAM-based method of §IV-C (Algorithms 1 and 2).
+// For each materialized attribute set X it maintains two ORAMs:
+//
+//	Key-Label ORAM  O_X^KL : key_X  → label_X   (counts distinct keys)
+//	ID-Label  ORAM  O_X^IL : r[ID]  → label_X   (feeds supersets of X)
+//
+// It supports static databases and insertions (the method traverses records
+// one by one, so appended records are simply untraversed records, §IV-C(c)).
+// Deletion is not supported — that is ExEngine's job.
+type OrEngine struct {
+	edb      *EncryptedDB
+	instance string
+	// Factory builds the oblivious key-value stores backing each
+	// partition; the default is the paper's PathORAM
+	// (oram.PathFactory). Set before the first materialization to use an
+	// alternative such as oram.LinearFactory.
+	Factory  oram.Factory
+	capacity int
+	n        int // live rows, ids 0..n-1 (insert-only keeps ids contiguous)
+	sets     map[relation.AttrSet]*orState
+	seq      atomic.Int64 // unique ORAM-name counter across the engine's life
+}
+
+type orState struct {
+	kl, il oram.Store
+	card   uint64
+	cover  [2]relation.AttrSet // the Property 1 subsets; zero for singletons
+}
+
+// orEngines is a package-level counter so two engines over the same service
+// never collide on object names.
+var orEngines atomic.Int64
+
+// NewOrEngine builds an engine over an uploaded database.
+func NewOrEngine(edb *EncryptedDB) *OrEngine {
+	return &OrEngine{
+		edb:      edb,
+		instance: fmt.Sprintf("or%d", orEngines.Add(1)),
+		capacity: edb.Capacity(),
+		n:        edb.NumRows(),
+		sets:     make(map[relation.AttrSet]*orState),
+	}
+}
+
+// NumRows implements Engine.
+func (e *OrEngine) NumRows() int { return e.n }
+
+func (e *OrEngine) newState(x relation.AttrSet, cover [2]relation.AttrSet) (*orState, error) {
+	seq := e.seq.Add(1)
+	factory := e.Factory
+	if factory == nil {
+		factory = oram.PathFactory
+	}
+	mk := func(kind string) (oram.Store, error) {
+		return factory(e.edb.svc, e.edb.cipher,
+			fmt.Sprintf("%s:%d:%s", e.instance, seq, kind),
+			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: labelWidth})
+	}
+	kl, err := mk("KL")
+	if err != nil {
+		return nil, fmt.Errorf("core: setting up O^KL for %v: %w", x, err)
+	}
+	il, err := mk("IL")
+	if err != nil {
+		return nil, fmt.Errorf("core: setting up O^IL for %v: %w", x, err)
+	}
+	return &orState{kl: kl, il: il, cover: cover}, nil
+}
+
+// step executes one iteration of Algorithm 1/2's loop body for record id
+// with the already-constructed key_X. The ORAM access sequence — one Read
+// and two Writes — is identical regardless of whether the key was seen
+// before (the branchless flag arithmetic of the paper's lines 6–10).
+func (st *orState) step(id int, key string) error {
+	labelBytes, found, err := st.kl.Read(key)
+	if err != nil {
+		return fmt.Errorf("core: O^KL read: %w", err)
+	}
+	label := st.card
+	if found {
+		label = decodeUint64(labelBytes)
+	}
+	enc := encodeUint64(label)
+	if err := st.il.Write(idKey(id), []byte(enc)); err != nil {
+		return fmt.Errorf("core: O^IL write: %w", err)
+	}
+	if err := st.kl.Write(key, []byte(enc)); err != nil {
+		return fmt.Errorf("core: O^KL write: %w", err)
+	}
+	if !found {
+		st.card++
+	}
+	return nil
+}
+
+// singleKeyFor compresses record id's value under a single attribute.
+func (e *OrEngine) singleKeyFor(id, attr int) (string, error) {
+	v, err := e.edb.CellValue(id, attr)
+	if err != nil {
+		return "", err
+	}
+	return encodeUint64(singleKey(e.edb.cipher, v)), nil
+}
+
+// unionKeyFor builds key_X for record id from the two covering subsets'
+// ID-Label ORAMs (Algorithm 2, lines 4–6).
+func (e *OrEngine) unionKeyFor(id int, st1, st2 *orState) (string, error) {
+	l1b, found, err := st1.il.Read(idKey(id))
+	if err != nil {
+		return "", fmt.Errorf("core: O^IL read: %w", err)
+	}
+	if !found {
+		return "", fmt.Errorf("%w: id %d missing from subset partition", ErrNotMaterialized, id)
+	}
+	l2b, found, err := st2.il.Read(idKey(id))
+	if err != nil {
+		return "", fmt.Errorf("core: O^IL read: %w", err)
+	}
+	if !found {
+		return "", fmt.Errorf("%w: id %d missing from subset partition", ErrNotMaterialized, id)
+	}
+	return encodeUint64(unionKey(decodeUint64(l1b), decodeUint64(l2b))), nil
+}
+
+// CardinalitySingle implements Engine (Algorithm 1).
+func (e *OrEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st, err := e.newState(x, [2]relation.AttrSet{})
+	if err != nil {
+		return 0, err
+	}
+	for id := 0; id < e.n; id++ {
+		key, err := e.singleKeyFor(id, attr)
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityUnion implements Engine (Algorithm 2).
+func (e *OrEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	x, err := validateUnion(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+	}
+	st, err := e.newState(x, [2]relation.AttrSet{x1, x2})
+	if err != nil {
+		return 0, err
+	}
+	for id := 0; id < e.n; id++ {
+		key, err := e.unionKeyFor(id, st1, st2)
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// Cardinality implements Engine.
+func (e *OrEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return int(st.card), true
+}
+
+// Insert continues the traversal for one appended record across every
+// materialized attribute set, in subset-before-superset order so Algorithm
+// 2's key construction finds fresh labels (§IV-C(c)).
+func (e *OrEngine) Insert(row relation.Row) (int, error) {
+	id, err := e.edb.AppendRow(row)
+	if err != nil {
+		return 0, err
+	}
+	for _, x := range e.setsBySize() {
+		st := e.sets[x]
+		var key string
+		if x.Size() == 1 {
+			key, err = e.singleKeyFor(id, x.First())
+		} else {
+			st1, ok1 := e.sets[st.cover[0]]
+			st2, ok2 := e.sets[st.cover[1]]
+			if !ok1 || !ok2 {
+				return 0, fmt.Errorf("%w: cover of %v was released; dynamic use requires keeping partitions", ErrNotMaterialized, x)
+			}
+			key, err = e.unionKeyFor(id, st1, st2)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if err := st.step(id, key); err != nil {
+			return 0, err
+		}
+	}
+	e.n++
+	return id, nil
+}
+
+// setsBySize returns the materialized sets ordered by |X| then value, so
+// covers always precede their unions.
+func (e *OrEngine) setsBySize() []relation.AttrSet {
+	out := make([]relation.AttrSet, 0, len(e.sets))
+	for x := range e.sets {
+		out = append(out, x)
+	}
+	sortSets(out)
+	return out
+}
+
+// Release implements Engine.
+func (e *OrEngine) Release(x relation.AttrSet) error {
+	st, ok := e.sets[x]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotMaterialized, x)
+	}
+	if err := st.kl.Destroy(); err != nil {
+		return err
+	}
+	if err := st.il.Destroy(); err != nil {
+		return err
+	}
+	delete(e.sets, x)
+	return nil
+}
+
+// ClientMemoryBytes implements Engine.
+func (e *OrEngine) ClientMemoryBytes() int {
+	total := 0
+	for _, st := range e.sets {
+		total += st.kl.ClientMemoryBytes() + st.il.ClientMemoryBytes()
+	}
+	return total
+}
+
+// Close implements Engine.
+func (e *OrEngine) Close() error {
+	for x := range e.sets {
+		if err := e.Release(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

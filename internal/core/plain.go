@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// PlainEngine computes partitions directly on a plaintext relation. It is
+// the insecure comparator: the same database-level search as the secure
+// engines, with none of their protections, representing the conventional
+// partition-based discovery the paper builds on (§II-C). It also serves as
+// the correctness oracle in tests and implements DynamicEngine by
+// recomputation, which is exactly the Ω(n)-per-operation "trivial" dynamic
+// solution of Definition 5 that ExEngine improves upon.
+type PlainEngine struct {
+	rel  *relation.Relation
+	live map[int]bool
+	sets map[relation.AttrSet]*plainState
+}
+
+type plainState struct {
+	labels map[int]int // r[ID] → label
+	card   int
+	cover  [2]relation.AttrSet
+}
+
+// NewPlainEngine builds a plaintext engine over a relation. The relation is
+// cloned, so later mutations of rel do not affect the engine.
+func NewPlainEngine(rel *relation.Relation) *PlainEngine {
+	live := make(map[int]bool, rel.NumRows())
+	for i := 0; i < rel.NumRows(); i++ {
+		live[i] = true
+	}
+	return &PlainEngine{
+		rel:  rel.Clone(),
+		live: live,
+		sets: make(map[relation.AttrSet]*plainState),
+	}
+}
+
+// NumRows implements Engine.
+func (e *PlainEngine) NumRows() int { return len(e.live) }
+
+func (e *PlainEngine) computeSingle(attr int) *plainState {
+	st := &plainState{labels: make(map[int]int, len(e.live))}
+	seen := make(map[string]int)
+	for id := 0; id < e.rel.NumRows(); id++ {
+		if !e.live[id] {
+			continue
+		}
+		v := e.rel.Value(id, attr)
+		lbl, ok := seen[v]
+		if !ok {
+			lbl = st.card
+			st.card++
+			seen[v] = lbl
+		}
+		st.labels[id] = lbl
+	}
+	return st
+}
+
+func (e *PlainEngine) computeUnion(st1, st2 *plainState, cover [2]relation.AttrSet) *plainState {
+	st := &plainState{labels: make(map[int]int, len(e.live)), cover: cover}
+	seen := make(map[[2]int]int)
+	for id := 0; id < e.rel.NumRows(); id++ {
+		if !e.live[id] {
+			continue
+		}
+		k := [2]int{st1.labels[id], st2.labels[id]}
+		lbl, ok := seen[k]
+		if !ok {
+			lbl = st.card
+			st.card++
+			seen[k] = lbl
+		}
+		st.labels[id] = lbl
+	}
+	return st
+}
+
+// CardinalitySingle implements Engine.
+func (e *PlainEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return st.card, nil
+	}
+	st := e.computeSingle(attr)
+	e.sets[x] = st
+	return st.card, nil
+}
+
+// CardinalityUnion implements Engine.
+func (e *PlainEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	x, err := validateUnion(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	if st, ok := e.sets[x]; ok {
+		return st.card, nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+	}
+	st := e.computeUnion(st1, st2, [2]relation.AttrSet{x1, x2})
+	e.sets[x] = st
+	return st.card, nil
+}
+
+// Cardinality implements Engine.
+func (e *PlainEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return st.card, true
+}
+
+// Insert implements DynamicEngine by full recomputation (the trivial
+// solution: Ω(n) per materialized set).
+func (e *PlainEngine) Insert(row relation.Row) (int, error) {
+	if err := e.rel.Append(row); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrRowWidth, err)
+	}
+	id := e.rel.NumRows() - 1
+	e.live[id] = true
+	e.recomputeAll()
+	return id, nil
+}
+
+// Delete implements DynamicEngine by full recomputation.
+func (e *PlainEngine) Delete(id int) error {
+	if !e.live[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownID, id)
+	}
+	delete(e.live, id)
+	e.recomputeAll()
+	return nil
+}
+
+func (e *PlainEngine) recomputeAll() {
+	order := make([]relation.AttrSet, 0, len(e.sets))
+	for x := range e.sets {
+		order = append(order, x)
+	}
+	sortSets(order)
+	for _, x := range order {
+		old := e.sets[x]
+		if x.Size() == 1 {
+			e.sets[x] = e.computeSingle(x.First())
+		} else {
+			st1 := e.sets[old.cover[0]]
+			st2 := e.sets[old.cover[1]]
+			e.sets[x] = e.computeUnion(st1, st2, old.cover)
+		}
+	}
+}
+
+// Release implements Engine.
+func (e *PlainEngine) Release(x relation.AttrSet) error {
+	if _, ok := e.sets[x]; !ok {
+		return fmt.Errorf("%w: %v", ErrNotMaterialized, x)
+	}
+	delete(e.sets, x)
+	return nil
+}
+
+// ClientMemoryBytes implements Engine: the plaintext baseline holds all
+// partitions client-side.
+func (e *PlainEngine) ClientMemoryBytes() int {
+	total := 0
+	for _, st := range e.sets {
+		total += 16 * len(st.labels)
+	}
+	return total
+}
+
+// Close implements Engine.
+func (e *PlainEngine) Close() error {
+	e.sets = make(map[relation.AttrSet]*plainState)
+	return nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/oblivfd/oblivfd/internal/obsort"
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// SortEngine is the oblivious-sorting method of §IV-D (Algorithm 3). For
+// each attribute set X it materializes the array B_X of (label_X, r[ID])
+// records ordered by r[ID]:
+//
+//  1. build A = {(key_X, r[ID])} — key_X from the cell value (|X|=1) or
+//     from the covering subsets' labels (|X|≥2, Property 1),
+//  2. ObliviousSort A by key_X,
+//  3. one sequential pass replaces each key with a dense label via the
+//     card_X counter (branchless, every cell rewritten),
+//  4. ObliviousSort back by r[ID].
+//
+// The method needs O(1) client memory (one record in flight), is static
+// only, and parallelizes inside the bitonic network — Workers controls the
+// degree (Fig. 6a).
+type SortEngine struct {
+	edb      *EncryptedDB
+	instance string
+	// Workers is the parallelism degree for the bitonic network; minimum 1.
+	Workers int
+	// Network selects the comparison network; the zero value is the
+	// paper's bitonic sorter, obsort.OddEvenMerge saves ~20% of the
+	// comparators (see the network ablation).
+	Network obsort.Network
+	n       int
+	sets    map[relation.AttrSet]*sortState
+	seq     atomic.Int64
+}
+
+type sortState struct {
+	arr  *obsort.Array // (label_X, r[ID]) records, ordered by r[ID]
+	card uint64
+}
+
+var sortEngines atomic.Int64
+
+// sortRecWidth is key/label (8 bytes) followed by r[ID] (8 bytes).
+const sortRecWidth = 16
+
+// NewSortEngine builds a sorting engine over an uploaded database.
+func NewSortEngine(edb *EncryptedDB, workers int) *SortEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &SortEngine{
+		edb:      edb,
+		instance: fmt.Sprintf("sort%d", sortEngines.Add(1)),
+		Workers:  workers,
+		n:        edb.NumRows(),
+		sets:     make(map[relation.AttrSet]*sortState),
+	}
+}
+
+// NumRows implements Engine.
+func (e *SortEngine) NumRows() int { return e.n }
+
+// lessByKey orders records by their leading 8-byte key.
+func lessByKey(a, b []byte) bool { return bytes.Compare(a[:8], b[:8]) < 0 }
+
+// lessByID orders records by their trailing 8-byte r[ID].
+func lessByID(a, b []byte) bool { return bytes.Compare(a[8:16], b[8:16]) < 0 }
+
+// materialize runs Algorithm 3 on the array A (already holding
+// (key_X, r[ID]) records) and returns the final state.
+func (e *SortEngine) materialize(arr *obsort.Array) (*sortState, error) {
+	// Line 1: sort by key_X so equal keys are consecutive.
+	if err := arr.SortNetwork(lessByKey, e.Workers, e.Network); err != nil {
+		return nil, fmt.Errorf("core: sorting by key: %w", err)
+	}
+	// Lines 2–8: one oblivious pass assigns dense labels. The pass reads
+	// and rewrites every cell whether or not the label changed.
+	var tmp []byte
+	var card uint64
+	err := arr.Scan(func(i int, rec []byte) ([]byte, error) {
+		key := append([]byte(nil), rec[:8]...)
+		if i == 0 {
+			tmp = key
+		}
+		if !bytes.Equal(key, tmp) {
+			card++
+			tmp = key
+		}
+		copy(rec[:8], encodeUint64(card))
+		return rec, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: labeling pass: %w", err)
+	}
+	// Line 9: restore r[ID] order so B_X aligns with every other B_Y.
+	if err := arr.SortNetwork(lessByID, e.Workers, e.Network); err != nil {
+		return nil, fmt.Errorf("core: sorting by id: %w", err)
+	}
+	return &sortState{arr: arr, card: card + 1}, nil
+}
+
+// CardinalitySingle implements Engine.
+func (e *SortEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	name := fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
+	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
+		func(i int) ([]byte, error) {
+			v, err := e.edb.CellValue(i, attr)
+			if err != nil {
+				return nil, err
+			}
+			rec := make([]byte, sortRecWidth)
+			copy(rec, encodeUint64(singleKey(e.edb.cipher, v)))
+			copy(rec[8:], encodeUint64(uint64(i)))
+			return rec, nil
+		})
+	if err != nil {
+		return 0, fmt.Errorf("core: building A for attr %d: %w", attr, err)
+	}
+	st, err := e.materialize(arr)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityUnion implements Engine. Labels are extracted positionally:
+// both B arrays are ordered by r[ID], so B_X1[i] and B_X2[i] describe the
+// same record (§IV-D's extraction).
+func (e *SortEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	x, err := validateUnion(x1, x2)
+	if err != nil {
+		return 0, err
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+	}
+	name := fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
+	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
+		func(i int) ([]byte, error) {
+			r1, err := st1.arr.Get(i)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := st2.arr.Get(i)
+			if err != nil {
+				return nil, err
+			}
+			rec := make([]byte, sortRecWidth)
+			copy(rec, encodeUint64(unionKey(decodeUint64(r1), decodeUint64(r2))))
+			copy(rec[8:], r1[8:16]) // r[ID], identical in both inputs
+			return rec, nil
+		})
+	if err != nil {
+		return 0, fmt.Errorf("core: building A for %v: %w", x, err)
+	}
+	st, err := e.materialize(arr)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityRaw materializes π_X without attribute compression: the sort
+// key is the full projected value r[X] itself, so every record fetches and
+// decrypts |X| cells and every compare-exchange ships |X| cells' worth of
+// ciphertext. This is the pre-compression baseline the paper's §IV-B
+// optimization replaces — its cost grows with |X|, whereas
+// CardinalityUnion's is constant. The final partition is compacted to the
+// standard (label, id) form, so raw-materialized sets remain usable as
+// union covers. It exists for the ablation benchmark and as an independent
+// correctness cross-check.
+func (e *SortEngine) CardinalityRaw(x relation.AttrSet) (int, error) {
+	if x.IsEmpty() {
+		return 0, fmt.Errorf("core: CardinalityRaw on empty set")
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	attrs := x.Attrs()
+
+	// First pass: fixed record geometry needs the widest projection
+	// (cell lengths are public size metadata, but the uncompressed
+	// algorithm still has to scan them).
+	projWidth := 0
+	projFor := func(i int) ([]byte, error) {
+		var proj []byte
+		for _, a := range attrs {
+			v, err := e.edb.CellValue(i, a)
+			if err != nil {
+				return nil, err
+			}
+			// Length-prefixed so ("ab","c") ≠ ("a","bc").
+			proj = append(proj, encodeUint64(uint64(len(v)))...)
+			proj = append(proj, v...)
+		}
+		return proj, nil
+	}
+	for i := 0; i < e.n; i++ {
+		proj, err := projFor(i)
+		if err != nil {
+			return 0, err
+		}
+		if len(proj) > projWidth {
+			projWidth = len(proj)
+		}
+	}
+
+	// Second pass: build the wide array [proj | pad | id].
+	recWidth := projWidth + 8
+	wideName := fmt.Sprintf("%s:%d:RAW", e.instance, e.seq.Add(1))
+	wide, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, wideName, e.n, recWidth,
+		func(i int) ([]byte, error) {
+			proj, err := projFor(i)
+			if err != nil {
+				return nil, err
+			}
+			rec := make([]byte, recWidth)
+			copy(rec, proj)
+			copy(rec[projWidth:], encodeUint64(uint64(i)))
+			return rec, nil
+		})
+	if err != nil {
+		return 0, fmt.Errorf("core: building raw A for %v: %w", x, err)
+	}
+
+	// Algorithm 3 on wide records: sort by the raw key, assign dense
+	// labels into the record head, sort back by id.
+	lessRawKey := func(a, b []byte) bool { return bytes.Compare(a[:projWidth], b[:projWidth]) < 0 }
+	lessRawID := func(a, b []byte) bool { return bytes.Compare(a[projWidth:], b[projWidth:]) < 0 }
+	if err := wide.SortNetwork(lessRawKey, e.Workers, e.Network); err != nil {
+		return 0, fmt.Errorf("core: raw key sort: %w", err)
+	}
+	var tmp []byte
+	var card uint64
+	err = wide.Scan(func(i int, rec []byte) ([]byte, error) {
+		key := append([]byte(nil), rec[:projWidth]...)
+		if i == 0 {
+			tmp = key
+		}
+		if !bytes.Equal(key, tmp) {
+			card++
+			tmp = key
+		}
+		for j := 8; j < projWidth; j++ {
+			rec[j] = 0
+		}
+		copy(rec[:8], encodeUint64(card))
+		return rec, nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: raw labeling pass: %w", err)
+	}
+	if err := wide.SortNetwork(lessRawID, e.Workers, e.Network); err != nil {
+		return 0, fmt.Errorf("core: raw id sort: %w", err)
+	}
+
+	// Compact to the standard 16-byte (label, id) form for reuse.
+	name := fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
+	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
+		func(i int) ([]byte, error) {
+			r, err := wide.Get(i)
+			if err != nil {
+				return nil, err
+			}
+			rec := make([]byte, sortRecWidth)
+			copy(rec, r[:8])
+			copy(rec[8:], r[projWidth:])
+			return rec, nil
+		})
+	if err != nil {
+		return 0, fmt.Errorf("core: compacting raw B for %v: %w", x, err)
+	}
+	if err := wide.Destroy(); err != nil {
+		return 0, err
+	}
+	e.sets[x] = &sortState{arr: arr, card: card + 1}
+	return int(card + 1), nil
+}
+
+// Cardinality implements Engine.
+func (e *SortEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return int(st.card), true
+}
+
+// Release implements Engine.
+func (e *SortEngine) Release(x relation.AttrSet) error {
+	st, ok := e.sets[x]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNotMaterialized, x)
+	}
+	if err := st.arr.Destroy(); err != nil {
+		return err
+	}
+	delete(e.sets, x)
+	return nil
+}
+
+// ClientMemoryBytes implements Engine: the sorting client holds only the
+// encryption key and one in-flight record pair (§VII-C reports a constant).
+func (e *SortEngine) ClientMemoryBytes() int {
+	return 16 /* AES key */ + 2*(sortRecWidth+1)
+}
+
+// Close implements Engine.
+func (e *SortEngine) Close() error {
+	for x := range e.sets {
+		if err := e.Release(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}

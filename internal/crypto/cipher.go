@@ -1,0 +1,152 @@
+// Package crypto provides the cell-level semantically secure encryption used
+// throughout the protocols.
+//
+// The paper (§II-A, §III-C) assumes each attribute value of each record is
+// encrypted individually with a semantically secure scheme, and that the
+// client re-encrypts every value it writes back so the server never observes
+// a repeated ciphertext. We use AES-128 in CTR mode with a fresh random
+// nonce per encryption (the paper uses AES/CBC; both are IND-CPA, and
+// semantic security is the only property the protocols rely on — see
+// DESIGN.md §2).
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key length in bytes (128-bit keys, as in the
+// paper's evaluation setup).
+const KeySize = 16
+
+// NonceSize is the per-ciphertext nonce length in bytes.
+const NonceSize = aes.BlockSize
+
+// Overhead is the number of bytes a ciphertext is longer than its plaintext.
+const Overhead = NonceSize
+
+// ErrCiphertextTooShort is returned by Decrypt when the input cannot even
+// hold a nonce.
+var ErrCiphertextTooShort = errors.New("crypto: ciphertext shorter than nonce")
+
+// Key is a symmetric encryption key held only by the client C.
+type Key [KeySize]byte
+
+// NewKey draws a fresh random key from crypto/rand.
+func NewKey() (Key, error) {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypto: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// MustNewKey is NewKey for contexts (tests, examples) where entropy failure
+// is fatal anyway.
+func MustNewKey() Key {
+	k, err := NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Cipher encrypts and decrypts individual cells. It is safe for concurrent
+// use: the AES block cipher is stateless after construction and every
+// encryption draws its own nonce.
+type Cipher struct {
+	block cipher.Block
+	mac   []byte // HMAC key derived from the AES key, for PRF use
+	rand  io.Reader
+}
+
+// NewCipher builds a Cipher from a key.
+func NewCipher(key Key) (*Cipher, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: building AES cipher: %w", err)
+	}
+	h := sha256.Sum256(append([]byte("oblivfd-prf-v1"), key[:]...))
+	return &Cipher{block: block, mac: h[:], rand: rand.Reader}, nil
+}
+
+// MustNewCipher is NewCipher that panics on error; the only error source is
+// an invalid key length, which the Key type already rules out.
+func MustNewCipher(key Key) *Cipher {
+	c, err := NewCipher(key)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Encrypt produces nonce ∥ CTR(plaintext) with a fresh random nonce, so two
+// encryptions of equal plaintexts are unlinkable. The result is
+// len(plaintext)+Overhead bytes.
+func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
+	out := make([]byte, NonceSize+len(plaintext))
+	if _, err := io.ReadFull(c.rand, out[:NonceSize]); err != nil {
+		return nil, fmt.Errorf("crypto: drawing nonce: %w", err)
+	}
+	stream := cipher.NewCTR(c.block, out[:NonceSize])
+	stream.XORKeyStream(out[NonceSize:], plaintext)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < NonceSize {
+		return nil, ErrCiphertextTooShort
+	}
+	stream := cipher.NewCTR(c.block, ciphertext[:NonceSize])
+	out := make([]byte, len(ciphertext)-NonceSize)
+	stream.XORKeyStream(out, ciphertext[NonceSize:])
+	return out, nil
+}
+
+// ReEncrypt decrypts and re-encrypts a ciphertext under a fresh nonce. The
+// protocols call this on every value written back to the server so that read
+// and written ciphertexts are always distinct (§III-C).
+func (c *Cipher) ReEncrypt(ciphertext []byte) ([]byte, error) {
+	pt, err := c.Decrypt(ciphertext)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encrypt(pt)
+}
+
+// PRF evaluates a pseudorandom function (HMAC-SHA256, truncated to 8 bytes)
+// on the given message. The client uses it to derive fixed-width block
+// identifiers from arbitrary cell values.
+func (c *Cipher) PRF(msg []byte) uint64 {
+	h := hmac.New(sha256.New, c.mac)
+	h.Write(msg)
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+// EncryptUint64 encrypts an integer as a fixed 8-byte plaintext, so all
+// integer ciphertexts are the same length regardless of value.
+func (c *Cipher) EncryptUint64(v uint64) ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return c.Encrypt(buf[:])
+}
+
+// DecryptUint64 reverses EncryptUint64.
+func (c *Cipher) DecryptUint64(ct []byte) (uint64, error) {
+	pt, err := c.Decrypt(ct)
+	if err != nil {
+		return 0, err
+	}
+	if len(pt) != 8 {
+		return 0, fmt.Errorf("crypto: integer plaintext has %d bytes, want 8", len(pt))
+	}
+	return binary.BigEndian.Uint64(pt), nil
+}

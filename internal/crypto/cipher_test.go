@@ -1,0 +1,243 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCipher(t *testing.T) *Cipher {
+	t.Helper()
+	key, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	return c
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c := newTestCipher(t)
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("hello world"),
+		bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	for _, pt := range cases {
+		ct, err := c.Encrypt(pt)
+		if err != nil {
+			t.Fatalf("Encrypt(%d bytes): %v", len(pt), err)
+		}
+		if len(ct) != len(pt)+Overhead {
+			t.Errorf("ciphertext length = %d, want %d", len(ct), len(pt)+Overhead)
+		}
+		got, err := c.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch: got %q want %q", got, pt)
+		}
+	}
+}
+
+func TestEncryptRandomized(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("same plaintext")
+	ct1, err := c.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := c.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Error("two encryptions of the same plaintext produced identical ciphertexts")
+	}
+}
+
+func TestReEncryptChangesBytesKeepsPlaintext(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("re-encrypt me")
+	ct, err := c.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := c.ReEncrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct, ct2) {
+		t.Error("re-encryption did not change ciphertext bytes")
+	}
+	got, err := c.Decrypt(ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Errorf("re-encrypted plaintext = %q, want %q", got, pt)
+	}
+}
+
+func TestDecryptTooShort(t *testing.T) {
+	c := newTestCipher(t)
+	if _, err := c.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Error("Decrypt on short input succeeded, want error")
+	}
+}
+
+func TestDifferentKeysDisagree(t *testing.T) {
+	c1 := newTestCipher(t)
+	c2 := newTestCipher(t)
+	pt := []byte("cross-key")
+	ct, err := c1.Encrypt(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, pt) {
+		t.Error("decryption under wrong key recovered the plaintext")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	c := newTestCipher(t)
+	f := func(v uint64) bool {
+		ct, err := c.EncryptUint64(v)
+		if err != nil {
+			return false
+		}
+		got, err := c.DecryptUint64(ct)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64FixedLength(t *testing.T) {
+	c := newTestCipher(t)
+	ct0, _ := c.EncryptUint64(0)
+	ctMax, _ := c.EncryptUint64(^uint64(0))
+	if len(ct0) != len(ctMax) {
+		t.Errorf("integer ciphertext lengths differ: %d vs %d", len(ct0), len(ctMax))
+	}
+}
+
+func TestPRFDeterministicAndSpread(t *testing.T) {
+	c := newTestCipher(t)
+	a := c.PRF([]byte("alpha"))
+	if b := c.PRF([]byte("alpha")); a != b {
+		t.Error("PRF is not deterministic")
+	}
+	if b := c.PRF([]byte("beta")); a == b {
+		t.Error("PRF collides on trivially different inputs")
+	}
+	// Different keys give different functions.
+	c2 := newTestCipher(t)
+	if c.PRF([]byte("alpha")) == c2.PRF([]byte("alpha")) {
+		t.Error("PRF is key-independent")
+	}
+}
+
+func TestEncryptRoundTripProperty(t *testing.T) {
+	c := newTestCipher(t)
+	f := func(pt []byte) bool {
+		ct, err := c.Encrypt(pt)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decrypt(ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadUnpadProperty(t *testing.T) {
+	f := func(value []byte) bool {
+		width := len(value) + 7
+		padded, err := Pad(value, width)
+		if err != nil {
+			return false
+		}
+		if len(padded) != PadWidth(width) {
+			return false
+		}
+		got, err := Unpad(padded)
+		return err == nil && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPadOverflow(t *testing.T) {
+	if _, err := Pad([]byte("too long"), 3); err == nil {
+		t.Error("Pad beyond width succeeded, want error")
+	}
+}
+
+func TestUnpadCorrupt(t *testing.T) {
+	for _, buf := range [][]byte{nil, {1}, {0, 0, 0, 9, 1, 2}} {
+		if _, err := Unpad(buf); err == nil {
+			t.Errorf("Unpad(%v) succeeded, want error", buf)
+		}
+	}
+}
+
+func TestMustHelpers(t *testing.T) {
+	key := MustNewKey()
+	c := MustNewCipher(key)
+	ct, err := c.Encrypt([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := c.Decrypt(ct)
+	if err != nil || string(pt) != "x" {
+		t.Errorf("Must-constructed cipher broken: %q, %v", pt, err)
+	}
+}
+
+func TestDecryptUint64BadLength(t *testing.T) {
+	c := newTestCipher(t)
+	ct, err := c.Encrypt([]byte("short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecryptUint64(ct); err == nil {
+		t.Error("DecryptUint64 accepted a 5-byte plaintext")
+	}
+}
+
+func TestKeysAreRandom(t *testing.T) {
+	a := MustNewKey()
+	b := MustNewKey()
+	if a == b {
+		t.Error("two fresh keys are identical")
+	}
+}
+
+func TestPadEqualWidths(t *testing.T) {
+	a, err := Pad([]byte("x"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pad([]byte("a much longer va"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Errorf("padded widths differ: %d vs %d", len(a), len(b))
+	}
+}

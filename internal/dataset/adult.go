@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// Adult generates an Adult-shaped census relation: 14 columns matching the
+// UCI Adult schema, with skewed categorical distributions and the dataset's
+// best-known FD planted (education → education-num is a bijection in the
+// real data).
+func Adult(n int, seed int64) *relation.Relation {
+	schema := relation.MustNewSchema(
+		"age", "workclass", "fnlwgt", "education", "education-num",
+		"marital-status", "occupation", "relationship", "race", "sex",
+		"capital-gain", "capital-loss", "hours-per-week", "native-country",
+	)
+	r := relation.New(schema)
+	rng := rand.New(rand.NewSource(seed))
+
+	educations := []string{
+		"Bachelors", "HS-grad", "11th", "Masters", "9th", "Some-college",
+		"Assoc-acdm", "Assoc-voc", "7th-8th", "Doctorate", "Prof-school",
+		"5th-6th", "10th", "1st-4th", "Preschool", "12th",
+	}
+	eduWeights := []int{16, 32, 4, 5, 2, 22, 3, 4, 2, 1, 2, 1, 3, 1, 1, 1}
+	workclasses := []string{
+		"Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+		"Local-gov", "State-gov", "Without-pay", "Never-worked",
+	}
+	workWeights := []int{70, 8, 3, 3, 6, 4, 1, 1}
+	maritals := []string{
+		"Married-civ-spouse", "Divorced", "Never-married", "Separated",
+		"Widowed", "Married-spouse-absent", "Married-AF-spouse",
+	}
+	maritalWeights := []int{46, 14, 33, 3, 3, 1, 1}
+	occupations := []string{
+		"Tech-support", "Craft-repair", "Other-service", "Sales",
+		"Exec-managerial", "Prof-specialty", "Handlers-cleaners",
+		"Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+		"Transport-moving", "Priv-house-serv", "Protective-serv",
+		"Armed-Forces",
+	}
+	occWeights := []int{3, 13, 11, 12, 13, 13, 4, 7, 12, 3, 5, 1, 2, 1}
+	relationships := []string{
+		"Wife", "Own-child", "Husband", "Not-in-family",
+		"Other-relative", "Unmarried",
+	}
+	relWeights := []int{5, 16, 40, 26, 3, 10}
+	races := []string{"White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"}
+	raceWeights := []int{85, 3, 1, 1, 10}
+	countries := []string{
+		"United-States", "Mexico", "Philippines", "Germany", "Canada",
+		"Puerto-Rico", "El-Salvador", "India", "Cuba", "England",
+	}
+	countryWeights := []int{90, 2, 1, 1, 1, 1, 1, 1, 1, 1}
+
+	for i := 0; i < n; i++ {
+		edu := pick(rng, educations, eduWeights)
+		// Planted FD: education -> education-num (real Adult property).
+		eduNum := fmt.Sprint(eduIndex(educations, edu) + 1)
+		row := relation.Row{
+			fmt.Sprint(17 + rng.Intn(74)),
+			pick(rng, workclasses, workWeights),
+			fmt.Sprint(10000 + rng.Intn(1_400_000)),
+			edu,
+			eduNum,
+			pick(rng, maritals, maritalWeights),
+			pick(rng, occupations, occWeights),
+			pick(rng, relationships, relWeights),
+			pick(rng, races, raceWeights),
+			pick(rng, []string{"Male", "Female"}, []int{67, 33}),
+			capGain(rng),
+			capLoss(rng),
+			fmt.Sprint(1 + rng.Intn(99)),
+			pick(rng, countries, countryWeights),
+		}
+		mustAppend(r, row)
+	}
+	return r
+}
+
+func eduIndex(educations []string, edu string) int {
+	for i, e := range educations {
+		if e == edu {
+			return i
+		}
+	}
+	return 0
+}
+
+func capGain(rng *rand.Rand) string {
+	// Mostly zero, occasionally large — matches the real column's skew.
+	if rng.Intn(100) < 92 {
+		return "0"
+	}
+	return fmt.Sprint(1000 + rng.Intn(99000))
+}
+
+func capLoss(rng *rand.Rand) string {
+	if rng.Intn(100) < 95 {
+		return "0"
+	}
+	return fmt.Sprint(100 + rng.Intn(4000))
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// ReadCSV loads a relation from CSV with a header row of attribute names.
+func ReadCSV(r io.Reader) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	schema, err := relation.NewSchema(header...)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: CSV header: %w", err)
+	}
+	rel := relation.New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if err := rel.Append(relation.Row(rec)); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// ReadCSVFile loads a relation from a CSV file path.
+func ReadCSVFile(path string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}
+
+// WriteCSV writes a relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *relation.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Schema().Names()); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	for i := 0; i < rel.NumRows(); i++ {
+		if err := cw.Write(rel.Row(i)); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes a relation to a CSV file path.
+func WriteCSVFile(path string, rel *relation.Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteCSV(f, rel); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+// Package dataset provides the workloads of the paper's evaluation (§VII-A,
+// Table I): the synthetic RND generator and shape-compatible substitutes for
+// the three real-world datasets (Adult, Letter, Flight).
+//
+// Substitution note (see DESIGN.md §2): the original datasets are not
+// redistributable here, so each generator reproduces the published column
+// count, row count, and a plausible value-distribution profile, including
+// planted functional dependencies so the database-level search has real work
+// to do. The protocols under test are oblivious, so their server-visible
+// behaviour must not depend on these contents — which is exactly what the
+// Table II experiment checks.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// Spec describes a named dataset's published shape (Table I).
+type Spec struct {
+	Name    string
+	Columns int
+	Rows    int
+}
+
+// Specs lists the paper's datasets in Table I order.
+var Specs = []Spec{
+	{Name: "Adult", Columns: 14, Rows: 48842},
+	{Name: "Letter", Columns: 16, Rows: 20000},
+	{Name: "Flight", Columns: 20, Rows: 500000},
+}
+
+// RND generates the paper's synthetic dataset: n rows × m columns, each cell
+// drawn uniformly from [1, 2^20] (§VII-A). The rng seed makes runs
+// reproducible.
+func RND(m, n int, seed int64) *relation.Relation {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("C%02d", i)
+	}
+	r := relation.New(relation.MustNewSchema(names...))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		row := make(relation.Row, m)
+		for j := range row {
+			row[j] = fmt.Sprint(rng.Intn(1<<20) + 1)
+		}
+		mustAppend(r, row)
+	}
+	return r
+}
+
+// Generate builds the named dataset ("adult", "letter", "flight", "rnd") at
+// its published size, or at the requested rows if rows > 0.
+func Generate(name string, rows int, seed int64) (*relation.Relation, error) {
+	switch name {
+	case "adult":
+		return Adult(orDefault(rows, 48842), seed), nil
+	case "letter":
+		return Letter(orDefault(rows, 20000), seed), nil
+	case "flight":
+		return Flight(orDefault(rows, 500000), seed), nil
+	case "rnd":
+		return RND(10, orDefault(rows, 1<<13), seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q (want adult|letter|flight|rnd)", name)
+	}
+}
+
+func orDefault(v, d int) int {
+	if v > 0 {
+		return v
+	}
+	return d
+}
+
+func mustAppend(r *relation.Relation, row relation.Row) {
+	if err := r.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// pick returns a categorical value with the given rng, weighted by weights.
+func pick(rng *rand.Rand, values []string, weights []int) string {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Intn(total)
+	for i, w := range weights {
+		if x < w {
+			return values[i]
+		}
+		x -= w
+	}
+	return values[len(values)-1]
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+func TestRNDShapeAndDomain(t *testing.T) {
+	r := RND(5, 100, 1)
+	if r.NumAttrs() != 5 || r.NumRows() != 100 {
+		t.Fatalf("shape = %dx%d, want 5x100", r.NumAttrs(), r.NumRows())
+	}
+	for i := 0; i < r.NumRows(); i++ {
+		for j := 0; j < r.NumAttrs(); j++ {
+			v, err := strconv.Atoi(r.Value(i, j))
+			if err != nil || v < 1 || v > 1<<20 {
+				t.Fatalf("cell (%d,%d) = %q outside [1, 2^20]", i, j, r.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestRNDDeterministicBySeed(t *testing.T) {
+	a := RND(3, 50, 42)
+	b := RND(3, 50, 42)
+	c := RND(3, 50, 43)
+	same, diff := true, false
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 3; j++ {
+			if a.Value(i, j) != b.Value(i, j) {
+				same = false
+			}
+			if a.Value(i, j) != c.Value(i, j) {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Error("same seed produced different data")
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestShapedDatasetsMatchTable1Columns(t *testing.T) {
+	cases := []struct {
+		name string
+		rel  *relation.Relation
+		cols int
+	}{
+		{"Adult", Adult(200, 1), 14},
+		{"Letter", Letter(200, 1), 16},
+		{"Flight", Flight(200, 1), 20},
+	}
+	for _, c := range cases {
+		if got := c.rel.NumAttrs(); got != c.cols {
+			t.Errorf("%s columns = %d, want %d (Table I)", c.name, got, c.cols)
+		}
+		if got := c.rel.NumRows(); got != 200 {
+			t.Errorf("%s rows = %d, want 200", c.name, got)
+		}
+	}
+}
+
+func TestAdultPlantedFD(t *testing.T) {
+	r := Adult(2000, 7)
+	s := r.Schema()
+	edu, _ := s.Index("education")
+	eduNum, _ := s.Index("education-num")
+	fd := relation.FD{LHS: relation.SingleAttr(edu), RHS: relation.SingleAttr(eduNum)}
+	if !fd.Holds(r) {
+		t.Error("planted FD education -> education-num does not hold")
+	}
+}
+
+func TestFlightPlantedFDs(t *testing.T) {
+	r := Flight(2000, 7)
+	s := r.Schema()
+	cases := []struct{ lhs, rhs string }{
+		{"carrier-code", "carrier-name"},
+		{"flight-num", "carrier-code"},
+		{"origin", "origin-city"},
+		{"origin-city", "origin-state"},
+		{"dest", "dest-state"},
+	}
+	for _, c := range cases {
+		li, _ := s.Index(c.lhs)
+		ri, _ := s.Index(c.rhs)
+		fd := relation.FD{LHS: relation.SingleAttr(li), RHS: relation.SingleAttr(ri)}
+		if !fd.Holds(r) {
+			t.Errorf("planted FD %s -> %s does not hold", c.lhs, c.rhs)
+		}
+	}
+	// Negative control: date should not determine carrier.
+	di, _ := s.Index("flight-date")
+	ci, _ := s.Index("carrier-code")
+	fd := relation.FD{LHS: relation.SingleAttr(di), RHS: relation.SingleAttr(ci)}
+	if fd.Holds(r) {
+		t.Error("flight-date -> carrier-code holds; generator degenerate")
+	}
+}
+
+func TestGenerateDispatch(t *testing.T) {
+	for _, name := range []string{"adult", "letter", "flight", "rnd"} {
+		r, err := Generate(name, 50, 1)
+		if err != nil {
+			t.Errorf("Generate(%q): %v", name, err)
+			continue
+		}
+		if r.NumRows() != 50 {
+			t.Errorf("Generate(%q) rows = %d, want 50", name, r.NumRows())
+		}
+	}
+	if _, err := Generate("bogus", 10, 1); err == nil {
+		t.Error("Generate on unknown name succeeded")
+	}
+}
+
+func TestGenerateDefaultSizesMatchTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation in -short mode")
+	}
+	for _, spec := range Specs {
+		r, err := Generate(lower(spec.Name), 0, 1)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", spec.Name, err)
+		}
+		if r.NumRows() != spec.Rows || r.NumAttrs() != spec.Columns {
+			t.Errorf("%s = %dx%d, want %dx%d", spec.Name,
+				r.NumAttrs(), r.NumRows(), spec.Columns, spec.Rows)
+		}
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Adult(30, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.NumRows() != orig.NumRows() || got.NumAttrs() != orig.NumAttrs() {
+		t.Fatalf("shape mismatch after round trip")
+	}
+	for i := 0; i < got.NumRows(); i++ {
+		for j := 0; j < got.NumAttrs(); j++ {
+			if got.Value(i, j) != orig.Value(i, j) {
+				t.Fatalf("cell (%d,%d) = %q, want %q", i, j, got.Value(i, j), orig.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,b\n1,2,3\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("a,a\n1,2\n")); err == nil {
+		t.Error("duplicate-header CSV accepted")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/tiny.csv"
+	orig := Letter(10, 5)
+	if err := WriteCSVFile(path, orig); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if got.NumRows() != 10 {
+		t.Errorf("rows = %d, want 10", got.NumRows())
+	}
+	if _, err := ReadCSVFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

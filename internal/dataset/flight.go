@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// Flight generates a Flight-route-shaped relation: 20 columns of flight
+// stream data with the rich FD structure route data has in reality
+// (airport code → city, flight number → carrier, etc.). This makes it the
+// FD-densest of the three shaped datasets, as in the original.
+func Flight(n int, seed int64) *relation.Relation {
+	schema := relation.MustNewSchema(
+		"flight-date", "carrier-code", "carrier-name", "flight-num",
+		"origin", "origin-city", "origin-state", "dest", "dest-city",
+		"dest-state", "sched-dep", "actual-dep", "dep-delay", "sched-arr",
+		"actual-arr", "arr-delay", "distance", "air-time", "tail-num",
+		"cancelled",
+	)
+	r := relation.New(schema)
+	rng := rand.New(rand.NewSource(seed))
+
+	carriers := []struct{ code, name string }{
+		{"AA", "American"}, {"DL", "Delta"}, {"UA", "United"},
+		{"WN", "Southwest"}, {"B6", "JetBlue"}, {"AS", "Alaska"},
+		{"NK", "Spirit"}, {"F9", "Frontier"},
+	}
+	airports := []struct{ code, city, state string }{
+		{"ATL", "Atlanta", "GA"}, {"LAX", "Los-Angeles", "CA"},
+		{"ORD", "Chicago", "IL"}, {"DFW", "Dallas", "TX"},
+		{"DEN", "Denver", "CO"}, {"JFK", "New-York", "NY"},
+		{"SFO", "San-Francisco", "CA"}, {"SEA", "Seattle", "WA"},
+		{"LAS", "Las-Vegas", "NV"}, {"MCO", "Orlando", "FL"},
+		{"BOS", "Boston", "MA"}, {"MIA", "Miami", "FL"},
+		{"PHX", "Phoenix", "AZ"}, {"IAH", "Houston", "TX"},
+		{"EWR", "Newark", "NJ"}, {"MSP", "Minneapolis", "MN"},
+	}
+
+	for i := 0; i < n; i++ {
+		c := carriers[rng.Intn(len(carriers))]
+		o := airports[rng.Intn(len(airports))]
+		d := airports[rng.Intn(len(airports))]
+		schedDep := rng.Intn(24*60 - 300)
+		depDelay := rng.Intn(90) - 10
+		dist := 200 + rng.Intn(2500)
+		airTime := dist/8 + rng.Intn(30)
+		schedArr := schedDep + airTime + 20
+		arrDelay := depDelay + rng.Intn(20) - 10
+		// flight-num determines carrier (planted FD): partition the number
+		// space by carrier.
+		fnum := rng.Intn(1200) + 1 + 1200*carrierIndex(carriers, c.code)
+
+		row := relation.Row{
+			fmt.Sprintf("2023-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28)),
+			c.code, c.name,
+			fmt.Sprint(fnum),
+			o.code, o.city, o.state,
+			d.code, d.city, d.state,
+			hhmm(schedDep), hhmm(schedDep + depDelay), fmt.Sprint(depDelay),
+			hhmm(schedArr), hhmm(schedArr + arrDelay), fmt.Sprint(arrDelay),
+			fmt.Sprint(dist), fmt.Sprint(airTime),
+			fmt.Sprintf("N%05d", rng.Intn(4000)),
+			pick(rng, []string{"0", "1"}, []int{98, 2}),
+		}
+		mustAppend(r, row)
+	}
+	return r
+}
+
+func carrierIndex(carriers []struct{ code, name string }, code string) int {
+	for i, c := range carriers {
+		if c.code == code {
+			return i
+		}
+	}
+	return 0
+}
+
+func hhmm(minutes int) string {
+	if minutes < 0 {
+		minutes += 24 * 60
+	}
+	minutes %= 24 * 60
+	return fmt.Sprintf("%02d:%02d", minutes/60, minutes%60)
+}

@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// Letter generates a Letter-Recognition-shaped relation: 16 numeric feature
+// columns in 0..15 plus the class column folded into the feature count the
+// way the paper counts it (16 columns total: "lettr" + 15 features; the UCI
+// set has 17 but the paper reports 16, so we follow the paper). The class
+// letter weakly correlates with features; no exact FDs besides those arising
+// by chance in small integer domains — the interesting regime for the
+// obliviousness experiment, where the value distribution is near-uniform and
+// narrow.
+func Letter(n int, seed int64) *relation.Relation {
+	names := []string{
+		"lettr", "x-box", "y-box", "width", "high", "onpix", "x-bar",
+		"y-bar", "x2bar", "y2bar", "xybar", "x2ybr", "xy2br", "x-ege",
+		"xegvy", "y-ege",
+	}
+	r := relation.New(relation.MustNewSchema(names...))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		letter := string(rune('A' + rng.Intn(26)))
+		row := make(relation.Row, len(names))
+		row[0] = letter
+		// Features cluster weakly around a per-letter centroid, like the
+		// real extracted-glyph statistics.
+		base := int(letter[0]-'A') % 8
+		for j := 1; j < len(names); j++ {
+			v := base + rng.Intn(9) - 4
+			if v < 0 {
+				v = 0
+			}
+			if v > 15 {
+				v = 15
+			}
+			row[j] = fmt.Sprint(v)
+		}
+		mustAppend(r, row)
+	}
+	return r
+}

@@ -1,0 +1,271 @@
+// Package enclave simulates deploying the sorting protocol inside a
+// server-side secure enclave (the paper's SGX experiment, §VII-D, Fig. 6b).
+//
+// Substitution note (DESIGN.md §2): we do not have SGX hardware, so the
+// enclave is modeled as client logic co-located with the data: plaintext
+// records live in "secure memory" the untrusted server cannot read, which
+// removes exactly the costs the paper's SGX deployment removes — the
+// client↔server transfer of every compare-exchange and the re-encryption of
+// every value written back. The algorithm itself is unchanged: the same
+// bitonic network (obsort.Stages), the same labeling pass, the same
+// Property 1 key construction, so the access pattern inside the enclave is
+// still data-independent (SGX enclaves leak memory access patterns to the
+// host, so obliviousness still matters inside the enclave).
+package enclave
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/oblivfd/oblivfd/internal/obsort"
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+// rec is one in-enclave record: (key-or-label, id), mirroring the sorting
+// protocol's 16-byte records.
+type rec struct {
+	key uint64
+	id  uint64
+	pad bool
+}
+
+// SortEngine runs Algorithm 3 entirely in enclave memory. It implements
+// core.Engine (structurally; the core package is not imported to keep the
+// dependency direction substrate → core).
+type SortEngine struct {
+	rel     *relation.Relation
+	workers int
+	sets    map[relation.AttrSet]*state
+}
+
+type state struct {
+	labels []uint64 // label per r[ID]
+	card   uint64
+}
+
+// NewSortEngine loads the (decrypted) relation into enclave memory. In a
+// real deployment the enclave would decrypt the uploaded ciphertexts with a
+// provisioned key; the simulation starts from plaintext directly, which
+// costs O(n·m) either way.
+func NewSortEngine(rel *relation.Relation, workers int) *SortEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &SortEngine{rel: rel.Clone(), workers: workers, sets: make(map[relation.AttrSet]*state)}
+}
+
+// NumRows implements core.Engine.
+func (e *SortEngine) NumRows() int { return e.rel.NumRows() }
+
+// materialize runs Algorithm 3's three phases on the prepared records.
+func (e *SortEngine) materialize(records []rec) (*state, error) {
+	n := len(records)
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	arr := make([]rec, p)
+	copy(arr, records)
+	for i := n; i < p; i++ {
+		arr[i] = rec{pad: true}
+	}
+
+	// Phase 1: bitonic sort by key (pads last).
+	if err := e.bitonic(arr, func(a, b rec) bool { return a.key < b.key }); err != nil {
+		return nil, err
+	}
+	// Phase 2: dense labeling pass.
+	var card uint64
+	tmp := arr[0].key
+	for i := 0; i < n; i++ {
+		if arr[i].key != tmp {
+			card++
+			tmp = arr[i].key
+		}
+		arr[i].key = card
+	}
+	// Phase 3: bitonic sort back by id.
+	if err := e.bitonic(arr, func(a, b rec) bool { return a.id < b.id }); err != nil {
+		return nil, err
+	}
+	st := &state{labels: make([]uint64, n), card: card + 1}
+	for i := 0; i < n; i++ {
+		st.labels[i] = arr[i].key
+	}
+	return st, nil
+}
+
+// bitonic replays the oblivious network over the in-memory array, with the
+// engine's parallelism degree (each stage's comparators are disjoint).
+func (e *SortEngine) bitonic(arr []rec, less func(a, b rec) bool) error {
+	cmpEx := func(lo, hi int64) {
+		a, b := arr[lo], arr[hi]
+		swap := false
+		switch {
+		case a.pad && !b.pad:
+			swap = true
+		case !a.pad && !b.pad:
+			swap = less(b, a)
+		}
+		if swap {
+			arr[lo], arr[hi] = b, a
+		}
+	}
+	return obsort.Stages(len(arr), func(pairs [][2]int64) error {
+		if e.workers == 1 || len(pairs) < 2*e.workers {
+			for _, pr := range pairs {
+				cmpEx(pr[0], pr[1])
+			}
+			return nil
+		}
+		var wg sync.WaitGroup
+		chunk := (len(pairs) + e.workers - 1) / e.workers
+		for w := 0; w < e.workers; w++ {
+			lo := w * chunk
+			if lo >= len(pairs) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			wg.Add(1)
+			go func(part [][2]int64) {
+				defer wg.Done()
+				for _, pr := range part {
+					cmpEx(pr[0], pr[1])
+				}
+			}(pairs[lo:hi])
+		}
+		wg.Wait()
+		return nil
+	})
+}
+
+// CardinalitySingle implements core.Engine.
+func (e *SortEngine) CardinalitySingle(attr int) (int, error) {
+	x := relation.SingleAttr(attr)
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	n := e.rel.NumRows()
+	if n == 0 {
+		return 0, fmt.Errorf("enclave: empty relation")
+	}
+	records := make([]rec, n)
+	for i := 0; i < n; i++ {
+		records[i] = rec{key: hashValue(e.rel.Value(i, attr)), id: uint64(i)}
+	}
+	st, err := e.materialize(records)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// CardinalityUnion implements core.Engine.
+func (e *SortEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
+	if x1.IsEmpty() || x2.IsEmpty() || x1 == x2 {
+		return 0, fmt.Errorf("enclave: invalid union cover (%v, %v)", x1, x2)
+	}
+	x := x1.Union(x2)
+	if x == x1 || x == x2 {
+		return 0, fmt.Errorf("enclave: %v and %v are not proper subsets of %v", x1, x2, x)
+	}
+	if st, ok := e.sets[x]; ok {
+		return int(st.card), nil
+	}
+	st1, ok := e.sets[x1]
+	if !ok {
+		return 0, fmt.Errorf("enclave: %v not materialized", x1)
+	}
+	st2, ok := e.sets[x2]
+	if !ok {
+		return 0, fmt.Errorf("enclave: %v not materialized", x2)
+	}
+	n := e.rel.NumRows()
+	records := make([]rec, n)
+	for i := 0; i < n; i++ {
+		records[i] = rec{key: st1.labels[i]<<32 | st2.labels[i], id: uint64(i)}
+	}
+	st, err := e.materialize(records)
+	if err != nil {
+		return 0, err
+	}
+	e.sets[x] = st
+	return int(st.card), nil
+}
+
+// Cardinality implements core.Engine.
+func (e *SortEngine) Cardinality(x relation.AttrSet) (int, bool) {
+	st, ok := e.sets[x]
+	if !ok {
+		return 0, false
+	}
+	return int(st.card), true
+}
+
+// Release implements core.Engine.
+func (e *SortEngine) Release(x relation.AttrSet) error {
+	if _, ok := e.sets[x]; !ok {
+		return fmt.Errorf("enclave: %v not materialized", x)
+	}
+	delete(e.sets, x)
+	return nil
+}
+
+// ClientMemoryBytes implements core.Engine. The untrusted client outside
+// the enclave holds nothing; secure memory usage is reported instead.
+func (e *SortEngine) ClientMemoryBytes() int { return 0 }
+
+// SecureMemoryBytes estimates enclave-resident memory: the relation plus
+// materialized label arrays.
+func (e *SortEngine) SecureMemoryBytes() int {
+	total := e.rel.ByteSize()
+	for _, st := range e.sets {
+		total += 8 * len(st.labels)
+	}
+	return total
+}
+
+// Close implements core.Engine.
+func (e *SortEngine) Close() error {
+	e.sets = make(map[relation.AttrSet]*state)
+	return nil
+}
+
+// MaterializedSets returns the materialized attribute sets in deterministic
+// order (diagnostics and tests).
+func (e *SortEngine) MaterializedSets() []relation.AttrSet {
+	out := make([]relation.AttrSet, 0, len(e.sets))
+	for x := range e.sets {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// hashValue maps a cell value to a 64-bit key with FNV-1a. Inside the
+// enclave no PRF key is needed; any injective-w.h.p. fixed-width mapping
+// preserves partitions.
+func hashValue(v string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= prime
+	}
+	var lenTag [8]byte
+	binary.BigEndian.PutUint64(lenTag[:], uint64(len(v)))
+	for _, b := range lenTag {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+package enclave
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+func randomRel(m, n, cardinality int, seed int64) *relation.Relation {
+	names := make([]string, m)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	rel := relation.New(relation.MustNewSchema(names...))
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	for i := 0; i < n; i++ {
+		row := make(relation.Row, m)
+		for j := range row {
+			row[j] = fmt.Sprint(int(next()) % cardinality)
+		}
+		if err := rel.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return rel
+}
+
+func TestCardinalitiesMatchOracle(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rel := randomRel(4, 50, 3, 7)
+		e := NewSortEngine(rel, workers)
+		for a := 0; a < 4; a++ {
+			got, err := e.CardinalitySingle(a)
+			if err != nil {
+				t.Fatalf("workers=%d CardinalitySingle(%d): %v", workers, a, err)
+			}
+			want := relation.PartitionOf(rel, relation.SingleAttr(a)).Classes
+			if got != want {
+				t.Errorf("workers=%d |π_%d| = %d, want %d", workers, a, got, want)
+			}
+		}
+		for a := 0; a < 4; a++ {
+			for b := a + 1; b < 4; b++ {
+				got, err := e.CardinalityUnion(relation.SingleAttr(a), relation.SingleAttr(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := relation.PartitionOf(rel, relation.NewAttrSet(a, b)).Classes
+				if got != want {
+					t.Errorf("workers=%d |π_{%d,%d}| = %d, want %d", workers, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTripleUnion(t *testing.T) {
+	rel := randomRel(3, 40, 2, 3)
+	e := NewSortEngine(rel, 2)
+	for a := 0; a < 3; a++ {
+		if _, err := e.CardinalitySingle(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CardinalityUnion(relation.SingleAttr(1), relation.SingleAttr(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.CardinalityUnion(relation.NewAttrSet(0, 1), relation.NewAttrSet(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.PartitionOf(rel, relation.NewAttrSet(0, 1, 2)).Classes
+	if got != want {
+		t.Errorf("|π_{0,1,2}| = %d, want %d", got, want)
+	}
+}
+
+func TestEngineContract(t *testing.T) {
+	rel := randomRel(2, 10, 2, 1)
+	e := NewSortEngine(rel, 1)
+	if e.NumRows() != 10 {
+		t.Errorf("NumRows = %d", e.NumRows())
+	}
+	if _, ok := e.Cardinality(relation.SingleAttr(0)); ok {
+		t.Error("Cardinality before materialization")
+	}
+	if _, err := e.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(1)); err == nil {
+		t.Error("union before materialization accepted")
+	}
+	if _, err := e.CardinalityUnion(relation.SingleAttr(0), relation.SingleAttr(0)); err == nil {
+		t.Error("identical covers accepted")
+	}
+	c, err := e.CardinalitySingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Cardinality(relation.SingleAttr(0)); !ok || got != c {
+		t.Error("cache miss after materialization")
+	}
+	if e.SecureMemoryBytes() <= 0 {
+		t.Error("SecureMemoryBytes not positive")
+	}
+	if err := e.Release(relation.SingleAttr(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Release(relation.SingleAttr(0)); err == nil {
+		t.Error("double release accepted")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnclaveIsolatedFromCallerMutation(t *testing.T) {
+	rel := randomRel(2, 10, 2, 2)
+	e := NewSortEngine(rel, 1)
+	before, err := e.CardinalitySingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Row(0)[0] = "mutated-to-something-unique"
+	if err := e.Release(relation.SingleAttr(0)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.CardinalitySingle(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Error("engine shares storage with the caller's relation")
+	}
+}
+
+func TestHashValueDistinguishesValues(t *testing.T) {
+	// The FNV mapping must separate values that concatenate equally.
+	if hashValue("ab") == hashValue("a") {
+		t.Error("hash collides on prefix")
+	}
+	if hashValue("") == hashValue("\x00") {
+		t.Error("hash collides on empty vs NUL")
+	}
+	if hashValue("x") != hashValue("x") {
+		t.Error("hash not deterministic")
+	}
+}

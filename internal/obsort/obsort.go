@@ -1,0 +1,434 @@
+// Package obsort implements the oblivious sorting primitive of Definition 3
+// using Batcher's bitonic sorting network (the paper's choice, §III-C):
+// O(n log² n) compare-exchanges whose positions are a fixed function of n
+// alone, so the server-visible access pattern carries no information about
+// the data. Each compare-exchange ships two ciphertexts to the client, which
+// decrypts, compares, and writes both back re-encrypted — always both,
+// always fresh, whether or not they swapped.
+//
+// Comparators within one stage of the network touch disjoint cells, which is
+// what gives the algorithm its n/2 parallelism degree (§IV-D, Fig. 6a). Sort
+// accepts a worker count to exploit it.
+package obsort
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// Less orders two plaintext records. It runs inside the client and never
+// influences which cells are touched — only the order in which the pair is
+// written back.
+type Less func(a, b []byte) bool
+
+// Array is a client-side handle to a server-resident encrypted array of
+// fixed-width records, padded to a power of two so the bitonic network is
+// well-formed. Padding records always sort after real ones and are
+// indistinguishable from them on the server.
+type Array struct {
+	svc      store.Service
+	cipher   *crypto.Cipher
+	name     string
+	n        int // logical record count
+	p        int // padded length (power of two)
+	recWidth int // payload width; wire records carry one extra flag byte
+
+	comparisons atomic.Int64
+}
+
+// Create encrypts records (all of identical width) into a fresh server array
+// named name, padded to the next power of two.
+func Create(svc store.Service, cipher *crypto.Cipher, name string, records [][]byte) (*Array, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("obsort: empty input")
+	}
+	w := len(records[0])
+	for i, r := range records {
+		if len(r) != w {
+			return nil, fmt.Errorf("obsort: record %d has %d bytes, want %d", i, len(r), w)
+		}
+	}
+	p := 1
+	for p < len(records) {
+		p <<= 1
+	}
+	a := &Array{svc: svc, cipher: cipher, name: name, n: len(records), p: p, recWidth: w}
+	if err := svc.CreateArray(name, p); err != nil {
+		return nil, fmt.Errorf("obsort: %w", err)
+	}
+	idx := make([]int64, p)
+	cts := make([][]byte, p)
+	for i := 0; i < p; i++ {
+		idx[i] = int64(i)
+		var rec []byte
+		if i < len(records) {
+			rec = records[i]
+		}
+		ct, err := a.encrypt(rec, i >= len(records))
+		if err != nil {
+			return nil, err
+		}
+		cts[i] = ct
+	}
+	if err := svc.WriteCells(name, idx, cts); err != nil {
+		return nil, fmt.Errorf("obsort: %w", err)
+	}
+	return a, nil
+}
+
+// CreateStreamed builds an encrypted array of n records of the given width,
+// obtaining records one at a time from next and uploading each immediately,
+// so the client never holds more than one record — the O(1) client memory
+// property the sorting protocol claims (§IV-D).
+func CreateStreamed(svc store.Service, cipher *crypto.Cipher, name string, n, width int, next func(i int) ([]byte, error)) (*Array, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("obsort: empty input")
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("obsort: record width %d < 1", width)
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	a := &Array{svc: svc, cipher: cipher, name: name, n: n, p: p, recWidth: width}
+	if err := svc.CreateArray(name, p); err != nil {
+		return nil, fmt.Errorf("obsort: %w", err)
+	}
+	for i := 0; i < p; i++ {
+		var rec []byte
+		pad := i >= n
+		if !pad {
+			r, err := next(i)
+			if err != nil {
+				return nil, err
+			}
+			if len(r) != width {
+				return nil, fmt.Errorf("obsort: record %d has %d bytes, want %d", i, len(r), width)
+			}
+			rec = r
+		}
+		ct, err := a.encrypt(rec, pad)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.WriteCells(name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+			return nil, fmt.Errorf("obsort: %w", err)
+		}
+	}
+	return a, nil
+}
+
+// Get decrypts and returns the record at logical position i.
+func (a *Array) Get(i int) ([]byte, error) {
+	if i < 0 || i >= a.n {
+		return nil, fmt.Errorf("obsort: index %d out of range [0,%d)", i, a.n)
+	}
+	cts, err := a.svc.ReadCells(a.name, []int64{int64(i)})
+	if err != nil {
+		return nil, fmt.Errorf("obsort: %w", err)
+	}
+	rec, pad, err := a.decrypt(cts[0])
+	if err != nil {
+		return nil, err
+	}
+	if pad {
+		return nil, fmt.Errorf("obsort: padding record inside logical range at %d", i)
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// Name returns the server-side array name.
+func (a *Array) Name() string { return a.name }
+
+// Len returns the logical record count n.
+func (a *Array) Len() int { return a.n }
+
+// PaddedLen returns the power-of-two physical length.
+func (a *Array) PaddedLen() int { return a.p }
+
+// Width returns the record payload width.
+func (a *Array) Width() int { return a.recWidth }
+
+// Comparisons returns the number of compare-exchanges executed so far.
+func (a *Array) Comparisons() int64 { return a.comparisons.Load() }
+
+// Destroy deletes the server-side array.
+func (a *Array) Destroy() error { return a.svc.Delete(a.name) }
+
+func (a *Array) encrypt(rec []byte, pad bool) ([]byte, error) {
+	pt := make([]byte, 1+a.recWidth)
+	if pad {
+		pt[0] = 1
+	} else {
+		copy(pt[1:], rec)
+	}
+	return a.cipher.Encrypt(pt)
+}
+
+func (a *Array) decrypt(ct []byte) (rec []byte, pad bool, err error) {
+	pt, err := a.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, false, fmt.Errorf("obsort: %w", err)
+	}
+	if len(pt) != 1+a.recWidth {
+		return nil, false, fmt.Errorf("obsort: record has %d bytes, want %d", len(pt), 1+a.recWidth)
+	}
+	return pt[1:], pt[0] == 1, nil
+}
+
+// Stages enumerates the bitonic network for a power-of-two length p: fn is
+// invoked once per stage with that stage's compare-exchange pairs (lo, hi),
+// meaning "the record at lo must sort before the record at hi". Pairs
+// within a stage touch disjoint positions and may run concurrently. The
+// network is a pure function of p — this is what makes the sort oblivious.
+// The enclave simulation replays the identical network in secure memory.
+func Stages(p int, fn func(pairs [][2]int64) error) error {
+	if p&(p-1) != 0 || p < 1 {
+		return fmt.Errorf("obsort: stage enumeration needs a power-of-two length, got %d", p)
+	}
+	pairs := make([][2]int64, 0, p/2)
+	for k := 2; k <= p; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			pairs = pairs[:0]
+			for i := 0; i < p; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				lo, hi := int64(i), int64(l)
+				if i&k != 0 {
+					lo, hi = hi, lo // descending half of the bitonic merge
+				}
+				pairs = append(pairs, [2]int64{lo, hi})
+			}
+			if err := fn(pairs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OddEvenStages enumerates Batcher's odd-even merge sorting network for a
+// power-of-two length p — the other classic O(n log² n) oblivious network.
+// It uses slightly fewer comparators than the bitonic network
+// (the ablation benchmark quantifies the gap) but its stages are less
+// regular. Pairs within a stage are disjoint.
+func OddEvenStages(p int, fn func(pairs [][2]int64) error) error {
+	if p&(p-1) != 0 || p < 1 {
+		return fmt.Errorf("obsort: stage enumeration needs a power-of-two length, got %d", p)
+	}
+	pairs := make([][2]int64, 0, p/2)
+	for k := 1; k < p; k <<= 1 {
+		for j := k; j >= 1; j >>= 1 {
+			pairs = pairs[:0]
+			for i := j % k; i+j < p; i += 2 * j {
+				for l := 0; l < j; l++ {
+					lo := i + l
+					hi := lo + j
+					if hi >= p {
+						break
+					}
+					// Comparators only within one 2k-block.
+					if lo/(2*k) == hi/(2*k) {
+						pairs = append(pairs, [2]int64{int64(lo), int64(hi)})
+					}
+				}
+			}
+			if err := fn(pairs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Network selects the oblivious comparison network used by Sort.
+type Network int
+
+// Available networks.
+const (
+	// Bitonic is Batcher's bitonic sorter — the paper's choice (§III-C).
+	Bitonic Network = iota
+	// OddEvenMerge is Batcher's odd-even merge sorter, provided as an
+	// ablation alternative; same asymptotics, fewer comparators.
+	OddEvenMerge
+)
+
+// Sort obliviously sorts the array in ascending order of less using the
+// bitonic network, with the given number of parallel workers (minimum 1).
+// The compare-exchange positions are a pure function of the padded length.
+func (a *Array) Sort(less Less, workers int) error {
+	return a.SortNetwork(less, workers, Bitonic)
+}
+
+// SortNetwork is Sort with an explicit choice of comparison network.
+func (a *Array) SortNetwork(less Less, workers int, network Network) error {
+	if workers < 1 {
+		workers = 1
+	}
+	stage := func(pairs [][2]int64) error {
+		return a.runStage(pairs, less, workers)
+	}
+	switch network {
+	case Bitonic:
+		return Stages(a.p, stage)
+	case OddEvenMerge:
+		return OddEvenStages(a.p, stage)
+	default:
+		return fmt.Errorf("obsort: unknown network %d", network)
+	}
+}
+
+// runStage executes one network stage; all pairs are disjoint, so workers
+// can process them concurrently. Pairs are split into contiguous chunks —
+// one per worker — so dispatch overhead is per stage, not per comparator.
+func (a *Array) runStage(pairs [][2]int64, less Less, workers int) error {
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		for _, pr := range pairs {
+			if err := a.compareExchange(pr[0], pr[1], less); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(pairs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(part [][2]int64) {
+			defer wg.Done()
+			for _, pr := range part {
+				if err := a.compareExchange(pr[0], pr[1], less); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(pairs[lo:hi])
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// compareExchange orders the records at positions lo and hi so that the
+// record at lo sorts before the one at hi. Both cells are rewritten with
+// fresh ciphertexts regardless of the comparison's outcome.
+func (a *Array) compareExchange(lo, hi int64, less Less) error {
+	a.comparisons.Add(1)
+	cts, err := a.svc.ReadCells(a.name, []int64{lo, hi})
+	if err != nil {
+		return fmt.Errorf("obsort: %w", err)
+	}
+	rec0, pad0, err := a.decrypt(cts[0])
+	if err != nil {
+		return err
+	}
+	rec1, pad1, err := a.decrypt(cts[1])
+	if err != nil {
+		return err
+	}
+	// Padding sorts after every real record; two paddings are equal.
+	swap := false
+	switch {
+	case pad0 && !pad1:
+		swap = true
+	case !pad0 && !pad1:
+		swap = less(rec1, rec0)
+	}
+	if swap {
+		rec0, pad0, rec1, pad1 = rec1, pad1, rec0, pad0
+	}
+	ct0, err := a.encrypt(rec0, pad0)
+	if err != nil {
+		return err
+	}
+	ct1, err := a.encrypt(rec1, pad1)
+	if err != nil {
+		return err
+	}
+	if err := a.svc.WriteCells(a.name, []int64{lo, hi}, [][]byte{ct0, ct1}); err != nil {
+		return fmt.Errorf("obsort: %w", err)
+	}
+	return nil
+}
+
+// Scan performs a sequential oblivious pass over the logical records: every
+// cell is read, handed to fn, and rewritten with a fresh ciphertext whether
+// or not fn changed it. Algorithm 3's labeling loop (lines 3–8) is exactly
+// such a pass. fn must return a record of the array's width.
+func (a *Array) Scan(fn func(i int, rec []byte) ([]byte, error)) error {
+	for i := 0; i < a.n; i++ {
+		cts, err := a.svc.ReadCells(a.name, []int64{int64(i)})
+		if err != nil {
+			return fmt.Errorf("obsort: %w", err)
+		}
+		rec, pad, err := a.decrypt(cts[0])
+		if err != nil {
+			return err
+		}
+		if pad {
+			return fmt.Errorf("obsort: padding record inside logical range at %d", i)
+		}
+		out, err := fn(i, rec)
+		if err != nil {
+			return err
+		}
+		if len(out) != a.recWidth {
+			return fmt.Errorf("obsort: Scan fn returned %d bytes, want %d", len(out), a.recWidth)
+		}
+		ct, err := a.encrypt(out, false)
+		if err != nil {
+			return err
+		}
+		if err := a.svc.WriteCells(a.name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+			return fmt.Errorf("obsort: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadAll decrypts and returns the logical records. It exists for the final
+// result extraction and for tests; it is a plain sequential scan.
+func (a *Array) ReadAll() ([][]byte, error) {
+	out := make([][]byte, a.n)
+	for i := 0; i < a.n; i++ {
+		cts, err := a.svc.ReadCells(a.name, []int64{int64(i)})
+		if err != nil {
+			return nil, fmt.Errorf("obsort: %w", err)
+		}
+		rec, pad, err := a.decrypt(cts[0])
+		if err != nil {
+			return nil, err
+		}
+		if pad {
+			return nil, fmt.Errorf("obsort: padding record inside logical range at %d", i)
+		}
+		out[i] = append([]byte(nil), rec...)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package oram_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// A minimal oblivious key-value store on an untrusted server.
+func Example() {
+	server := store.NewServer()
+	cipher := crypto.MustNewCipher(crypto.MustNewKey())
+
+	kv, err := oram.Setup(server, cipher, "demo", oram.Config{
+		Capacity:   128,
+		KeyWidth:   16,
+		ValueWidth: 8,
+		Seed:       1, // deterministic leaves for the example only
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := kv.Write("alice", []byte("00000042")); err != nil {
+		log.Fatal(err)
+	}
+	v, found, err := kv.Read("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(found, string(v))
+
+	// Misses are indistinguishable from hits on the server.
+	_, found, _ = kv.Read("mallory")
+	fmt.Println(found)
+	// Output:
+	// true 00000042
+	// false
+}

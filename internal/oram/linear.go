@@ -1,0 +1,267 @@
+package oram
+
+import (
+	"fmt"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// Store is the oblivious key-value interface the protocols consume
+// (Definition 4's Read/Write plus the Remove needed by Algorithm 5). Two
+// implementations exist:
+//
+//   - ORAM — non-recursive PathORAM: O(log n) per access, O(n) client
+//     memory (position map + stash). The paper's choice.
+//   - Linear — the trivial scan ORAM: O(n) per access, O(1) client
+//     memory. Perfectly oblivious by construction, and faster than
+//     PathORAM below a small crossover n because it has no per-access
+//     tree bookkeeping (the ORAM-choice ablation quantifies it). Related
+//     work's point that "any [ORAM] optimization can be applied easily"
+//     (§VIII) holds because everything consumes this interface.
+type Store interface {
+	// Read retrieves the value under key (found=false for absent keys;
+	// the access pattern must not depend on which).
+	Read(key string) (value []byte, found bool, err error)
+	// Write inserts or overwrites key.
+	Write(key string, value []byte) error
+	// Remove deletes key if present, indistinguishably from Read/Write.
+	Remove(key string) error
+	// Len returns the number of live keys.
+	Len() int
+	// Accesses counts oblivious accesses performed.
+	Accesses() int64
+	// ClientMemoryBytes estimates client-held state.
+	ClientMemoryBytes() int
+	// Destroy frees the server-side object.
+	Destroy() error
+}
+
+var (
+	_ Store = (*ORAM)(nil)
+	_ Store = (*Linear)(nil)
+)
+
+// Factory builds a Store; engines take one so the ORAM construction is
+// pluggable.
+type Factory func(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (Store, error)
+
+// PathFactory builds the paper's PathORAM.
+func PathFactory(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (Store, error) {
+	return Setup(svc, cipher, name, cfg)
+}
+
+// LinearFactory builds the trivial scan ORAM.
+func LinearFactory(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (Store, error) {
+	return SetupLinear(svc, cipher, name, cfg)
+}
+
+// Linear is the trivial ORAM: one server array of capacity slots; every
+// access reads every slot, serves the operation, and rewrites every slot
+// under fresh encryption. The access pattern is the full scan regardless of
+// data — obliviousness by brute force. The client holds only the slot
+// cursor: no position map, no stash.
+type Linear struct {
+	svc        store.Service
+	cipher     *crypto.Cipher
+	name       string
+	capacity   int
+	keyWidth   int
+	valueWidth int
+	blockSize  int
+	live       int
+	accesses   int64
+}
+
+// SetupLinear creates an empty linear ORAM with every slot holding an
+// encrypted dummy (Z and StashFactor are ignored; the construction has no
+// buckets or stash).
+func SetupLinear(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (*Linear, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("oram: capacity %d < 1", cfg.Capacity)
+	}
+	if cfg.KeyWidth < 1 || cfg.ValueWidth < 1 {
+		return nil, fmt.Errorf("oram: key/value widths must be positive (got %d, %d)", cfg.KeyWidth, cfg.ValueWidth)
+	}
+	l := &Linear{
+		svc:        svc,
+		cipher:     cipher,
+		name:       name,
+		capacity:   cfg.Capacity,
+		keyWidth:   cfg.KeyWidth,
+		valueWidth: cfg.ValueWidth,
+		blockSize:  1 + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
+	}
+	if err := svc.CreateArray(name, cfg.Capacity); err != nil {
+		return nil, fmt.Errorf("oram: creating linear array: %w", err)
+	}
+	for i := 0; i < cfg.Capacity; i++ {
+		ct, err := l.encrypt("", nil, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := svc.WriteCells(name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+			return nil, fmt.Errorf("oram: initializing linear array: %w", err)
+		}
+	}
+	return l, nil
+}
+
+func (l *Linear) encrypt(key string, value []byte, real bool) ([]byte, error) {
+	pt := make([]byte, l.blockSize)
+	if real {
+		pt[0] = 1
+		padded, err := crypto.Pad([]byte(key), l.keyWidth)
+		if err != nil {
+			return nil, fmt.Errorf("oram: padding key: %w", err)
+		}
+		copy(pt[1:], padded)
+		copy(pt[1+len(padded):], value)
+	}
+	return l.cipher.Encrypt(pt)
+}
+
+func (l *Linear) decrypt(ct []byte) (key string, value []byte, real bool, err error) {
+	pt, err := l.cipher.Decrypt(ct)
+	if err != nil {
+		return "", nil, false, fmt.Errorf("oram: decrypting linear slot: %w", err)
+	}
+	if len(pt) != l.blockSize {
+		return "", nil, false, fmt.Errorf("oram: linear slot has %d bytes, want %d", len(pt), l.blockSize)
+	}
+	if pt[0] == 0 {
+		return "", nil, false, nil
+	}
+	keyEnd := 1 + crypto.PadWidth(l.keyWidth)
+	rawKey, err := crypto.Unpad(pt[1:keyEnd])
+	if err != nil {
+		return "", nil, false, fmt.Errorf("oram: unpadding linear key: %w", err)
+	}
+	v := make([]byte, l.valueWidth)
+	copy(v, pt[keyEnd:])
+	return string(rawKey), v, true, nil
+}
+
+type linearOp uint8
+
+const (
+	linRead linearOp = iota
+	linWrite
+	linRemove
+)
+
+// access performs two full scans: a read pass that locates the key (and
+// the first free slot), then a write pass that rewrites every slot under
+// fresh encryption, applying the operation at exactly one position. The
+// trace is always capacity reads followed by capacity writes, in order —
+// independent of the operation, its outcome, and the data.
+func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, bool, error) {
+	if len(key) > l.keyWidth {
+		return nil, false, fmt.Errorf("%w: %d bytes, max %d", ErrKeyWidth, len(key), l.keyWidth)
+	}
+	l.accesses++
+
+	// Read pass: one block of client memory at a time.
+	matchIdx, firstFree := -1, -1
+	var result []byte
+	for i := 0; i < l.capacity; i++ {
+		cts, err := l.svc.ReadCells(l.name, []int64{int64(i)})
+		if err != nil {
+			return nil, false, fmt.Errorf("oram: %w", err)
+		}
+		k, v, real, err := l.decrypt(cts[0])
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case real && k == key && matchIdx == -1:
+			matchIdx = i
+			result = v
+		case !real && firstFree == -1:
+			firstFree = i
+		}
+	}
+	found := matchIdx != -1
+	insertAt := -1
+	if kind == linWrite && !found {
+		if firstFree == -1 {
+			return nil, false, fmt.Errorf("oram: linear ORAM full (%d keys)", l.capacity)
+		}
+		insertAt = firstFree
+	}
+
+	// Write pass: every slot rewritten; at most one slot's contents change.
+	for i := 0; i < l.capacity; i++ {
+		cts, err := l.svc.ReadCells(l.name, []int64{int64(i)})
+		if err != nil {
+			return nil, false, fmt.Errorf("oram: %w", err)
+		}
+		k, v, real, err := l.decrypt(cts[0])
+		if err != nil {
+			return nil, false, err
+		}
+		switch {
+		case i == matchIdx && kind == linWrite:
+			v = newValue
+		case i == matchIdx && kind == linRemove:
+			k, v, real = "", nil, false
+		case i == insertAt:
+			k, v, real = key, newValue, true
+		}
+		ct, err := l.encrypt(k, v, real)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := l.svc.WriteCells(l.name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+			return nil, false, fmt.Errorf("oram: %w", err)
+		}
+	}
+
+	switch kind {
+	case linWrite:
+		if !found {
+			l.live++
+		}
+		return append([]byte(nil), newValue...), true, nil
+	case linRemove:
+		if found {
+			l.live--
+		}
+		return nil, found, nil
+	default:
+		if !found {
+			return nil, false, nil
+		}
+		return append([]byte(nil), result...), true, nil
+	}
+}
+
+// Read implements Store.
+func (l *Linear) Read(key string) ([]byte, bool, error) { return l.access(key, nil, linRead) }
+
+// Write implements Store.
+func (l *Linear) Write(key string, value []byte) error {
+	if len(value) != l.valueWidth {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrValueWidth, len(value), l.valueWidth)
+	}
+	_, _, err := l.access(key, value, linWrite)
+	return err
+}
+
+// Remove implements Store.
+func (l *Linear) Remove(key string) error {
+	_, _, err := l.access(key, nil, linRemove)
+	return err
+}
+
+// Len implements Store.
+func (l *Linear) Len() int { return l.live }
+
+// Accesses implements Store.
+func (l *Linear) Accesses() int64 { return l.accesses }
+
+// ClientMemoryBytes implements Store: one block in flight plus counters.
+func (l *Linear) ClientMemoryBytes() int { return l.blockSize + 16 }
+
+// Destroy implements Store.
+func (l *Linear) Destroy() error { return l.svc.Delete(l.name) }

@@ -1,0 +1,213 @@
+package oram
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/trace"
+)
+
+// storeFactories lists both Store implementations for conformance tests.
+func storeFactories() map[string]Factory {
+	return map[string]Factory{
+		"path":   PathFactory,
+		"linear": LinearFactory,
+	}
+}
+
+func newStore(t *testing.T, factory Factory, capacity, valueWidth int) (Store, *store.Server) {
+	t.Helper()
+	srv := store.NewServer()
+	s, err := factory(srv, crypto.MustNewCipher(crypto.MustNewKey()), "kv", Config{
+		Capacity: capacity, KeyWidth: 16, ValueWidth: valueWidth, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	return s, srv
+}
+
+// TestStoreConformance runs the shared contract over both implementations.
+func TestStoreConformance(t *testing.T) {
+	for name, factory := range storeFactories() {
+		t.Run(name, func(t *testing.T) {
+			s, _ := newStore(t, factory, 16, 4)
+
+			if _, found, err := s.Read("ghost"); err != nil || found {
+				t.Errorf("Read(ghost) = %v, %v", found, err)
+			}
+			if err := s.Write("a", []byte{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			v, found, err := s.Read("a")
+			if err != nil || !found || !bytes.Equal(v, []byte{1, 2, 3, 4}) {
+				t.Fatalf("Read(a) = %v, %v, %v", v, found, err)
+			}
+			if err := s.Write("a", []byte{9, 9, 9, 9}); err != nil {
+				t.Fatal(err)
+			}
+			v, _, _ = s.Read("a")
+			if !bytes.Equal(v, []byte{9, 9, 9, 9}) {
+				t.Errorf("overwrite lost: %v", v)
+			}
+			if s.Len() != 1 {
+				t.Errorf("Len = %d", s.Len())
+			}
+			if err := s.Remove("a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, found, _ := s.Read("a"); found {
+				t.Error("key survives Remove")
+			}
+			if err := s.Remove("never"); err != nil {
+				t.Errorf("Remove(absent): %v", err)
+			}
+			if err := s.Write("w", []byte{1, 2}); !errors.Is(err, ErrValueWidth) {
+				t.Errorf("short value err = %v", err)
+			}
+			long := string(bytes.Repeat([]byte("x"), 17))
+			if _, _, err := s.Read(long); !errors.Is(err, ErrKeyWidth) {
+				t.Errorf("long key err = %v", err)
+			}
+			if s.Accesses() == 0 {
+				t.Error("Accesses not counted")
+			}
+			if s.ClientMemoryBytes() < 0 {
+				t.Error("negative client memory")
+			}
+		})
+	}
+}
+
+// TestStoreConformanceRandomWorkload cross-checks both implementations
+// against a map oracle under a random op sequence.
+func TestStoreConformanceRandomWorkload(t *testing.T) {
+	for name, factory := range storeFactories() {
+		t.Run(name, func(t *testing.T) {
+			const capacity = 24
+			s, _ := newStore(t, factory, capacity, 4)
+			oracle := make(map[string][]byte)
+			rng := rand.New(rand.NewSource(5))
+			for step := 0; step < 250; step++ {
+				k := fmt.Sprintf("k%d", rng.Intn(capacity))
+				switch rng.Intn(3) {
+				case 0:
+					v := []byte{byte(step), byte(step >> 8), 0, 1}
+					if err := s.Write(k, v); err != nil {
+						t.Fatalf("step %d Write: %v", step, err)
+					}
+					oracle[k] = v
+				case 1:
+					v, found, err := s.Read(k)
+					if err != nil {
+						t.Fatalf("step %d Read: %v", step, err)
+					}
+					want, ok := oracle[k]
+					if found != ok || (ok && !bytes.Equal(v, want)) {
+						t.Fatalf("step %d: Read(%s) = %v,%v want %v,%v", step, k, v, found, want, ok)
+					}
+				case 2:
+					if err := s.Remove(k); err != nil {
+						t.Fatalf("step %d Remove: %v", step, err)
+					}
+					delete(oracle, k)
+				}
+				if s.Len() != len(oracle) {
+					t.Fatalf("step %d: Len = %d, oracle %d", step, s.Len(), len(oracle))
+				}
+			}
+		})
+	}
+}
+
+// TestLinearTraceFixed: every linear access touches every slot in the same
+// order, whatever the operation — trace shapes are identical across Read
+// hit/miss, Write insert/update, and Remove.
+func TestLinearTraceFixed(t *testing.T) {
+	shapes := make([]trace.Shape, 0, 5)
+	for _, op := range []string{"readhit", "readmiss", "insert", "update", "remove"} {
+		srv := store.NewServer()
+		s, err := SetupLinear(srv, crypto.MustNewCipher(crypto.MustNewKey()), "lin", Config{
+			Capacity: 8, KeyWidth: 8, ValueWidth: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write("present", []byte{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+		srv.Trace().Reset()
+		srv.Trace().Enable()
+		switch op {
+		case "readhit":
+			_, _, err = s.Read("present")
+		case "readmiss":
+			_, _, err = s.Read("absent")
+		case "insert":
+			err = s.Write("fresh", []byte{5, 6, 7, 8})
+		case "update":
+			err = s.Write("present", []byte{5, 6, 7, 8})
+		case "remove":
+			err = s.Remove("present")
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		shapes = append(shapes, trace.ShapeOf(srv.Trace().Events()).Canonical())
+	}
+	for i := 1; i < len(shapes); i++ {
+		if !shapes[0].Equal(shapes[i]) {
+			t.Errorf("linear op %d trace differs:\n%s", i, shapes[0].Diff(shapes[i]))
+		}
+	}
+}
+
+func TestLinearFull(t *testing.T) {
+	s, _ := newStore(t, LinearFactory, 3, 4)
+	for i := 0; i < 3; i++ {
+		if err := s.Write(fmt.Sprintf("k%d", i), []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Write("overflow", []byte{9, 9, 9, 9}); err == nil {
+		t.Error("write into full linear ORAM succeeded")
+	}
+	// Updates still work at capacity.
+	if err := s.Write("k1", []byte{7, 7, 7, 7}); err != nil {
+		t.Errorf("update at capacity: %v", err)
+	}
+	// Freeing a slot admits a new key.
+	if err := s.Remove("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("newkey", []byte{1, 1, 1, 1}); err != nil {
+		t.Errorf("write after remove: %v", err)
+	}
+}
+
+func TestLinearSetupValidation(t *testing.T) {
+	srv := store.NewServer()
+	c := crypto.MustNewCipher(crypto.MustNewKey())
+	if _, err := SetupLinear(srv, c, "x", Config{Capacity: 0, KeyWidth: 8, ValueWidth: 8}); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := SetupLinear(srv, c, "y", Config{Capacity: 4, KeyWidth: 0, ValueWidth: 8}); err == nil {
+		t.Error("key width 0 accepted")
+	}
+}
+
+func TestLinearDestroy(t *testing.T) {
+	s, srv := newStore(t, LinearFactory, 4, 4)
+	if err := s.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := srv.Stats()
+	if st.Objects != 0 {
+		t.Errorf("objects after destroy = %d", st.Objects)
+	}
+}

@@ -1,0 +1,440 @@
+// Package oram implements the non-recursive PathORAM of Stefanov et al.
+// (JACM 2018) with the key-value interface of the paper's Definition 4:
+// Setup / Read / Write (plus Remove, needed by the dynamic protocol's
+// Algorithm 5). The client keeps the position map and stash; the server
+// stores an encrypted bucket tree via store.Service.
+//
+// Parameters follow the paper's evaluation (§VII-A): Z = 4 blocks per
+// bucket and a stash capped at 7·log₂(n) blocks.
+//
+// Obliviousness: every operation — Read, Write, and Remove alike, hit or
+// miss — performs exactly one ReadPath and one WritePath on a uniformly
+// random leaf, re-encrypting every slot it writes. The server cannot
+// distinguish the three operations (Definition 4 requires Read and Write to
+// be mutually indistinguishable).
+//
+// Setup populates the entire tree with individually encrypted dummy blocks
+// (one linear WriteBuckets pass), exactly as the textbook construction
+// requires: every slot the server ever holds is a same-sized semantically
+// secure ciphertext, so path-read sizes are constant and carry nothing.
+package oram
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	mrand "math/rand"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// DefaultZ is the paper's bucket capacity.
+const DefaultZ = 4
+
+// DefaultStashFactor is the paper's stash bound multiplier: the stash may
+// hold at most DefaultStashFactor·log₂(capacity) blocks.
+const DefaultStashFactor = 7
+
+// ErrStashOverflow is returned when the stash exceeds its bound. With Z = 4
+// this happens with negligible probability; seeing it indicates a bug or an
+// adversarial workload outside the model.
+var ErrStashOverflow = errors.New("oram: stash overflow")
+
+// ErrValueWidth is returned when a written value does not match the ORAM's
+// fixed value width.
+var ErrValueWidth = errors.New("oram: value width mismatch")
+
+// ErrKeyWidth is returned when a key exceeds the ORAM's fixed key width.
+var ErrKeyWidth = errors.New("oram: key too long")
+
+// Config parameterizes Setup.
+type Config struct {
+	// Capacity is the maximum number of live key-value pairs (the paper's
+	// n). The tree is sized to the next power of two.
+	Capacity int
+	// KeyWidth is the maximum key length in bytes. All blocks are padded
+	// to a common size derived from KeyWidth and ValueWidth.
+	KeyWidth int
+	// ValueWidth is the exact value length in bytes; every stored value
+	// must have this length so ciphertext sizes are data-independent.
+	ValueWidth int
+	// Z is the bucket capacity; 0 means DefaultZ.
+	Z int
+	// StashFactor bounds the stash to StashFactor·log₂(capacity); 0 means
+	// DefaultStashFactor.
+	StashFactor int
+	// Seed seeds the leaf-choice RNG for reproducible tests; 0 draws a
+	// random seed from crypto/rand.
+	Seed int64
+}
+
+// ORAM is a client-side handle to one oblivious key-value store. It is not
+// safe for concurrent use: the protocols access each ORAM sequentially
+// (Algorithms 1–5 are sequential loops).
+type ORAM struct {
+	svc        store.Service
+	cipher     *crypto.Cipher
+	name       string
+	capacity   int
+	z          int
+	levels     int // tree levels including root and leaf level
+	numLeaves  int
+	keyWidth   int
+	valueWidth int
+	blockSize  int
+
+	// Client-held state: position map and stash (§VII-C discusses their
+	// O(n) memory cost).
+	posMap map[string]uint32
+	stash  map[string][]byte
+
+	stashLimit int
+	maxStash   int
+	accesses   int64
+	rng        *mrand.Rand
+}
+
+// Setup creates an empty ORAM named name on the server (Definition 4's
+// Setup: client state out, encrypted memory to S).
+func Setup(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (*ORAM, error) {
+	if cfg.Capacity < 1 {
+		return nil, fmt.Errorf("oram: capacity %d < 1", cfg.Capacity)
+	}
+	if cfg.KeyWidth < 1 || cfg.ValueWidth < 1 {
+		return nil, fmt.Errorf("oram: key/value widths must be positive (got %d, %d)", cfg.KeyWidth, cfg.ValueWidth)
+	}
+	z := cfg.Z
+	if z == 0 {
+		z = DefaultZ
+	}
+	sf := cfg.StashFactor
+	if sf == 0 {
+		sf = DefaultStashFactor
+	}
+	numLeaves := nextPow2(cfg.Capacity)
+	if numLeaves < 2 {
+		numLeaves = 2
+	}
+	levels := bits.TrailingZeros(uint(numLeaves)) + 1
+	o := &ORAM{
+		svc:        svc,
+		cipher:     cipher,
+		name:       name,
+		capacity:   cfg.Capacity,
+		z:          z,
+		levels:     levels,
+		numLeaves:  numLeaves,
+		keyWidth:   cfg.KeyWidth,
+		valueWidth: cfg.ValueWidth,
+		blockSize:  1 + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
+		posMap:     make(map[string]uint32),
+		stash:      make(map[string][]byte),
+		stashLimit: sf * ceilLog2(cfg.Capacity),
+		rng:        newRNG(cfg.Seed),
+	}
+	if o.stashLimit < sf {
+		o.stashLimit = sf // capacity 1 still gets a usable stash
+	}
+	if err := svc.CreateTree(name, levels, z); err != nil {
+		return nil, fmt.Errorf("oram: creating tree: %w", err)
+	}
+	if err := o.initTree(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// initTree fills every bucket with individually encrypted dummy blocks, as
+// in the textbook construction, so the initial state is indistinguishable
+// from any later state and path-read sizes never depend on access history.
+func (o *ORAM) initTree() error {
+	const bucketsPerBatch = 256
+	totalBuckets := (1 << o.levels) - 1
+	for start := 0; start < totalBuckets; start += bucketsPerBatch {
+		count := bucketsPerBatch
+		if start+count > totalBuckets {
+			count = totalBuckets - start
+		}
+		slots := make([][]byte, count*o.z)
+		for i := range slots {
+			ct, err := o.encryptDummy()
+			if err != nil {
+				return err
+			}
+			slots[i] = ct
+		}
+		if err := o.svc.WriteBuckets(o.name, start, slots); err != nil {
+			return fmt.Errorf("oram: initializing tree: %w", err)
+		}
+	}
+	return nil
+}
+
+func newRNG(seed int64) *mrand.Rand {
+	if seed == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("oram: seeding rng: %v", err))
+		}
+		seed = int64(binary.BigEndian.Uint64(b[:]) >> 1)
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	return mrand.New(mrand.NewSource(seed))
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Name returns the server-side object name.
+func (o *ORAM) Name() string { return o.name }
+
+// Len returns the number of live keys.
+func (o *ORAM) Len() int { return len(o.posMap) }
+
+// Capacity returns the configured capacity.
+func (o *ORAM) Capacity() int { return o.capacity }
+
+// ValueWidth returns the fixed value width.
+func (o *ORAM) ValueWidth() int { return o.valueWidth }
+
+// StashSize returns the current number of stashed blocks.
+func (o *ORAM) StashSize() int { return len(o.stash) }
+
+// MaxStashSize returns the stash high-water mark since Setup.
+func (o *ORAM) MaxStashSize() int { return o.maxStash }
+
+// StashLimit returns the configured stash bound.
+func (o *ORAM) StashLimit() int { return o.stashLimit }
+
+// Accesses returns how many oblivious accesses (path read + write pairs)
+// have been performed. Protocol tests use it to verify fixed access counts.
+func (o *ORAM) Accesses() int64 { return o.accesses }
+
+// ClientMemoryBytes estimates the client-held state size: position map
+// entries plus stashed blocks. This backs the client-memory curve of Fig. 5.
+func (o *ORAM) ClientMemoryBytes() int {
+	total := 0
+	for k := range o.posMap {
+		total += len(k) + 4
+	}
+	for k, v := range o.stash {
+		total += len(k) + len(v)
+	}
+	return total
+}
+
+// Read retrieves the value stored under key, or found=false if absent
+// (Definition 4 returns ⊥). The access pattern is identical for hits and
+// misses.
+func (o *ORAM) Read(key string) (value []byte, found bool, err error) {
+	return o.access(key, nil, opRead)
+}
+
+// Write stores (key, value), inserting or overwriting.
+func (o *ORAM) Write(key string, value []byte) error {
+	if len(value) != o.valueWidth {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrValueWidth, len(value), o.valueWidth)
+	}
+	_, _, err := o.access(key, value, opWrite)
+	return err
+}
+
+// Remove deletes key if present. Its access pattern is indistinguishable
+// from Read and Write.
+func (o *ORAM) Remove(key string) error {
+	_, _, err := o.access(key, nil, opRemove)
+	return err
+}
+
+// Destroy deletes the server-side tree. The handle must not be used after.
+func (o *ORAM) Destroy() error {
+	return o.svc.Delete(o.name)
+}
+
+type opKind uint8
+
+const (
+	opRead opKind = iota
+	opWrite
+	opRemove
+)
+
+// access is the single PathORAM access routine shared by Read, Write, and
+// Remove so their server-visible behaviour is identical by construction.
+func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, error) {
+	if len(key) > o.keyWidth {
+		return nil, false, fmt.Errorf("%w: %d bytes, max %d", ErrKeyWidth, len(key), o.keyWidth)
+	}
+	o.accesses++
+
+	leaf, known := o.posMap[key]
+	if !known {
+		// Dummy path: uniformly random, like any remapped leaf.
+		leaf = uint32(o.rng.Intn(o.numLeaves))
+	}
+
+	// 1. Read the path and move its real blocks into the stash.
+	slots, err := o.svc.ReadPath(o.name, leaf)
+	if err != nil {
+		return nil, false, fmt.Errorf("oram: %w", err)
+	}
+	for _, ct := range slots {
+		if len(ct) == 0 {
+			continue // defensive; Setup leaves no empty slots
+		}
+		blk, err := o.decryptBlock(ct)
+		if err != nil {
+			return nil, false, err
+		}
+		if blk == nil {
+			continue // encrypted dummy
+		}
+		if _, inStash := o.stash[blk.key]; inStash {
+			continue // stash holds the newer copy
+		}
+		if _, live := o.posMap[blk.key]; !live {
+			continue // stale block of a removed key
+		}
+		o.stash[blk.key] = blk.value
+	}
+
+	// 2. Serve the operation from the stash. Values are copied on both
+	// store and return so callers can never alias stash-internal storage.
+	value, found := o.stash[key]
+	switch kind {
+	case opWrite:
+		stored := append([]byte(nil), newValue...)
+		o.stash[key] = stored
+		o.posMap[key] = uint32(o.rng.Intn(o.numLeaves))
+		found = true
+		value = stored
+	case opRemove:
+		delete(o.stash, key)
+		delete(o.posMap, key)
+	case opRead:
+		if found {
+			// Standard PathORAM remap on every touch.
+			o.posMap[key] = uint32(o.rng.Intn(o.numLeaves))
+		}
+	}
+
+	if len(o.stash) > o.maxStash {
+		o.maxStash = len(o.stash)
+	}
+
+	// 3. Evict: greedily push stash blocks as deep as possible along the
+	// path just read, then write every slot back re-encrypted.
+	if err := o.evict(leaf); err != nil {
+		return nil, false, err
+	}
+
+	if len(o.stash) > o.stashLimit {
+		return nil, false, fmt.Errorf("%w: %d blocks > limit %d", ErrStashOverflow, len(o.stash), o.stashLimit)
+	}
+	if kind == opRead && !found {
+		return nil, false, nil
+	}
+	return append([]byte(nil), value...), found, nil
+}
+
+// evict builds fresh bucket contents for the path to leaf and writes them
+// back. Buckets are filled leaf-to-root with eligible stash blocks.
+func (o *ORAM) evict(leaf uint32) error {
+	out := make([][]byte, o.levels*o.z)
+	leafLevel := o.levels - 1
+	for l := leafLevel; l >= 0; l-- {
+		placed := 0
+		for k, v := range o.stash {
+			if placed == o.z {
+				break
+			}
+			blockLeaf := o.posMap[k]
+			// Eligible iff the block's assigned path shares this
+			// bucket: equal leaf prefixes down to level l.
+			if (blockLeaf >> uint(leafLevel-l)) != (leaf >> uint(leafLevel-l)) {
+				continue
+			}
+			ct, err := o.encryptBlock(&block{key: k, value: v})
+			if err != nil {
+				return err
+			}
+			out[l*o.z+placed] = ct
+			placed++
+			delete(o.stash, k)
+		}
+		for ; placed < o.z; placed++ {
+			ct, err := o.encryptDummy()
+			if err != nil {
+				return err
+			}
+			out[l*o.z+placed] = ct
+		}
+	}
+	if err := o.svc.WritePath(o.name, leaf, out); err != nil {
+		return fmt.Errorf("oram: %w", err)
+	}
+	return nil
+}
+
+// block is a decrypted real block.
+type block struct {
+	key   string
+	value []byte
+}
+
+// encryptBlock serializes and encrypts a real block to the fixed block size.
+func (o *ORAM) encryptBlock(b *block) ([]byte, error) {
+	pt := make([]byte, o.blockSize)
+	pt[0] = 1
+	padded, err := crypto.Pad([]byte(b.key), o.keyWidth)
+	if err != nil {
+		return nil, fmt.Errorf("oram: padding key: %w", err)
+	}
+	copy(pt[1:], padded)
+	copy(pt[1+len(padded):], b.value)
+	return o.cipher.Encrypt(pt)
+}
+
+// encryptDummy encrypts a dummy block of the same size as a real one.
+func (o *ORAM) encryptDummy() ([]byte, error) {
+	return o.cipher.Encrypt(make([]byte, o.blockSize))
+}
+
+// decryptBlock decrypts a slot; it returns nil for dummies.
+func (o *ORAM) decryptBlock(ct []byte) (*block, error) {
+	pt, err := o.cipher.Decrypt(ct)
+	if err != nil {
+		return nil, fmt.Errorf("oram: decrypting block: %w", err)
+	}
+	if len(pt) != o.blockSize {
+		return nil, fmt.Errorf("oram: block has %d bytes, want %d", len(pt), o.blockSize)
+	}
+	if pt[0] == 0 {
+		return nil, nil
+	}
+	keyEnd := 1 + crypto.PadWidth(o.keyWidth)
+	key, err := crypto.Unpad(pt[1:keyEnd])
+	if err != nil {
+		return nil, fmt.Errorf("oram: unpadding key: %w", err)
+	}
+	value := make([]byte, o.valueWidth)
+	copy(value, pt[keyEnd:])
+	return &block{key: string(key), value: value}, nil
+}

@@ -1,0 +1,565 @@
+package oram
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/trace"
+)
+
+func newTestORAM(t *testing.T, capacity, valueWidth int) (*ORAM, *store.Server) {
+	t.Helper()
+	srv := store.NewServer()
+	o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "test", Config{
+		Capacity:   capacity,
+		KeyWidth:   32,
+		ValueWidth: valueWidth,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	return o, srv
+}
+
+func val(width int, b byte) []byte {
+	v := make([]byte, width)
+	for i := range v {
+		v[i] = b
+	}
+	return v
+}
+
+func TestSetupValidation(t *testing.T) {
+	srv := store.NewServer()
+	c := crypto.MustNewCipher(crypto.MustNewKey())
+	bad := []Config{
+		{Capacity: 0, KeyWidth: 8, ValueWidth: 8},
+		{Capacity: 8, KeyWidth: 0, ValueWidth: 8},
+		{Capacity: 8, KeyWidth: 8, ValueWidth: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Setup(srv, c, fmt.Sprintf("bad%d", i), cfg); err == nil {
+			t.Errorf("Setup(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestReadMissingReturnsNotFound(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 8)
+	v, found, err := o.Read("ghost")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if found || v != nil {
+		t.Errorf("Read(ghost) = %v, %v; want nil, false", v, found)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 8)
+	if err := o.Write("alpha", val(8, 0xAA)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, found, err := o.Read("alpha")
+	if err != nil || !found {
+		t.Fatalf("Read = %v, %v, %v", v, found, err)
+	}
+	if !bytes.Equal(v, val(8, 0xAA)) {
+		t.Errorf("value = %v", v)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 4)
+	if err := o.Write("k", val(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Write("k", val(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := o.Read("k")
+	if err != nil || !found || !bytes.Equal(v, val(4, 2)) {
+		t.Errorf("after overwrite: %v, %v, %v", v, found, err)
+	}
+	if o.Len() != 1 {
+		t.Errorf("Len = %d, want 1", o.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 4)
+	if err := o.Write("k", val(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove("k"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, found, _ := o.Read("k"); found {
+		t.Error("key still present after Remove")
+	}
+	if o.Len() != 0 {
+		t.Errorf("Len = %d, want 0", o.Len())
+	}
+	// Removing an absent key is a no-op with the same access pattern.
+	if err := o.Remove("never"); err != nil {
+		t.Errorf("Remove(absent): %v", err)
+	}
+}
+
+func TestValueWidthEnforced(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 8)
+	if err := o.Write("k", val(7, 1)); !errors.Is(err, ErrValueWidth) {
+		t.Errorf("short value err = %v", err)
+	}
+	if err := o.Write("k", val(9, 1)); !errors.Is(err, ErrValueWidth) {
+		t.Errorf("long value err = %v", err)
+	}
+}
+
+func TestKeyWidthEnforced(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 8)
+	long := string(bytes.Repeat([]byte("x"), 33))
+	if err := o.Write(long, val(8, 1)); !errors.Is(err, ErrKeyWidth) {
+		t.Errorf("long key err = %v", err)
+	}
+	if _, _, err := o.Read(long); !errors.Is(err, ErrKeyWidth) {
+		t.Errorf("long key read err = %v", err)
+	}
+}
+
+func TestReturnedValueIsACopy(t *testing.T) {
+	o, _ := newTestORAM(t, 16, 4)
+	buf := val(4, 5)
+	if err := o.Write("k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller reuses its buffer
+	v1, _, _ := o.Read("k")
+	if v1[0] != 5 {
+		t.Error("Write aliased the caller's buffer")
+	}
+	v1[0] = 77 // caller scribbles on the result
+	v2, _, _ := o.Read("k")
+	if v2[0] != 5 {
+		t.Error("Read returned stash-internal storage")
+	}
+}
+
+// TestManyKeysFullCapacity fills the ORAM to capacity and reads everything
+// back, interleaving overwrites, with a reference map as oracle.
+func TestManyKeysFullCapacity(t *testing.T) {
+	const n = 256
+	o, _ := newTestORAM(t, n, 8)
+	oracle := make(map[string][]byte)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := val(8, byte(rng.Intn(256)))
+		if err := o.Write(k, v); err != nil {
+			t.Fatalf("Write %s: %v", k, err)
+		}
+		oracle[k] = v
+	}
+	// Random interleaved reads/overwrites/removals.
+	for step := 0; step < 2*n; step++ {
+		k := fmt.Sprintf("key-%03d", rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			v, found, err := o.Read(k)
+			if err != nil {
+				t.Fatalf("Read %s: %v", k, err)
+			}
+			want, ok := oracle[k]
+			if found != ok || (ok && !bytes.Equal(v, want)) {
+				t.Fatalf("Read %s = %v,%v; oracle %v,%v", k, v, found, want, ok)
+			}
+		case 1:
+			v := val(8, byte(rng.Intn(256)))
+			if err := o.Write(k, v); err != nil {
+				t.Fatalf("Write %s: %v", k, err)
+			}
+			oracle[k] = v
+		case 2:
+			if err := o.Remove(k); err != nil {
+				t.Fatalf("Remove %s: %v", k, err)
+			}
+			delete(oracle, k)
+		}
+	}
+	for k, want := range oracle {
+		v, found, err := o.Read(k)
+		if err != nil || !found || !bytes.Equal(v, want) {
+			t.Fatalf("final Read %s = %v,%v,%v; want %v", k, v, found, err, want)
+		}
+	}
+	if o.Len() != len(oracle) {
+		t.Errorf("Len = %d, oracle %d", o.Len(), len(oracle))
+	}
+}
+
+// TestStashBound exercises the paper's stash limit of 7·log₂ n: a full
+// random workload must never push the stash past the bound.
+func TestStashBound(t *testing.T) {
+	const n = 512
+	o, _ := newTestORAM(t, n, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		if err := o.Write(fmt.Sprintf("k%d", i), val(8, byte(i))); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for i := 0; i < 4*n; i++ {
+		if _, _, err := o.Read(fmt.Sprintf("k%d", rng.Intn(n))); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if o.MaxStashSize() > o.StashLimit() {
+		t.Errorf("stash high-water %d exceeded limit %d", o.MaxStashSize(), o.StashLimit())
+	}
+	t.Logf("stash high-water mark %d (limit %d)", o.MaxStashSize(), o.StashLimit())
+}
+
+// TestAccessPatternIndistinguishable checks Definition 4's core demand: a
+// Read hit, a Read miss, a Write, and a Remove produce identical server
+// trace shapes (one ReadPath + one WritePath of the same sizes).
+func TestAccessPatternIndistinguishable(t *testing.T) {
+	shapes := make([]trace.Shape, 0, 4)
+	for _, op := range []string{"readhit", "readmiss", "write", "remove"} {
+		srv := store.NewServer()
+		o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", Config{
+			Capacity: 64, KeyWidth: 16, ValueWidth: 8, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Write("present", val(8, 1)); err != nil {
+			t.Fatal(err)
+		}
+		srv.Trace().Reset()
+		srv.Trace().Enable()
+		switch op {
+		case "readhit":
+			_, _, err = o.Read("present")
+		case "readmiss":
+			_, _, err = o.Read("absent")
+		case "write":
+			err = o.Write("fresh", val(8, 2))
+		case "remove":
+			err = o.Remove("present")
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		shapes = append(shapes, trace.ShapeOf(srv.Trace().Events()))
+	}
+	for i := 1; i < len(shapes); i++ {
+		if !shapes[0].Equal(shapes[i]) {
+			t.Errorf("operation %d trace differs from Read:\n%s", i, shapes[0].Diff(shapes[i]))
+		}
+	}
+}
+
+// TestFixedAccessCount verifies every operation costs exactly one path read
+// and one path write.
+func TestFixedAccessCount(t *testing.T) {
+	o, srv := newTestORAM(t, 64, 8)
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		switch i % 3 {
+		case 0:
+			if err := o.Write(fmt.Sprintf("k%d", i), val(8, 1)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, _, err := o.Read(fmt.Sprintf("k%d", i-1)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := o.Remove(fmt.Sprintf("k%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := srv.Trace().Count(trace.OpReadPath); got != ops {
+		t.Errorf("ReadPath count = %d, want %d", got, ops)
+	}
+	if got := srv.Trace().Count(trace.OpWritePath); got != ops {
+		t.Errorf("WritePath count = %d, want %d", got, ops)
+	}
+	if got := o.Accesses(); got != ops {
+		t.Errorf("Accesses = %d, want %d", got, ops)
+	}
+}
+
+// TestCiphertextsAlwaysFresh: the client must never write back a ciphertext
+// it previously read (re-encryption requirement, §III-C).
+func TestCiphertextsAlwaysFresh(t *testing.T) {
+	srv := store.NewServer()
+	o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", Config{
+		Capacity: 16, KeyWidth: 8, ValueWidth: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	// Wrap: after each op, scan all paths and record ciphertexts; check
+	// that no ciphertext ever repeats across writes.
+	for i := 0; i < 10; i++ {
+		if err := o.Write(fmt.Sprintf("k%d", i), val(8, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		for leaf := uint32(0); leaf < 16; leaf++ {
+			slots, err := srv.ReadPath("t", leaf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ct := range slots {
+				if len(ct) == 0 {
+					continue
+				}
+				seen[string(ct)] = true
+			}
+		}
+	}
+	// Every nonempty slot is encrypted with a fresh random nonce; with 16
+	// leaves × 5 levels × 4 slots there must be plenty of distinct
+	// ciphertexts and zero accidental collisions of full ciphertexts.
+	if len(seen) < 10 {
+		t.Errorf("suspiciously few distinct ciphertexts: %d", len(seen))
+	}
+}
+
+func TestPropertyRandomWorkload(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		srv := store.NewServer()
+		o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", Config{
+			Capacity: 32, KeyWidth: 8, ValueWidth: 4, Seed: seed%1000 + 1,
+		})
+		if err != nil {
+			return false
+		}
+		oracle := make(map[string][]byte)
+		for _, b := range opsRaw {
+			k := fmt.Sprintf("k%d", b%32)
+			switch b % 3 {
+			case 0:
+				v := val(4, b)
+				if err := o.Write(k, v); err != nil {
+					return false
+				}
+				oracle[k] = v
+			case 1:
+				v, found, err := o.Read(k)
+				if err != nil {
+					return false
+				}
+				want, ok := oracle[k]
+				if found != ok || (ok && !bytes.Equal(v, want)) {
+					return false
+				}
+			case 2:
+				if err := o.Remove(k); err != nil {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		return o.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientMemoryGrowsWithContent(t *testing.T) {
+	o, _ := newTestORAM(t, 128, 8)
+	empty := o.ClientMemoryBytes()
+	for i := 0; i < 100; i++ {
+		if err := o.Write(fmt.Sprintf("key-%d", i), val(8, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := o.ClientMemoryBytes()
+	if full <= empty {
+		t.Errorf("client memory did not grow: %d -> %d", empty, full)
+	}
+}
+
+// TestNonDefaultParameters: Z and StashFactor are configurable; the ORAM
+// must stay correct with tighter buckets.
+func TestNonDefaultParameters(t *testing.T) {
+	srv := store.NewServer()
+	o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "z2", Config{
+		Capacity: 64, KeyWidth: 8, ValueWidth: 4, Z: 2, StashFactor: 20, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.StashLimit() != 20*6 { // 20 · ceil(log₂ 64)
+		t.Errorf("StashLimit = %d, want 120", o.StashLimit())
+	}
+	oracle := make(map[string]byte)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%d", rng.Intn(64))
+		b := byte(rng.Intn(256))
+		if err := o.Write(k, val(4, b)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		oracle[k] = b
+	}
+	for k, b := range oracle {
+		v, found, err := o.Read(k)
+		if err != nil || !found || v[0] != b {
+			t.Fatalf("Read(%s) = %v,%v,%v want %d", k, v, found, err, b)
+		}
+	}
+	t.Logf("Z=2 stash high-water: %d (limit %d)", o.MaxStashSize(), o.StashLimit())
+}
+
+func TestAccessors(t *testing.T) {
+	o, _ := newTestORAM(t, 20, 8)
+	if o.Name() != "test" {
+		t.Errorf("Name = %q", o.Name())
+	}
+	if o.Capacity() != 20 {
+		t.Errorf("Capacity = %d", o.Capacity())
+	}
+	if o.ValueWidth() != 8 {
+		t.Errorf("ValueWidth = %d", o.ValueWidth())
+	}
+	if err := o.Write("k", val(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if o.StashSize() < 0 || o.StashSize() > o.StashLimit() {
+		t.Errorf("StashSize = %d", o.StashSize())
+	}
+}
+
+// TestRandomSeedSetup covers the crypto-seeded RNG path (Seed == 0).
+func TestRandomSeedSetup(t *testing.T) {
+	srv := store.NewServer()
+	o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "rseed", Config{
+		Capacity: 8, KeyWidth: 8, ValueWidth: 4, // Seed deliberately 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Write("k", val(4, 9)); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := o.Read("k")
+	if err != nil || !found || v[0] != 9 {
+		t.Errorf("Read = %v, %v, %v", v, found, err)
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	o, _ := newTestORAM(t, 1, 4)
+	if err := o.Write("only", val(4, 1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, found, err := o.Read("only")
+	if err != nil || !found || !bytes.Equal(v, val(4, 1)) {
+		t.Errorf("Read = %v, %v, %v", v, found, err)
+	}
+	if err := o.Remove("only"); err != nil {
+		t.Fatal(err)
+	}
+	if o.Len() != 0 {
+		t.Errorf("Len = %d", o.Len())
+	}
+}
+
+// TestTreeFullyInitialized: after Setup every slot holds a same-size
+// ciphertext — path-read sizes can never depend on access history.
+func TestTreeFullyInitialized(t *testing.T) {
+	srv := store.NewServer()
+	_, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "t", Config{
+		Capacity: 8, KeyWidth: 8, ValueWidth: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var size int
+	for leaf := uint32(0); leaf < 8; leaf++ {
+		slots, err := srv.ReadPath("t", leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ct := range slots {
+			if len(ct) == 0 {
+				t.Fatalf("leaf %d slot %d empty after Setup", leaf, i)
+			}
+			if size == 0 {
+				size = len(ct)
+			}
+			if len(ct) != size {
+				t.Fatalf("slot sizes differ: %d vs %d", len(ct), size)
+			}
+		}
+	}
+}
+
+// TestPathReadSizesConstant: every path read moves exactly the same number
+// of bytes, before and after arbitrary accesses.
+func TestPathReadSizesConstant(t *testing.T) {
+	o, srv := newTestORAM(t, 32, 8)
+	srv.Trace().Enable()
+	for i := 0; i < 20; i++ {
+		if err := o.Write(fmt.Sprintf("k%d", i), val(8, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := make(map[int]bool)
+	for _, e := range srv.Trace().Events() {
+		if e.Op == trace.OpReadPath {
+			sizes[e.Bytes] = true
+		}
+	}
+	if len(sizes) != 1 {
+		t.Errorf("path reads moved %d distinct byte counts: %v", len(sizes), sizes)
+	}
+}
+
+// TestHeavySameKeyWorkload: hammering a single key must not corrupt state
+// or grow the stash (each access rewrites the same block).
+func TestHeavySameKeyWorkload(t *testing.T) {
+	o, _ := newTestORAM(t, 64, 8)
+	for i := 0; i < 500; i++ {
+		if err := o.Write("hot", val(8, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+		v, found, err := o.Read("hot")
+		if err != nil || !found || v[0] != byte(i) {
+			t.Fatalf("iteration %d: %v %v %v", i, v, found, err)
+		}
+	}
+	if o.Len() != 1 {
+		t.Errorf("Len = %d", o.Len())
+	}
+	if o.MaxStashSize() > o.StashLimit() {
+		t.Errorf("stash %d exceeded limit %d", o.MaxStashSize(), o.StashLimit())
+	}
+}
+
+func TestDestroyFreesServerObject(t *testing.T) {
+	o, srv := newTestORAM(t, 16, 8)
+	if err := o.Write("k", val(8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	st, _ := srv.Stats()
+	if st.Objects != 0 {
+		t.Errorf("objects after Destroy = %d", st.Objects)
+	}
+}

@@ -1,0 +1,72 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FD is a functional dependency LHS → RHS between attribute sets (§II-B).
+type FD struct {
+	LHS AttrSet
+	RHS AttrSet
+}
+
+// String renders the FD with attribute indices.
+func (f FD) String() string { return fmt.Sprintf("%v -> %v", f.LHS, f.RHS) }
+
+// Format renders the FD with attribute names from a schema.
+func (f FD) Format(schema *Schema) string {
+	return fmt.Sprintf("%s -> %s", f.LHS.Names(schema), f.RHS.Names(schema))
+}
+
+// Holds reports whether the dependency holds on the plaintext relation by
+// direct definition: for all pairs r1,r2, r1[LHS]=r2[LHS] ⇒ r1[RHS]=r2[RHS].
+// This is the O(n) hashing check used as ground truth in tests.
+func (f FD) Holds(r *Relation) bool {
+	seen := make(map[string]string, r.NumRows())
+	for i := 0; i < r.NumRows(); i++ {
+		lhs := r.ProjectKey(i, f.LHS)
+		rhs := r.ProjectKey(i, f.RHS)
+		if prev, ok := seen[lhs]; ok {
+			if prev != rhs {
+				return false
+			}
+		} else {
+			seen[lhs] = rhs
+		}
+	}
+	return true
+}
+
+// SortFDs orders FDs deterministically (by LHS then RHS) for stable output
+// and comparison in tests.
+func SortFDs(fds []FD) {
+	sort.Slice(fds, func(i, j int) bool {
+		if fds[i].LHS != fds[j].LHS {
+			return fds[i].LHS < fds[j].LHS
+		}
+		return fds[i].RHS < fds[j].RHS
+	})
+}
+
+// FDSetEqual reports whether two FD slices contain the same dependencies,
+// ignoring order and duplicates.
+func FDSetEqual(a, b []FD) bool {
+	set := func(fds []FD) map[FD]bool {
+		m := make(map[FD]bool, len(fds))
+		for _, f := range fds {
+			m[f] = true
+		}
+		return m
+	}
+	sa, sb := set(a), set(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for f := range sa {
+		if !sb[f] {
+			return false
+		}
+	}
+	return true
+}

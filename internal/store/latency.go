@@ -1,0 +1,91 @@
+package store
+
+import (
+	"time"
+)
+
+// WithLatency wraps a Service so every call takes at least rtt longer,
+// modeling the client↔server network round trip of the paper's deployment
+// (two machines on a 1 Gbps LAN, §VII-A). Concurrent calls are delayed
+// independently, so latency — unlike CPU work — is overlappable: this is
+// the effect the sorting protocol's parallelism exploits (Fig. 6a), and
+// injecting it lets single-machine runs reproduce that behaviour.
+func WithLatency(svc Service, rtt time.Duration) Service {
+	if rtt <= 0 {
+		return svc
+	}
+	return &latencyService{svc: svc, rtt: rtt}
+}
+
+type latencyService struct {
+	svc Service
+	rtt time.Duration
+}
+
+func (l *latencyService) delay() { time.Sleep(l.rtt) }
+
+// CreateArray implements Service.
+func (l *latencyService) CreateArray(name string, n int) error {
+	l.delay()
+	return l.svc.CreateArray(name, n)
+}
+
+// ArrayLen implements Service.
+func (l *latencyService) ArrayLen(name string) (int, error) {
+	l.delay()
+	return l.svc.ArrayLen(name)
+}
+
+// ReadCells implements Service.
+func (l *latencyService) ReadCells(name string, idx []int64) ([][]byte, error) {
+	l.delay()
+	return l.svc.ReadCells(name, idx)
+}
+
+// WriteCells implements Service.
+func (l *latencyService) WriteCells(name string, idx []int64, cts [][]byte) error {
+	l.delay()
+	return l.svc.WriteCells(name, idx, cts)
+}
+
+// CreateTree implements Service.
+func (l *latencyService) CreateTree(name string, levels, slotsPerBucket int) error {
+	l.delay()
+	return l.svc.CreateTree(name, levels, slotsPerBucket)
+}
+
+// ReadPath implements Service.
+func (l *latencyService) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	l.delay()
+	return l.svc.ReadPath(name, leaf)
+}
+
+// WritePath implements Service.
+func (l *latencyService) WritePath(name string, leaf uint32, slots [][]byte) error {
+	l.delay()
+	return l.svc.WritePath(name, leaf, slots)
+}
+
+// WriteBuckets implements Service.
+func (l *latencyService) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	l.delay()
+	return l.svc.WriteBuckets(name, bucketStart, slots)
+}
+
+// Delete implements Service.
+func (l *latencyService) Delete(name string) error {
+	l.delay()
+	return l.svc.Delete(name)
+}
+
+// Reveal implements Service.
+func (l *latencyService) Reveal(tag string, value int64) error {
+	l.delay()
+	return l.svc.Reveal(tag, value)
+}
+
+// Stats implements Service.
+func (l *latencyService) Stats() (Stats, error) {
+	l.delay()
+	return l.svc.Stats()
+}

@@ -1,0 +1,86 @@
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Snapshot persistence: the server can serialize its entire encrypted state
+// and restore it later — e.g. across restarts of fdserver. Only ciphertexts
+// and public structure cross the boundary; the snapshot is exactly as
+// sensitive as the server's live memory (which the threat model already
+// hands to the adversary).
+
+// snapshot is the gob wire form of a server's storage.
+type snapshot struct {
+	Arrays map[string]arraySnapshot
+	Trees  map[string]treeSnapshot
+}
+
+type arraySnapshot struct {
+	Cells [][]byte
+}
+
+type treeSnapshot struct {
+	Levels int
+	Slots  int
+	Data   [][]byte
+}
+
+// SaveSnapshot serializes all storage objects to w. Trace state and the
+// reveal log are not part of the snapshot.
+func (s *Server) SaveSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{
+		Arrays: make(map[string]arraySnapshot, len(s.arrays)),
+		Trees:  make(map[string]treeSnapshot, len(s.trees)),
+	}
+	for name, a := range s.arrays {
+		snap.Arrays[name] = arraySnapshot{Cells: a.cells}
+	}
+	for name, t := range s.trees {
+		snap.Trees[name] = treeSnapshot{Levels: t.levels, Slots: t.slots, Data: t.data}
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the server's storage with the snapshot read from r.
+func (s *Server) LoadSnapshot(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	arrays := make(map[string]*array, len(snap.Arrays))
+	for name, a := range snap.Arrays {
+		obj := &array{cells: a.Cells}
+		for _, c := range a.Cells {
+			obj.bytes += int64(len(c))
+		}
+		arrays[name] = obj
+	}
+	trees := make(map[string]*tree, len(snap.Trees))
+	for name, t := range snap.Trees {
+		if t.Levels < 1 || t.Slots < 1 {
+			return fmt.Errorf("store: snapshot tree %q has invalid shape %d×%d", name, t.Levels, t.Slots)
+		}
+		wantSlots := ((1 << t.Levels) - 1) * t.Slots
+		if len(t.Data) != wantSlots {
+			return fmt.Errorf("store: snapshot tree %q has %d slots, want %d", name, len(t.Data), wantSlots)
+		}
+		obj := &tree{levels: t.Levels, slots: t.Slots, data: t.Data}
+		for _, c := range t.Data {
+			obj.bytes += int64(len(c))
+		}
+		trees[name] = obj
+	}
+	s.mu.Lock()
+	s.arrays = arrays
+	s.trees = trees
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package store implements the server S: named encrypted storage objects
+// (flat ciphertext arrays for the sorting protocol, bucket trees for
+// PathORAM) plus the persistent adversary's trace recorder. The server never
+// holds a key; everything it stores is ciphertext produced by the client.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/oblivfd/oblivfd/internal/trace"
+)
+
+// Common storage errors.
+var (
+	ErrUnknownObject = errors.New("store: unknown object")
+	ErrObjectExists  = errors.New("store: object already exists")
+	ErrOutOfRange    = errors.New("store: index out of range")
+	ErrBadPath       = errors.New("store: malformed path payload")
+)
+
+// Stats summarizes server-side resource usage; it backs the storage columns
+// of Table II and Fig. 5.
+type Stats struct {
+	Objects     int   // number of live storage objects
+	StoredBytes int64 // total ciphertext bytes currently stored
+}
+
+// Service is the full server-side surface the client can invoke. Both the
+// in-process and TCP transports expose exactly this interface, so protocol
+// code is transport-agnostic.
+type Service interface {
+	// CreateArray allocates a flat array of n empty cells.
+	CreateArray(name string, n int) error
+	// ArrayLen returns the number of cells in an array.
+	ArrayLen(name string) (int, error)
+	// ReadCells returns the ciphertexts at the given indices.
+	ReadCells(name string, idx []int64) ([][]byte, error)
+	// WriteCells replaces the ciphertexts at the given indices.
+	WriteCells(name string, idx []int64, cts [][]byte) error
+	// CreateTree allocates a complete binary bucket tree with the given
+	// number of levels (root..leaves) and slots per bucket; every slot
+	// starts empty and is populated by client writes.
+	CreateTree(name string, levels, slotsPerBucket int) error
+	// ReadPath returns the slots of all buckets on the root→leaf path,
+	// root first.
+	ReadPath(name string, leaf uint32) ([][]byte, error)
+	// WritePath replaces the slots of all buckets on the root→leaf path.
+	// len(slots) must equal levels × slotsPerBucket.
+	WritePath(name string, leaf uint32, slots [][]byte) error
+	// WriteBuckets bulk-replaces the slots of the contiguous bucket range
+	// starting at bucketStart (heap order, root = 0). It exists so ORAM
+	// setup can populate the whole tree with encrypted dummies in one
+	// linear pass rather than N overlapping path writes.
+	WriteBuckets(name string, bucketStart int, slots [][]byte) error
+	// Delete removes an object and frees its storage.
+	Delete(name string) error
+	// Reveal logs a deliberately public value (a result bit or an FD id).
+	// It exists so the adversary's trace contains exactly the allowed
+	// leakage L(DB) and nothing else.
+	Reveal(tag string, value int64) error
+	// Stats reports storage accounting.
+	Stats() (Stats, error)
+}
+
+// Server is the in-memory reference implementation of Service. It is safe
+// for concurrent use; the parallel sorting driver issues overlapping
+// ReadCells/WriteCells on disjoint indices.
+type Server struct {
+	mu      sync.RWMutex
+	arrays  map[string]*array
+	trees   map[string]*tree
+	rec     *trace.Recorder
+	reveals []Reveal
+}
+
+// Reveal is one logged public disclosure.
+type Reveal struct {
+	Tag   string
+	Value int64
+}
+
+type array struct {
+	cells [][]byte
+	bytes int64
+}
+
+type tree struct {
+	levels int
+	slots  int // per bucket
+	data   [][]byte
+	bytes  int64
+}
+
+// NewServer returns an empty server with trace counting active.
+func NewServer() *Server {
+	return &Server{
+		arrays: make(map[string]*array),
+		trees:  make(map[string]*tree),
+		rec:    trace.NewRecorder(),
+	}
+}
+
+// Trace exposes the adversary's recorder.
+func (s *Server) Trace() *trace.Recorder { return s.rec }
+
+// Reveals returns the public values the client has disclosed since the last
+// recorder reset.
+func (s *Server) Reveals() []Reveal {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Reveal(nil), s.reveals...)
+}
+
+// ResetReveals clears the reveal log.
+func (s *Server) ResetReveals() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reveals = nil
+}
+
+// CreateArray implements Service.
+func (s *Server) CreateArray(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("store: array %q: negative size %d", name, n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.arrays[name]; ok {
+		return fmt.Errorf("%w: array %q", ErrObjectExists, name)
+	}
+	if _, ok := s.trees[name]; ok {
+		return fmt.Errorf("%w: tree %q", ErrObjectExists, name)
+	}
+	s.arrays[name] = &array{cells: make([][]byte, n)}
+	s.rec.Record(trace.Event{Op: trace.OpCreateArray, Object: name, Index: int64(n)})
+	return nil
+}
+
+// ArrayLen implements Service.
+func (s *Server) ArrayLen(name string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.arrays[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: array %q", ErrUnknownObject, name)
+	}
+	return len(a.cells), nil
+}
+
+// ReadCells implements Service.
+func (s *Server) ReadCells(name string, idx []int64) ([][]byte, error) {
+	s.mu.RLock()
+	a, ok := s.arrays[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: array %q", ErrUnknownObject, name)
+	}
+	out := make([][]byte, len(idx))
+	total := 0
+	for k, i := range idx {
+		if i < 0 || i >= int64(len(a.cells)) {
+			s.mu.RUnlock()
+			return nil, fmt.Errorf("%w: array %q index %d (len %d)", ErrOutOfRange, name, i, len(a.cells))
+		}
+		out[k] = a.cells[i]
+		total += len(out[k])
+	}
+	s.mu.RUnlock()
+	for k, i := range idx {
+		s.rec.Record(trace.Event{Op: trace.OpReadCell, Object: name, Index: i, Bytes: len(out[k])})
+	}
+	_ = total
+	return out, nil
+}
+
+// WriteCells implements Service.
+func (s *Server) WriteCells(name string, idx []int64, cts [][]byte) error {
+	if len(idx) != len(cts) {
+		return fmt.Errorf("store: WriteCells on %q: %d indices, %d ciphertexts", name, len(idx), len(cts))
+	}
+	s.mu.Lock()
+	a, ok := s.arrays[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: array %q", ErrUnknownObject, name)
+	}
+	for k, i := range idx {
+		if i < 0 || i >= int64(len(a.cells)) {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: array %q index %d (len %d)", ErrOutOfRange, name, i, len(a.cells))
+		}
+		a.bytes += int64(len(cts[k]) - len(a.cells[i]))
+		a.cells[i] = cts[k]
+	}
+	s.mu.Unlock()
+	for k, i := range idx {
+		s.rec.Record(trace.Event{Op: trace.OpWriteCell, Object: name, Index: i, Bytes: len(cts[k])})
+	}
+	return nil
+}
+
+// CreateTree implements Service.
+func (s *Server) CreateTree(name string, levels, slotsPerBucket int) error {
+	if levels < 1 || slotsPerBucket < 1 {
+		return fmt.Errorf("store: tree %q: invalid shape %d levels × %d slots", name, levels, slotsPerBucket)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.trees[name]; ok {
+		return fmt.Errorf("%w: tree %q", ErrObjectExists, name)
+	}
+	if _, ok := s.arrays[name]; ok {
+		return fmt.Errorf("%w: array %q", ErrObjectExists, name)
+	}
+	buckets := (1 << levels) - 1
+	s.trees[name] = &tree{
+		levels: levels,
+		slots:  slotsPerBucket,
+		data:   make([][]byte, buckets*slotsPerBucket),
+	}
+	s.rec.Record(trace.Event{Op: trace.OpCreateTree, Object: name, Index: int64(levels)})
+	return nil
+}
+
+// pathNodes returns the bucket indices (heap layout, root = 0) from the root
+// to the given leaf.
+func (t *tree) pathNodes(leaf uint32) ([]int, error) {
+	numLeaves := 1 << (t.levels - 1)
+	if int(leaf) >= numLeaves {
+		return nil, fmt.Errorf("%w: leaf %d (have %d leaves)", ErrOutOfRange, leaf, numLeaves)
+	}
+	nodes := make([]int, t.levels)
+	node := numLeaves - 1 + int(leaf) // leaf node index in heap layout
+	for l := t.levels - 1; l >= 0; l-- {
+		nodes[l] = node
+		node = (node - 1) / 2
+	}
+	return nodes, nil
+}
+
+// ReadPath implements Service.
+func (s *Server) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	s.mu.RLock()
+	t, ok := s.trees[name]
+	if !ok {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: tree %q", ErrUnknownObject, name)
+	}
+	nodes, err := t.pathNodes(leaf)
+	if err != nil {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("store: ReadPath(%q): %w", name, err)
+	}
+	out := make([][]byte, 0, len(nodes)*t.slots)
+	total := 0
+	for _, n := range nodes {
+		for j := 0; j < t.slots; j++ {
+			ct := t.data[n*t.slots+j]
+			out = append(out, ct)
+			total += len(ct)
+		}
+	}
+	s.mu.RUnlock()
+	s.rec.Record(trace.Event{Op: trace.OpReadPath, Object: name, Index: int64(leaf), Bytes: total})
+	return out, nil
+}
+
+// WritePath implements Service.
+func (s *Server) WritePath(name string, leaf uint32, slots [][]byte) error {
+	s.mu.Lock()
+	t, ok := s.trees[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tree %q", ErrUnknownObject, name)
+	}
+	nodes, err := t.pathNodes(leaf)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: WritePath(%q): %w", name, err)
+	}
+	if len(slots) != len(nodes)*t.slots {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tree %q: got %d slots, want %d", ErrBadPath, name, len(slots), len(nodes)*t.slots)
+	}
+	total := 0
+	k := 0
+	for _, n := range nodes {
+		for j := 0; j < t.slots; j++ {
+			t.bytes += int64(len(slots[k]) - len(t.data[n*t.slots+j]))
+			t.data[n*t.slots+j] = slots[k]
+			total += len(slots[k])
+			k++
+		}
+	}
+	s.mu.Unlock()
+	s.rec.Record(trace.Event{Op: trace.OpWritePath, Object: name, Index: int64(leaf), Bytes: total})
+	return nil
+}
+
+// WriteBuckets implements Service.
+func (s *Server) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	s.mu.Lock()
+	t, ok := s.trees[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tree %q", ErrUnknownObject, name)
+	}
+	if len(slots)%t.slots != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tree %q: %d slots not a multiple of bucket size %d", ErrBadPath, name, len(slots), t.slots)
+	}
+	first := bucketStart * t.slots
+	if bucketStart < 0 || first+len(slots) > len(t.data) {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: tree %q: bucket range [%d,+%d)", ErrOutOfRange, name, bucketStart, len(slots)/t.slots)
+	}
+	total := 0
+	for k, ct := range slots {
+		t.bytes += int64(len(ct) - len(t.data[first+k]))
+		t.data[first+k] = ct
+		total += len(ct)
+	}
+	s.mu.Unlock()
+	s.rec.Record(trace.Event{Op: trace.OpWriteBucket, Object: name, Index: int64(bucketStart), Bytes: total})
+	return nil
+}
+
+// Delete implements Service.
+func (s *Server) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.arrays[name]; ok {
+		delete(s.arrays, name)
+	} else if _, ok := s.trees[name]; ok {
+		delete(s.trees, name)
+	} else {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	s.rec.Record(trace.Event{Op: trace.OpDelete, Object: name})
+	return nil
+}
+
+// Reveal implements Service.
+func (s *Server) Reveal(tag string, value int64) error {
+	s.mu.Lock()
+	s.reveals = append(s.reveals, Reveal{Tag: tag, Value: value})
+	s.mu.Unlock()
+	s.rec.Record(trace.Event{Op: trace.OpReveal, Object: tag, Index: value})
+	return nil
+}
+
+// Stats implements Service.
+func (s *Server) Stats() (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	st.Objects = len(s.arrays) + len(s.trees)
+	for _, a := range s.arrays {
+		st.StoredBytes += a.bytes
+	}
+	for _, t := range s.trees {
+		st.StoredBytes += t.bytes
+	}
+	return st, nil
+}

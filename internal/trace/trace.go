@@ -1,0 +1,199 @@
+// Package trace models the view of the persistent adversary (§III-B): the
+// complete sequence of server-visible events during a protocol run. The
+// server records one Event per storage operation; obliviousness tests
+// compare traces of runs on same-size databases with different contents.
+//
+// What the adversary sees per event: which object was touched, the kind of
+// operation, the physical index involved, and ciphertext lengths — never
+// plaintext. For ORAM path operations the physical index is the (uniformly
+// random) leaf, so Shape normalizes it away before comparison; everything
+// else must match exactly for an oblivious protocol.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Op enumerates server-visible operation kinds.
+type Op uint8
+
+// Operation kinds recorded by the server.
+const (
+	OpCreateArray Op = iota
+	OpReadCell
+	OpWriteCell
+	OpCreateTree
+	OpReadPath
+	OpWritePath
+	OpWriteBucket
+	OpDelete
+	OpReveal // client reveals a public result bit/count to the server's log
+)
+
+var opNames = [...]string{
+	"CreateArray", "ReadCell", "WriteCell", "CreateTree",
+	"ReadPath", "WritePath", "WriteBucket", "Delete", "Reveal",
+}
+
+// String returns the operation name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Event is one server-visible storage operation.
+type Event struct {
+	Op     Op
+	Object string // storage object name
+	Index  int64  // cell index, or ORAM leaf for path ops
+	Bytes  int    // total ciphertext bytes moved
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%s(%s,%d,%dB)", e.Op, e.Object, e.Index, e.Bytes)
+}
+
+// Recorder accumulates events. It is safe for concurrent use, and the
+// always-on counters are lock-free so recording never serializes the
+// parallel sorting workers.
+type Recorder struct {
+	enabled atomic.Bool
+	counts  [len(opNames)]atomic.Int64
+	bytes   atomic.Int64
+
+	mu     sync.Mutex // guards events only
+	events []Event
+}
+
+// NewRecorder returns a recorder; events are only retained after Enable.
+// Operation counters and byte totals are always maintained.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enable starts retaining full event sequences (memory-heavy; used by
+// obliviousness tests and the fdbench trace experiment).
+func (r *Recorder) Enable() { r.enabled.Store(true) }
+
+// Disable stops retaining event sequences; counters keep accumulating.
+func (r *Recorder) Disable() { r.enabled.Store(false) }
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) {
+	r.counts[e.Op].Add(1)
+	r.bytes.Add(int64(e.Bytes))
+	if r.enabled.Load() {
+		r.mu.Lock()
+		r.events = append(r.events, e)
+		r.mu.Unlock()
+	}
+}
+
+// Reset clears retained events and counters.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+	for i := range r.counts {
+		r.counts[i].Store(0)
+	}
+	r.bytes.Store(0)
+}
+
+// Events returns a copy of the retained event sequence.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Count returns how many events of the given op were recorded since Reset.
+func (r *Recorder) Count(op Op) int64 { return r.counts[op].Load() }
+
+// TotalOps returns the total number of events since Reset.
+func (r *Recorder) TotalOps() int64 {
+	var total int64
+	for i := range r.counts {
+		total += r.counts[i].Load()
+	}
+	return total
+}
+
+// TotalBytes returns the total ciphertext bytes moved since Reset.
+func (r *Recorder) TotalBytes() int64 { return r.bytes.Load() }
+
+// Shape is a trace with data-independent content only: for path operations
+// the leaf index is replaced by -1 (it is sampled uniformly by the client
+// and carries no information about the database contents beyond its length).
+type Shape []Event
+
+// ShapeOf normalizes a trace for comparison.
+func ShapeOf(events []Event) Shape {
+	out := make(Shape, len(events))
+	for i, e := range events {
+		if e.Op == OpReadPath || e.Op == OpWritePath {
+			e.Index = -1
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// Canonical returns a copy of the shape with object names replaced by
+// placeholders ("obj0", "obj1", …) in order of first appearance. Object
+// names are chosen by the client data-independently (they embed process-
+// local counters), so comparing two independent runs requires canonical
+// names; distinctness of objects is preserved, which is all the adversary
+// learns from names.
+func (s Shape) Canonical() Shape {
+	names := make(map[string]string)
+	out := make(Shape, len(s))
+	for i, e := range s {
+		canon, ok := names[e.Object]
+		if !ok {
+			canon = fmt.Sprintf("obj%d", len(names))
+			names[e.Object] = canon
+		}
+		e.Object = canon
+		out[i] = e
+	}
+	return out
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(t Shape) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns a human-readable description of the first few positions where
+// the shapes differ, or "" if they are equal.
+func (s Shape) Diff(t Shape) string {
+	var b strings.Builder
+	if len(s) != len(t) {
+		fmt.Fprintf(&b, "lengths differ: %d vs %d\n", len(s), len(t))
+	}
+	n := len(s)
+	if len(t) < n {
+		n = len(t)
+	}
+	reported := 0
+	for i := 0; i < n && reported < 5; i++ {
+		if s[i] != t[i] {
+			fmt.Fprintf(&b, "event %d: %v vs %v\n", i, s[i], t[i])
+			reported++
+		}
+	}
+	return b.String()
+}

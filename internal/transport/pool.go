@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"fmt"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// Pool is a store.Service backed by several TCP connections to the same
+// server. Each call borrows one connection, so up to Size calls proceed in
+// flight simultaneously — this is what lets the sorting protocol's parallel
+// workers overlap network round trips (§IV-D's n/2 parallelism degree is
+// only worth having if the transport admits concurrent requests; the
+// paper's evaluation runs each thread on its own session).
+type Pool struct {
+	conns chan *Client
+	all   []*Client
+}
+
+var _ store.Service = (*Pool)(nil)
+
+// DialPool opens size connections to a transport server.
+func DialPool(addr string, size int) (*Pool, error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool{conns: make(chan *Client, size)}
+	for i := 0; i < size; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("transport: pool connection %d: %w", i, err)
+		}
+		p.all = append(p.all, c)
+		p.conns <- c
+	}
+	return p, nil
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.all) }
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var firstErr error
+	for _, c := range p.all {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// with borrows a connection for one call.
+func (p *Pool) with(fn func(c *Client) error) error {
+	c := <-p.conns
+	defer func() { p.conns <- c }()
+	return fn(c)
+}
+
+// CreateArray implements store.Service.
+func (p *Pool) CreateArray(name string, n int) error {
+	return p.with(func(c *Client) error { return c.CreateArray(name, n) })
+}
+
+// ArrayLen implements store.Service.
+func (p *Pool) ArrayLen(name string) (n int, err error) {
+	err = p.with(func(c *Client) error { n, err = c.ArrayLen(name); return err })
+	return n, err
+}
+
+// ReadCells implements store.Service.
+func (p *Pool) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
+	err = p.with(func(c *Client) error { cts, err = c.ReadCells(name, idx); return err })
+	return cts, err
+}
+
+// WriteCells implements store.Service.
+func (p *Pool) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return p.with(func(c *Client) error { return c.WriteCells(name, idx, cts) })
+}
+
+// CreateTree implements store.Service.
+func (p *Pool) CreateTree(name string, levels, slotsPerBucket int) error {
+	return p.with(func(c *Client) error { return c.CreateTree(name, levels, slotsPerBucket) })
+}
+
+// ReadPath implements store.Service.
+func (p *Pool) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
+	err = p.with(func(c *Client) error { cts, err = c.ReadPath(name, leaf); return err })
+	return cts, err
+}
+
+// WritePath implements store.Service.
+func (p *Pool) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return p.with(func(c *Client) error { return c.WritePath(name, leaf, slots) })
+}
+
+// WriteBuckets implements store.Service.
+func (p *Pool) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return p.with(func(c *Client) error { return c.WriteBuckets(name, bucketStart, slots) })
+}
+
+// Delete implements store.Service.
+func (p *Pool) Delete(name string) error {
+	return p.with(func(c *Client) error { return c.Delete(name) })
+}
+
+// Reveal implements store.Service.
+func (p *Pool) Reveal(tag string, value int64) error {
+	return p.with(func(c *Client) error { return c.Reveal(tag, value) })
+}
+
+// Stats implements store.Service.
+func (p *Pool) Stats() (st store.Stats, err error) {
+	err = p.with(func(c *Client) error { st, err = c.Stats(); return err })
+	return st, err
+}

@@ -1,0 +1,279 @@
+// Package transport connects the client C to the server S. Protocol code
+// only depends on store.Service; this package provides two interchangeable
+// ways to obtain one:
+//
+//   - in-process: use a *store.Server directly (it implements the interface)
+//   - TCP: Serve exposes a store.Service on a listener, Dial returns a
+//     store.Service proxy that forwards every call over a gob-encoded,
+//     length-delimited stream — the deployment shape of the paper's
+//     evaluation (client and server on separate machines, §VII-A).
+//
+// Every request/response crossing the wire carries only what the persistent
+// adversary is allowed to see anyway: object names, indices, and
+// ciphertexts.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("transport: connection closed")
+
+type kind uint8
+
+const (
+	kindCreateArray kind = iota
+	kindArrayLen
+	kindReadCells
+	kindWriteCells
+	kindCreateTree
+	kindReadPath
+	kindWritePath
+	kindWriteBuckets
+	kindDelete
+	kindReveal
+	kindStats
+)
+
+// request is the wire format for one Service call.
+type request struct {
+	Kind   kind
+	Name   string
+	N      int
+	Levels int
+	Slots  int
+	Idx    []int64
+	Cts    [][]byte
+	Leaf   uint32
+	Value  int64
+}
+
+// response is the wire format for one Service result.
+type response struct {
+	Err   string
+	N     int
+	Cts   [][]byte
+	Stats store.Stats
+}
+
+// Serve accepts connections on l and dispatches requests to svc until the
+// listener is closed. Each connection is served by its own goroutine; calls
+// within one connection execute sequentially, matching the client proxy.
+func Serve(l net.Listener, svc store.Service) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		go serveConn(conn, svc)
+	}
+}
+
+func serveConn(conn net.Conn, svc store.Service) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // io.EOF on clean shutdown; anything else also ends the conn
+		}
+		resp := dispatch(svc, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func dispatch(svc store.Service, req *request) *response {
+	var resp response
+	fail := func(err error) *response {
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		return &resp
+	}
+	switch req.Kind {
+	case kindCreateArray:
+		return fail(svc.CreateArray(req.Name, req.N))
+	case kindArrayLen:
+		n, err := svc.ArrayLen(req.Name)
+		resp.N = n
+		return fail(err)
+	case kindReadCells:
+		cts, err := svc.ReadCells(req.Name, req.Idx)
+		resp.Cts = cts
+		return fail(err)
+	case kindWriteCells:
+		return fail(svc.WriteCells(req.Name, req.Idx, req.Cts))
+	case kindCreateTree:
+		return fail(svc.CreateTree(req.Name, req.Levels, req.Slots))
+	case kindReadPath:
+		cts, err := svc.ReadPath(req.Name, req.Leaf)
+		resp.Cts = cts
+		return fail(err)
+	case kindWritePath:
+		return fail(svc.WritePath(req.Name, req.Leaf, req.Cts))
+	case kindWriteBuckets:
+		return fail(svc.WriteBuckets(req.Name, req.N, req.Cts))
+	case kindDelete:
+		return fail(svc.Delete(req.Name))
+	case kindReveal:
+		return fail(svc.Reveal(req.Name, req.Value))
+	case kindStats:
+		st, err := svc.Stats()
+		resp.Stats = st
+		return fail(err)
+	default:
+		resp.Err = fmt.Sprintf("transport: unknown request kind %d", req.Kind)
+		return &resp
+	}
+}
+
+// Client is a store.Service proxy over one TCP connection. It is safe for
+// concurrent use; calls are serialized on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+var _ store.Service = (*Client)(nil)
+
+// Dial connects to a transport server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+func (c *Client) call(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("transport: server closed connection: %w", err)
+		}
+		return nil, fmt.Errorf("transport: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// CreateArray implements store.Service.
+func (c *Client) CreateArray(name string, n int) error {
+	_, err := c.call(&request{Kind: kindCreateArray, Name: name, N: n})
+	return err
+}
+
+// ArrayLen implements store.Service.
+func (c *Client) ArrayLen(name string) (int, error) {
+	resp, err := c.call(&request{Kind: kindArrayLen, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// ReadCells implements store.Service.
+func (c *Client) ReadCells(name string, idx []int64) ([][]byte, error) {
+	resp, err := c.call(&request{Kind: kindReadCells, Name: name, Idx: idx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cts, nil
+}
+
+// WriteCells implements store.Service.
+func (c *Client) WriteCells(name string, idx []int64, cts [][]byte) error {
+	_, err := c.call(&request{Kind: kindWriteCells, Name: name, Idx: idx, Cts: cts})
+	return err
+}
+
+// CreateTree implements store.Service.
+func (c *Client) CreateTree(name string, levels, slotsPerBucket int) error {
+	_, err := c.call(&request{Kind: kindCreateTree, Name: name, Levels: levels, Slots: slotsPerBucket})
+	return err
+}
+
+// ReadPath implements store.Service.
+func (c *Client) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	resp, err := c.call(&request{Kind: kindReadPath, Name: name, Leaf: leaf})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cts, nil
+}
+
+// WritePath implements store.Service.
+func (c *Client) WritePath(name string, leaf uint32, slots [][]byte) error {
+	_, err := c.call(&request{Kind: kindWritePath, Name: name, Leaf: leaf, Cts: slots})
+	return err
+}
+
+// WriteBuckets implements store.Service.
+func (c *Client) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	_, err := c.call(&request{Kind: kindWriteBuckets, Name: name, N: bucketStart, Cts: slots})
+	return err
+}
+
+// Delete implements store.Service.
+func (c *Client) Delete(name string) error {
+	_, err := c.call(&request{Kind: kindDelete, Name: name})
+	return err
+}
+
+// Reveal implements store.Service.
+func (c *Client) Reveal(tag string, value int64) error {
+	_, err := c.call(&request{Kind: kindReveal, Name: tag, Value: value})
+	return err
+}
+
+// Stats implements store.Service.
+func (c *Client) Stats() (store.Stats, error) {
+	resp, err := c.call(&request{Kind: kindStats})
+	if err != nil {
+		return store.Stats{}, err
+	}
+	return resp.Stats, nil
+}

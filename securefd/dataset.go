@@ -1,0 +1,33 @@
+package securefd
+
+import (
+	"io"
+
+	"github.com/oblivfd/oblivfd/internal/dataset"
+)
+
+// GenerateDataset builds one of the evaluation workloads by name:
+// "rnd" (the paper's synthetic dataset: uniform values in [1, 2²⁰]),
+// "adult", "letter", or "flight" (shape-compatible stand-ins for the
+// paper's real-world datasets, Table I). rows ≤ 0 selects the published
+// size; the seed makes generation reproducible.
+func GenerateDataset(name string, rows int, seed int64) (*Relation, error) {
+	return dataset.Generate(name, rows, seed)
+}
+
+// GenerateRND builds the synthetic RND dataset with explicit dimensions.
+func GenerateRND(columns, rows int, seed int64) *Relation {
+	return dataset.RND(columns, rows, seed)
+}
+
+// ReadCSV loads a relation from CSV with a header row.
+func ReadCSV(r io.Reader) (*Relation, error) { return dataset.ReadCSV(r) }
+
+// ReadCSVFile loads a relation from a CSV file.
+func ReadCSVFile(path string) (*Relation, error) { return dataset.ReadCSVFile(path) }
+
+// WriteCSV writes a relation as CSV with a header row.
+func WriteCSV(w io.Writer, rel *Relation) error { return dataset.WriteCSV(w, rel) }
+
+// WriteCSVFile writes a relation to a CSV file.
+func WriteCSVFile(path string, rel *Relation) error { return dataset.WriteCSVFile(path, rel) }

@@ -1,0 +1,106 @@
+package securefd_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/oblivfd/oblivfd/securefd"
+)
+
+// The paper's Fig. 1 relation: discover that Name determines City.
+func Example() {
+	schema, err := securefd.NewSchema("Name", "City", "Birth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := securefd.FromRows(schema, []securefd.Row{
+		{"Alice", "Boston", "Jan"},
+		{"Bob", "Boston", "May"},
+		{"Bob", "Boston", "Jan"},
+		{"Carol", "New York", "Sep"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := securefd.Outsource(securefd.NewServer(), rel, securefd.Options{
+		Protocol: securefd.ProtocolSort,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	report, err := db.Discover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fd := range report.Minimal {
+		fmt.Println(fd.Format(schema))
+	}
+	// Output:
+	// {Name} -> {City}
+	// {Birth} -> {City}
+}
+
+// Validate a single dependency without full discovery.
+func ExampleDatabase_Validate() {
+	schema, _ := securefd.NewSchema("Zipcode", "City")
+	rel, _ := securefd.FromRows(schema, []securefd.Row{
+		{"02210", "Boston"},
+		{"02210", "Boston"},
+		{"10001", "New York"},
+	})
+	db, err := securefd.Outsource(securefd.NewServer(), rel, securefd.Options{
+		Protocol: securefd.ProtocolDynamicORAM,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	holds, err := db.Validate(schema.MustSet("Zipcode"), schema.MustSet("City"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Zipcode -> City:", holds)
+	// Output:
+	// Zipcode -> City: true
+}
+
+// Maintain dependencies across insertions and deletions with the dynamic
+// protocol.
+func ExampleDatabase_Insert() {
+	schema, _ := securefd.NewSchema("Position", "Department")
+	rel, _ := securefd.FromRows(schema, []securefd.Row{
+		{"Engineer", "R&D"},
+		{"Sales", "Market"},
+	})
+	db, err := securefd.Outsource(securefd.NewServer(), rel, securefd.Options{
+		Protocol:       securefd.ProtocolDynamicORAM,
+		InsertHeadroom: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	report, err := db.Discover()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Break Position -> Department, then check the damage.
+	if _, err := db.Insert(securefd.Row{"Engineer", "Support"}); err != nil {
+		log.Fatal(err)
+	}
+	rv, err := db.Revalidate(report.Minimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fd := range rv.Invalidated {
+		fmt.Println("broken:", fd.Format(schema))
+	}
+	// Output:
+	// broken: {Position} -> {Department}
+}

@@ -1,0 +1,146 @@
+package securefd
+
+import (
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+)
+
+func TestRevalidateAfterMutations(t *testing.T) {
+	rel := employeeRelation(t)
+	db, err := Outsource(NewServer(), rel, Options{
+		Protocol:       ProtocolDynamicORAM,
+		InsertHeadroom: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	report, err := db.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Minimal) == 0 {
+		t.Fatal("no FDs discovered")
+	}
+
+	// All FDs valid right after discovery.
+	rv, err := db.Revalidate(report.Minimal)
+	if err != nil {
+		t.Fatalf("Revalidate: %v", err)
+	}
+	if len(rv.Invalidated) != 0 {
+		t.Errorf("freshly discovered FDs invalidated: %v", rv.Invalidated)
+	}
+	if len(rv.Valid) != len(report.Minimal) {
+		t.Errorf("valid = %d, want %d", len(rv.Valid), len(report.Minimal))
+	}
+
+	// Break Position -> Department.
+	id, err := db.Insert(Row{"Engineer", "Support", "B1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err = db.Revalidate(report.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := false
+	for _, fd := range rv.Invalidated {
+		if fd.LHS == NewAttrSet(0) && fd.RHS == NewAttrSet(1) {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Errorf("Position -> Department not invalidated; invalidated = %v", rv.Invalidated)
+	}
+
+	// Restore.
+	if err := db.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	rv, err = db.Revalidate(report.Minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.Invalidated) != 0 {
+		t.Errorf("FDs still invalidated after rollback: %v", rv.Invalidated)
+	}
+}
+
+// TestRevalidateMatchesOracle mutates randomly and cross-checks every
+// revalidation verdict against the direct plaintext definition.
+func TestRevalidateMatchesOracle(t *testing.T) {
+	schema, _ := NewSchema("a", "b", "c")
+	rows := []Row{
+		{"1", "x", "p"}, {"1", "x", "q"}, {"2", "y", "p"}, {"3", "y", "q"},
+	}
+	rel, _ := FromRows(schema, rows)
+	db, err := Outsource(NewServer(), rel, Options{
+		Protocol:       ProtocolDynamicORAM,
+		InsertHeadroom: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	report, err := db.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Maintain a mirror plaintext relation.
+	mirror := rel.Clone()
+	type mut struct {
+		insert Row
+	}
+	muts := []mut{
+		{insert: Row{"1", "y", "p"}},
+		{insert: Row{"4", "x", "p"}},
+		{insert: Row{"1", "x", "r"}},
+	}
+	for _, m := range muts {
+		if _, err := db.Insert(m.insert); err != nil {
+			t.Fatal(err)
+		}
+		if err := mirror.Append(m.insert); err != nil {
+			t.Fatal(err)
+		}
+		rv, err := db.Revalidate(report.Minimal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts := make(map[relation.FD]bool)
+		for _, fd := range rv.Valid {
+			verdicts[fd] = true
+		}
+		for _, fd := range rv.Invalidated {
+			verdicts[fd] = false
+		}
+		for _, fd := range report.Minimal {
+			want := fd.Holds(mirror)
+			if got, ok := verdicts[fd]; !ok || got != want {
+				t.Errorf("after insert %v: FD %v verdict = %v, want %v", m.insert, fd, got, want)
+			}
+		}
+	}
+}
+
+func TestRevalidateRequiresDynamicState(t *testing.T) {
+	rel := employeeRelation(t)
+	db, err := Outsource(NewServer(), rel, Options{Protocol: ProtocolSort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Static protocol without KeepPartitions: discovery releases lower
+	// levels, so revalidation of an arbitrary FD must fail loudly.
+	if _, err := db.Discover(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Revalidate([]FD{{LHS: NewAttrSet(0), RHS: NewAttrSet(1)}})
+	if err == nil {
+		t.Error("Revalidate without retained partitions succeeded")
+	}
+}

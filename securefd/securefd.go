@@ -1,0 +1,473 @@
+// Package securefd is the public API of oblivfd, a Go implementation of
+// "Secure and Practical Functional Dependency Discovery in Outsourced
+// Databases" (ICDE 2024).
+//
+// A client outsources a cell-encrypted relation to an untrusted server and
+// then discovers the relation's functional dependencies without revealing
+// anything to the server beyond the database size and the FDs themselves —
+// even against a persistent adversary watching every byte and every access.
+//
+// Basic use:
+//
+//	server := securefd.NewServer()                 // or DialTCP(addr)
+//	db, err := securefd.Outsource(server, rel, securefd.Options{
+//		Protocol: securefd.ProtocolSort,
+//	})
+//	report, err := db.Discover()
+//	for _, fd := range report.Minimal {
+//		fmt.Println(fd.Format(rel.Schema()))
+//	}
+//
+// Three secure protocols are available (see the paper's §IV–V):
+//
+//   - ProtocolSort — oblivious bitonic sorting; static databases, O(1)
+//     client memory, parallelizable (Workers).
+//   - ProtocolORAM — PathORAM-based; static databases plus insertions.
+//   - ProtocolDynamicORAM — extended ORAM layout; full insert/delete
+//     support with polylogarithmic per-operation cost.
+//
+// Three reference engines exist for benchmarking: ProtocolPlaintext (no
+// protection at all), ProtocolEnclave (the SGX-style deployment simulation
+// of §VII-D), and ProtocolDeterministic (the frequency-revealing security
+// level of the paper's predecessor — see its constant's warning).
+package securefd
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/core"
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/enclave"
+	"github.com/oblivfd/oblivfd/internal/obsort"
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/trace"
+	"github.com/oblivfd/oblivfd/internal/transport"
+)
+
+// Re-exported data-model types. External code names them through this
+// package; they are the same types used throughout the implementation.
+type (
+	// Schema describes a relation's attributes.
+	Schema = relation.Schema
+	// Relation is a plaintext table (client-side only).
+	Relation = relation.Relation
+	// Row is one record's values.
+	Row = relation.Row
+	// AttrSet is a set of attribute indices.
+	AttrSet = relation.AttrSet
+	// FD is a functional dependency LHS → RHS.
+	FD = relation.FD
+	// Service is the server-side storage surface (in-process or TCP).
+	Service = store.Service
+	// Server is the in-process reference server.
+	Server = store.Server
+	// TraceEvent is one server-visible storage operation — an element of
+	// the persistent adversary's view.
+	TraceEvent = trace.Event
+	// TraceShape is a normalized trace for obliviousness comparisons.
+	TraceShape = trace.Shape
+)
+
+// ShapeOf normalizes a recorded trace for comparison: ORAM leaf indices
+// (uniformly random, data-independent) are stripped; everything else — the
+// exact operation sequence, objects, indices, and ciphertext sizes — is
+// kept. Two same-size databases must yield equal shapes under any secure
+// protocol (Definition 2 of the paper); see examples/adversary_view.
+func ShapeOf(events []TraceEvent) TraceShape { return trace.ShapeOf(events) }
+
+// NewSchema builds a schema from unique attribute names.
+func NewSchema(names ...string) (*Schema, error) { return relation.NewSchema(names...) }
+
+// NewRelation builds an empty relation over a schema; use Relation.Append.
+func NewRelation(schema *Schema) *Relation { return relation.New(schema) }
+
+// FromRows builds a relation from rows, validating widths.
+func FromRows(schema *Schema, rows []Row) (*Relation, error) {
+	return relation.FromRows(schema, rows)
+}
+
+// NewAttrSet builds an attribute set from indices.
+func NewAttrSet(attrs ...int) AttrSet { return relation.NewAttrSet(attrs...) }
+
+// NewServer creates an in-process server (client and server in one binary;
+// useful for tests, benchmarks, and enclave-style deployments).
+func NewServer() *Server { return store.NewServer() }
+
+// WithLatency wraps a service so every storage operation takes at least rtt
+// longer, modeling the client↔server network of a real deployment.
+// Concurrent operations are delayed independently, which is what the
+// sorting protocol's parallelism overlaps.
+func WithLatency(svc Service, rtt time.Duration) Service { return store.WithLatency(svc, rtt) }
+
+// ServeTCP exposes a server on a listener until the listener closes; run it
+// in a goroutine. The fdserver command wraps this.
+func ServeTCP(l net.Listener, svc Service) error { return transport.Serve(l, svc) }
+
+// DialTCP connects to a remote server started with ServeTCP and returns a
+// Service usable with Outsource.
+func DialTCP(addr string) (*transport.Client, error) { return transport.Dial(addr) }
+
+// Protocol selects the attribute-level partition method.
+type Protocol int
+
+// Available protocols.
+const (
+	// ProtocolSort is the oblivious-sorting method (§IV-D): static
+	// databases, constant client memory, high parallelism.
+	ProtocolSort Protocol = iota
+	// ProtocolORAM is the original ORAM method (§IV-C): static databases
+	// plus insertions.
+	ProtocolORAM
+	// ProtocolDynamicORAM is the extended ORAM method (§V): insertions
+	// and deletions in O(polylog n) per operation.
+	ProtocolDynamicORAM
+	// ProtocolPlaintext is the insecure baseline (no encryption, no
+	// obliviousness); for benchmarking only.
+	ProtocolPlaintext
+	// ProtocolEnclave simulates running the sorting protocol inside a
+	// server-side secure enclave (§VII-D); for benchmarking only.
+	ProtocolEnclave
+	// ProtocolDeterministic reproduces the security level of the paper's
+	// predecessor (Dong & Wang, ICDE 2017): partitions are computed from
+	// deterministic per-cell tags stored on the server. It is nearly as
+	// fast as plaintext but LEAKS THE FULL FREQUENCY HISTOGRAM of every
+	// attribute — a leakage that frequency-analysis attacks turn into
+	// plaintext recovery (the repository's TestFrequencyAttack…
+	// demonstrates >99% recovery on skewed data). It exists as the
+	// insecure comparator the paper's protocols replace. Never use it
+	// for sensitive data.
+	ProtocolDeterministic
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolSort:
+		return "sort"
+	case ProtocolORAM:
+		return "or-oram"
+	case ProtocolDynamicORAM:
+		return "ex-oram"
+	case ProtocolPlaintext:
+		return "plaintext"
+	case ProtocolEnclave:
+		return "enclave"
+	case ProtocolDeterministic:
+		return "deterministic"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// ParseProtocol parses a protocol name as printed by String.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range []Protocol{ProtocolSort, ProtocolORAM, ProtocolDynamicORAM, ProtocolPlaintext, ProtocolEnclave, ProtocolDeterministic} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("securefd: unknown protocol %q (want sort|or-oram|ex-oram|plaintext|enclave|deterministic)", s)
+}
+
+// SortNetwork selects the comparison network used by ProtocolSort.
+type SortNetwork = obsort.Network
+
+// Available sorting networks.
+const (
+	// NetworkBitonic is the paper's choice (§III-C): fully regular,
+	// balanced stages.
+	NetworkBitonic SortNetwork = obsort.Bitonic
+	// NetworkOddEven is Batcher's odd-even merge network: ~20% fewer
+	// comparators, less regular stages.
+	NetworkOddEven SortNetwork = obsort.OddEvenMerge
+)
+
+// ORAMKind selects the oblivious key-value construction.
+type ORAMKind int
+
+// Available ORAM constructions.
+const (
+	// ORAMPath is the paper's non-recursive PathORAM (Z=4).
+	ORAMPath ORAMKind = iota
+	// ORAMLinear is the trivial full-scan ORAM.
+	ORAMLinear
+)
+
+// Options configures Outsource.
+type Options struct {
+	// Protocol selects the secure method; default ProtocolSort.
+	Protocol Protocol
+	// Workers is the sorting parallelism degree (ProtocolSort and
+	// ProtocolEnclave); default 1.
+	Workers int
+	// Network selects ProtocolSort's comparison network; the zero value
+	// is the paper's bitonic network.
+	Network SortNetwork
+	// ORAM selects the oblivious key-value construction backing
+	// ProtocolORAM and ProtocolDynamicORAM; the zero value is the
+	// paper's PathORAM. ORAMLinear is the trivial scan ORAM: O(1) client
+	// memory but O(n) per access — only sensible for very small
+	// databases (see the ablation-oram experiment).
+	ORAM ORAMKind
+	// InsertHeadroom reserves capacity for that many future insertions
+	// (ProtocolORAM and ProtocolDynamicORAM).
+	InsertHeadroom int
+	// MaxLHS bounds the searched determinant size; 0 searches the full
+	// lattice.
+	MaxLHS int
+	// KeepPartitions retains all materialized partitions after Discover,
+	// required before calling Insert/Delete. ProtocolDynamicORAM sets it
+	// implicitly.
+	KeepPartitions bool
+}
+
+// Database is the client's handle to one outsourced database: it owns the
+// encryption key, the uploaded ciphertexts' metadata, and the protocol
+// engine.
+type Database struct {
+	svc      Service
+	schema   *Schema
+	opts     Options
+	engine   core.Engine
+	m        int
+	revealed atomic.Int64
+}
+
+// ErrStatic is returned by Insert/Delete on a protocol without dynamic
+// support.
+var ErrStatic = errors.New("securefd: protocol does not support this mutation")
+
+var dbNames atomic.Int64
+
+// Outsource encrypts rel cell by cell, uploads it to the service, and
+// returns a handle ready for discovery. A fresh 128-bit key is generated
+// per database and never leaves the client.
+func Outsource(svc Service, rel *Relation, opts Options) (*Database, error) {
+	if rel.NumRows() == 0 {
+		return nil, fmt.Errorf("securefd: empty relation")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	db := &Database{svc: svc, schema: rel.Schema(), opts: opts, m: rel.NumAttrs()}
+
+	name := fmt.Sprintf("fd%d", dbNames.Add(1))
+	capacity := rel.NumRows() + opts.InsertHeadroom
+
+	switch opts.Protocol {
+	case ProtocolPlaintext:
+		db.engine = core.NewPlainEngine(rel)
+	case ProtocolEnclave:
+		db.engine = enclave.NewSortEngine(rel, opts.Workers)
+	case ProtocolSort, ProtocolORAM, ProtocolDynamicORAM, ProtocolDeterministic:
+		key, err := crypto.NewKey()
+		if err != nil {
+			return nil, fmt.Errorf("securefd: %w", err)
+		}
+		cipher, err := crypto.NewCipher(key)
+		if err != nil {
+			return nil, fmt.Errorf("securefd: %w", err)
+		}
+		edb, err := core.UploadWithCapacity(svc, cipher, name, rel, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("securefd: %w", err)
+		}
+		var factory oram.Factory
+		switch opts.ORAM {
+		case ORAMPath:
+			factory = oram.PathFactory
+		case ORAMLinear:
+			factory = oram.LinearFactory
+		default:
+			return nil, fmt.Errorf("securefd: unknown ORAM kind %d", opts.ORAM)
+		}
+		switch opts.Protocol {
+		case ProtocolSort:
+			eng := core.NewSortEngine(edb, opts.Workers)
+			eng.Network = opts.Network
+			db.engine = eng
+		case ProtocolORAM:
+			eng := core.NewOrEngine(edb)
+			eng.Factory = factory
+			db.engine = eng
+		case ProtocolDynamicORAM:
+			eng, err := core.NewExEngine(edb)
+			if err != nil {
+				return nil, fmt.Errorf("securefd: %w", err)
+			}
+			eng.Factory = factory
+			db.engine = eng
+		case ProtocolDeterministic:
+			db.engine = core.NewDetEngine(edb)
+		}
+	default:
+		return nil, fmt.Errorf("securefd: unknown protocol %v", opts.Protocol)
+	}
+	return db, nil
+}
+
+// Report is the outcome of a Discover run.
+type Report struct {
+	// Minimal lists the minimal FDs (singleton right-hand sides); every
+	// FD of the database is implied by them.
+	Minimal []FD
+	// Aggregated merges minimal FDs per determinant: the paper's (A, B)
+	// pair form with composite right-hand sides.
+	Aggregated []FD
+	// SetsMaterialized and Checks describe the work performed.
+	SetsMaterialized int
+	Checks           int
+}
+
+// Discover runs secure FD discovery and returns the report. Each set-level
+// decision is additionally revealed to the server's public log, which is
+// exactly the protocol's allowed leakage.
+func (db *Database) Discover() (*Report, error) {
+	keep := db.opts.KeepPartitions || db.opts.Protocol == ProtocolDynamicORAM
+	res, err := core.Discover(db.engine, db.m, &core.Options{
+		KeepPartitions: keep,
+		MaxLHS:         db.opts.MaxLHS,
+		Reveal: func(fd relation.FD, holds bool) {
+			db.revealed.Add(1)
+			v := int64(0)
+			if holds {
+				v = 1
+			}
+			if db.svc != nil {
+				_ = db.svc.Reveal("fd:"+fd.String(), v)
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("securefd: %w", err)
+	}
+	return &Report{
+		Minimal:          res.Minimal,
+		Aggregated:       core.AggregateFDs(res.Minimal),
+		SetsMaterialized: res.SetsMaterialized,
+		Checks:           res.Checks,
+	}, nil
+}
+
+// Validate checks one dependency X → Y (Theorem 1) and returns whether it
+// holds.
+func (db *Database) Validate(x, y AttrSet) (bool, error) {
+	return core.Validate(db.engine, x, y)
+}
+
+// Insert adds a record and incrementally updates every materialized
+// partition. Supported by ProtocolORAM, ProtocolDynamicORAM, and
+// ProtocolPlaintext.
+func (db *Database) Insert(row Row) (int, error) {
+	switch eng := db.engine.(type) {
+	case core.DynamicEngine:
+		return eng.Insert(row)
+	case *core.OrEngine:
+		return eng.Insert(row)
+	default:
+		return 0, fmt.Errorf("%w: Insert with %v", ErrStatic, db.opts.Protocol)
+	}
+}
+
+// Delete removes the record with the given id. Supported by
+// ProtocolDynamicORAM and ProtocolPlaintext.
+func (db *Database) Delete(id int) error {
+	eng, ok := db.engine.(core.DynamicEngine)
+	if !ok {
+		return fmt.Errorf("%w: Delete with %v", ErrStatic, db.opts.Protocol)
+	}
+	return eng.Delete(id)
+}
+
+// Revalidation is the outcome of re-checking previously discovered FDs
+// against the incrementally maintained partitions.
+type Revalidation struct {
+	// Valid lists the FDs that still hold.
+	Valid []FD
+	// Invalidated lists the FDs broken by the mutations since discovery.
+	Invalidated []FD
+}
+
+// Revalidate re-checks the given dependencies using the cached partition
+// cardinalities maintained across Insert and Delete. This is the dynamic
+// protocol's payoff (Definition 5): after k mutations, re-validating an FD
+// costs O(1) here — the maintenance was already paid at O(log n) per
+// mutation — instead of the trivial Ω(n) re-scan.
+//
+// Every FD's partitions must still be materialized (run Discover first with
+// a dynamic protocol, which retains them). FDs whose partitions are missing
+// produce an error.
+func (db *Database) Revalidate(fds []FD) (*Revalidation, error) {
+	out := &Revalidation{}
+	for _, fd := range fds {
+		union := fd.LHS.Union(fd.RHS)
+		cardLHS, ok := db.engine.Cardinality(fd.LHS)
+		if !ok && !fd.LHS.IsEmpty() {
+			return nil, fmt.Errorf("securefd: partition %v not materialized; run Discover with a dynamic protocol first", fd.LHS)
+		}
+		if fd.LHS.IsEmpty() {
+			cardLHS = 1
+		}
+		cardUnion, haveUnion := db.engine.Cardinality(union)
+		var holds bool
+		switch {
+		case haveUnion:
+			holds = cardLHS == cardUnion
+		case cardLHS == db.NumRows():
+			// The LHS is (still) a superkey, which determines every
+			// attribute. FDs harvested by key pruning land here: their
+			// union partition was never materialized.
+			holds = true
+		default:
+			// The union partition is gone and the superkey shortcut
+			// fails; fall back to a full oblivious validation.
+			var err error
+			holds, err = core.Validate(db.engine, fd.LHS, fd.RHS)
+			if err != nil {
+				return nil, fmt.Errorf("securefd: revalidating %v: %w", fd, err)
+			}
+		}
+		if holds {
+			out.Valid = append(out.Valid, fd)
+		} else {
+			out.Invalidated = append(out.Invalidated, fd)
+		}
+	}
+	return out, nil
+}
+
+// Update replaces the record with the given id by a new row, returning the
+// new record's id. As in the paper (§V, footnote 1), an update is the
+// composition of a deletion and an insertion; it needs a dynamic protocol.
+func (db *Database) Update(id int, row Row) (int, error) {
+	if err := db.Delete(id); err != nil {
+		return 0, err
+	}
+	newID, err := db.Insert(row)
+	if err != nil {
+		return 0, fmt.Errorf("securefd: update deleted record %d but could not reinsert: %w", id, err)
+	}
+	return newID, nil
+}
+
+// NumRows returns the live record count.
+func (db *Database) NumRows() int { return db.engine.NumRows() }
+
+// Schema returns the database schema.
+func (db *Database) Schema() *Schema { return db.schema }
+
+// Cardinality returns the cached |π_X| for a materialized attribute set.
+func (db *Database) Cardinality(x AttrSet) (int, bool) { return db.engine.Cardinality(x) }
+
+// ClientMemoryBytes estimates the client-held protocol state (position
+// maps, stashes); the sorting protocol's is constant.
+func (db *Database) ClientMemoryBytes() int { return db.engine.ClientMemoryBytes() }
+
+// Close releases all server-side protocol state for this database.
+func (db *Database) Close() error { return db.engine.Close() }
