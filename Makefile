@@ -21,7 +21,7 @@ test-short:
 # The race detector needs more than one core to be interesting, but still
 # catches ordering bugs on one.
 test-race:
-	$(GO) test -race ./internal/obsort/ ./internal/store/ ./internal/transport/ ./internal/trace/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

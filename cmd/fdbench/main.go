@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -34,10 +34,11 @@ func main() {
 		rtt     = flag.Duration("rtt", 200*time.Microsecond, "modeled network RTT per storage op (fig6a)")
 		t2rtt   = flag.Duration("table2-rtt", 0, "modeled network RTT for table2 (0 = in-process timings)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
+		frate   = flag.Float64("fault-rate", 0.02, "transient error and spike rate for the faults experiment")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *seed); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -67,7 +68,7 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, seed int64) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate float64, seed int64) error {
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -87,6 +88,9 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 		{"security-levels", func() (renderer, error) { return bench.SecurityLevels(sweep(minn, maxn/4), 2, seed) }},
 		{"ablation-oram", func() (renderer, error) { return bench.AblationORAM(sweep(16, minn*4), seed) }},
 		{"comm", func() (renderer, error) { return bench.Comm(sweep(minn, maxn/2), seed) }},
+		{"faults", func() (renderer, error) {
+			return bench.FaultTolerance(sweep(minn, maxn/2), faultRate, faultRate, seed)
+		}},
 	}
 
 	ran := 0

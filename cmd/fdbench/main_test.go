@@ -47,15 +47,15 @@ func TestSweep(t *testing.T) {
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
-	for _, exp := range []string{"table1", "fig5", "fig7"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 1); err != nil {
+	for _, exp := range []string{"table1", "fig5", "fig7", "faults"} {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 1); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 1); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -4,6 +4,11 @@
 // data-dependent access pattern.
 //
 //	fdclient -server localhost:7066 -protocol sort data.csv
+//
+// The transport is fault tolerant: every call carries a deadline
+// (-call-timeout), dropped connections re-dial with backoff (-redials),
+// and transient server failures are retried (-retries) — so a long run
+// survives restarts and flaky networks. Counters are reported at the end.
 package main
 
 import (
@@ -15,27 +20,41 @@ import (
 	"github.com/oblivfd/oblivfd/securefd"
 )
 
+// options collects the run knobs so flags extend without churn.
+type options struct {
+	protoName   string
+	workers     int
+	maxLHS      int
+	pool        int           // parallel TCP connections
+	retries     int           // max attempts per storage call (0 = default)
+	callTimeout time.Duration // per-call deadline
+	redials     int           // reconnection attempts per call
+}
+
 func main() {
-	var (
-		server    = flag.String("server", "localhost:7066", "fdserver address")
-		protoName = flag.String("protocol", "sort", "sort|or-oram|ex-oram")
-		workers   = flag.Int("workers", 1, "sorting parallelism degree")
-		maxLHS    = flag.Int("max-lhs", 0, "bound determinant size (0 = unbounded)")
-	)
+	var o options
+	server := flag.String("server", "localhost:7066", "fdserver address")
+	flag.StringVar(&o.protoName, "protocol", "sort", "sort|or-oram|ex-oram")
+	flag.IntVar(&o.workers, "workers", 1, "sorting parallelism degree")
+	flag.IntVar(&o.maxLHS, "max-lhs", 0, "bound determinant size (0 = unbounded)")
+	flag.IntVar(&o.pool, "pool", 0, "parallel TCP connections (0 = one per worker)")
+	flag.IntVar(&o.retries, "retries", 0, "max attempts per storage call (0 = default policy, 1 = no retry)")
+	flag.DurationVar(&o.callTimeout, "call-timeout", 0, "per-call deadline (0 = default)")
+	flag.IntVar(&o.redials, "redials", 0, "reconnection attempts per call after a dropped connection (0 = default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fdclient [flags] <file.csv>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*server, *protoName, *workers, *maxLHS, flag.Arg(0)); err != nil {
+	if err := run(*server, o, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "fdclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(server, protoName string, workers, maxLHS int, path string) error {
-	protocol, err := securefd.ParseProtocol(protoName)
+func run(server string, o options, path string) error {
+	protocol, err := securefd.ParseProtocol(o.protoName)
 	if err != nil {
 		return err
 	}
@@ -43,18 +62,31 @@ func run(server, protoName string, workers, maxLHS int, path string) error {
 	if err != nil {
 		return err
 	}
-	svc, err := securefd.DialTCP(server)
+
+	cfg := securefd.DefaultClientConfig()
+	if o.callTimeout > 0 {
+		cfg.CallTimeout = o.callTimeout
+	}
+	if o.redials > 0 {
+		cfg.Redials = o.redials
+	}
+	poolSize := o.pool
+	if poolSize <= 0 {
+		poolSize = o.workers
+	}
+	conn, err := securefd.DialTCPPool(server, poolSize, cfg)
 	if err != nil {
 		return err
 	}
-	defer svc.Close()
+	defer conn.Close()
+	svc := securefd.WithRetry(conn, securefd.RetryPolicy{MaxAttempts: o.retries})
 
 	fmt.Printf("uploading %d×%d cells encrypted to %s…\n", rel.NumRows(), rel.NumAttrs(), server)
 	start := time.Now()
 	db, err := securefd.Outsource(svc, rel, securefd.Options{
 		Protocol: protocol,
-		Workers:  workers,
-		MaxLHS:   maxLHS,
+		Workers:  o.workers,
+		MaxLHS:   o.maxLHS,
 	})
 	if err != nil {
 		return err
@@ -72,5 +104,8 @@ func run(server, protoName string, workers, maxLHS int, path string) error {
 	}
 	fmt.Printf("\n%d minimal FDs via %s over TCP in %s\n",
 		len(report.Minimal), protocol, time.Since(start).Round(time.Millisecond))
+	if st, err := svc.Stats(); err == nil && (st.Retries > 0 || st.Reconnects > 0) {
+		fmt.Printf("fault tolerance: %d retries, %d reconnects\n", st.Retries, st.Reconnects)
+	}
 	return nil
 }

@@ -5,10 +5,21 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	csv := "a,b\n1,x\n1,x\n2,y\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
 
 func TestClientAgainstServer(t *testing.T) {
 	backend := store.NewServer()
@@ -19,12 +30,8 @@ func TestClientAgainstServer(t *testing.T) {
 	defer l.Close()
 	go func() { _ = transport.Serve(l, backend) }()
 
-	path := filepath.Join(t.TempDir(), "t.csv")
-	csv := "a,b\n1,x\n1,x\n2,y\n"
-	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(l.Addr().String(), "sort", 2, 0, path); err != nil {
+	o := options{protoName: "sort", workers: 2}
+	if err := run(l.Addr().String(), o, writeCSV(t)); err != nil {
 		t.Errorf("run: %v", err)
 	}
 	// The server must have seen ciphertext uploads and reveals.
@@ -36,12 +43,30 @@ func TestClientAgainstServer(t *testing.T) {
 	}
 }
 
+// TestClientAgainstFaultyServer: the default fdclient stack (pooled
+// self-healing connections + retry) completes against a server injecting
+// transient faults and connection drops.
+func TestClientAgainstFaultyServer(t *testing.T) {
+	backend := store.WithFaults(store.NewServer(), store.FaultConfig{Seed: 2, ErrorRate: 0.05})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	fl := transport.WithConnFaults(l, transport.FaultConfig{Seed: 3, DropRate: 0.01})
+	go func() { _ = transport.Serve(fl, backend) }()
+
+	o := options{protoName: "sort", workers: 2, retries: 8, callTimeout: 5 * time.Second, redials: 8}
+	if err := run(l.Addr().String(), o, writeCSV(t)); err != nil {
+		t.Errorf("run against faulty server: %v", err)
+	}
+}
+
 func TestClientErrors(t *testing.T) {
-	if err := run("127.0.0.1:1", "sort", 1, 0, "x.csv"); err == nil {
+	if err := run("127.0.0.1:1", options{protoName: "sort", workers: 1}, "x.csv"); err == nil {
 		t.Error("dead server accepted")
 	}
-	backendless := "127.0.0.1:1"
-	if err := run(backendless, "bogus", 1, 0, "x.csv"); err == nil {
+	if err := run("127.0.0.1:1", options{protoName: "bogus", workers: 1}, "x.csv"); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 }

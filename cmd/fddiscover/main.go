@@ -4,6 +4,11 @@
 //
 //	fddiscover -protocol sort -workers 4 data.csv
 //	fddiscover -protocol ex-oram -max-lhs 3 data.csv
+//
+// The in-process server can model a remote deployment: -rtt adds
+// per-operation latency, and -fault-rate injects seeded transient storage
+// failures that the client rides out with -retries (demonstrating the
+// fault-tolerance stack without a network).
 package main
 
 import (
@@ -15,54 +20,86 @@ import (
 	"github.com/oblivfd/oblivfd/securefd"
 )
 
+// options collects the run knobs so flags extend without churn.
+type options struct {
+	protoName string
+	network   string
+	workers   int
+	maxLHS    int
+	aggregate bool
+	quiet     bool
+	rtt       time.Duration // artificial per-operation latency
+	faultRate float64       // seeded transient fault injection rate
+	faultSeed int64
+	retries   int // max attempts per storage call (1 = no retry)
+}
+
 func main() {
-	var (
-		protoName = flag.String("protocol", "sort", "sort|or-oram|ex-oram|plaintext|enclave")
-		workers   = flag.Int("workers", 1, "sorting parallelism degree")
-		network   = flag.String("network", "bitonic", "sorting network: bitonic|odd-even")
-		maxLHS    = flag.Int("max-lhs", 0, "bound determinant size (0 = unbounded)")
-		aggregate = flag.Bool("aggregate", false, "merge FDs per determinant")
-		quiet     = flag.Bool("quiet", false, "print only the FDs")
-	)
+	var o options
+	flag.StringVar(&o.protoName, "protocol", "sort", "sort|or-oram|ex-oram|plaintext|enclave")
+	flag.IntVar(&o.workers, "workers", 1, "sorting parallelism degree")
+	flag.StringVar(&o.network, "network", "bitonic", "sorting network: bitonic|odd-even")
+	flag.IntVar(&o.maxLHS, "max-lhs", 0, "bound determinant size (0 = unbounded)")
+	flag.BoolVar(&o.aggregate, "aggregate", false, "merge FDs per determinant")
+	flag.BoolVar(&o.quiet, "quiet", false, "print only the FDs")
+	flag.DurationVar(&o.rtt, "rtt", 0, "artificial per-operation storage latency, to model a remote server")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient storage faults at this rate (0..1)")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault schedule")
+	flag.IntVar(&o.retries, "retries", 0, "max attempts per storage call (0 = default policy, 1 = no retry)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fddiscover [flags] <file.csv>")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *protoName, *network, *workers, *maxLHS, *aggregate, *quiet); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "fddiscover:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, protoName, networkName string, workers, maxLHS int, aggregate, quiet bool) error {
-	protocol, err := securefd.ParseProtocol(protoName)
+func run(path string, o options) error {
+	protocol, err := securefd.ParseProtocol(o.protoName)
 	if err != nil {
 		return err
 	}
 	var network securefd.SortNetwork
-	switch networkName {
+	switch o.network {
 	case "bitonic", "":
 		network = securefd.NetworkBitonic
 	case "odd-even":
 		network = securefd.NetworkOddEven
 	default:
-		return fmt.Errorf("unknown network %q (want bitonic|odd-even)", networkName)
+		return fmt.Errorf("unknown network %q (want bitonic|odd-even)", o.network)
 	}
 	rel, err := securefd.ReadCSVFile(path)
 	if err != nil {
 		return err
 	}
-	if !quiet {
+	if !o.quiet {
 		fmt.Printf("loaded %s: %d rows × %d attributes\n", path, rel.NumRows(), rel.NumAttrs())
 	}
 
-	db, err := securefd.Outsource(securefd.NewServer(), rel, securefd.Options{
+	svc := securefd.Service(securefd.NewServer())
+	if o.rtt > 0 {
+		svc = securefd.WithLatency(svc, o.rtt)
+	}
+	var faulty *securefd.FaultService
+	if o.faultRate > 0 {
+		faulty = securefd.WithFaults(svc, securefd.FaultConfig{Seed: o.faultSeed, ErrorRate: o.faultRate})
+		svc = faulty
+	}
+	var retried *securefd.RetryService
+	if o.faultRate > 0 || o.retries > 0 {
+		retried = securefd.WithRetry(svc, securefd.RetryPolicy{MaxAttempts: o.retries})
+		svc = retried
+	}
+
+	db, err := securefd.Outsource(svc, rel, securefd.Options{
 		Protocol: protocol,
-		Workers:  workers,
+		Workers:  o.workers,
 		Network:  network,
-		MaxLHS:   maxLHS,
+		MaxLHS:   o.maxLHS,
 	})
 	if err != nil {
 		return err
@@ -75,16 +112,23 @@ func run(path, protoName, networkName string, workers, maxLHS int, aggregate, qu
 		return err
 	}
 	fds := report.Minimal
-	if aggregate {
+	if o.aggregate {
 		fds = report.Aggregated
 	}
 	for _, fd := range fds {
 		fmt.Println(fd.Format(rel.Schema()))
 	}
-	if !quiet {
+	if !o.quiet {
 		fmt.Printf("\n%d minimal FDs via %s in %s (%d partitions, %d checks)\n",
 			len(report.Minimal), protocol, time.Since(start).Round(time.Millisecond),
 			report.SetsMaterialized, report.Checks)
+		if faulty != nil || retried != nil {
+			st, err := svc.Stats()
+			if err == nil {
+				fmt.Printf("fault tolerance: %d faults injected, %d retries\n",
+					st.FaultsInjected, st.Retries)
+			}
+		}
 	}
 	return nil
 }

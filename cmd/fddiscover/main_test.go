@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func writeCSV(t *testing.T) string {
@@ -16,10 +17,15 @@ func writeCSV(t *testing.T) string {
 	return path
 }
 
+// quietOpts returns a baseline options value for tests.
+func quietOpts(proto string) options {
+	return options{protoName: proto, network: "bitonic", workers: 2, quiet: true}
+}
+
 func TestRunAllProtocols(t *testing.T) {
 	path := writeCSV(t)
 	for _, proto := range []string{"sort", "or-oram", "ex-oram", "plaintext", "enclave"} {
-		if err := run(path, proto, "bitonic", 2, 0, false, true); err != nil {
+		if err := run(path, quietOpts(proto)); err != nil {
 			t.Errorf("run(%s): %v", proto, err)
 		}
 	}
@@ -27,22 +33,37 @@ func TestRunAllProtocols(t *testing.T) {
 
 func TestRunAggregateAndMaxLHS(t *testing.T) {
 	path := writeCSV(t)
-	if err := run(path, "plaintext", "odd-even", 1, 1, true, false); err != nil {
+	o := options{protoName: "plaintext", network: "odd-even", workers: 1, maxLHS: 1, aggregate: true}
+	if err := run(path, o); err != nil {
 		t.Errorf("run with aggregate: %v", err)
 	}
 }
 
+// TestRunWithFaultsAndRetry: -fault-rate plus the default retry policy
+// completes discovery despite injected transient failures.
+func TestRunWithFaultsAndRetry(t *testing.T) {
+	o := quietOpts("sort")
+	o.faultRate = 0.1
+	o.faultSeed = 4
+	o.rtt = 10 * time.Microsecond
+	if err := run(writeCSV(t), o); err != nil {
+		t.Errorf("run with 10%% faults and retries: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("missing.csv", "sort", "bitonic", 1, 0, false, true); err == nil {
+	if err := run("missing.csv", quietOpts("sort")); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run(writeCSV(t), "bogus", "bitonic", 1, 0, false, true); err == nil {
+	if err := run(writeCSV(t), quietOpts("bogus")); err == nil {
 		t.Error("unknown protocol accepted")
 	}
 }
 
 func TestRunUnknownNetwork(t *testing.T) {
-	if err := run(writeCSV(t), "sort", "zigzag", 1, 0, false, true); err == nil {
+	o := quietOpts("sort")
+	o.network = "zigzag"
+	if err := run(writeCSV(t), o); err == nil {
 		t.Error("unknown network accepted")
 	}
 }

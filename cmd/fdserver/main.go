@@ -4,6 +4,13 @@
 // two-machine deployment (§VII-A).
 //
 //	fdserver -listen :7066
+//
+// On SIGINT the server drains: it stops accepting connections, lets
+// in-flight requests finish within -grace, then exits (writing -snapshot
+// if configured). For resilience experiments, -fault-rate/-spike-rate
+// inject seeded transient storage faults and -drop-rate severs live
+// connections mid-call; a client built on securefd.WithRetry and the
+// self-healing DialTCP transport rides through all of them.
 package main
 
 import (
@@ -18,73 +25,133 @@ import (
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
 
+// config collects the serve options so flags extend without churn.
+type config struct {
+	statsEvery   time.Duration
+	latency      time.Duration
+	snapshotPath string
+	grace        time.Duration // drain window for in-flight requests on shutdown
+	faultRate    float64       // seeded transient storage error rate
+	spikeRate    float64       // seeded latency spike rate
+	spike        time.Duration // spike magnitude
+	dropRate     float64       // seeded mid-call connection drop rate
+	faultSeed    int64
+}
+
 func main() {
-	var (
-		listen   = flag.String("listen", ":7066", "address to listen on")
-		stats    = flag.Duration("stats", 0, "if > 0, print storage stats at this interval")
-		latency  = flag.Duration("latency", 0, "artificial per-operation delay, to model a slower network")
-		snapshot = flag.String("snapshot", "", "persistence file: loaded at startup if present, written on shutdown")
-	)
+	var cfg config
+	listen := flag.String("listen", ":7066", "address to listen on")
+	flag.DurationVar(&cfg.statsEvery, "stats", 0, "if > 0, print storage stats at this interval")
+	flag.DurationVar(&cfg.latency, "latency", 0, "artificial per-operation delay, to model a slower network")
+	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "persistence file: loaded at startup if present, written on shutdown")
+	flag.DurationVar(&cfg.grace, "grace", 5*time.Second, "drain window for in-flight requests on SIGINT")
+	flag.Float64Var(&cfg.faultRate, "fault-rate", 0, "inject transient storage errors at this rate (0..1), for resilience testing")
+	flag.Float64Var(&cfg.spikeRate, "spike-rate", 0, "inject latency spikes at this rate (0..1)")
+	flag.DurationVar(&cfg.spike, "spike", 5*time.Millisecond, "latency spike magnitude for -spike-rate")
+	flag.Float64Var(&cfg.dropRate, "drop-rate", 0, "sever live connections mid-call at this per-I/O rate (0..1)")
+	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for the deterministic fault/drop schedules")
 	flag.Parse()
 
-	if err := run(*listen, *stats, *latency, *snapshot); err != nil {
+	if err := run(*listen, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "fdserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, statsEvery, latency time.Duration, snapshotPath string) error {
+func run(listen string, cfg config) error {
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	return serve(l, statsEvery, latency, snapshotPath)
+	return serve(l, cfg)
 }
 
-// serve runs the server on an established listener until it closes.
-func serve(l net.Listener, statsEvery, latency time.Duration, snapshotPath string) error {
+// serve runs the server on an established listener until it closes or an
+// interrupt drains it.
+func serve(l net.Listener, cfg config) error {
 	srv := store.NewServer()
-	if snapshotPath != "" {
-		if f, err := os.Open(snapshotPath); err == nil {
+	if cfg.snapshotPath != "" {
+		if f, err := os.Open(cfg.snapshotPath); err == nil {
 			err = srv.LoadSnapshot(f)
 			f.Close()
 			if err != nil {
-				return fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+				return fmt.Errorf("loading snapshot %s: %w", cfg.snapshotPath, err)
 			}
 			st, _ := srv.Stats()
-			fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", snapshotPath, st.Objects, st.StoredBytes)
+			fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", cfg.snapshotPath, st.Objects, st.StoredBytes)
 		} else if !os.IsNotExist(err) {
 			return err
 		}
 	}
-	svc := store.WithLatency(store.Service(srv), latency)
+	svc := store.WithLatency(store.Service(srv), cfg.latency)
+	var faulty *store.FaultService
+	if cfg.faultRate > 0 || cfg.spikeRate > 0 {
+		faulty = store.WithFaults(svc, store.FaultConfig{
+			Seed:      cfg.faultSeed,
+			ErrorRate: cfg.faultRate,
+			SpikeRate: cfg.spikeRate,
+			Spike:     cfg.spike,
+		})
+		svc = faulty
+		fmt.Printf("fault injection on: %.1f%% errors, %.1f%% spikes (seed %d)\n",
+			cfg.faultRate*100, cfg.spikeRate*100, cfg.faultSeed)
+	}
+	var droppy *transport.FaultyListener
+	if cfg.dropRate > 0 {
+		droppy = transport.WithConnFaults(l, transport.FaultConfig{Seed: cfg.faultSeed, DropRate: cfg.dropRate})
+		fmt.Printf("connection drops on: %.1f%% per I/O op (seed %d)\n", cfg.dropRate*100, cfg.faultSeed)
+	}
 	fmt.Printf("fdserver listening on %s (the server sees only ciphertexts and access patterns)\n", l.Addr())
 
-	if statsEvery > 0 {
+	if cfg.statsEvery > 0 {
 		go func() {
-			for range time.Tick(statsEvery) {
+			for range time.Tick(cfg.statsEvery) {
 				st, err := srv.Stats()
 				if err != nil {
 					continue
 				}
-				fmt.Printf("stats: %d objects, %d bytes stored, %d ops observed\n",
+				line := fmt.Sprintf("stats: %d objects, %d bytes stored, %d ops observed",
 					st.Objects, st.StoredBytes, srv.Trace().TotalOps())
+				if faulty != nil {
+					line += fmt.Sprintf(", %d faults injected", faulty.Injected())
+				}
+				if droppy != nil {
+					line += fmt.Sprintf(", %d conns dropped", droppy.Drops())
+				}
+				fmt.Println(line)
 			}
 		}()
 	}
 
-	// Shut down cleanly on interrupt.
+	ts := transport.NewServer(svc)
+
+	// Drain cleanly on interrupt: stop accepting, let in-flight requests
+	// finish within the grace window, then close what remains.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
+	drained := make(chan struct{})
 	go func() {
-		<-sig
-		fmt.Println("\nshutting down")
-		l.Close()
+		defer close(drained)
+		if _, ok := <-sig; !ok {
+			return
+		}
+		active := ts.ActiveConns()
+		fmt.Printf("\nshutting down: draining %d active connections (grace %v)\n", active, cfg.grace)
+		ts.Shutdown(cfg.grace)
+		fmt.Println("drained")
 	}()
 
-	err := transport.Serve(l, svc)
-	if snapshotPath != "" {
-		f, ferr := os.Create(snapshotPath)
+	var err error
+	if droppy != nil {
+		err = ts.Serve(droppy)
+	} else {
+		err = ts.Serve(l)
+	}
+	signal.Stop(sig) // no more sends possible after Stop returns
+	close(sig)       // unblock the drain goroutine if no signal arrived
+	<-drained        // don't exit mid-drain
+	if cfg.snapshotPath != "" {
+		f, ferr := os.Create(cfg.snapshotPath)
 		if ferr != nil {
 			return ferr
 		}
@@ -95,7 +162,7 @@ func serve(l net.Listener, statsEvery, latency time.Duration, snapshotPath strin
 		if cerr := f.Close(); cerr != nil {
 			return cerr
 		}
-		fmt.Printf("saved snapshot to %s\n", snapshotPath)
+		fmt.Printf("saved snapshot to %s\n", cfg.snapshotPath)
 	}
 	return err
 }

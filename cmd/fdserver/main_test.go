@@ -1,10 +1,12 @@
 package main
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
 
+	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
 
@@ -14,7 +16,7 @@ func TestServeAcceptsClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- serve(l, 0, 0, "") }()
+	go func() { done <- serve(l, config{}) }()
 
 	c, err := transport.Dial(l.Addr().String())
 	if err != nil {
@@ -49,7 +51,7 @@ func TestServeWithLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go func() { _ = serve(l, 0, 2*time.Millisecond, "") }()
+	go func() { _ = serve(l, config{latency: 2 * time.Millisecond}) }()
 
 	c, err := transport.Dial(l.Addr().String())
 	if err != nil {
@@ -65,8 +67,59 @@ func TestServeWithLatency(t *testing.T) {
 	}
 }
 
+// TestServeWithFaultInjection: -fault-rate faults surface to the client as
+// store.ErrTransient (retryable), and a retry-wrapped client rides them out.
+func TestServeWithFaultInjection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = serve(l, config{faultRate: 1, faultSeed: 3}) }()
+
+	c, err := transport.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 1); !errors.Is(err, store.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient through the -fault-rate server", err)
+	}
+}
+
+// TestServeWithConnDrops: -drop-rate severs connections mid-call; a
+// self-healing client still completes every operation.
+func TestServeWithConnDrops(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() { _ = serve(l, config{dropRate: 0.05, faultSeed: 9}) }()
+
+	cfg := transport.DefaultClientConfig()
+	cfg.RedialBackoff = time.Millisecond
+	cfg.RedialMaxBackoff = 20 * time.Millisecond
+	c, err := transport.DialWith(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := c.WriteCells("a", []int64{int64(i % 16)}, [][]byte{{byte(i)}}); err != nil {
+			t.Fatalf("write %d through -drop-rate server: %v", i, err)
+		}
+	}
+	if c.Reconnects() == 0 {
+		t.Error("no reconnects at 5% drop rate over 101 calls")
+	}
+}
+
 func TestRunBadAddress(t *testing.T) {
-	if err := run("256.256.256.256:0", 0, 0, ""); err == nil {
+	if err := run("256.256.256.256:0", config{}); err == nil {
 		t.Error("bad listen address accepted")
 	}
 }
@@ -81,7 +134,7 @@ func TestSnapshotPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- serve(l1, 0, 0, path) }()
+	go func() { done <- serve(l1, config{snapshotPath: path}) }()
 	c1, err := transport.Dial(l1.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +156,7 @@ func TestSnapshotPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l2.Close()
-	go func() { _ = serve(l2, 0, 0, path) }()
+	go func() { _ = serve(l2, config{snapshotPath: path}) }()
 	c2, err := transport.Dial(l2.Addr().String())
 	if err != nil {
 		t.Fatal(err)

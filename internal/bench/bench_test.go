@@ -360,3 +360,32 @@ func TestNewSetupUnknownMethod(t *testing.T) {
 		t.Error("unknown method accepted")
 	}
 }
+
+// TestFaultToleranceTiny: the faults experiment completes, injects faults,
+// retries them, and agrees with the clean run (enforced inside).
+func TestFaultToleranceTiny(t *testing.T) {
+	res, err := FaultTolerance([]int{32, 64}, 0.05, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	var injected, retries int64
+	for _, p := range res.Points {
+		injected += p.Injected
+		retries += p.Retries
+		if p.Clean <= 0 || p.Faulty <= 0 {
+			t.Errorf("n=%d: non-positive timings %v / %v", p.N, p.Clean, p.Faulty)
+		}
+	}
+	if injected == 0 {
+		t.Error("no faults injected at 5% over two sizes")
+	}
+	if retries < injected {
+		t.Errorf("retries (%d) < injected faults (%d)", retries, injected)
+	}
+	if out := res.Render(); !strings.Contains(out, "Fault tolerance overhead") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// pairAttrs is the {0,1} determinant both runs must agree on.
+func pairAttrs() relation.AttrSet { return relation.NewAttrSet(0, 1) }
+
+// FaultPoint is one (n) fault-tolerance measurement: the same partition
+// workload run clean and under injected transient faults with retries, plus
+// the counters the retry stack surfaced.
+type FaultPoint struct {
+	N        int
+	Clean    time.Duration
+	Faulty   time.Duration
+	Injected int64 // transient errors injected
+	Spikes   int64 // latency spikes injected
+	Retries  int64 // re-attempts the retry layer performed
+}
+
+// Overhead is the faulty/clean wall-clock ratio.
+func (p FaultPoint) Overhead() float64 {
+	if p.Clean <= 0 {
+		return 0
+	}
+	return float64(p.Faulty) / float64(p.Clean)
+}
+
+// FaultToleranceResult reports what riding out transient faults costs. The
+// retry stack must turn an unreliable store into a reliable one (identical
+// partition results); the wall-clock cost is dominated by backoff sleep,
+// which scales with the fault rate — against a real network, where each op
+// already costs an RTT, the relative overhead shrinks by orders of
+// magnitude (compare fig6a's RTT model).
+type FaultToleranceResult struct {
+	ErrorRate float64
+	SpikeRate float64
+	Points    []FaultPoint
+}
+
+// FaultTolerance runs the Sort method's pair-partition workload on RND,
+// once on a clean in-process server and once on the same server wrapped in
+// seeded fault injection (errorRate transient errors, spikeRate latency
+// spikes) and the default retry policy. The two runs must agree on the
+// partition cardinality — retries change timing, never results.
+func FaultTolerance(sizes []int, errorRate, spikeRate float64, seed int64) (*FaultToleranceResult, error) {
+	res := &FaultToleranceResult{ErrorRate: errorRate, SpikeRate: spikeRate}
+	for _, n := range sizes {
+		rel := rndRelation(4, n, seed+int64(n))
+
+		clean, err := newSetup(rel, MethodSort, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		cleanDur, err := clean.timePair(0, 1)
+		if err != nil {
+			clean.close()
+			return nil, fmt.Errorf("bench: faults clean n=%d: %w", n, err)
+		}
+		wantCard, _ := clean.eng.Cardinality(pairAttrs())
+		clean.close()
+
+		faulty := store.WithFaults(store.NewServer(), store.FaultConfig{
+			Seed:      seed + int64(n),
+			ErrorRate: errorRate,
+			SpikeRate: spikeRate,
+			Spike:     100 * time.Microsecond,
+		})
+		// Backoff at in-process op scale: the defaults (5ms initial) are
+		// tuned for real networks and would swamp the table with sleep.
+		retried := store.WithRetry(faulty, store.RetryPolicy{
+			Seed:           seed,
+			InitialBackoff: 100 * time.Microsecond,
+			MaxBackoff:     2 * time.Millisecond,
+		})
+		s, err := newSetupOn(retried, rel, MethodSort, 1, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: faults upload n=%d: %w", n, err)
+		}
+		faultyDur, err := s.timePair(0, 1)
+		if err != nil {
+			s.close()
+			return nil, fmt.Errorf("bench: faults n=%d: %w", n, err)
+		}
+		gotCard, ok := s.eng.Cardinality(pairAttrs())
+		s.close()
+		if !ok || gotCard != wantCard {
+			return nil, fmt.Errorf("bench: faults n=%d: cardinality %d under faults, want %d — retries must not change results", n, gotCard, wantCard)
+		}
+
+		res.Points = append(res.Points, FaultPoint{
+			N:        n,
+			Clean:    cleanDur,
+			Faulty:   faultyDur,
+			Injected: faulty.Injected(),
+			Spikes:   faulty.Spikes(),
+			Retries:  retried.Retries(),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the overhead table.
+func (r *FaultToleranceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault tolerance overhead (Sort pair partition, RND; %.1f%% transient errors, %.1f%% latency spikes; backoff scaled to in-process op cost)\n",
+		r.ErrorRate*100, r.SpikeRate*100)
+	fmt.Fprintf(&b, "%8s %12s %12s %9s %8s %8s %8s\n", "n", "clean", "faulty", "overhead", "faults", "spikes", "retries")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %12s %12s %8.2fx %8d %8d %8d\n",
+			p.N, fmtDur(p.Clean), fmtDur(p.Faulty), p.Overhead(), p.Injected, p.Spikes, p.Retries)
+	}
+	b.WriteString("identical partition cardinalities in both runs: retries repeat work, never change results\n")
+	return b.String()
+}

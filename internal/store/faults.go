@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig parameterizes WithFaults. All probabilities are per call.
+type FaultConfig struct {
+	// Seed fixes the fault schedule: two services built with the same seed
+	// and driven by the same call sequence inject exactly the same faults.
+	Seed int64
+	// ErrorRate is the probability a call fails with ErrTransient.
+	ErrorRate float64
+	// SpikeRate is the probability a call is delayed by Spike, modeling a
+	// latency spike (a congested link, a GC pause on the server).
+	SpikeRate float64
+	// Spike is the extra delay applied on a latency spike.
+	Spike time.Duration
+}
+
+// FaultService is a Service decorator that injects transient faults on a
+// deterministic, seeded schedule. It mirrors WithLatency: protocol code
+// holds it as a plain Service while tests and the chaos harness observe the
+// injected-fault counters.
+//
+// Failures come in two shapes, chosen by the schedule:
+//
+//   - fail-before: the call errors without reaching the backend, like a
+//     request lost on the way to the server;
+//   - fail-after: the backend applies the operation and then the call
+//     errors, like a response lost on the way back. This is the case that
+//     exercises idempotent retries. Non-idempotent operations (CreateArray,
+//     CreateTree, Delete) are only ever failed before applying, because a
+//     lost acknowledgement for those is the transport layer's reconcile
+//     problem (see transport.Client), not the fault model's.
+type FaultService struct {
+	svc Service
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	seq int64 // calls scheduled so far
+
+	errors atomic.Int64
+	spikes atomic.Int64
+}
+
+// WithFaults wraps a Service with seeded fault injection. A zero-rate
+// config returns a wrapper that never faults (useful for uniform plumbing).
+func WithFaults(svc Service, cfg FaultConfig) *FaultService {
+	return &FaultService{svc: svc, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected returns the number of transient errors injected so far.
+func (f *FaultService) Injected() int64 { return f.errors.Load() }
+
+// Spikes returns the number of latency spikes injected so far.
+func (f *FaultService) Spikes() int64 { return f.spikes.Load() }
+
+// decision is one call's slot in the fault schedule.
+type decision struct {
+	seq   int64
+	spike bool
+	fail  bool
+	after bool
+}
+
+// next draws one decision. Exactly three variates are consumed per call
+// regardless of the outcome, so the schedule is a pure function of the seed
+// and the call index — concurrency changes which caller gets which slot,
+// never the slots themselves.
+func (f *FaultService) next(idempotent bool) decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := decision{seq: f.seq}
+	f.seq++
+	d.spike = f.rng.Float64() < f.cfg.SpikeRate
+	d.fail = f.rng.Float64() < f.cfg.ErrorRate
+	d.after = f.rng.Intn(2) == 1 && idempotent
+	return d
+}
+
+// call runs one operation under the schedule. do must capture its results
+// in the caller's scope; on a fail-after the results are discarded by the
+// caller returning the injected error.
+func (f *FaultService) call(op string, idempotent bool, do func() error) error {
+	d := f.next(idempotent)
+	if d.spike && f.cfg.Spike > 0 {
+		f.spikes.Add(1)
+		time.Sleep(f.cfg.Spike)
+	}
+	if d.fail && !d.after {
+		f.errors.Add(1)
+		return fmt.Errorf("%w: injected before %s (call %d)", ErrTransient, op, d.seq)
+	}
+	err := do()
+	if d.fail && d.after {
+		f.errors.Add(1)
+		return fmt.Errorf("%w: injected after %s (call %d)", ErrTransient, op, d.seq)
+	}
+	return err
+}
+
+// CreateArray implements Service.
+func (f *FaultService) CreateArray(name string, n int) error {
+	return f.call("CreateArray", false, func() error { return f.svc.CreateArray(name, n) })
+}
+
+// ArrayLen implements Service.
+func (f *FaultService) ArrayLen(name string) (n int, err error) {
+	err = f.call("ArrayLen", true, func() error { n, err = f.svc.ArrayLen(name); return err })
+	return n, err
+}
+
+// ReadCells implements Service.
+func (f *FaultService) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
+	err = f.call("ReadCells", true, func() error { cts, err = f.svc.ReadCells(name, idx); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WriteCells implements Service.
+func (f *FaultService) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return f.call("WriteCells", true, func() error { return f.svc.WriteCells(name, idx, cts) })
+}
+
+// CreateTree implements Service.
+func (f *FaultService) CreateTree(name string, levels, slotsPerBucket int) error {
+	return f.call("CreateTree", false, func() error { return f.svc.CreateTree(name, levels, slotsPerBucket) })
+}
+
+// ReadPath implements Service.
+func (f *FaultService) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
+	err = f.call("ReadPath", true, func() error { cts, err = f.svc.ReadPath(name, leaf); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WritePath implements Service.
+func (f *FaultService) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return f.call("WritePath", true, func() error { return f.svc.WritePath(name, leaf, slots) })
+}
+
+// WriteBuckets implements Service.
+func (f *FaultService) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return f.call("WriteBuckets", true, func() error { return f.svc.WriteBuckets(name, bucketStart, slots) })
+}
+
+// Delete implements Service.
+func (f *FaultService) Delete(name string) error {
+	return f.call("Delete", false, func() error { return f.svc.Delete(name) })
+}
+
+// Reveal implements Service. Reveal appends to a public log, so a
+// fail-after followed by a retry produces a duplicate entry; the duplicate
+// carries the same already-public value, so it leaks nothing new.
+func (f *FaultService) Reveal(tag string, value int64) error {
+	return f.call("Reveal", true, func() error { return f.svc.Reveal(tag, value) })
+}
+
+// Stats implements Service, adding the injected-fault count to the report.
+// Stats itself is exempt from injection so that monitoring stays reliable
+// even under heavy chaos.
+func (f *FaultService) Stats() (Stats, error) {
+	st, err := f.svc.Stats()
+	if err != nil {
+		return st, err
+	}
+	st.FaultsInjected += f.errors.Load()
+	return st, nil
+}
+
+var _ Service = (*FaultService)(nil)

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrRetryBudgetExhausted is returned once WithRetry has spent its total
+// retry budget; it signals a systemically failing backend rather than a
+// transient blip.
+var ErrRetryBudgetExhausted = errors.New("store: retry budget exhausted")
+
+// RetryPolicy parameterizes WithRetry. The zero value of any field selects
+// the default noted on it.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per call, including the first
+	// (default 5).
+	MaxAttempts int
+	// InitialBackoff is the delay before the first retry (default 5ms);
+	// each further retry doubles it (Multiplier) up to MaxBackoff.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Multiplier scales the backoff between attempts (default 2).
+	Multiplier float64
+	// JitterFrac randomizes each backoff by ±(JitterFrac/2)·backoff to
+	// decorrelate the pool workers' retries (default 0.2). Jitter is drawn
+	// from a seeded generator, so schedules stay reproducible.
+	JitterFrac float64
+	// CallTimeout is the deadline for one logical call including all its
+	// retries; 0 means no deadline.
+	CallTimeout time.Duration
+	// Budget bounds the total retries across the service's lifetime;
+	// 0 means unlimited. A run that burns its budget fails fast with
+	// ErrRetryBudgetExhausted instead of limping through a dead backend.
+	Budget int64
+	// Seed fixes the jitter schedule (default 0).
+	Seed int64
+	// Retryable classifies errors; nil selects DefaultRetryable.
+	Retryable func(error) bool
+
+	// sleep is a test hook; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// DefaultRetryable reports whether an error is worth retrying: transient
+// and connection-level failures are; the store's semantic errors (unknown
+// object, exists, out of range, bad path) are not, because repeating the
+// identical request cannot change a semantic verdict.
+func DefaultRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, ErrUnknownObject), errors.Is(err, ErrObjectExists),
+		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrBadPath):
+		return false
+	case errors.Is(err, ErrTransient), errors.Is(err, ErrUnavailable):
+		return true
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ECONNREFUSED):
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// RetryService is a Service decorator that re-issues failed calls with
+// exponential backoff, jitter, per-call deadlines, and a total retry
+// budget.
+//
+// Protocol safety: every write in the Service interface is idempotent — it
+// stores the exact ciphertexts carried by the request, so applying a write
+// twice leaves the same state as applying it once. Creates and deletes are
+// not idempotent at the server, but a retried create that answers "already
+// exists" (or a retried delete answering "unknown object") after a
+// transient failure can only mean the earlier attempt applied — this
+// single-client system has no other writer — so the retry layer reconciles
+// those verdicts to success.
+//
+// Leakage note: a retried access appears to the persistent adversary as one
+// extra access to the same object with fresh ciphertexts. Since every
+// protocol access is already re-encrypted and its position is independent
+// of the data (the obliviousness invariant), a duplicate is
+// indistinguishable from the protocol simply being one access longer; the
+// adversary additionally learns that a fault occurred and when, which is a
+// property of the network, not of the database. The leakage profile
+// L(DB) = {Size(DB), FD(DB)} is unchanged.
+type RetryService struct {
+	svc    Service
+	policy RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries atomic.Int64
+	spent   atomic.Int64 // against policy.Budget
+}
+
+// WithRetry wraps a Service with the given retry policy.
+func WithRetry(svc Service, policy RetryPolicy) *RetryService {
+	if policy.MaxAttempts <= 0 {
+		policy.MaxAttempts = 5
+	}
+	if policy.InitialBackoff <= 0 {
+		policy.InitialBackoff = 5 * time.Millisecond
+	}
+	if policy.MaxBackoff <= 0 {
+		policy.MaxBackoff = time.Second
+	}
+	if policy.Multiplier <= 1 {
+		policy.Multiplier = 2
+	}
+	if policy.JitterFrac <= 0 {
+		policy.JitterFrac = 0.2
+	}
+	if policy.Retryable == nil {
+		policy.Retryable = DefaultRetryable
+	}
+	if policy.sleep == nil {
+		policy.sleep = time.Sleep
+	}
+	return &RetryService{svc: svc, policy: policy, rng: rand.New(rand.NewSource(policy.Seed))}
+}
+
+// Retries returns the number of re-attempts performed so far.
+func (r *RetryService) Retries() int64 { return r.retries.Load() }
+
+// backoff computes the jittered delay before retry number n (1-based).
+func (r *RetryService) backoff(n int) time.Duration {
+	d := float64(r.policy.InitialBackoff)
+	for i := 1; i < n; i++ {
+		d *= r.policy.Multiplier
+		if d >= float64(r.policy.MaxBackoff) {
+			d = float64(r.policy.MaxBackoff)
+			break
+		}
+	}
+	r.mu.Lock()
+	jitter := (r.rng.Float64() - 0.5) * r.policy.JitterFrac * d
+	r.mu.Unlock()
+	d += jitter
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// reconciled reports whether an error on a retried call proves the earlier
+// attempt applied (see the type comment).
+func reconciled(appliedErr error, err error) bool {
+	return appliedErr != nil && errors.Is(err, appliedErr)
+}
+
+// do runs one logical call. appliedErr, when non-nil, is the sentinel that
+// a retry of this operation returns once the operation has already applied.
+func (r *RetryService) do(op string, appliedErr error, fn func() error) error {
+	var deadline time.Time
+	if r.policy.CallTimeout > 0 {
+		deadline = time.Now().Add(r.policy.CallTimeout)
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if attempt > 1 && reconciled(appliedErr, err) {
+			return nil
+		}
+		if !r.policy.Retryable(err) {
+			return err
+		}
+		if attempt >= r.policy.MaxAttempts {
+			return fmt.Errorf("store: %s failed after %d attempts: %w", op, attempt, err)
+		}
+		if r.policy.Budget > 0 && r.spent.Add(1) > r.policy.Budget {
+			return fmt.Errorf("%w: %s: %v", ErrRetryBudgetExhausted, op, err)
+		}
+		wait := r.backoff(attempt)
+		if !deadline.IsZero() && time.Now().Add(wait).After(deadline) {
+			return fmt.Errorf("store: %s deadline exceeded after %d attempts: %w", op, attempt, err)
+		}
+		r.policy.sleep(wait)
+		r.retries.Add(1)
+	}
+}
+
+// CreateArray implements Service.
+func (r *RetryService) CreateArray(name string, n int) error {
+	return r.do("CreateArray", ErrObjectExists, func() error { return r.svc.CreateArray(name, n) })
+}
+
+// ArrayLen implements Service.
+func (r *RetryService) ArrayLen(name string) (n int, err error) {
+	err = r.do("ArrayLen", nil, func() error { n, err = r.svc.ArrayLen(name); return err })
+	return n, err
+}
+
+// ReadCells implements Service.
+func (r *RetryService) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
+	err = r.do("ReadCells", nil, func() error { cts, err = r.svc.ReadCells(name, idx); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WriteCells implements Service.
+func (r *RetryService) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return r.do("WriteCells", nil, func() error { return r.svc.WriteCells(name, idx, cts) })
+}
+
+// CreateTree implements Service.
+func (r *RetryService) CreateTree(name string, levels, slotsPerBucket int) error {
+	return r.do("CreateTree", ErrObjectExists, func() error { return r.svc.CreateTree(name, levels, slotsPerBucket) })
+}
+
+// ReadPath implements Service.
+func (r *RetryService) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
+	err = r.do("ReadPath", nil, func() error { cts, err = r.svc.ReadPath(name, leaf); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WritePath implements Service.
+func (r *RetryService) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return r.do("WritePath", nil, func() error { return r.svc.WritePath(name, leaf, slots) })
+}
+
+// WriteBuckets implements Service.
+func (r *RetryService) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return r.do("WriteBuckets", nil, func() error { return r.svc.WriteBuckets(name, bucketStart, slots) })
+}
+
+// Delete implements Service.
+func (r *RetryService) Delete(name string) error {
+	return r.do("Delete", ErrUnknownObject, func() error { return r.svc.Delete(name) })
+}
+
+// Reveal implements Service. A retried Reveal may append a duplicate entry
+// to the public log; the value is already public, so nothing new leaks.
+func (r *RetryService) Reveal(tag string, value int64) error {
+	return r.do("Reveal", nil, func() error { return r.svc.Reveal(tag, value) })
+}
+
+// Stats implements Service, adding the retry count to the report.
+func (r *RetryService) Stats() (Stats, error) {
+	var st Stats
+	err := r.do("Stats", nil, func() error { var e error; st, e = r.svc.Stats(); return e })
+	if err != nil {
+		return Stats{}, err
+	}
+	st.Retries += r.retries.Load()
+	return st, nil
+}
+
+var _ Service = (*RetryService)(nil)

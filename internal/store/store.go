@@ -18,13 +18,30 @@ var (
 	ErrObjectExists  = errors.New("store: object already exists")
 	ErrOutOfRange    = errors.New("store: index out of range")
 	ErrBadPath       = errors.New("store: malformed path payload")
+
+	// ErrTransient marks an injected or otherwise momentary failure: the
+	// operation did not necessarily apply, but repeating it is expected to
+	// succeed. WithFaults produces it; WithRetry retries on it.
+	ErrTransient = errors.New("store: transient fault")
+	// ErrUnavailable marks a connection-level failure (dial refused,
+	// connection reset, deadline exceeded) after the transport exhausted
+	// its own reconnection attempts. WithRetry retries on it.
+	ErrUnavailable = errors.New("store: service unavailable")
 )
 
 // Stats summarizes server-side resource usage; it backs the storage columns
-// of Table II and Fig. 5.
+// of Table II and Fig. 5. The fault-tolerance counters are contributed by
+// the decorator layers as a Stats call passes through them: WithFaults adds
+// FaultsInjected, WithRetry adds Retries, and the TCP client/pool add
+// Reconnects — so one Stats() call on the outermost service reports the
+// whole stack.
 type Stats struct {
 	Objects     int   // number of live storage objects
 	StoredBytes int64 // total ciphertext bytes currently stored
+
+	FaultsInjected int64 // transient errors injected by WithFaults
+	Retries        int64 // re-attempts performed by WithRetry
+	Reconnects     int64 // TCP re-dials and pool connection replacements
 }
 
 // Service is the full server-side surface the client can invoke. Both the

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjectedDrop is the error a faulty connection reports when the chaos
+// schedule severs it mid-call.
+var ErrInjectedDrop = errors.New("transport: injected connection drop")
+
+// FaultConfig parameterizes WithConnFaults.
+type FaultConfig struct {
+	// Seed fixes the drop schedule: the nth I/O operation across the
+	// listener's connections gets the same verdict on every run.
+	Seed int64
+	// DropRate is the probability that one Read or Write on an accepted
+	// connection severs it instead — the request or the response is lost
+	// mid-flight, exactly the failure a flaky network produces.
+	DropRate float64
+}
+
+// FaultyListener wraps a net.Listener so accepted connections drop on a
+// deterministic, seeded schedule. Pair it with a self-healing client (or
+// store.WithRetry) in chaos tests: the server side keeps killing
+// connections, the client side must keep recovering.
+type FaultyListener struct {
+	net.Listener
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops atomic.Int64
+}
+
+// WithConnFaults wraps l with seeded mid-call connection drops.
+func WithConnFaults(l net.Listener, cfg FaultConfig) *FaultyListener {
+	return &FaultyListener{Listener: l, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Drops returns the number of connections severed so far.
+func (l *FaultyListener) Drops() int64 { return l.drops.Load() }
+
+// Accept wraps the accepted connection with the drop schedule. All
+// connections share one schedule, so the drop sequence is a pure function
+// of the seed and the global I/O-operation order.
+func (l *FaultyListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{Conn: conn, l: l}, nil
+}
+
+// roll draws one verdict from the shared schedule.
+func (l *FaultyListener) roll() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64() < l.cfg.DropRate
+}
+
+type faultyConn struct {
+	net.Conn
+	l       *FaultyListener
+	dropped atomic.Bool
+}
+
+func (c *faultyConn) sever() error {
+	if c.dropped.CompareAndSwap(false, true) {
+		c.l.drops.Add(1)
+		_ = c.Conn.Close()
+	}
+	return ErrInjectedDrop
+}
+
+func (c *faultyConn) Read(p []byte) (int, error) {
+	if c.dropped.Load() {
+		return 0, ErrInjectedDrop
+	}
+	if c.l.roll() {
+		return 0, c.sever()
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultyConn) Write(p []byte) (int, error) {
+	if c.dropped.Load() {
+		return 0, ErrInjectedDrop
+	}
+	if c.l.roll() {
+		return 0, c.sever()
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// fastConfig keeps reconnection snappy for tests.
+func fastConfig() ClientConfig {
+	return ClientConfig{
+		CallTimeout:      2 * time.Second,
+		DialTimeout:      time.Second,
+		Redials:          8,
+		RedialBackoff:    time.Millisecond,
+		RedialMaxBackoff: 20 * time.Millisecond,
+	}
+}
+
+// TestSentinelErrorsSurviveTheWire: errors.Is must hold for every store
+// sentinel after a round trip through the TCP transport.
+func TestSentinelErrorsSurviveTheWire(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.ReadCells("missing", []int64{0}); !errors.Is(err, store.ErrUnknownObject) {
+		t.Errorf("missing array: err = %v, want errors.Is(ErrUnknownObject)", err)
+	}
+	if err := c.CreateArray("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateArray("a", 2); !errors.Is(err, store.ErrObjectExists) {
+		t.Errorf("duplicate create: err = %v, want errors.Is(ErrObjectExists)", err)
+	}
+	if _, err := c.ReadCells("a", []int64{99}); !errors.Is(err, store.ErrOutOfRange) {
+		t.Errorf("out of range: err = %v, want errors.Is(ErrOutOfRange)", err)
+	}
+	if err := c.CreateTree("q", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WritePath("q", 0, make([][]byte, 1)); !errors.Is(err, store.ErrBadPath) {
+		t.Errorf("short path: err = %v, want errors.Is(ErrBadPath)", err)
+	}
+	// The message must survive verbatim alongside the sentinel.
+	_, err := c.ReadCells("missing", []int64{0})
+	if err == nil || err.Error() != `store: unknown object: array "missing"` {
+		t.Errorf("message not preserved: %q", err)
+	}
+}
+
+// TestTransientErrorsSurviveTheWire: a server-side fault injector's
+// ErrTransient classifies correctly on the client, which is what lets a
+// client-side retry layer tell transient from fatal through TCP.
+func TestTransientErrorsSurviveTheWire(t *testing.T) {
+	backend := store.WithFaults(store.NewServer(), store.FaultConfig{Seed: 1, ErrorRate: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = Serve(l, backend) }()
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 1); !errors.Is(err, store.ErrTransient) {
+		t.Errorf("err = %v, want errors.Is(ErrTransient) through TCP", err)
+	}
+}
+
+// TestDialNonListeningAddr: dialing a dead address surfaces a typed,
+// retryable error.
+func TestDialNonListeningAddr(t *testing.T) {
+	_, err := DialWith("127.0.0.1:1", fastConfig())
+	if !errors.Is(err, store.ErrUnavailable) {
+		t.Errorf("err = %v, want errors.Is(ErrUnavailable)", err)
+	}
+	if !store.DefaultRetryable(err) {
+		t.Errorf("dial failure should classify as retryable: %v", err)
+	}
+}
+
+// TestClientHealsAcrossServerRestart: the server dies mid-session and comes
+// back on the same address; the client's next call re-dials transparently.
+func TestClientHealsAcrossServerRestart(t *testing.T) {
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := NewServer(backend)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+
+	c, err := DialWith(addr, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Shutdown(0) // kill the server, connections included
+	<-done
+
+	// Restart on the same address (may need a few tries on a busy host).
+	var l2 net.Listener
+	for i := 0; i < 50; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go func() { _ = Serve(l2, backend) }()
+
+	if err := c.WriteCells("a", []int64{1}, [][]byte{{9}}); err != nil {
+		t.Fatalf("call after server restart: %v", err)
+	}
+	got, err := c.ReadCells("a", []int64{1})
+	if err != nil || len(got) != 1 || got[0][0] != 9 {
+		t.Fatalf("read after heal = %v, %v", got, err)
+	}
+	if c.Reconnects() == 0 {
+		t.Error("client healed without counting a reconnect")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reconnects == 0 {
+		t.Error("Stats.Reconnects not surfaced")
+	}
+}
+
+// TestClientFailsWhenServerStaysDown: with the server gone for good, the
+// call fails with a typed error after the redial budget.
+func TestClientFailsWhenServerStaysDown(t *testing.T) {
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(backend)
+	go func() { _ = srv.Serve(l) }()
+	cfg := fastConfig()
+	cfg.Redials = 2
+	c, err := DialWith(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown(0)
+	if err := c.Reveal("x", 1); !errors.Is(err, store.ErrUnavailable) {
+		t.Errorf("err = %v, want errors.Is(ErrUnavailable)", err)
+	}
+	if !c.Broken() {
+		t.Error("client not marked broken after exhausting redials")
+	}
+}
+
+// TestPoolReplacesDeadConnections: every pooled connection dies with the
+// old server; borrowing from the pool against a new server on the same
+// address recovers, replacing dead connections as they fail.
+func TestPoolReplacesDeadConnections(t *testing.T) {
+	backend := store.NewServer()
+	if err := backend.CreateArray("a", 64); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := NewServer(backend)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+
+	p, err := DialPoolWith(addr, 3, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.WriteCells("a", []int64{0}, [][]byte{{1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Shutdown(0)
+	<-done
+	var l2 net.Listener
+	for i := 0; i < 50; i++ {
+		l2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer l2.Close()
+	go func() { _ = Serve(l2, backend) }()
+
+	// Exercise every slot: all three dead connections must recover.
+	for i := 0; i < 9; i++ {
+		if err := p.WriteCells("a", []int64{int64(i)}, [][]byte{{byte(i)}}); err != nil {
+			t.Fatalf("pooled write %d after restart: %v", i, err)
+		}
+	}
+	if p.Reconnects() == 0 {
+		t.Error("pool recovered without counting reconnects")
+	}
+	st, err := p.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reconnects == 0 {
+		t.Error("Stats.Reconnects not surfaced through the pool")
+	}
+	if p.Size() != 3 {
+		t.Errorf("pool size changed to %d", p.Size())
+	}
+}
+
+// TestServerGracefulShutdownDrains: a request in flight when Shutdown
+// begins still gets its response; idle connections are closed.
+func TestServerGracefulShutdownDrains(t *testing.T) {
+	backend := store.NewServer()
+	if err := backend.CreateArray("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	slow := store.WithLatency(backend, 50*time.Millisecond)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(slow)
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+
+	cfg := fastConfig()
+	cfg.Redials = -1 // observe the raw drain, no healing
+	c, err := DialWith(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Reveal("warm", 1); err != nil {
+		t.Fatal(err) // establish the connection server-side
+	}
+	if srv.ActiveConns() != 1 {
+		t.Errorf("ActiveConns = %d, want 1", srv.ActiveConns())
+	}
+
+	callErr := make(chan error, 1)
+	go func() { callErr <- c.WriteCells("a", []int64{0}, [][]byte{{7}}) }()
+	time.Sleep(10 * time.Millisecond) // let the call reach the 50ms-slow server
+	active := srv.Shutdown(time.Second)
+	if active != 1 {
+		t.Errorf("Shutdown reported %d active conns, want 1", active)
+	}
+	if err := <-callErr; err != nil {
+		t.Errorf("in-flight call during graceful shutdown: %v", err)
+	}
+	got, err := backend.ReadCells("a", []int64{0})
+	if err != nil || got[0][0] != 7 {
+		t.Errorf("drained write not applied: %v, %v", got, err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Error("Serve did not return after Shutdown")
+	}
+	if srv.ActiveConns() != 0 {
+		t.Errorf("ActiveConns after shutdown = %d", srv.ActiveConns())
+	}
+}
+
+// TestServerShutdownZeroGrace: an abrupt shutdown still returns and closes
+// everything.
+func TestServerShutdownZeroGrace(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store.NewServer())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	c, err := DialWith(l.Addr().String(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown(0)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Error("Serve did not return after zero-grace Shutdown")
+	}
+}

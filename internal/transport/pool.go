@@ -2,6 +2,8 @@ package transport
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"github.com/oblivfd/oblivfd/internal/store"
 )
@@ -12,38 +14,78 @@ import (
 // workers overlap network round trips (§IV-D's n/2 parallelism degree is
 // only worth having if the transport admits concurrent requests; the
 // paper's evaluation runs each thread on its own session).
+//
+// The pool self-heals: each pooled client re-dials on its own (see
+// ClientConfig), and a client that comes back from a call with no live
+// connection is replaced by a freshly dialed one, so one dead connection
+// never poisons the other workers.
 type Pool struct {
+	addr string
+	cfg  ClientConfig
+
+	mu    sync.Mutex
 	conns chan *Client
-	all   []*Client
+	all   map[*Client]struct{}
+
+	replacements atomic.Int64
 }
 
 var _ store.Service = (*Pool)(nil)
 
-// DialPool opens size connections to a transport server.
+// DialPool opens size connections to a transport server with the default
+// self-healing configuration.
 func DialPool(addr string, size int) (*Pool, error) {
+	return DialPoolWith(addr, size, DefaultClientConfig())
+}
+
+// DialPoolWith opens size connections with an explicit configuration.
+func DialPoolWith(addr string, size int, cfg ClientConfig) (*Pool, error) {
 	if size < 1 {
 		size = 1
 	}
-	p := &Pool{conns: make(chan *Client, size)}
+	p := &Pool{
+		addr:  addr,
+		cfg:   cfg.withDefaults(),
+		conns: make(chan *Client, size),
+		all:   make(map[*Client]struct{}, size),
+	}
 	for i := 0; i < size; i++ {
-		c, err := Dial(addr)
+		c, err := DialWith(addr, p.cfg)
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("transport: pool connection %d: %w", i, err)
 		}
-		p.all = append(p.all, c)
+		p.all[c] = struct{}{}
 		p.conns <- c
 	}
 	return p, nil
 }
 
 // Size returns the number of pooled connections.
-func (p *Pool) Size() int { return len(p.all) }
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all)
+}
+
+// Reconnects returns the pool-wide reconnection count: re-dials performed
+// by the pooled clients plus whole-connection replacements by the pool.
+func (p *Pool) Reconnects() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.replacements.Load()
+	for c := range p.all {
+		total += c.Reconnects()
+	}
+	return total
+}
 
 // Close closes every pooled connection.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	var firstErr error
-	for _, c := range p.all {
+	for c := range p.all {
 		if err := c.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -51,11 +93,31 @@ func (p *Pool) Close() error {
 	return firstErr
 }
 
-// with borrows a connection for one call.
+// with borrows a connection for one call. A client returned broken (its
+// call exhausted the re-dial budget) is swapped for a fresh connection when
+// the server is reachable again; otherwise it stays in the pool and the
+// next borrower re-attempts the dial.
 func (p *Pool) with(fn func(c *Client) error) error {
 	c := <-p.conns
-	defer func() { p.conns <- c }()
+	defer func() { p.conns <- p.maybeReplace(c) }()
 	return fn(c)
+}
+
+func (p *Pool) maybeReplace(c *Client) *Client {
+	if !c.Broken() {
+		return c
+	}
+	fresh, err := DialWith(p.addr, p.cfg)
+	if err != nil {
+		return c // server still down; keep the slot, retry on next borrow
+	}
+	p.mu.Lock()
+	delete(p.all, c)
+	p.all[fresh] = struct{}{}
+	p.mu.Unlock()
+	p.replacements.Add(1 + c.Reconnects()) // keep the dead client's count
+	_ = c.Close()
+	return fresh
 }
 
 // CreateArray implements store.Service.
@@ -111,8 +173,13 @@ func (p *Pool) Reveal(tag string, value int64) error {
 	return p.with(func(c *Client) error { return c.Reveal(tag, value) })
 }
 
-// Stats implements store.Service.
+// Stats implements store.Service, adding the pool-wide reconnection count
+// to the server-side report.
 func (p *Pool) Stats() (st store.Stats, err error) {
-	err = p.with(func(c *Client) error { st, err = c.Stats(); return err })
-	return st, err
+	err = p.with(func(c *Client) error { st, err = c.statsRaw(); return err })
+	if err != nil {
+		return store.Stats{}, err
+	}
+	st.Reconnects += p.Reconnects()
+	return st, nil
 }

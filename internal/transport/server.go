@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// Server accepts transport connections and dispatches requests to a
+// store.Service. Unlike the bare Serve function it supports graceful
+// shutdown: Shutdown stops accepting, lets in-flight requests finish within
+// a grace period, and only then closes the connections — so a long
+// oblivious run is never cut off mid-request by an operator signal.
+type Server struct {
+	svc store.Service
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	inflight atomic.Int64 // requests decoded but not yet answered
+}
+
+// NewServer wraps a service for serving over TCP.
+func NewServer(svc store.Service) *Server {
+	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until the listener closes (returning nil)
+// or fails. Each connection is served by its own goroutine; calls within
+// one connection execute sequentially, matching the client proxy.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("transport: accept: %w", err)
+		}
+		s.track(conn, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// ActiveConns returns the number of currently open client connections.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.track(conn, false)
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // io.EOF on clean shutdown; anything else also ends the conn
+		}
+		s.inflight.Add(1)
+		resp := dispatch(s.svc, &req)
+		err := enc.Encode(resp)
+		s.inflight.Add(-1)
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return // answered the in-flight request; take no more
+		}
+	}
+}
+
+// Shutdown stops accepting new connections and drains: requests already
+// being served get up to grace to finish (each connection closes right
+// after its current response), then any remaining connections are closed.
+// It returns the number of connections that were still active when the
+// drain began.
+func (s *Server) Shutdown(grace time.Duration) int {
+	s.mu.Lock()
+	s.draining = true
+	l := s.listener
+	active := len(s.conns)
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	deadline := time.Now().Add(grace)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	return active
+}
+
+// Serve accepts connections on l and dispatches requests to svc until the
+// listener is closed. It is the fire-and-forget form of Server.Serve; use a
+// Server directly when graceful shutdown is needed.
+func Serve(l net.Listener, svc store.Service) error {
+	return NewServer(svc).Serve(l)
+}

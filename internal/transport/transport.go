@@ -8,6 +8,14 @@
 //     length-delimited stream — the deployment shape of the paper's
 //     evaluation (client and server on separate machines, §VII-A).
 //
+// The TCP client is self-healing: every call runs under an optional
+// read/write deadline, and a broken connection is re-dialed with backoff
+// and the call re-sent. Re-sending is protocol-safe because every write
+// stores the exact ciphertexts carried by the request (see
+// store.RetryService for the idempotency and leakage argument); the one
+// ambiguity — a create or delete whose acknowledgement was lost — is
+// reconciled from the server's verdict on the resend.
+//
 // Every request/response crossing the wire carries only what the persistent
 // adversary is allowed to see anyway: object names, indices, and
 // ciphertexts.
@@ -20,6 +28,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
 )
@@ -56,52 +66,76 @@ type request struct {
 	Value  int64
 }
 
+// errCode identifies a store sentinel error on the wire, so errors.Is keeps
+// working through TCP (and so the retry layer can classify remote errors).
+type errCode uint8
+
+const (
+	codeOK errCode = iota
+	codeGeneric
+	codeUnknownObject
+	codeObjectExists
+	codeOutOfRange
+	codeBadPath
+	codeTransient
+)
+
+// codeSentinel maps wire codes back to the sentinel errors they stand for.
+var codeSentinel = map[errCode]error{
+	codeUnknownObject: store.ErrUnknownObject,
+	codeObjectExists:  store.ErrObjectExists,
+	codeOutOfRange:    store.ErrOutOfRange,
+	codeBadPath:       store.ErrBadPath,
+	codeTransient:     store.ErrTransient,
+}
+
+// encodeErr flattens an error for the wire, preserving its sentinel.
+func encodeErr(err error) (string, errCode) {
+	if err == nil {
+		return "", codeOK
+	}
+	for code, sentinel := range codeSentinel {
+		if errors.Is(err, sentinel) {
+			return err.Error(), code
+		}
+	}
+	return err.Error(), codeGeneric
+}
+
+// wireError rehydrates a remote error: the exact message, unwrapping to the
+// sentinel it was classified as.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// decodeErr rebuilds a remote error from its wire form.
+func decodeErr(code errCode, msg string) error {
+	if msg == "" {
+		return nil
+	}
+	if sentinel, ok := codeSentinel[code]; ok {
+		return &wireError{msg: msg, sentinel: sentinel}
+	}
+	return errors.New(msg)
+}
+
 // response is the wire format for one Service result.
 type response struct {
 	Err   string
+	Code  errCode
 	N     int
 	Cts   [][]byte
 	Stats store.Stats
 }
 
-// Serve accepts connections on l and dispatches requests to svc until the
-// listener is closed. Each connection is served by its own goroutine; calls
-// within one connection execute sequentially, matching the client proxy.
-func Serve(l net.Listener, svc store.Service) error {
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return fmt.Errorf("transport: accept: %w", err)
-		}
-		go serveConn(conn, svc)
-	}
-}
-
-func serveConn(conn net.Conn, svc store.Service) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			return // io.EOF on clean shutdown; anything else also ends the conn
-		}
-		resp := dispatch(svc, &req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
-	}
-}
-
 func dispatch(svc store.Service, req *request) *response {
 	var resp response
 	fail := func(err error) *response {
-		if err != nil {
-			resp.Err = err.Error()
-		}
+		resp.Err, resp.Code = encodeErr(err)
 		return &resp
 	}
 	switch req.Kind {
@@ -137,34 +171,112 @@ func dispatch(svc store.Service, req *request) *response {
 		return fail(err)
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown request kind %d", req.Kind)
+		resp.Code = codeGeneric
 		return &resp
 	}
 }
 
+// ClientConfig tunes the self-healing behaviour of a TCP client. The zero
+// value of any field selects the default noted on it.
+type ClientConfig struct {
+	// CallTimeout is the read/write deadline applied to the connection for
+	// each call (default 2m; negative disables). A call that exceeds it
+	// fails with a timeout, the connection is torn down, and — when the
+	// client knows its dial address — re-dialed.
+	CallTimeout time.Duration
+	// DialTimeout bounds each (re-)dial attempt (default 10s).
+	DialTimeout time.Duration
+	// Redials is how many re-dial-and-resend attempts one call may make
+	// after its connection breaks (default 5; negative disables
+	// self-healing).
+	Redials int
+	// RedialBackoff is the delay before the first re-dial (default 50ms),
+	// doubling per attempt up to RedialMaxBackoff (default 2s).
+	RedialBackoff    time.Duration
+	RedialMaxBackoff time.Duration
+}
+
+// DefaultClientConfig returns the defaults documented on ClientConfig.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		CallTimeout:      2 * time.Minute,
+		DialTimeout:      10 * time.Second,
+		Redials:          5,
+		RedialBackoff:    50 * time.Millisecond,
+		RedialMaxBackoff: 2 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields.
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	def := DefaultClientConfig()
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = def.CallTimeout
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = def.DialTimeout
+	}
+	if cfg.Redials == 0 {
+		cfg.Redials = def.Redials
+	}
+	if cfg.RedialBackoff == 0 {
+		cfg.RedialBackoff = def.RedialBackoff
+	}
+	if cfg.RedialMaxBackoff == 0 {
+		cfg.RedialMaxBackoff = def.RedialMaxBackoff
+	}
+	return cfg
+}
+
 // Client is a store.Service proxy over one TCP connection. It is safe for
-// concurrent use; calls are serialized on the connection.
+// concurrent use; calls are serialized on the connection. When created by
+// Dial it self-heals: a broken connection is re-dialed and the in-flight
+// call re-sent.
 type Client struct {
+	addr string // empty when wrapped around a raw conn (no re-dial)
+	cfg  ClientConfig
+
 	mu     sync.Mutex
 	conn   net.Conn
 	enc    *gob.Encoder
 	dec    *gob.Decoder
 	closed bool
+
+	reconnects atomic.Int64
 }
 
 var _ store.Service = (*Client)(nil)
 
-// Dial connects to a transport server.
+// Dial connects to a transport server with the default self-healing
+// configuration.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
-	return NewClient(conn), nil
+	return DialWith(addr, DefaultClientConfig())
 }
 
-// NewClient wraps an established connection.
+// DialWith connects to a transport server with an explicit configuration.
+func DialWith(addr string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w: %w", addr, store.ErrUnavailable, err)
+	}
+	c := NewClient(conn)
+	c.addr = addr
+	c.cfg = cfg
+	return c, nil
+}
+
+// NewClient wraps an established connection. A client built this way does
+// not know its peer's address and therefore cannot re-dial: a broken
+// connection fails the call (this is the seed behaviour, kept for tests
+// and custom conn types).
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &Client{
+		cfg:  ClientConfig{CallTimeout: -1, Redials: -1},
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
 }
 
 // Close shuts the connection down.
@@ -175,7 +287,57 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
 	return c.conn.Close()
+}
+
+// Reconnects returns how many times this client re-dialed its server.
+func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+
+// Broken reports whether the client currently has no live connection (its
+// last call tore the connection down and could not re-establish it). A
+// pool uses this to replace the client.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn == nil && !c.closed
+}
+
+// dropConnLocked tears down a failed connection. Caller holds c.mu.
+func (c *Client) dropConnLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	c.conn, c.enc, c.dec = nil, nil, nil
+}
+
+// redialLocked re-establishes the connection. Caller holds c.mu.
+func (c *Client) redialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.reconnects.Add(1)
+	return nil
+}
+
+// reconcileResend resolves the create/delete ambiguity after a resend: if
+// the first attempt's acknowledgement was lost but the operation applied,
+// the resend's semantic error proves it (single-client system; see the
+// package comment).
+func reconcileResend(k kind, err error) bool {
+	switch k {
+	case kindCreateArray, kindCreateTree:
+		return errors.Is(err, store.ErrObjectExists)
+	case kindDelete:
+		return errors.Is(err, store.ErrUnknownObject)
+	}
+	return false
 }
 
 func (c *Client) call(req *request) (*response, error) {
@@ -184,20 +346,57 @@ func (c *Client) call(req *request) (*response, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("transport: send: %w", err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("transport: server closed connection: %w", err)
+	redials := 0
+	resent := false
+	var lastErr error
+	for {
+		if c.conn == nil {
+			if c.addr == "" || redials >= c.cfg.Redials || c.cfg.Redials < 0 {
+				break
+			}
+			backoff := c.cfg.RedialBackoff << redials
+			if backoff > c.cfg.RedialMaxBackoff {
+				backoff = c.cfg.RedialMaxBackoff
+			}
+			time.Sleep(backoff)
+			redials++
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
 		}
-		return nil, fmt.Errorf("transport: receive: %w", err)
+		if c.cfg.CallTimeout > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		}
+		if err := c.enc.Encode(req); err != nil {
+			c.dropConnLocked()
+			lastErr = fmt.Errorf("transport: send: %w", err)
+			resent = true
+			continue
+		}
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			c.dropConnLocked()
+			if errors.Is(err, io.EOF) {
+				lastErr = fmt.Errorf("transport: server closed connection: %w", err)
+			} else {
+				lastErr = fmt.Errorf("transport: receive: %w", err)
+			}
+			resent = true
+			continue
+		}
+		if err := decodeErr(resp.Code, resp.Err); err != nil {
+			if resent && reconcileResend(req.Kind, err) {
+				return &resp, nil
+			}
+			return &resp, err
+		}
+		return &resp, nil
 	}
-	if resp.Err != "" {
-		return &resp, errors.New(resp.Err)
+	if lastErr == nil {
+		lastErr = ErrClosed
 	}
-	return &resp, nil
+	return nil, fmt.Errorf("transport: connection lost (%d redials): %w: %w", redials, store.ErrUnavailable, lastErr)
 }
 
 // CreateArray implements store.Service.
@@ -269,11 +468,23 @@ func (c *Client) Reveal(tag string, value int64) error {
 	return err
 }
 
-// Stats implements store.Service.
-func (c *Client) Stats() (store.Stats, error) {
+// statsRaw fetches server-side stats without adding this client's own
+// reconnect count (the pool aggregates counts across all its clients).
+func (c *Client) statsRaw() (store.Stats, error) {
 	resp, err := c.call(&request{Kind: kindStats})
 	if err != nil {
 		return store.Stats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// Stats implements store.Service, adding this client's reconnect count to
+// the server-side report.
+func (c *Client) Stats() (store.Stats, error) {
+	st, err := c.statsRaw()
+	if err != nil {
+		return store.Stats{}, err
+	}
+	st.Reconnects += c.reconnects.Load()
+	return st, nil
 }

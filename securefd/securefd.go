@@ -110,8 +110,72 @@ func WithLatency(svc Service, rtt time.Duration) Service { return store.WithLate
 func ServeTCP(l net.Listener, svc Service) error { return transport.Serve(l, svc) }
 
 // DialTCP connects to a remote server started with ServeTCP and returns a
-// Service usable with Outsource.
+// Service usable with Outsource. The connection is self-healing: calls
+// carry deadlines and a dropped connection is re-dialed with backoff.
 func DialTCP(addr string) (*transport.Client, error) { return transport.Dial(addr) }
+
+// Fault tolerance. Long oblivious runs make millions of storage calls, so
+// a single transient failure must not cost the whole run. The pieces
+// compose as decorators around a Service:
+//
+//	svc, _ := securefd.DialTCPWith(addr, securefd.DefaultClientConfig())
+//	db, _ := securefd.Outsource(securefd.WithRetry(svc, securefd.RetryPolicy{}), rel, opts)
+//
+// Retrying a storage operation is safe for the security guarantee: every
+// operation is idempotent or reconciled (see store.WithRetry), and a
+// retried access adds one re-encrypted access to the server's view —
+// indistinguishable from a slightly longer run, so the leakage profile
+// L(DB) = {Size(DB), FD(DB)} is unchanged.
+type (
+	// FaultConfig configures seeded fault injection (WithFaults).
+	FaultConfig = store.FaultConfig
+	// RetryPolicy configures retry/backoff (WithRetry).
+	RetryPolicy = store.RetryPolicy
+	// ClientConfig tunes the self-healing TCP client (DialTCPWith).
+	ClientConfig = transport.ClientConfig
+	// FaultService is a fault-injecting Service decorator.
+	FaultService = store.FaultService
+	// RetryService is a retrying Service decorator.
+	RetryService = store.RetryService
+)
+
+// Typed failures a client may observe; each survives the TCP transport, so
+// errors.Is works on the client side of a remote call.
+var (
+	// ErrTransient marks an injected or otherwise momentary storage
+	// failure; WithRetry retries it.
+	ErrTransient = store.ErrTransient
+	// ErrUnavailable marks a connection that could not be established or
+	// re-established within the redial budget.
+	ErrUnavailable = store.ErrUnavailable
+)
+
+// WithFaults wraps a service with seeded, deterministic fault injection:
+// transient errors and latency spikes for resilience testing. The schedule
+// is a pure function of the seed and call index.
+func WithFaults(svc Service, cfg FaultConfig) *store.FaultService { return store.WithFaults(svc, cfg) }
+
+// WithRetry wraps a service so transient failures are retried with
+// exponential backoff, deadlines, and a retry budget.
+func WithRetry(svc Service, p RetryPolicy) *store.RetryService { return store.WithRetry(svc, p) }
+
+// DefaultClientConfig returns the self-healing client defaults.
+func DefaultClientConfig() ClientConfig { return transport.DefaultClientConfig() }
+
+// DialTCPWith is DialTCP with explicit timeout/redial tuning.
+func DialTCPWith(addr string, cfg ClientConfig) (*transport.Client, error) {
+	return transport.DialWith(addr, cfg)
+}
+
+// DialTCPPool connects size independent self-healing connections to one
+// server, letting concurrent workers issue storage calls in parallel.
+func DialTCPPool(addr string, size int, cfg ClientConfig) (*transport.Pool, error) {
+	return transport.DialPoolWith(addr, size, cfg)
+}
+
+// NewTCPServer wraps a service for serving over TCP with graceful
+// shutdown: Shutdown(grace) drains in-flight requests before closing.
+func NewTCPServer(svc Service) *transport.Server { return transport.NewServer(svc) }
 
 // Protocol selects the attribute-level partition method.
 type Protocol int
