@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench experiments examples clean
+.PHONY: all build vet test test-race test-short crash bench experiments examples clean
 
 all: build vet test
 
@@ -22,6 +22,13 @@ test-short:
 # catches ordering bugs on one.
 test-race:
 	$(GO) test -race ./...
+
+# Crash-injection suite: kill the server at seeded WAL offsets and the
+# client between lattice levels, recover, and require identical results.
+# -count=1 forces real (uncached) runs — these tests exercise the filesystem.
+crash:
+	$(GO) test -count=1 -run 'CrashRecovery' .
+	$(GO) test -count=1 ./internal/store/ ./internal/core/ ./internal/oram/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

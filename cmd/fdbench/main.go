@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -91,6 +91,7 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 		{"faults", func() (renderer, error) {
 			return bench.FaultTolerance(sweep(minn, maxn/2), faultRate, faultRate, seed)
 		}},
+		{"recovery", func() (renderer, error) { return bench.Recovery(sweep(minn, maxn/4), seed) }},
 	}
 
 	ran := 0

@@ -9,6 +9,14 @@
 // per-operation latency, and -fault-rate injects seeded transient storage
 // failures that the client rides out with -retries (demonstrating the
 // fault-tolerance stack without a network).
+//
+// Long runs can survive crashes on both sides. -data-dir makes the
+// in-process server durable (WAL + snapshots); -checkpoint makes the client
+// write a recovery file at every completed lattice level (ORAM protocols
+// only). After a crash, -resume continues from the last completed level:
+//
+//	fddiscover -protocol or-oram -data-dir state -checkpoint run.ckpt data.csv
+//	fddiscover -data-dir state -resume run.ckpt
 package main
 
 import (
@@ -31,7 +39,10 @@ type options struct {
 	rtt       time.Duration // artificial per-operation latency
 	faultRate float64       // seeded transient fault injection rate
 	faultSeed int64
-	retries   int // max attempts per storage call (1 = no retry)
+	retries   int    // max attempts per storage call (1 = no retry)
+	dataDir   string // durable server state directory
+	ckptPath  string // client checkpoint file, written at level boundaries
+	resume    string // checkpoint file to continue from
 }
 
 func main() {
@@ -46,7 +57,22 @@ func main() {
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient storage faults at this rate (0..1)")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.IntVar(&o.retries, "retries", 0, "max attempts per storage call (0 = default policy, 1 = no retry)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durable server state directory (WAL + snapshots); survives crashes")
+	flag.StringVar(&o.ckptPath, "checkpoint", "", "write a client recovery file here at every completed lattice level (or-oram/ex-oram only)")
+	flag.StringVar(&o.resume, "resume", "", "continue a crashed run from this checkpoint file (requires -data-dir; no CSV argument)")
 	flag.Parse()
+
+	if o.resume != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: fddiscover -resume <file.ckpt> -data-dir <dir> (the data comes from the recovered server, not a CSV)")
+			os.Exit(2)
+		}
+		if err := runResume(o); err != nil {
+			fmt.Fprintln(os.Stderr, "fddiscover:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fddiscover [flags] <file.csv>")
 		flag.PrintDefaults()
@@ -55,6 +81,58 @@ func main() {
 	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "fddiscover:", err)
 		os.Exit(1)
+	}
+}
+
+// runResume recovers server and client to the checkpoint's epoch and
+// continues discovery from the last completed lattice level, checkpointing
+// to the same file as it goes.
+func runResume(o options) error {
+	if o.dataDir == "" {
+		return fmt.Errorf("-resume requires -data-dir (the durable server state to recover)")
+	}
+	cp, err := securefd.ReadCheckpointFile(o.resume)
+	if err != nil {
+		return err
+	}
+	db, srv, err := securefd.ResumeFromDir(o.dataDir, o.resume, securefd.DurableOptions{})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if !o.quiet {
+		fmt.Printf("resumed %s at epoch %d (%d completed lattice levels), server recovered from %s\n",
+			o.resume, cp.Epoch, cp.Epoch, o.dataDir)
+	}
+	ckpt := o.ckptPath
+	if ckpt == "" {
+		ckpt = o.resume
+	}
+	start := time.Now()
+	report, err := db.DiscoverResumable(ckpt)
+	if err != nil {
+		return err
+	}
+	printReport(db, report, o, start)
+	if err := srv.Snapshot(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// printReport prints the discovered FDs and, unless -quiet, the run summary.
+func printReport(db *securefd.Database, report *securefd.Report, o options, start time.Time) {
+	fds := report.Minimal
+	if o.aggregate {
+		fds = report.Aggregated
+	}
+	for _, fd := range fds {
+		fmt.Println(fd.Format(db.Schema()))
+	}
+	if !o.quiet {
+		fmt.Printf("\n%d minimal FDs in %s (%d partitions, %d checks)\n",
+			len(report.Minimal), time.Since(start).Round(time.Millisecond),
+			report.SetsMaterialized, report.Checks)
 	}
 }
 
@@ -80,7 +158,18 @@ func run(path string, o options) error {
 		fmt.Printf("loaded %s: %d rows × %d attributes\n", path, rel.NumRows(), rel.NumAttrs())
 	}
 
-	svc := securefd.Service(securefd.NewServer())
+	var svc securefd.Service
+	var durable *securefd.DurableServer
+	if o.dataDir != "" {
+		durable, err = securefd.OpenDir(o.dataDir, securefd.DurableOptions{})
+		if err != nil {
+			return err
+		}
+		defer durable.Close()
+		svc = durable
+	} else {
+		svc = securefd.NewServer()
+	}
 	if o.rtt > 0 {
 		svc = securefd.WithLatency(svc, o.rtt)
 	}
@@ -107,27 +196,28 @@ func run(path string, o options) error {
 	defer db.Close()
 
 	start := time.Now()
-	report, err := db.Discover()
+	var report *securefd.Report
+	if o.ckptPath != "" {
+		report, err = db.DiscoverResumable(o.ckptPath)
+	} else {
+		report, err = db.Discover()
+	}
 	if err != nil {
 		return err
 	}
-	fds := report.Minimal
-	if o.aggregate {
-		fds = report.Aggregated
-	}
-	for _, fd := range fds {
-		fmt.Println(fd.Format(rel.Schema()))
-	}
+	printReport(db, report, o, start)
 	if !o.quiet {
-		fmt.Printf("\n%d minimal FDs via %s in %s (%d partitions, %d checks)\n",
-			len(report.Minimal), protocol, time.Since(start).Round(time.Millisecond),
-			report.SetsMaterialized, report.Checks)
 		if faulty != nil || retried != nil {
 			st, err := svc.Stats()
 			if err == nil {
 				fmt.Printf("fault tolerance: %d faults injected, %d retries\n",
 					st.FaultsInjected, st.Retries)
 			}
+		}
+	}
+	if durable != nil {
+		if err := durable.Snapshot(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -5,9 +5,13 @@
 //
 //	fdserver -listen :7066
 //
-// On SIGINT the server drains: it stops accepting connections, lets
-// in-flight requests finish within -grace, then exits (writing -snapshot
-// if configured). For resilience experiments, -fault-rate/-spike-rate
+// On SIGINT or SIGTERM the server drains: it stops accepting connections,
+// lets in-flight requests finish within -grace, then exits (writing
+// -snapshot if configured). With -data-dir the server is crash-safe instead:
+// every mutation is logged to an append-only WAL before it is acknowledged,
+// client-marked epochs become atomic snapshots, and startup recovers the
+// pre-crash state from the newest valid snapshot plus the log tail — kill -9
+// loses nothing. For resilience experiments, -fault-rate/-spike-rate
 // inject seeded transient storage faults and -drop-rate severs live
 // connections mid-call; a client built on securefd.WithRetry and the
 // self-healing DialTCP transport rides through all of them.
@@ -19,9 +23,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/trace"
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
 
@@ -30,6 +36,7 @@ type config struct {
 	statsEvery   time.Duration
 	latency      time.Duration
 	snapshotPath string
+	dataDir      string        // durable storage directory (WAL + snapshots)
 	grace        time.Duration // drain window for in-flight requests on shutdown
 	faultRate    float64       // seeded transient storage error rate
 	spikeRate    float64       // seeded latency spike rate
@@ -44,6 +51,7 @@ func main() {
 	flag.DurationVar(&cfg.statsEvery, "stats", 0, "if > 0, print storage stats at this interval")
 	flag.DurationVar(&cfg.latency, "latency", 0, "artificial per-operation delay, to model a slower network")
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "persistence file: loaded at startup if present, written on shutdown")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable storage directory (WAL + atomic snapshots): crash-safe, recovers on start; excludes -snapshot")
 	flag.DurationVar(&cfg.grace, "grace", 5*time.Second, "drain window for in-flight requests on SIGINT")
 	flag.Float64Var(&cfg.faultRate, "fault-rate", 0, "inject transient storage errors at this rate (0..1), for resilience testing")
 	flag.Float64Var(&cfg.spikeRate, "spike-rate", 0, "inject latency spikes at this rate (0..1)")
@@ -66,22 +74,52 @@ func run(listen string, cfg config) error {
 	return serve(l, cfg)
 }
 
-// serve runs the server on an established listener until it closes or an
-// interrupt drains it.
+// baseStore is what the command needs from either storage backend beyond the
+// Service surface.
+type baseStore interface {
+	store.Service
+	Trace() *trace.Recorder
+}
+
+// serve runs the server on an established listener until it closes or a
+// termination signal drains it.
 func serve(l net.Listener, cfg config) error {
-	srv := store.NewServer()
-	if cfg.snapshotPath != "" {
-		if f, err := os.Open(cfg.snapshotPath); err == nil {
-			err = srv.LoadSnapshot(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("loading snapshot %s: %w", cfg.snapshotPath, err)
-			}
-			st, _ := srv.Stats()
-			fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", cfg.snapshotPath, st.Objects, st.StoredBytes)
-		} else if !os.IsNotExist(err) {
-			return err
+	var srv baseStore
+	var durable *store.DurableServer
+	var mem *store.Server
+	if cfg.dataDir != "" {
+		if cfg.snapshotPath != "" {
+			return fmt.Errorf("-snapshot and -data-dir are mutually exclusive")
 		}
+		d, err := store.OpenDir(cfg.dataDir, store.DurableOptions{})
+		if err != nil {
+			return fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
+		}
+		defer d.Close()
+		info := d.Recovery()
+		st, _ := d.Stats()
+		fmt.Printf("recovered %s: snapshot #%d (epoch %d), %d WAL records replayed, %d objects, %d bytes\n",
+			cfg.dataDir, info.SnapshotSeq, info.SnapshotEpoch, info.WALReplayed, st.Objects, st.StoredBytes)
+		if info.TornTail {
+			fmt.Printf("repaired torn WAL tail (log truncated at byte %d)\n", info.WALTruncatedAt)
+		}
+		durable, srv = d, d
+	} else {
+		mem = store.NewServer()
+		if cfg.snapshotPath != "" {
+			if f, err := os.Open(cfg.snapshotPath); err == nil {
+				err = mem.LoadSnapshot(f)
+				f.Close()
+				if err != nil {
+					return fmt.Errorf("loading snapshot %s: %w", cfg.snapshotPath, err)
+				}
+				st, _ := mem.Stats()
+				fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", cfg.snapshotPath, st.Objects, st.StoredBytes)
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+		srv = mem
 	}
 	svc := store.WithLatency(store.Service(srv), cfg.latency)
 	var faulty *store.FaultService
@@ -125,18 +163,20 @@ func serve(l net.Listener, cfg config) error {
 
 	ts := transport.NewServer(svc)
 
-	// Drain cleanly on interrupt: stop accepting, let in-flight requests
-	// finish within the grace window, then close what remains.
+	// Drain cleanly on SIGINT or SIGTERM (what init systems and container
+	// runtimes send): stop accepting, let in-flight requests finish within
+	// the grace window, then close what remains.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
-		if _, ok := <-sig; !ok {
+		s, ok := <-sig
+		if !ok {
 			return
 		}
 		active := ts.ActiveConns()
-		fmt.Printf("\nshutting down: draining %d active connections (grace %v)\n", active, cfg.grace)
+		fmt.Printf("\nreceived %v: draining %d active connections (grace %v)\n", s, active, cfg.grace)
 		ts.Shutdown(cfg.grace)
 		fmt.Println("drained")
 	}()
@@ -150,12 +190,20 @@ func serve(l net.Listener, cfg config) error {
 	signal.Stop(sig) // no more sends possible after Stop returns
 	close(sig)       // unblock the drain goroutine if no signal arrived
 	<-drained        // don't exit mid-drain
-	if cfg.snapshotPath != "" {
+	switch {
+	case durable != nil:
+		// Snapshot at the current epoch so the next start replays no WAL;
+		// even without it, the WAL alone already guarantees recovery.
+		if serr := durable.Snapshot(); serr != nil {
+			return fmt.Errorf("final snapshot: %w", serr)
+		}
+		fmt.Printf("saved final snapshot in %s\n", cfg.dataDir)
+	case cfg.snapshotPath != "":
 		f, ferr := os.Create(cfg.snapshotPath)
 		if ferr != nil {
 			return ferr
 		}
-		if serr := srv.SaveSnapshot(f); serr != nil {
+		if serr := mem.SaveSnapshot(f); serr != nil {
 			f.Close()
 			return serr
 		}

@@ -389,3 +389,29 @@ func TestFaultToleranceTiny(t *testing.T) {
 		t.Errorf("render:\n%s", out)
 	}
 }
+
+// TestRecoveryTiny: the recovery experiment completes, checkpoints at least
+// one epoch, resumes after the injected crash, and agrees with the clean
+// run (enforced inside).
+func TestRecoveryTiny(t *testing.T) {
+	res, err := Recovery([]int{32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.Epochs < 1 {
+		t.Errorf("no checkpoint epochs in a full discovery")
+	}
+	if p.Clean <= 0 || p.Durable <= 0 || p.Reopen <= 0 || p.Finish <= 0 {
+		t.Errorf("non-positive timings: %+v", p)
+	}
+	if p.SnapBytes <= 0 || p.CkptBytes <= 0 {
+		t.Errorf("no on-disk footprint measured: %+v", p)
+	}
+	if out := res.Render(); !strings.Contains(out, "Crash recovery") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// Client-side checkpointing. A Checkpoint bundles everything the client
+// needs to continue a discovery run after a crash: the encryption key, the
+// engine's per-set ORAM client states (stash + position map — the secrets),
+// and the lattice traversal frontier. It is written to a client-local file
+// and NEVER crosses the wire: the server-side counterpart is just the
+// recovery epoch number passed to store.Service.Checkpoint, so the leakage
+// profile is unchanged (the adversary learns that — and when — the client
+// checkpointed, which is timing it already observes).
+//
+// Consistency contract: a checkpoint at epoch E is valid only against a
+// server whose storage is exactly as it was when E was marked. PathORAM
+// reads mutate the server (leaf remap + path rewrite), so resuming an old
+// client state against a newer server state silently corrupts the
+// partitions. Resume therefore verifies Stats().Epoch == E and
+// Stats().MutationsSinceEpoch == 0 before touching anything.
+
+// Checkpoint sentinels.
+var (
+	// ErrCorruptCheckpoint marks a checkpoint file that cannot be restored
+	// (truncated, bit-flipped, or semantically inconsistent).
+	ErrCorruptCheckpoint = errors.New("core: corrupt checkpoint")
+	// ErrEpochMismatch is returned by Resume when the server's storage
+	// state does not match the checkpoint's epoch — either a different
+	// epoch was marked last, or mutations were applied after the mark.
+	ErrEpochMismatch = errors.New("core: server state does not match checkpoint epoch")
+)
+
+// checkpointMagic identifies the framed checkpoint format.
+var checkpointMagic = [8]byte{'O', 'F', 'D', 'C', 'K', 'P', 'T', '1'}
+
+const maxCheckpointPayload = 1 << 40
+
+// EDBState is the serializable client handle to an uploaded database. It
+// carries the encryption key — the reason checkpoint files must stay on the
+// client.
+type EDBState struct {
+	Name     string
+	Attrs    []string
+	N        int
+	Capacity int
+	Key      crypto.Key
+}
+
+// State captures the database handle.
+func (e *EncryptedDB) State() *EDBState {
+	return &EDBState{
+		Name:     e.name,
+		Attrs:    e.schema.Names(),
+		N:        e.n,
+		Capacity: e.capacity,
+		Key:      e.cipher.Key(),
+	}
+}
+
+// AttachEDB rebuilds a database handle over existing server-side column
+// arrays (no creation, no upload).
+func AttachEDB(svc store.Service, st *EDBState) (*EncryptedDB, error) {
+	schema, err := relation.NewSchema(st.Attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: schema: %v", ErrCorruptCheckpoint, err)
+	}
+	if st.N < 0 || st.Capacity < 1 || st.N > st.Capacity {
+		return nil, fmt.Errorf("%w: %d rows in capacity %d", ErrCorruptCheckpoint, st.N, st.Capacity)
+	}
+	cipher, err := crypto.NewCipher(st.Key)
+	if err != nil {
+		return nil, err
+	}
+	return &EncryptedDB{
+		svc:      svc,
+		cipher:   cipher,
+		name:     st.Name,
+		schema:   schema,
+		n:        st.N,
+		capacity: st.Capacity,
+	}, nil
+}
+
+// SetState is the checkpoint form of one materialized attribute set:
+// cardinality, covering subsets, and the client states of its two ORAMs
+// (KL/IL for OrEngine, KLF/IKL for ExEngine).
+type SetState struct {
+	Set       relation.AttrSet
+	Card      uint64
+	NextLabel uint64 // ExEngine's monotone label source; unused by OrEngine
+	Cover     [2]relation.AttrSet
+	Primary   *oram.StoreState // KL or KLF
+	Secondary *oram.StoreState // IL or IKL
+}
+
+// Engine kind tags used in EngineState.Kind.
+const (
+	engineKindOr = "or-oram"
+	engineKindEx = "ex-oram"
+)
+
+// EngineState is the serializable client state of an attribute-level engine.
+type EngineState struct {
+	Kind     string // engineKindOr or engineKindEx
+	Instance string // ORAM name prefix; preserved so names keep matching
+	Seq      int64  // ORAM-name counter; preserved so new names stay unique
+	N        int    // OrEngine: live row count
+	LiveIDs  []int  // ExEngine: live record ids, ascending
+	Sets     []SetState
+}
+
+// CheckpointableEngine is implemented by engines that can capture and later
+// resume their client state.
+type CheckpointableEngine interface {
+	Engine
+	CheckpointState() *EngineState
+}
+
+// ResumeEngine rebuilds whichever engine the state describes, attached to
+// the given database handle.
+func ResumeEngine(edb *EncryptedDB, st *EngineState) (Engine, error) {
+	switch st.Kind {
+	case engineKindOr:
+		return ResumeOrEngine(edb, st)
+	case engineKindEx:
+		return ResumeExEngine(edb, st)
+	default:
+		return nil, fmt.Errorf("%w: unknown engine kind %q", ErrCorruptCheckpoint, st.Kind)
+	}
+}
+
+// factoryFromSets infers the ORAM construction for post-resume
+// materializations from the checkpointed stores: every set uses the same
+// construction, so the first one decides. nil means the default
+// (oram.PathFactory).
+func factoryFromSets(sets []SetState) oram.Factory {
+	if len(sets) > 0 && sets[0].Primary != nil && sets[0].Primary.Linear != nil {
+		return oram.LinearFactory
+	}
+	return nil
+}
+
+// LatticeState is the serializable frontier of a Discover run, captured at
+// a level boundary: the sets whose partitions are live, the pruning state
+// (C⁺), and the results so far. NextLevel is the loop index the resumed run
+// starts at.
+type LatticeState struct {
+	M                int
+	NextLevel        int
+	Level            []relation.AttrSet
+	PrevLevel        []relation.AttrSet
+	CPlus            map[relation.AttrSet]relation.AttrSet
+	Minimal          []relation.FD
+	Cardinalities    map[relation.AttrSet]int
+	SetsMaterialized int
+	Checks           int
+	MaxLHS           int
+	KeepPartitions   bool
+}
+
+// Checkpoint is a complete client-side recovery point. Epoch is the value
+// passed to store.Service.Checkpoint at capture time (the completed lattice
+// level count); Resume verifies the server still sits at exactly that
+// state.
+type Checkpoint struct {
+	Epoch   int64
+	EDB     *EDBState
+	Engine  *EngineState
+	Lattice *LatticeState
+}
+
+// WriteCheckpoint serializes a checkpoint with the same CRC framing as
+// server snapshots, so truncation and corruption are always detected.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(cp); err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	header := make([]byte, 8+8+4)
+	copy(header, checkpointMagic[:])
+	binary.LittleEndian.PutUint64(header[8:], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(header[16:], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("core: writing checkpoint header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: writing checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint parses and validates a framed checkpoint. Any failure —
+// short read, bad magic, CRC mismatch, decode error — wraps
+// ErrCorruptCheckpoint.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	header := make([]byte, 8+8+4)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptCheckpoint, err)
+	}
+	if !bytes.Equal(header[:8], checkpointMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, header[:8])
+	}
+	plen := binary.LittleEndian.Uint64(header[8:])
+	want := binary.LittleEndian.Uint32(header[16:])
+	if plen > maxCheckpointPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptCheckpoint, plen)
+	}
+	// Incremental read: a corrupted length field must not provoke a huge
+	// up-front allocation.
+	var payloadBuf bytes.Buffer
+	if n, err := io.CopyN(&payloadBuf, r, int64(plen)); err != nil || n != int64(plen) {
+		return nil, fmt.Errorf("%w: short payload (%d of %d bytes): %v", ErrCorruptCheckpoint, n, plen, err)
+	}
+	payload := payloadBuf.Bytes()
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrCorruptCheckpoint, got, want)
+	}
+	cp := new(Checkpoint)
+	if err := safeCheckpointDecode(payload, cp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	if cp.EDB == nil || cp.Engine == nil || cp.Lattice == nil {
+		return nil, fmt.Errorf("%w: missing section", ErrCorruptCheckpoint)
+	}
+	return cp, nil
+}
+
+func safeCheckpointDecode(data []byte, cp *Checkpoint) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("gob decode panicked: %v", p)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(cp)
+}
+
+// WriteCheckpointFile writes a checkpoint atomically (temp + fsync +
+// rename) so a crash mid-write can never leave a torn file where a previous
+// good checkpoint was.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := WriteCheckpoint(tmp, cp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads a checkpoint from a file.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// VerifyEpoch checks the resume-consistency contract against a live
+// service: the server's last-marked epoch must equal the checkpoint's and
+// no mutation may have been applied since. Works over any transport because
+// both values travel in Stats.
+func VerifyEpoch(svc store.Service, epoch int64) error {
+	st, err := svc.Stats()
+	if err != nil {
+		return err
+	}
+	if st.Epoch != epoch || st.MutationsSinceEpoch != 0 {
+		return fmt.Errorf("%w: checkpoint epoch %d, server epoch %d with %d mutations since",
+			ErrEpochMismatch, epoch, st.Epoch, st.MutationsSinceEpoch)
+	}
+	return nil
+}

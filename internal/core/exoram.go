@@ -347,6 +347,63 @@ func (e *ExEngine) setsBySize() []relation.AttrSet {
 	return out
 }
 
+// CheckpointState implements CheckpointableEngine.
+func (e *ExEngine) CheckpointState() *EngineState {
+	es := &EngineState{
+		Kind:     engineKindEx,
+		Instance: e.instance,
+		Seq:      e.seq.Load(),
+		LiveIDs:  e.liveOrdered(),
+	}
+	for _, x := range e.setsBySize() {
+		st := e.sets[x]
+		es.Sets = append(es.Sets, SetState{
+			Set:       x,
+			Card:      st.card,
+			NextLabel: st.nextLabel,
+			Cover:     st.cover,
+			Primary:   st.klf.CheckpointState(),
+			Secondary: st.ikl.CheckpointState(),
+		})
+	}
+	return es
+}
+
+// ResumeExEngine rebuilds an ExEngine from checkpointed state, reattaching
+// every set's ORAM handles to their existing server-side objects. The
+// server must hold exactly the storage state it had at capture time (see
+// the consistency contract in checkpoint.go).
+func ResumeExEngine(edb *EncryptedDB, st *EngineState) (*ExEngine, error) {
+	if st.Kind != engineKindEx {
+		return nil, fmt.Errorf("%w: engine kind %q, want %q", ErrCorruptCheckpoint, st.Kind, engineKindEx)
+	}
+	live := make(map[int]bool, len(st.LiveIDs))
+	for _, id := range st.LiveIDs {
+		live[id] = true
+	}
+	e := &ExEngine{
+		edb:      edb,
+		instance: st.Instance,
+		Factory:  factoryFromSets(st.Sets),
+		capacity: edb.Capacity(),
+		liveIDs:  live,
+		sets:     make(map[relation.AttrSet]*exState, len(st.Sets)),
+	}
+	e.seq.Store(st.Seq)
+	for _, s := range st.Sets {
+		klf, err := oram.ResumeStore(edb.svc, edb.cipher, s.Primary)
+		if err != nil {
+			return nil, fmt.Errorf("core: resuming O^KLF for %v: %w", s.Set, err)
+		}
+		ikl, err := oram.ResumeStore(edb.svc, edb.cipher, s.Secondary)
+		if err != nil {
+			return nil, fmt.Errorf("core: resuming O^IKL for %v: %w", s.Set, err)
+		}
+		e.sets[s.Set] = &exState{klf: klf, ikl: ikl, card: s.Card, nextLabel: s.NextLabel, cover: s.Cover}
+	}
+	return e, nil
+}
+
 // Release implements Engine.
 func (e *ExEngine) Release(x relation.AttrSet) error {
 	st, ok := e.sets[x]

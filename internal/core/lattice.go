@@ -31,6 +31,20 @@ type Options struct {
 	// the candidate FD and whether it holds — the protocol's only
 	// disclosure to the server beyond the access pattern.
 	Reveal func(fd relation.FD, holds bool)
+	// Checkpoint, if non-nil, is invoked at every lattice level boundary
+	// (after the level's partitions are materialized and obsolete ones
+	// released) with a deep copy of the traversal state. The callback
+	// typically captures the engine state alongside, marks the recovery
+	// epoch on the server, and persists everything to a client-local file
+	// (securefd.Database.DiscoverResumable wires exactly that). A callback
+	// error aborts discovery.
+	Checkpoint func(ls *LatticeState) error
+	// Resume, if non-nil, continues a previous run from its checkpointed
+	// frontier instead of starting at level 1. The engine must hold the
+	// partitions the state references (core.ResumeEngine rebuilds it).
+	// MaxLHS and KeepPartitions are taken from the state, not from this
+	// Options value, so the resumed run cannot diverge from the original.
+	Resume *LatticeState
 }
 
 // Result is the outcome of a discovery run.
@@ -84,20 +98,83 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		return cp
 	}
 
-	// Level 1: materialize every singleton partition.
-	level := relation.AllSingletons(m)
-	for _, x := range level {
-		card, err := engine.CardinalitySingle(x.First())
-		if err != nil {
-			return nil, err
+	var level, prevLevel []relation.AttrSet
+	startLevel := 1
+
+	// snapshotState deep-copies the traversal state at a level boundary, so
+	// the checkpoint callback can retain it without aliasing live maps.
+	snapshotState := func(nextLevel int) *LatticeState {
+		ls := &LatticeState{
+			M:                m,
+			NextLevel:        nextLevel,
+			Level:            append([]relation.AttrSet(nil), level...),
+			PrevLevel:        append([]relation.AttrSet(nil), prevLevel...),
+			CPlus:            make(map[relation.AttrSet]relation.AttrSet, len(cplus)),
+			Minimal:          append([]relation.FD(nil), res.Minimal...),
+			Cardinalities:    make(map[relation.AttrSet]int, len(res.Cardinalities)),
+			SetsMaterialized: res.SetsMaterialized,
+			Checks:           res.Checks,
+			MaxLHS:           opts.MaxLHS,
+			KeepPartitions:   opts.KeepPartitions,
 		}
-		res.Cardinalities[x] = card
-		res.SetsMaterialized++
+		for k, v := range cplus {
+			ls.CPlus[k] = v
+		}
+		for k, v := range res.Cardinalities {
+			ls.Cardinalities[k] = v
+		}
+		return ls
 	}
 
-	var prevLevel []relation.AttrSet // sets eligible for release next round
+	if rs := opts.Resume; rs != nil {
+		// Continue from a checkpointed frontier. The pruning-relevant
+		// options come from the state so the resumed traversal — and with
+		// it the access pattern — is the one the original run would have
+		// produced.
+		if rs.M != m {
+			return nil, fmt.Errorf("%w: checkpoint covers %d attributes, engine %d", ErrCorruptCheckpoint, rs.M, m)
+		}
+		if rs.NextLevel < 1 {
+			return nil, fmt.Errorf("%w: next level %d", ErrCorruptCheckpoint, rs.NextLevel)
+		}
+		opts.MaxLHS = rs.MaxLHS
+		opts.KeepPartitions = rs.KeepPartitions
+		level = append([]relation.AttrSet(nil), rs.Level...)
+		prevLevel = append([]relation.AttrSet(nil), rs.PrevLevel...)
+		for k, v := range rs.CPlus {
+			cplus[k] = v
+		}
+		res.Minimal = append([]relation.FD(nil), rs.Minimal...)
+		for k, v := range rs.Cardinalities {
+			res.Cardinalities[k] = v
+		}
+		res.SetsMaterialized = rs.SetsMaterialized
+		res.Checks = rs.Checks
+		startLevel = rs.NextLevel
+		for _, x := range level {
+			if _, ok := engine.Cardinality(x); !ok {
+				return nil, fmt.Errorf("%w: frontier set %v not materialized in engine", ErrCorruptCheckpoint, x)
+			}
+		}
+	} else {
+		// Level 1: materialize every singleton partition.
+		level = relation.AllSingletons(m)
+		for _, x := range level {
+			card, err := engine.CardinalitySingle(x.First())
+			if err != nil {
+				return nil, err
+			}
+			res.Cardinalities[x] = card
+			res.SetsMaterialized++
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(snapshotState(1)); err != nil {
+				return nil, fmt.Errorf("core: checkpoint after level 1: %w", err)
+			}
+		}
+	}
 
-	for l := 1; len(level) > 0; l++ {
+	for l := startLevel; len(level) > 0; l++ {
 		// ComputeDependencies: refresh C⁺ for this level.
 		for _, x := range level {
 			cp := universe
@@ -234,6 +311,15 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 		prevLevel = kept
 		level = next
+
+		// Level boundary: partitions for `level` are materialized, obsolete
+		// ones released — the engine state matches the frontier exactly, so
+		// this is the one safe moment to checkpoint.
+		if opts.Checkpoint != nil && len(level) > 0 {
+			if err := opts.Checkpoint(snapshotState(l + 1)); err != nil {
+				return nil, fmt.Errorf("core: checkpoint after level %d: %w", l, err)
+			}
+		}
 	}
 
 	relation.SortFDs(res.Minimal)

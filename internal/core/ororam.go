@@ -241,6 +241,60 @@ func (e *OrEngine) setsBySize() []relation.AttrSet {
 	return out
 }
 
+// CheckpointState implements CheckpointableEngine: it deep-captures every
+// materialized set's cardinality, cover, and ORAM client states, in
+// cover-before-union order so resume can rebuild dependencies in sequence.
+func (e *OrEngine) CheckpointState() *EngineState {
+	es := &EngineState{
+		Kind:     engineKindOr,
+		Instance: e.instance,
+		Seq:      e.seq.Load(),
+		N:        e.n,
+	}
+	for _, x := range e.setsBySize() {
+		st := e.sets[x]
+		es.Sets = append(es.Sets, SetState{
+			Set:       x,
+			Card:      st.card,
+			Cover:     st.cover,
+			Primary:   st.kl.CheckpointState(),
+			Secondary: st.il.CheckpointState(),
+		})
+	}
+	return es
+}
+
+// ResumeOrEngine rebuilds an OrEngine from checkpointed state, reattaching
+// every set's ORAM handles to their existing server-side objects. The
+// server must hold exactly the storage state it had at capture time (see
+// the consistency contract in checkpoint.go).
+func ResumeOrEngine(edb *EncryptedDB, st *EngineState) (*OrEngine, error) {
+	if st.Kind != engineKindOr {
+		return nil, fmt.Errorf("%w: engine kind %q, want %q", ErrCorruptCheckpoint, st.Kind, engineKindOr)
+	}
+	e := &OrEngine{
+		edb:      edb,
+		instance: st.Instance,
+		Factory:  factoryFromSets(st.Sets),
+		capacity: edb.Capacity(),
+		n:        st.N,
+		sets:     make(map[relation.AttrSet]*orState, len(st.Sets)),
+	}
+	e.seq.Store(st.Seq)
+	for _, s := range st.Sets {
+		kl, err := oram.ResumeStore(edb.svc, edb.cipher, s.Primary)
+		if err != nil {
+			return nil, fmt.Errorf("core: resuming O^KL for %v: %w", s.Set, err)
+		}
+		il, err := oram.ResumeStore(edb.svc, edb.cipher, s.Secondary)
+		if err != nil {
+			return nil, fmt.Errorf("core: resuming O^IL for %v: %w", s.Set, err)
+		}
+		e.sets[s.Set] = &orState{kl: kl, il: il, card: s.Card, cover: s.Cover}
+	}
+	return e, nil
+}
+
 // Release implements Engine.
 func (e *OrEngine) Release(x relation.AttrSet) error {
 	st, ok := e.sets[x]

@@ -62,6 +62,7 @@ func MustNewKey() Key {
 // use: the AES block cipher is stateless after construction and every
 // encryption draws its own nonce.
 type Cipher struct {
+	key   Key // retained so client-side checkpoints can rebuild the cipher
 	block cipher.Block
 	mac   []byte // HMAC key derived from the AES key, for PRF use
 	rand  io.Reader
@@ -74,8 +75,13 @@ func NewCipher(key Key) (*Cipher, error) {
 		return nil, fmt.Errorf("crypto: building AES cipher: %w", err)
 	}
 	h := sha256.Sum256(append([]byte("oblivfd-prf-v1"), key[:]...))
-	return &Cipher{block: block, mac: h[:], rand: rand.Reader}, nil
+	return &Cipher{key: key, block: block, mac: h[:], rand: rand.Reader}, nil
 }
+
+// Key returns the key the cipher was built from. It exists so a client-side
+// checkpoint can carry the key and resume with an identical cipher; the key
+// never leaves the client (checkpoint files are client-local by design).
+func (c *Cipher) Key() Key { return c.key }
 
 // MustNewCipher is NewCipher that panics on error; the only error source is
 // an invalid key length, which the Key type already rules out.

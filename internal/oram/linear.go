@@ -33,6 +33,9 @@ type Store interface {
 	Accesses() int64
 	// ClientMemoryBytes estimates client-held state.
 	ClientMemoryBytes() int
+	// CheckpointState captures the client-held state for a client-local
+	// checkpoint file; oram.ResumeStore rebuilds the handle from it.
+	CheckpointState() *StoreState
 	// Destroy frees the server-side object.
 	Destroy() error
 }

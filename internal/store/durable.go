@@ -1,0 +1,532 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/oblivfd/oblivfd/internal/trace"
+)
+
+// DurableServer wraps the in-memory Server with crash-safe persistence:
+// every mutation is applied to memory and then appended to a write-ahead
+// log before the call returns, and Snapshot/Checkpoint write the full state
+// to an atomically-renamed snapshot file and compact the log. OpenDir
+// recovers by replaying the surviving log over the newest valid snapshot.
+//
+// Data directory layout:
+//
+//	<dir>/snap-<seq>.snap   framed snapshots, seq strictly increasing
+//	<dir>/wal.log           mutations since the newest snapshot
+//
+// The last KeepSnapshots snapshots are retained so a client whose
+// checkpoint file is one epoch behind the server's newest mark can still
+// roll back to a matching state (OpenDirAtEpoch).
+//
+// Leakage: the directory holds exactly what the live server holds —
+// ciphertexts and public structure. Persisting it gives the adversary
+// nothing the threat model's full-memory view did not already include.
+type DurableServer struct {
+	mu   sync.Mutex
+	mem  *Server
+	dir  string
+	opts DurableOptions
+
+	wal     *walWriter
+	snapSeq int64 // sequence number of the newest snapshot on disk
+
+	killed  bool  // crash-injection kill point fired
+	kills   int64 // appends remaining before the kill point (when armed)
+	armed   bool
+	recInfo RecoveryInfo
+}
+
+var _ Service = (*DurableServer)(nil)
+
+// DurableOptions tunes the durable backend.
+type DurableOptions struct {
+	// SyncEvery is the WAL fsync cadence in records. 1 (the default via 0)
+	// syncs every append: an acknowledged mutation survives any crash.
+	// Larger values trade the tail of that guarantee for throughput.
+	SyncEvery int
+	// KeepSnapshots is how many epoch snapshots to retain (default 2).
+	// Two covers the client-crash window between the server's epoch mark
+	// and the client writing its own checkpoint file.
+	KeepSnapshots int
+	// KillAfterAppends arms the crash-injection kill point: the Nth WAL
+	// append (1-based) writes only a torn partial frame, the in-memory
+	// mutation is acknowledged to nobody, and every subsequent call
+	// returns ErrServerKilled until the directory is reopened. Zero
+	// disables injection.
+	KillAfterAppends int64
+}
+
+func (o DurableOptions) withDefaults() DurableOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.KeepSnapshots <= 0 {
+		o.KeepSnapshots = 2
+	}
+	return o
+}
+
+// RecoveryInfo reports what OpenDir found and did.
+type RecoveryInfo struct {
+	SnapshotSeq    int64 // sequence of the snapshot restored (0 = none)
+	SnapshotEpoch  int64 // epoch recorded in that snapshot
+	WALReplayed    int   // complete WAL records replayed
+	WALTruncatedAt int64 // byte offset the log was truncated to (torn tail)
+	TornTail       bool  // whether a torn tail was found and discarded
+	WALDiscarded   bool  // log dropped: it extended a snapshot we could not restore
+}
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	walName    = "wal.log"
+)
+
+func snapPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapPrefix, seq, snapSuffix))
+}
+
+// listSnapshots returns the snapshot sequence numbers in dir, ascending.
+func listSnapshots(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+		if err != nil {
+			continue // foreign file; ignore
+		}
+		seqs = append(seqs, n)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// OpenDir opens (creating if needed) a data directory and recovers: it
+// loads the newest snapshot that passes validation, replays the WAL's
+// complete records over it, and truncates any torn tail. A snapshot that
+// fails its CRC is skipped in favor of the next-newest (the write was
+// atomic, so a bad newest snapshot means a crash before rename completed
+// its fsync — the previous one is intact); if every snapshot is corrupt,
+// OpenDir returns ErrCorruptSnapshot.
+func OpenDir(dir string, opts DurableOptions) (*DurableServer, error) {
+	return openDir(dir, opts, -1)
+}
+
+// OpenDirAtEpoch opens the directory rolled back to the newest retained
+// snapshot that was taken exactly at the given epoch mark (matching epoch,
+// zero mutations since — shutdown snapshots recording later mutations under
+// the same epoch are skipped): the WAL and any newer snapshots are discarded
+// so the storage state is exactly the one the client's checkpoint at that
+// epoch describes. Returns ErrNoSuchEpoch if no retained snapshot qualifies.
+func OpenDirAtEpoch(dir string, epoch int64, opts DurableOptions) (*DurableServer, error) {
+	return openDir(dir, opts, epoch)
+}
+
+func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	seqs, err := listSnapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	mem := NewServer()
+	var info RecoveryInfo
+	rollback := wantEpoch >= 0
+
+	// Restore the newest usable snapshot (newest matching snapshot when
+	// rolling back to an epoch).
+	matched := false
+	newest := int64(-1)
+	if len(seqs) > 0 {
+		newest = seqs[len(seqs)-1]
+	}
+	var loadErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		f, err := os.Open(snapPath(dir, seqs[i]))
+		if err != nil {
+			return nil, err
+		}
+		err = mem.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			if IsCorrupt(err) {
+				loadErr = err
+				continue // fall back to the previous snapshot
+			}
+			return nil, err
+		}
+		if rollback {
+			// Only a snapshot taken at the epoch mark itself will do: a
+			// shutdown snapshot can record the same epoch with mutations
+			// applied since, and resuming a client checkpoint against that
+			// state would corrupt its ORAM partitions (VerifyEpoch would
+			// reject it anyway — skip to the checkpoint-consistent one).
+			st, serr := mem.Stats()
+			if serr != nil {
+				return nil, serr
+			}
+			if st.Epoch != wantEpoch || st.MutationsSinceEpoch != 0 {
+				mem = NewServer() // discard; keep looking for the epoch
+				continue
+			}
+		}
+		info.SnapshotSeq = seqs[i]
+		info.SnapshotEpoch = mem.Epoch()
+		matched = true
+		break
+	}
+	if !matched {
+		if rollback {
+			return nil, fmt.Errorf("%w: epoch %d not among retained snapshots", ErrNoSuchEpoch, wantEpoch)
+		}
+		if len(seqs) > 0 && loadErr != nil {
+			// Snapshots exist but none restored: surface the corruption.
+			return nil, loadErr
+		}
+		mem = NewServer() // fresh directory
+	}
+
+	walPath := filepath.Join(dir, walName)
+	switch {
+	case rollback:
+		// The log extends the *newest* state; after rollback it no longer
+		// applies. Discard it.
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		// Newer snapshots than the matched one describe futures the client
+		// abandoned; prune them so the next snapshot sequence stays sane.
+		for _, seq := range seqs {
+			if seq > info.SnapshotSeq {
+				if err := os.Remove(snapPath(dir, seq)); err != nil && !os.IsNotExist(err) {
+					return nil, err
+				}
+			}
+		}
+	case matched && info.SnapshotSeq != newest:
+		// The log extends the newest snapshot, which failed to restore.
+		// Replaying it over an older one would fabricate state; drop it
+		// and report the data loss.
+		info.WALDiscarded = true
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+	default:
+		if err := replayWALFile(mem, walPath, &info); err != nil {
+			return nil, err
+		}
+	}
+	w, err := openWALWriter(walPath, opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DurableServer{
+		mem:     mem,
+		dir:     dir,
+		opts:    opts,
+		wal:     w,
+		snapSeq: info.SnapshotSeq,
+		recInfo: info,
+	}
+	if opts.KillAfterAppends > 0 {
+		ds.armed = true
+		ds.kills = opts.KillAfterAppends
+	}
+	return ds, nil
+}
+
+// replayWALFile replays every complete record of the log at path into mem
+// and truncates a torn tail in place. A missing log is a no-op.
+func replayWALFile(mem *Server, path string, info *RecoveryInfo) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	records, validEnd, torn := scanWAL(f)
+	f.Close()
+	if err := replayWAL(mem, records); err != nil {
+		return err
+	}
+	info.WALReplayed = len(records)
+	info.TornTail = torn
+	info.WALTruncatedAt = validEnd
+	if torn {
+		if err := os.Truncate(path, validEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recovery reports what opening the directory found.
+func (d *DurableServer) Recovery() RecoveryInfo { return d.recInfo }
+
+// Trace exposes the in-memory server's adversary recorder.
+func (d *DurableServer) Trace() *trace.Recorder { return d.mem.Trace() }
+
+// Reveals exposes the reveal log.
+func (d *DurableServer) Reveals() []Reveal { return d.mem.Reveals() }
+
+// Epoch returns the last client-marked recovery epoch.
+func (d *DurableServer) Epoch() int64 { return d.mem.Epoch() }
+
+// Dir returns the data directory path.
+func (d *DurableServer) Dir() string { return d.dir }
+
+// logMutation appends a record after the in-memory apply succeeded. With
+// SyncEvery=1 an acknowledged mutation is durable; a crash between apply
+// and append loses only an operation that was never acknowledged, which is
+// indistinguishable (to the client) from crashing before the call. When the
+// kill point fires the record is written torn and the server plays dead.
+func (d *DurableServer) logMutation(rec *walRecord) error {
+	if d.armed {
+		d.kills--
+		if d.kills == 0 {
+			d.killed = true
+			if err := d.wal.appendTorn(rec); err != nil {
+				return err
+			}
+			return fmt.Errorf("%w: kill point at WAL append %d", ErrServerKilled, d.wal.appended+1)
+		}
+	}
+	return d.wal.append(rec)
+}
+
+// mutate runs apply against memory and logs the record on success.
+func (d *DurableServer) mutate(apply func() error, rec *walRecord) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return ErrServerKilled
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	return d.logMutation(rec)
+}
+
+// readGuard serializes reads with the kill flag. The inner Server has its
+// own RWMutex; this lock only makes "dead servers answer nothing" strict.
+func (d *DurableServer) readGuard() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return ErrServerKilled
+	}
+	return nil
+}
+
+// CreateArray implements Service.
+func (d *DurableServer) CreateArray(name string, n int) error {
+	return d.mutate(func() error { return d.mem.CreateArray(name, n) },
+		&walRecord{Op: walCreateArray, Name: name, N: int64(n)})
+}
+
+// ArrayLen implements Service.
+func (d *DurableServer) ArrayLen(name string) (int, error) {
+	if err := d.readGuard(); err != nil {
+		return 0, err
+	}
+	return d.mem.ArrayLen(name)
+}
+
+// ReadCells implements Service.
+func (d *DurableServer) ReadCells(name string, idx []int64) ([][]byte, error) {
+	if err := d.readGuard(); err != nil {
+		return nil, err
+	}
+	return d.mem.ReadCells(name, idx)
+}
+
+// WriteCells implements Service.
+func (d *DurableServer) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return d.mutate(func() error { return d.mem.WriteCells(name, idx, cts) },
+		&walRecord{Op: walWriteCells, Name: name, Idx: idx, Cts: cts})
+}
+
+// CreateTree implements Service.
+func (d *DurableServer) CreateTree(name string, levels, slotsPerBucket int) error {
+	return d.mutate(func() error { return d.mem.CreateTree(name, levels, slotsPerBucket) },
+		&walRecord{Op: walCreateTree, Name: name, Levels: levels, Slots: slotsPerBucket})
+}
+
+// ReadPath implements Service.
+func (d *DurableServer) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	if err := d.readGuard(); err != nil {
+		return nil, err
+	}
+	return d.mem.ReadPath(name, leaf)
+}
+
+// WritePath implements Service.
+func (d *DurableServer) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return d.mutate(func() error { return d.mem.WritePath(name, leaf, slots) },
+		&walRecord{Op: walWritePath, Name: name, Leaf: leaf, Cts: slots})
+}
+
+// WriteBuckets implements Service.
+func (d *DurableServer) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return d.mutate(func() error { return d.mem.WriteBuckets(name, bucketStart, slots) },
+		&walRecord{Op: walWriteBuckets, Name: name, N: int64(bucketStart), Cts: slots})
+}
+
+// Delete implements Service.
+func (d *DurableServer) Delete(name string) error {
+	return d.mutate(func() error { return d.mem.Delete(name) },
+		&walRecord{Op: walDelete, Name: name})
+}
+
+// Reveal implements Service. Reveals are part of the adversary's trace, not
+// the recoverable storage state, so they are not logged.
+func (d *DurableServer) Reveal(tag string, value int64) error {
+	if err := d.readGuard(); err != nil {
+		return err
+	}
+	return d.mem.Reveal(tag, value)
+}
+
+// Checkpoint implements Service: it marks the epoch, writes an epoch-tagged
+// snapshot atomically, compacts the WAL, and prunes snapshots beyond
+// KeepSnapshots. When it returns, the mark is durable: a crash at any later
+// point recovers to a state at or after this epoch, and OpenDirAtEpoch can
+// roll back to exactly it while retained.
+func (d *DurableServer) Checkpoint(epoch int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return ErrServerKilled
+	}
+	if err := d.mem.Checkpoint(epoch); err != nil {
+		return err
+	}
+	return d.snapshotLocked()
+}
+
+// Snapshot writes a snapshot of the current state (whatever the epoch) and
+// compacts the WAL. fdserver calls it on graceful shutdown.
+func (d *DurableServer) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return ErrServerKilled
+	}
+	return d.snapshotLocked()
+}
+
+// snapshotLocked writes snap-<seq+1> via temp + fsync + rename + dir sync,
+// then truncates the WAL (its records are absorbed) and prunes old
+// snapshots. Crash windows: before rename — old snapshot + full WAL still
+// recover; between rename and truncate — the new snapshot already contains
+// the WAL's effects, and replay over it is idempotent.
+func (d *DurableServer) snapshotLocked() error {
+	seq := d.snapSeq + 1
+	final := snapPath(d.dir, seq)
+	tmp, err := os.CreateTemp(d.dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := d.mem.SaveSnapshot(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	d.snapSeq = seq
+
+	if err := d.wal.truncate(); err != nil {
+		return err
+	}
+
+	// Prune beyond the retention window; failures here cost only disk.
+	seqs, err := listSnapshots(d.dir)
+	if err == nil && len(seqs) > d.opts.KeepSnapshots {
+		for _, old := range seqs[:len(seqs)-d.opts.KeepSnapshots] {
+			os.Remove(snapPath(d.dir, old))
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats implements Service.
+func (d *DurableServer) Stats() (Stats, error) {
+	if err := d.readGuard(); err != nil {
+		return Stats{}, err
+	}
+	return d.mem.Stats()
+}
+
+// WALSize returns the current log size in bytes (for the recovery bench).
+func (d *DurableServer) WALSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal.size
+}
+
+// WALAppends returns the total records appended since open, across
+// compactions (the crash harness uses it to seed kill points).
+func (d *DurableServer) WALAppends() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal.appended
+}
+
+// Close syncs and closes the log. It does not snapshot; callers wanting a
+// compact directory call Snapshot first.
+func (d *DurableServer) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal.close()
+}

@@ -166,6 +166,13 @@ func (f *FaultService) Reveal(tag string, value int64) error {
 	return f.call("Reveal", true, func() error { return f.svc.Reveal(tag, value) })
 }
 
+// Checkpoint implements Service. Re-marking an epoch is idempotent (the
+// durable backend writes a fresh snapshot of the same state), so fail-after
+// injection is allowed.
+func (f *FaultService) Checkpoint(epoch int64) error {
+	return f.call("Checkpoint", true, func() error { return f.svc.Checkpoint(epoch) })
+}
+
 // Stats implements Service, adding the injected-fault count to the report.
 // Stats itself is exempt from injection so that monitoring stays reliable
 // even under heavy chaos.

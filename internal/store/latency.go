@@ -84,6 +84,12 @@ func (l *latencyService) Reveal(tag string, value int64) error {
 	return l.svc.Reveal(tag, value)
 }
 
+// Checkpoint implements Service.
+func (l *latencyService) Checkpoint(epoch int64) error {
+	l.delay()
+	return l.svc.Checkpoint(epoch)
+}
+
 // Stats implements Service.
 func (l *latencyService) Stats() (Stats, error) {
 	l.delay()

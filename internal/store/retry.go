@@ -62,6 +62,12 @@ func DefaultRetryable(err error) bool {
 	case errors.Is(err, ErrUnknownObject), errors.Is(err, ErrObjectExists),
 		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrBadPath):
 		return false
+	case errors.Is(err, ErrCorruptSnapshot), errors.Is(err, ErrCorruptWAL),
+		errors.Is(err, ErrServerKilled), errors.Is(err, ErrNoSuchEpoch):
+		// Fatal: on-disk corruption and a dead process cannot be retried
+		// away — recovery (reopening the data directory) is an operator
+		// action, not a request-level one.
+		return false
 	case errors.Is(err, ErrTransient), errors.Is(err, ErrUnavailable):
 		return true
 	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
@@ -252,6 +258,12 @@ func (r *RetryService) Delete(name string) error {
 // to the public log; the value is already public, so nothing new leaks.
 func (r *RetryService) Reveal(tag string, value int64) error {
 	return r.do("Reveal", nil, func() error { return r.svc.Reveal(tag, value) })
+}
+
+// Checkpoint implements Service. Marking the same epoch twice is harmless
+// (the durable backend just snapshots again), so retries are safe.
+func (r *RetryService) Checkpoint(epoch int64) error {
+	return r.do("Checkpoint", nil, func() error { return r.svc.Checkpoint(epoch) })
 }
 
 // Stats implements Service, adding the retry count to the report.

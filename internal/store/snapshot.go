@@ -1,8 +1,12 @@
 package store
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -11,6 +15,27 @@ import (
 // and public structure cross the boundary; the snapshot is exactly as
 // sensitive as the server's live memory (which the threat model already
 // hands to the adversary).
+//
+// Wire format (version 2): an 8-byte magic, the recovery epoch and the
+// mutations-since-epoch count, then a CRC32-framed gob payload:
+//
+//	"OFDSNAP2" | epoch int64 | dirty int64 | payloadLen uint64 | crc32 uint32 | gob(snapshot)
+//
+// All integers are little-endian. The CRC covers the epoch and dirty header
+// fields followed by the gob payload — a flipped epoch must not verify, or a
+// resumed client could pass the epoch-match check against the wrong state.
+// The rest of the header is validated structurally (magic, sane length). Any
+// truncation, bit flip, or shape violation surfaces as ErrCorruptSnapshot —
+// never a raw gob error and never a panic — so callers can classify it as
+// fatal (see DefaultRetryable).
+
+// snapshotMagic identifies the framed snapshot format. Version bumps change
+// the trailing digit so an old binary fails loudly instead of misparsing.
+var snapshotMagic = [8]byte{'O', 'F', 'D', 'S', 'N', 'A', 'P', '2'}
+
+// maxSnapshotPayload bounds the declared payload length so a corrupted
+// header cannot trigger a huge allocation before the CRC check.
+const maxSnapshotPayload = 1 << 40
 
 // snapshot is the gob wire form of a server's storage.
 type snapshot struct {
@@ -29,7 +54,8 @@ type treeSnapshot struct {
 }
 
 // SaveSnapshot serializes all storage objects to w. Trace state and the
-// reveal log are not part of the snapshot.
+// reveal log are not part of the snapshot; the recovery epoch and dirty
+// counter are, so a restart restores the resume-consistency check too.
 func (s *Server) SaveSnapshot(w io.Writer) error {
 	s.mu.RLock()
 	snap := snapshot{
@@ -42,35 +68,112 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 	for name, t := range s.trees {
 		snap.Trees[name] = treeSnapshot{Levels: t.levels, Slots: t.slots, Data: t.data}
 	}
+	epoch, dirty := s.epoch, s.dirty
 	s.mu.RUnlock()
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	return writeSnapshotStream(w, epoch, dirty, &snap)
+}
+
+func writeSnapshotStream(w io.Writer, epoch, dirty int64, snap *snapshot) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snap); err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	header := make([]byte, 8+8+8+8+4)
+	copy(header, snapshotMagic[:])
+	binary.LittleEndian.PutUint64(header[8:], uint64(epoch))
+	binary.LittleEndian.PutUint64(header[16:], uint64(dirty))
+	binary.LittleEndian.PutUint64(header[24:], uint64(payload.Len()))
+	crc := crc32.NewIEEE()
+	crc.Write(header[8:24]) // epoch | dirty
+	crc.Write(payload.Bytes())
+	binary.LittleEndian.PutUint32(header[32:], crc.Sum32())
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("store: writing snapshot payload: %w", err)
 	}
 	return nil
 }
 
-// LoadSnapshot replaces the server's storage with the snapshot read from r.
-func (s *Server) LoadSnapshot(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("store: decoding snapshot: %w", err)
+// readSnapshotStream parses and validates a framed snapshot. Every failure
+// mode — short read, bad magic, CRC mismatch, gob decode error (including
+// decoder panics on hostile input), shape violations — wraps
+// ErrCorruptSnapshot.
+func readSnapshotStream(r io.Reader) (epoch, dirty int64, snap *snapshot, err error) {
+	header := make([]byte, 8+8+8+8+4)
+	if _, rerr := io.ReadFull(r, header); rerr != nil {
+		return 0, 0, nil, fmt.Errorf("%w: short header: %v", ErrCorruptSnapshot, rerr)
 	}
-	arrays := make(map[string]*array, len(snap.Arrays))
-	for name, a := range snap.Arrays {
+	if !bytes.Equal(header[:8], snapshotMagic[:]) {
+		return 0, 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, header[:8])
+	}
+	epoch = int64(binary.LittleEndian.Uint64(header[8:]))
+	dirty = int64(binary.LittleEndian.Uint64(header[16:]))
+	plen := binary.LittleEndian.Uint64(header[24:])
+	want := binary.LittleEndian.Uint32(header[32:])
+	if plen > maxSnapshotPayload {
+		return 0, 0, nil, fmt.Errorf("%w: implausible payload length %d", ErrCorruptSnapshot, plen)
+	}
+	// Read incrementally: a corrupted length field must not provoke a huge
+	// up-front allocation — a short stream fails here after reading only
+	// what actually exists.
+	var payloadBuf bytes.Buffer
+	if n, rerr := io.CopyN(&payloadBuf, r, int64(plen)); rerr != nil || n != int64(plen) {
+		return 0, 0, nil, fmt.Errorf("%w: short payload (%d of %d bytes): %v", ErrCorruptSnapshot, n, plen, rerr)
+	}
+	payload := payloadBuf.Bytes()
+	crc := crc32.NewIEEE()
+	crc.Write(header[8:24]) // epoch | dirty
+	crc.Write(payload)
+	if got := crc.Sum32(); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: CRC mismatch (got %08x, want %08x)", ErrCorruptSnapshot, got, want)
+	}
+	snap = new(snapshot)
+	if derr := safeGobDecode(payload, snap); derr != nil {
+		return 0, 0, nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, derr)
+	}
+	return epoch, dirty, snap, nil
+}
+
+// safeGobDecode decodes gob data into v, converting decoder panics (which
+// crafted streams can still trigger) into errors.
+func safeGobDecode(data []byte, v any) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("gob decode panicked: %v", p)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// restore converts the wire form back into live objects, validating shapes.
+func (sn *snapshot) restore() (map[string]*array, map[string]*tree, error) {
+	arrays := make(map[string]*array, len(sn.Arrays))
+	for name, a := range sn.Arrays {
 		obj := &array{cells: a.Cells}
+		if obj.cells == nil {
+			obj.cells = [][]byte{}
+		}
 		for _, c := range a.Cells {
 			obj.bytes += int64(len(c))
 		}
 		arrays[name] = obj
 	}
-	trees := make(map[string]*tree, len(snap.Trees))
-	for name, t := range snap.Trees {
+	trees := make(map[string]*tree, len(sn.Trees))
+	for name, t := range sn.Trees {
+		if _, dup := arrays[name]; dup {
+			return nil, nil, fmt.Errorf("%w: object %q is both array and tree", ErrCorruptSnapshot, name)
+		}
 		if t.Levels < 1 || t.Slots < 1 {
-			return fmt.Errorf("store: snapshot tree %q has invalid shape %d×%d", name, t.Levels, t.Slots)
+			return nil, nil, fmt.Errorf("%w: tree %q has invalid shape %d×%d", ErrCorruptSnapshot, name, t.Levels, t.Slots)
+		}
+		if t.Levels > 62 {
+			return nil, nil, fmt.Errorf("%w: tree %q has implausible depth %d", ErrCorruptSnapshot, name, t.Levels)
 		}
 		wantSlots := ((1 << t.Levels) - 1) * t.Slots
 		if len(t.Data) != wantSlots {
-			return fmt.Errorf("store: snapshot tree %q has %d slots, want %d", name, len(t.Data), wantSlots)
+			return nil, nil, fmt.Errorf("%w: tree %q has %d slots, want %d", ErrCorruptSnapshot, name, len(t.Data), wantSlots)
 		}
 		obj := &tree{levels: t.Levels, slots: t.Slots, data: t.Data}
 		for _, c := range t.Data {
@@ -78,9 +181,32 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 		}
 		trees[name] = obj
 	}
+	return arrays, trees, nil
+}
+
+// LoadSnapshot replaces the server's storage with the snapshot read from r.
+// Truncated or corrupted input returns an error wrapping ErrCorruptSnapshot
+// (check with errors.Is) and leaves the server's current state untouched.
+func (s *Server) LoadSnapshot(r io.Reader) error {
+	epoch, dirty, snap, err := readSnapshotStream(r)
+	if err != nil {
+		return err
+	}
+	arrays, trees, err := snap.restore()
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	s.arrays = arrays
 	s.trees = trees
+	s.epoch = epoch
+	s.dirty = dirty
 	s.mu.Unlock()
 	return nil
+}
+
+// IsCorrupt reports whether err indicates unrecoverable on-disk corruption
+// (snapshot or WAL). Exposed for operators scripting recovery decisions.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrCorruptSnapshot) || errors.Is(err, ErrCorruptWAL)
 }

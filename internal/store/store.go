@@ -27,6 +27,25 @@ var (
 	// connection reset, deadline exceeded) after the transport exhausted
 	// its own reconnection attempts. WithRetry retries on it.
 	ErrUnavailable = errors.New("store: service unavailable")
+
+	// ErrCorruptSnapshot marks a snapshot stream that cannot be restored:
+	// truncated, bit-flipped, or semantically inconsistent. It is fatal —
+	// retrying the identical load cannot succeed — so the retry classifier
+	// treats it as non-retryable.
+	ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+	// ErrCorruptWAL marks a write-ahead log whose surviving prefix cannot
+	// be applied to the snapshot it extends (a torn *tail* is expected
+	// after a crash and silently truncated; this error means corruption
+	// before the tail). Fatal, like ErrCorruptSnapshot.
+	ErrCorruptWAL = errors.New("store: corrupt write-ahead log")
+	// ErrServerKilled is returned by a durable server whose crash-injection
+	// kill point fired: the simulated process is dead and every further
+	// call fails until the data directory is re-opened. Fatal by
+	// construction — retrying against a dead process cannot succeed.
+	ErrServerKilled = errors.New("store: server killed (crash injection)")
+	// ErrNoSuchEpoch is returned by OpenDirAtEpoch when no retained
+	// snapshot matches the requested recovery epoch.
+	ErrNoSuchEpoch = errors.New("store: no snapshot for requested epoch")
 )
 
 // Stats summarizes server-side resource usage; it backs the storage columns
@@ -42,6 +61,15 @@ type Stats struct {
 	FaultsInjected int64 // transient errors injected by WithFaults
 	Retries        int64 // re-attempts performed by WithRetry
 	Reconnects     int64 // TCP re-dials and pool connection replacements
+
+	// Epoch is the most recent recovery epoch the client marked via
+	// Checkpoint, and MutationsSinceEpoch counts mutating operations
+	// applied after that mark. A client resuming from a checkpoint file
+	// requires Epoch to match and MutationsSinceEpoch to be zero —
+	// otherwise its stash/position map no longer describes the server's
+	// trees. Both flow over the wire so the check works on any transport.
+	Epoch               int64
+	MutationsSinceEpoch int64
 }
 
 // Service is the full server-side surface the client can invoke. Both the
@@ -77,6 +105,13 @@ type Service interface {
 	// It exists so the adversary's trace contains exactly the allowed
 	// leakage L(DB) and nothing else.
 	Reveal(tag string, value int64) error
+	// Checkpoint marks a client recovery epoch. A durable backend makes
+	// everything up to this point crash-safe (snapshot + WAL compaction)
+	// before returning; the in-memory server just records the mark. The
+	// epoch value and its timing are public — they reveal only how far
+	// the levelwise traversal has progressed, which L(DB) already
+	// includes via the reveal log.
+	Checkpoint(epoch int64) error
 	// Stats reports storage accounting.
 	Stats() (Stats, error)
 }
@@ -90,6 +125,8 @@ type Server struct {
 	trees   map[string]*tree
 	rec     *trace.Recorder
 	reveals []Reveal
+	epoch   int64 // last client-marked recovery epoch
+	dirty   int64 // mutations applied since that mark
 }
 
 // Reveal is one logged public disclosure.
@@ -151,6 +188,7 @@ func (s *Server) CreateArray(name string, n int) error {
 		return fmt.Errorf("%w: tree %q", ErrObjectExists, name)
 	}
 	s.arrays[name] = &array{cells: make([][]byte, n)}
+	s.dirty++
 	s.rec.Record(trace.Event{Op: trace.OpCreateArray, Object: name, Index: int64(n)})
 	return nil
 }
@@ -211,6 +249,7 @@ func (s *Server) WriteCells(name string, idx []int64, cts [][]byte) error {
 		a.bytes += int64(len(cts[k]) - len(a.cells[i]))
 		a.cells[i] = cts[k]
 	}
+	s.dirty++
 	s.mu.Unlock()
 	for k, i := range idx {
 		s.rec.Record(trace.Event{Op: trace.OpWriteCell, Object: name, Index: i, Bytes: len(cts[k])})
@@ -237,6 +276,7 @@ func (s *Server) CreateTree(name string, levels, slotsPerBucket int) error {
 		slots:  slotsPerBucket,
 		data:   make([][]byte, buckets*slotsPerBucket),
 	}
+	s.dirty++
 	s.rec.Record(trace.Event{Op: trace.OpCreateTree, Object: name, Index: int64(levels)})
 	return nil
 }
@@ -311,6 +351,7 @@ func (s *Server) WritePath(name string, leaf uint32, slots [][]byte) error {
 			k++
 		}
 	}
+	s.dirty++
 	s.mu.Unlock()
 	s.rec.Record(trace.Event{Op: trace.OpWritePath, Object: name, Index: int64(leaf), Bytes: total})
 	return nil
@@ -339,6 +380,7 @@ func (s *Server) WriteBuckets(name string, bucketStart int, slots [][]byte) erro
 		t.data[first+k] = ct
 		total += len(ct)
 	}
+	s.dirty++
 	s.mu.Unlock()
 	s.rec.Record(trace.Event{Op: trace.OpWriteBucket, Object: name, Index: int64(bucketStart), Bytes: total})
 	return nil
@@ -355,6 +397,7 @@ func (s *Server) Delete(name string) error {
 	} else {
 		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
 	}
+	s.dirty++
 	s.rec.Record(trace.Event{Op: trace.OpDelete, Object: name})
 	return nil
 }
@@ -366,6 +409,25 @@ func (s *Server) Reveal(tag string, value int64) error {
 	s.mu.Unlock()
 	s.rec.Record(trace.Event{Op: trace.OpReveal, Object: tag, Index: value})
 	return nil
+}
+
+// Checkpoint implements Service: it records the epoch mark and zeroes the
+// mutation counter. Durability is the durable backend's job; the in-memory
+// server only supports the resume-consistency check in Stats.
+func (s *Server) Checkpoint(epoch int64) error {
+	s.mu.Lock()
+	s.epoch = epoch
+	s.dirty = 0
+	s.mu.Unlock()
+	s.rec.Record(trace.Event{Op: trace.OpCheckpoint, Index: epoch})
+	return nil
+}
+
+// Epoch returns the last client-marked recovery epoch.
+func (s *Server) Epoch() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
 }
 
 // Stats implements Service.
@@ -380,5 +442,7 @@ func (s *Server) Stats() (Stats, error) {
 	for _, t := range s.trees {
 		st.StoredBytes += t.bytes
 	}
+	st.Epoch = s.epoch
+	st.MutationsSinceEpoch = s.dirty
 	return st, nil
 }

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Write-ahead log: every mutating storage operation is appended as one
+// self-contained CRC32-framed record before the server acknowledges it.
+// Recovery replays the log over the newest valid snapshot; a torn tail
+// (partial frame from a crash mid-append) is detected by the framing and
+// truncated, never replayed and never a panic.
+//
+// Frame format, all little-endian:
+//
+//	payloadLen uint32 | crc32 uint32 | gob(walRecord)
+//
+// Each record uses a fresh gob encoder so frames decode independently —
+// replay can start from any snapshot boundary and a torn frame cannot
+// poison its successors.
+
+// walOp enumerates the mutations the log can carry. Reads are not logged:
+// they change nothing the snapshot+log must reconstruct.
+type walOp uint8
+
+const (
+	walCreateArray walOp = iota
+	walWriteCells
+	walCreateTree
+	walWritePath
+	walWriteBuckets
+	walDelete
+	walCheckpoint
+)
+
+var walOpNames = [...]string{
+	"CreateArray", "WriteCells", "CreateTree", "WritePath", "WriteBuckets", "Delete", "Checkpoint",
+}
+
+func (o walOp) String() string {
+	if int(o) < len(walOpNames) {
+		return walOpNames[o]
+	}
+	return fmt.Sprintf("walOp(%d)", uint8(o))
+}
+
+// walRecord is one logged mutation. Field use depends on Op:
+//
+//	CreateArray:  Name, N
+//	WriteCells:   Name, Idx, Cts
+//	CreateTree:   Name, Levels, Slots
+//	WritePath:    Name, Leaf, Cts
+//	WriteBuckets: Name, N (bucketStart), Cts
+//	Delete:       Name
+//	Checkpoint:   N (epoch)
+type walRecord struct {
+	Op     walOp
+	Name   string
+	N      int64
+	Levels int
+	Slots  int
+	Leaf   uint32
+	Idx    []int64
+	Cts    [][]byte
+}
+
+// maxWALPayload bounds a declared frame length so a corrupted length field
+// cannot trigger a huge allocation before the CRC check.
+const maxWALPayload = 1 << 32
+
+// encodeWALRecord renders one framed record.
+func encodeWALRecord(rec *walRecord) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("store: encoding WAL record: %w", err)
+	}
+	frame := make([]byte, 8+payload.Len())
+	binary.LittleEndian.PutUint32(frame[0:], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload.Bytes()))
+	copy(frame[8:], payload.Bytes())
+	return frame, nil
+}
+
+// errTornFrame distinguishes an incomplete/garbled tail (expected after a
+// crash; truncate and continue) from corruption in the middle of the log.
+var errTornFrame = errors.New("torn frame")
+
+// readWALRecord reads one frame from r. io.EOF means a clean end;
+// errTornFrame means the bytes at the current offset do not form a complete
+// valid frame.
+func readWALRecord(r io.Reader) (*walRecord, int64, error) {
+	header := make([]byte, 8)
+	if _, err := io.ReadFull(r, header); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, errTornFrame // partial header
+	}
+	plen := binary.LittleEndian.Uint32(header[0:])
+	want := binary.LittleEndian.Uint32(header[4:])
+	if uint64(plen) > maxWALPayload {
+		return nil, 0, errTornFrame
+	}
+	var payloadBuf bytes.Buffer
+	if n, err := io.CopyN(&payloadBuf, r, int64(plen)); err != nil || n != int64(plen) {
+		return nil, 0, errTornFrame // partial payload
+	}
+	payload := payloadBuf.Bytes()
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, errTornFrame
+	}
+	rec := new(walRecord)
+	if err := safeGobDecode(payload, rec); err != nil {
+		return nil, 0, errTornFrame
+	}
+	return rec, int64(8 + len(payload)), nil
+}
+
+// scanWAL reads every complete frame from r and reports the byte offset of
+// the end of the last valid frame. A torn tail stops the scan without error;
+// the caller truncates the file to validEnd.
+func scanWAL(r io.Reader) (records []*walRecord, validEnd int64, torn bool) {
+	for {
+		rec, n, err := readWALRecord(r)
+		if err == io.EOF {
+			return records, validEnd, false
+		}
+		if err != nil {
+			return records, validEnd, true
+		}
+		records = append(records, rec)
+		validEnd += n
+	}
+}
+
+// replayWAL applies records to the in-memory server in log order. Replay is
+// idempotent so it tolerates a snapshot that already includes a prefix of
+// the log (possible when a crash lands between snapshot rename and log
+// truncation): creates replace any existing object, deletes of missing
+// objects succeed, and cell/path/bucket writes are plain overwrites. A
+// record that still fails semantically (e.g. a write to an object no create
+// established) means the log does not extend this snapshot — that is
+// corruption, not a torn tail.
+func replayWAL(s *Server, records []*walRecord) error {
+	for i, rec := range records {
+		var err error
+		switch rec.Op {
+		case walCreateArray:
+			_ = s.Delete(rec.Name) // create-as-replace for idempotent replay
+			err = s.CreateArray(rec.Name, int(rec.N))
+		case walWriteCells:
+			err = s.WriteCells(rec.Name, rec.Idx, rec.Cts)
+		case walCreateTree:
+			_ = s.Delete(rec.Name)
+			err = s.CreateTree(rec.Name, rec.Levels, rec.Slots)
+		case walWritePath:
+			err = s.WritePath(rec.Name, rec.Leaf, rec.Cts)
+		case walWriteBuckets:
+			err = s.WriteBuckets(rec.Name, int(rec.N), rec.Cts)
+		case walDelete:
+			if derr := s.Delete(rec.Name); derr != nil && !errors.Is(derr, ErrUnknownObject) {
+				err = derr
+			}
+		case walCheckpoint:
+			err = s.Checkpoint(rec.N)
+		default:
+			err = fmt.Errorf("unknown op %v", rec.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: record %d (%v %q): %v", ErrCorruptWAL, i, rec.Op, rec.Name, err)
+		}
+	}
+	return nil
+}
+
+// walWriter appends framed records to the log file.
+type walWriter struct {
+	f         *os.File
+	syncEvery int   // fsync cadence in records; <=1 syncs every append
+	pending   int   // appends since last fsync
+	appended  int64 // total records appended (kill-point accounting)
+	size      int64 // current file size in bytes
+}
+
+func openWALWriter(path string, syncEvery int) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, syncEvery: syncEvery, size: info.Size()}, nil
+}
+
+// append frames and writes one record, fsyncing per the cadence.
+func (w *walWriter) append(rec *walRecord) error {
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.appended++
+	w.pending++
+	if w.syncEvery <= 1 || w.pending >= w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+		w.pending = 0
+	}
+	return nil
+}
+
+// appendTorn simulates a crash mid-append for the kill-point harness: it
+// writes only a prefix of the frame (at least the header plus one payload
+// byte when possible, never the whole frame) and syncs, leaving exactly the
+// torn tail a real SIGKILL between write and completion would.
+func (w *walWriter) appendTorn(rec *walRecord) error {
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	cut := len(frame) / 2
+	if cut < 9 && len(frame) > 9 {
+		cut = 9
+	}
+	if cut >= len(frame) {
+		cut = len(frame) - 1
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	if _, err := w.f.Write(frame[:cut]); err != nil {
+		return fmt.Errorf("store: appending torn WAL record: %w", err)
+	}
+	w.size += int64(cut)
+	return w.f.Sync()
+}
+
+// truncate resets the log to empty (after a snapshot absorbed its records).
+func (w *walWriter) truncate() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.size = 0
+	w.pending = 0
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

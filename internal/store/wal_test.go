@@ -1,0 +1,170 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testRecords is a representative mutation sequence: creates, overwrites, a
+// delete-then-recreate, tree traffic, and a checkpoint mark.
+func testRecords() []*walRecord {
+	return []*walRecord{
+		{Op: walCreateArray, Name: "a", N: 4},
+		{Op: walWriteCells, Name: "a", Idx: []int64{0, 3}, Cts: [][]byte{{1}, {2, 3}}},
+		{Op: walCreateTree, Name: "t", Levels: 3, Slots: 2},
+		{Op: walWritePath, Name: "t", Leaf: 1, Cts: [][]byte{{9}, {8}, {7}, nil, nil, nil}},
+		{Op: walWriteBuckets, Name: "t", N: 0, Cts: [][]byte{{5}, nil}},
+		{Op: walDelete, Name: "a"},
+		{Op: walCreateArray, Name: "a", N: 2},
+		{Op: walWriteCells, Name: "a", Idx: []int64{1}, Cts: [][]byte{{42}}},
+		{Op: walCheckpoint, N: 7},
+	}
+}
+
+func encodeAll(t *testing.T, recs []*walRecord) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		frame, err := encodeWALRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+	}
+	return buf.Bytes()
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	for _, rec := range testRecords() {
+		frame, err := encodeWALRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := readWALRecord(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("%v: %v", rec.Op, err)
+		}
+		if n != int64(len(frame)) {
+			t.Errorf("%v: consumed %d bytes, frame is %d", rec.Op, n, len(frame))
+		}
+		if got.Op != rec.Op || got.Name != rec.Name || got.N != rec.N {
+			t.Errorf("round trip: got %+v, want %+v", got, rec)
+		}
+	}
+}
+
+func TestScanWALStopsAtTornTail(t *testing.T) {
+	recs := testRecords()
+	data := encodeAll(t, recs)
+	// Append a torn frame: the first half of another record.
+	extra, err := encodeWALRecord(&walRecord{Op: walWriteCells, Name: "a", Idx: []int64{0}, Cts: [][]byte{{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte(nil), data...), extra[:len(extra)/2]...)
+
+	got, validEnd, isTorn := scanWAL(bytes.NewReader(torn))
+	if !isTorn {
+		t.Error("torn tail not detected")
+	}
+	if len(got) != len(recs) {
+		t.Errorf("scanned %d records, want %d", len(got), len(recs))
+	}
+	if validEnd != int64(len(data)) {
+		t.Errorf("validEnd = %d, want %d", validEnd, len(data))
+	}
+}
+
+func TestScanWALGarbage(t *testing.T) {
+	recs, validEnd, torn := scanWAL(bytes.NewReader([]byte("this is not a log")))
+	if len(recs) != 0 || validEnd != 0 || !torn {
+		t.Errorf("garbage scan = %d records, end %d, torn %v", len(recs), validEnd, torn)
+	}
+}
+
+// TestWALReplayIdempotent is the recovery-correctness core: replaying the
+// same log once or twice must converge to the same state, because a crash
+// between snapshot rename and log truncation makes recovery replay records
+// the snapshot already absorbed.
+func TestWALReplayIdempotent(t *testing.T) {
+	recs := testRecords()
+
+	once := NewServer()
+	if err := replayWAL(once, recs); err != nil {
+		t.Fatalf("first replay: %v", err)
+	}
+	statsOnce, _ := once.Stats()
+
+	twice := NewServer()
+	if err := replayWAL(twice, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := replayWAL(twice, recs); err != nil {
+		t.Fatalf("second replay over same state: %v", err)
+	}
+	statsTwice, _ := twice.Stats()
+
+	if statsOnce.Objects != statsTwice.Objects || statsOnce.StoredBytes != statsTwice.StoredBytes ||
+		statsOnce.Epoch != statsTwice.Epoch || statsOnce.MutationsSinceEpoch != statsTwice.MutationsSinceEpoch {
+		t.Errorf("double replay diverged: once %+v, twice %+v", statsOnce, statsTwice)
+	}
+	for _, s := range []*Server{once, twice} {
+		got, err := s.ReadCells("a", []int64{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != nil || !bytes.Equal(got[1], []byte{42}) {
+			t.Errorf("cells after replay = %v", got)
+		}
+		if s.Epoch() != 7 {
+			t.Errorf("epoch after replay = %d, want 7", s.Epoch())
+		}
+	}
+}
+
+func TestWALReplayRejectsMidLogFailure(t *testing.T) {
+	// A write to an object no create established cannot extend any snapshot:
+	// that is corruption, not a torn tail.
+	recs := []*walRecord{{Op: walWriteCells, Name: "ghost", Idx: []int64{0}, Cts: [][]byte{{1}}}}
+	err := replayWAL(NewServer(), recs)
+	if !errors.Is(err, ErrCorruptWAL) {
+		t.Errorf("replay of dangling write = %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestWALWriterTornAppendRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	w, err := openWALWriter(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := testRecords()
+	for _, rec := range recs {
+		if err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.appendTorn(&walRecord{Op: walDelete, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, _, torn := scanWAL(f)
+	if !torn {
+		t.Error("torn append not detected on disk")
+	}
+	if len(got) != len(recs) {
+		t.Errorf("recovered %d records, want %d", len(got), len(recs))
+	}
+}

@@ -30,12 +30,13 @@ const (
 	OpWritePath
 	OpWriteBucket
 	OpDelete
-	OpReveal // client reveals a public result bit/count to the server's log
+	OpReveal     // client reveals a public result bit/count to the server's log
+	OpCheckpoint // client marks a recovery epoch (public: a property of timing)
 )
 
 var opNames = [...]string{
 	"CreateArray", "ReadCell", "WriteCell", "CreateTree",
-	"ReadPath", "WritePath", "WriteBucket", "Delete", "Reveal",
+	"ReadPath", "WritePath", "WriteBucket", "Delete", "Reveal", "Checkpoint",
 }
 
 // String returns the operation name.

@@ -173,6 +173,11 @@ func (p *Pool) Reveal(tag string, value int64) error {
 	return p.with(func(c *Client) error { return c.Reveal(tag, value) })
 }
 
+// Checkpoint implements store.Service.
+func (p *Pool) Checkpoint(epoch int64) error {
+	return p.with(func(c *Client) error { return c.Checkpoint(epoch) })
+}
+
 // Stats implements store.Service, adding the pool-wide reconnection count
 // to the server-side report.
 func (p *Pool) Stats() (st store.Stats, err error) {

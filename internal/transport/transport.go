@@ -51,6 +51,7 @@ const (
 	kindDelete
 	kindReveal
 	kindStats
+	kindCheckpoint
 )
 
 // request is the wire format for one Service call.
@@ -78,15 +79,23 @@ const (
 	codeOutOfRange
 	codeBadPath
 	codeTransient
+	codeCorruptSnapshot
+	codeCorruptWAL
+	codeServerKilled
+	codeNoSuchEpoch
 )
 
 // codeSentinel maps wire codes back to the sentinel errors they stand for.
 var codeSentinel = map[errCode]error{
-	codeUnknownObject: store.ErrUnknownObject,
-	codeObjectExists:  store.ErrObjectExists,
-	codeOutOfRange:    store.ErrOutOfRange,
-	codeBadPath:       store.ErrBadPath,
-	codeTransient:     store.ErrTransient,
+	codeUnknownObject:   store.ErrUnknownObject,
+	codeObjectExists:    store.ErrObjectExists,
+	codeOutOfRange:      store.ErrOutOfRange,
+	codeBadPath:         store.ErrBadPath,
+	codeTransient:       store.ErrTransient,
+	codeCorruptSnapshot: store.ErrCorruptSnapshot,
+	codeCorruptWAL:      store.ErrCorruptWAL,
+	codeServerKilled:    store.ErrServerKilled,
+	codeNoSuchEpoch:     store.ErrNoSuchEpoch,
 }
 
 // encodeErr flattens an error for the wire, preserving its sentinel.
@@ -169,6 +178,8 @@ func dispatch(svc store.Service, req *request) *response {
 		st, err := svc.Stats()
 		resp.Stats = st
 		return fail(err)
+	case kindCheckpoint:
+		return fail(svc.Checkpoint(req.Value))
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown request kind %d", req.Kind)
 		resp.Code = codeGeneric
@@ -465,6 +476,13 @@ func (c *Client) Delete(name string) error {
 // Reveal implements store.Service.
 func (c *Client) Reveal(tag string, value int64) error {
 	_, err := c.call(&request{Kind: kindReveal, Name: tag, Value: value})
+	return err
+}
+
+// Checkpoint implements store.Service. A resend after a lost
+// acknowledgement just re-marks the same epoch, which is idempotent.
+func (c *Client) Checkpoint(epoch int64) error {
+	_, err := c.call(&request{Kind: kindCheckpoint, Value: epoch})
 	return err
 }
 

@@ -299,6 +299,8 @@ type Database struct {
 	schema   *Schema
 	opts     Options
 	engine   core.Engine
+	edb      *core.EncryptedDB  // nil for engines without an uploaded ciphertext DB
+	resume   *core.LatticeState // set by Resume; consumed by the next Discover*
 	m        int
 	revealed atomic.Int64
 }
@@ -342,6 +344,7 @@ func Outsource(svc Service, rel *Relation, opts Options) (*Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("securefd: %w", err)
 		}
+		db.edb = edb
 		var factory oram.Factory
 		switch opts.ORAM {
 		case ORAMPath:
@@ -389,14 +392,14 @@ type Report struct {
 	Checks           int
 }
 
-// Discover runs secure FD discovery and returns the report. Each set-level
-// decision is additionally revealed to the server's public log, which is
-// exactly the protocol's allowed leakage.
-func (db *Database) Discover() (*Report, error) {
+// discoverOptions builds the core options for a discovery run, including a
+// pending resume frontier if this handle was built by Resume.
+func (db *Database) discoverOptions() *core.Options {
 	keep := db.opts.KeepPartitions || db.opts.Protocol == ProtocolDynamicORAM
-	res, err := core.Discover(db.engine, db.m, &core.Options{
+	return &core.Options{
 		KeepPartitions: keep,
 		MaxLHS:         db.opts.MaxLHS,
+		Resume:         db.resume,
 		Reveal: func(fd relation.FD, holds bool) {
 			db.revealed.Add(1)
 			v := int64(0)
@@ -407,16 +410,30 @@ func (db *Database) Discover() (*Report, error) {
 				_ = db.svc.Reveal("fd:"+fd.String(), v)
 			}
 		},
-	})
-	if err != nil {
-		return nil, fmt.Errorf("securefd: %w", err)
 	}
+}
+
+// report converts a core result and clears any consumed resume state.
+func (db *Database) report(res *core.Result) *Report {
+	db.resume = nil
 	return &Report{
 		Minimal:          res.Minimal,
 		Aggregated:       core.AggregateFDs(res.Minimal),
 		SetsMaterialized: res.SetsMaterialized,
 		Checks:           res.Checks,
-	}, nil
+	}
+}
+
+// Discover runs secure FD discovery and returns the report. Each set-level
+// decision is additionally revealed to the server's public log, which is
+// exactly the protocol's allowed leakage. On a handle built by Resume, the
+// run continues from the checkpointed lattice level instead of starting over.
+func (db *Database) Discover() (*Report, error) {
+	res, err := core.Discover(db.engine, db.m, db.discoverOptions())
+	if err != nil {
+		return nil, fmt.Errorf("securefd: %w", err)
+	}
+	return db.report(res), nil
 }
 
 // Validate checks one dependency X → Y (Theorem 1) and returns whether it
