@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short crash bench experiments examples clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash bench experiments examples telemetry-smoke clean
 
 all: build vet test
 
@@ -11,6 +11,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (install: go install honnef.co/go/tools/cmd/staticcheck@latest);
+# CI always runs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+lint: vet staticcheck
 
 test:
 	$(GO) test ./...
@@ -37,6 +48,11 @@ bench:
 # the paper's scales for closer comparison (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/fdbench -exp all
+
+# End-to-end telemetry check: fdserver with -metrics-addr, a TCP discovery
+# with -telemetry, and curl assertions on /metrics, /metrics.json, pprof.
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -35,10 +35,11 @@ func main() {
 		t2rtt   = flag.Duration("table2-rtt", 0, "modeled network RTT for table2 (0 = in-process timings)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		frate   = flag.Float64("fault-rate", 0.02, "transient error and spike rate for the faults experiment")
+		telOut  = flag.String("telemetry", "", "write the telemetry experiment's per-phase breakdown to this JSON file (e.g. BENCH_telemetry.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *seed); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *seed, *telOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -68,7 +69,10 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate float64, seed int64) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate float64, seed int64, telemetryOut string) error {
+	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
+	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
+	var telemetryResult *bench.TelemetryResult
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -92,6 +96,11 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return bench.FaultTolerance(sweep(minn, maxn/2), faultRate, faultRate, seed)
 		}},
 		{"recovery", func() (renderer, error) { return bench.Recovery(sweep(minn, maxn/4), seed) }},
+		{"telemetry", func() (renderer, error) {
+			r, err := bench.Telemetry(sweep(minn, maxn/2), seed)
+			telemetryResult = r
+			return r, err
+		}},
 	}
 
 	ran := 0
@@ -109,6 +118,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if telemetryOut != "" && telemetryResult != nil {
+		if err := telemetryResult.WriteFile(telemetryOut); err != nil {
+			return fmt.Errorf("writing %s: %w", telemetryOut, err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", telemetryOut, len(telemetryResult.Points))
 	}
 	return nil
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/oblivfd/oblivfd/internal/bench"
 )
 
 func TestParseInts(t *testing.T) {
@@ -47,15 +52,46 @@ func TestSweep(t *testing.T) {
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
-	for _, exp := range []string{"table1", "fig5", "fig7", "faults"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1); err != nil {
+	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry"} {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1, ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 1); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunTelemetryArtifact: -telemetry writes a JSON artifact with one point
+// per (method, n) containing phase and access-count data.
+func TestRunTelemetryArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1, out); err != nil {
+		t.Fatalf("run(telemetry): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.TelemetryResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Points) != 3 { // 3 methods × sweep(16, 16) = one size
+		t.Fatalf("artifact has %d points, want 3", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.WallNS <= 0 || len(pt.Phases) == 0 {
+			t.Errorf("point %s/%d missing wall time or phases", pt.Method, pt.N)
+		}
+		if pt.Method != "Sort" && pt.ORAMAccesses == 0 {
+			t.Errorf("point %s/%d recorded no ORAM accesses", pt.Method, pt.N)
+		}
+		if pt.Method == "Sort" && pt.SortComparisons == 0 {
+			t.Errorf("point %s/%d recorded no comparisons", pt.Method, pt.N)
+		}
 	}
 }

@@ -5,10 +5,21 @@
 //	fddiscover -protocol sort -workers 4 data.csv
 //	fddiscover -protocol ex-oram -max-lhs 3 data.csv
 //
+// By default the storage server runs in-process; -connect points the client
+// at a remote fdserver instead, reproducing the paper's two-machine
+// deployment end to end:
+//
+//	fddiscover -connect localhost:7066 -protocol sort data.csv
+//
 // The in-process server can model a remote deployment: -rtt adds
 // per-operation latency, and -fault-rate injects seeded transient storage
 // failures that the client rides out with -retries (demonstrating the
 // fault-tolerance stack without a network).
+//
+// -telemetry prints a per-phase breakdown after discovery — wall time per
+// lattice level, candidate materializations, ORAM access counts, and (with
+// -connect) client-side RPC latency quantiles. -log-json switches the
+// informational log lines to JSON; the FD lines themselves stay plain.
 //
 // Long runs can survive crashes on both sides. -data-dir makes the
 // in-process server durable (WAL + snapshots); -checkpoint makes the client
@@ -22,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -43,6 +55,9 @@ type options struct {
 	dataDir   string // durable server state directory
 	ckptPath  string // client checkpoint file, written at level boundaries
 	resume    string // checkpoint file to continue from
+	connect   string // remote fdserver address; empty = in-process server
+	telemetry bool   // print a per-phase breakdown after discovery
+	logJSON   bool
 }
 
 func main() {
@@ -60,6 +75,9 @@ func main() {
 	flag.StringVar(&o.dataDir, "data-dir", "", "durable server state directory (WAL + snapshots); survives crashes")
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "write a client recovery file here at every completed lattice level (or-oram/ex-oram only)")
 	flag.StringVar(&o.resume, "resume", "", "continue a crashed run from this checkpoint file (requires -data-dir; no CSV argument)")
+	flag.StringVar(&o.connect, "connect", "", "address of a running fdserver to use instead of the in-process server")
+	flag.BoolVar(&o.telemetry, "telemetry", false, "print per-phase wall time, ORAM access counts, and latency quantiles after discovery")
+	flag.BoolVar(&o.logJSON, "log-json", false, "log informational lines as JSON instead of key=value text")
 	flag.Parse()
 
 	if o.resume != "" {
@@ -84,10 +102,28 @@ func main() {
 	}
 }
 
+// newLogger builds the informational logger; FD output stays on plain stdout.
+func newLogger(jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// newRegistry returns the run's registry, or nil when -telemetry is off (a
+// nil registry turns every instrumentation point into a no-op).
+func (o options) newRegistry() *securefd.Registry {
+	if !o.telemetry {
+		return nil
+	}
+	return securefd.NewRegistry()
+}
+
 // runResume recovers server and client to the checkpoint's epoch and
 // continues discovery from the last completed lattice level, checkpointing
 // to the same file as it goes.
 func runResume(o options) error {
+	log := newLogger(o.logJSON)
 	if o.dataDir == "" {
 		return fmt.Errorf("-resume requires -data-dir (the durable server state to recover)")
 	}
@@ -95,14 +131,18 @@ func runResume(o options) error {
 	if err != nil {
 		return err
 	}
+	reg := o.newRegistry()
 	db, srv, err := securefd.ResumeFromDir(o.dataDir, o.resume, securefd.DurableOptions{})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	// Checkpoints carry no telemetry wiring; re-instrument the rebuilt
+	// ORAM handles so post-resume accesses are counted.
+	db.SetTelemetry(reg)
 	if !o.quiet {
-		fmt.Printf("resumed %s at epoch %d (%d completed lattice levels), server recovered from %s\n",
-			o.resume, cp.Epoch, cp.Epoch, o.dataDir)
+		log.Info("resumed from checkpoint", "path", o.resume, "epoch", cp.Epoch,
+			"completed_levels", cp.Epoch, "data_dir", o.dataDir)
 	}
 	ckpt := o.ckptPath
 	if ckpt == "" {
@@ -113,7 +153,8 @@ func runResume(o options) error {
 	if err != nil {
 		return err
 	}
-	printReport(db, report, o, start)
+	printReport(db, report, o, start, log)
+	printBreakdown(reg, time.Since(start))
 	if err := srv.Snapshot(); err != nil {
 		return err
 	}
@@ -121,7 +162,7 @@ func runResume(o options) error {
 }
 
 // printReport prints the discovered FDs and, unless -quiet, the run summary.
-func printReport(db *securefd.Database, report *securefd.Report, o options, start time.Time) {
+func printReport(db *securefd.Database, report *securefd.Report, o options, start time.Time, log *slog.Logger) {
 	fds := report.Minimal
 	if o.aggregate {
 		fds = report.Aggregated
@@ -130,13 +171,22 @@ func printReport(db *securefd.Database, report *securefd.Report, o options, star
 		fmt.Println(fd.Format(db.Schema()))
 	}
 	if !o.quiet {
-		fmt.Printf("\n%d minimal FDs in %s (%d partitions, %d checks)\n",
-			len(report.Minimal), time.Since(start).Round(time.Millisecond),
-			report.SetsMaterialized, report.Checks)
+		log.Info("discovery complete", "minimal_fds", len(report.Minimal),
+			"elapsed", time.Since(start).Round(time.Millisecond).String(),
+			"partitions", report.SetsMaterialized, "checks", report.Checks)
 	}
 }
 
+// printBreakdown renders the per-phase telemetry table (no-op without -telemetry).
+func printBreakdown(reg *securefd.Registry, wall time.Duration) {
+	if reg == nil {
+		return
+	}
+	fmt.Print(reg.Breakdown(wall))
+}
+
 func run(path string, o options) error {
+	log := newLogger(o.logJSON)
 	protocol, err := securefd.ParseProtocol(o.protoName)
 	if err != nil {
 		return err
@@ -155,19 +205,36 @@ func run(path string, o options) error {
 		return err
 	}
 	if !o.quiet {
-		fmt.Printf("loaded %s: %d rows × %d attributes\n", path, rel.NumRows(), rel.NumAttrs())
+		log.Info("loaded csv", "path", path, "rows", rel.NumRows(), "attrs", rel.NumAttrs())
 	}
 
+	reg := o.newRegistry()
 	var svc securefd.Service
 	var durable *securefd.DurableServer
-	if o.dataDir != "" {
+	switch {
+	case o.connect != "":
+		if o.dataDir != "" {
+			return fmt.Errorf("-connect and -data-dir are mutually exclusive (the remote fdserver owns its storage)")
+		}
+		cfg := securefd.DefaultClientConfig()
+		cfg.Metrics = reg
+		pool, err := securefd.DialTCPPool(o.connect, o.workers, cfg)
+		if err != nil {
+			return fmt.Errorf("connecting to %s: %w", o.connect, err)
+		}
+		defer pool.Close()
+		if !o.quiet {
+			log.Info("connected to remote server", "addr", o.connect, "connections", o.workers)
+		}
+		svc = pool
+	case o.dataDir != "":
 		durable, err = securefd.OpenDir(o.dataDir, securefd.DurableOptions{})
 		if err != nil {
 			return err
 		}
 		defer durable.Close()
 		svc = durable
-	} else {
+	default:
 		svc = securefd.NewServer()
 	}
 	if o.rtt > 0 {
@@ -175,20 +242,24 @@ func run(path string, o options) error {
 	}
 	var faulty *securefd.FaultService
 	if o.faultRate > 0 {
-		faulty = securefd.WithFaults(svc, securefd.FaultConfig{Seed: o.faultSeed, ErrorRate: o.faultRate})
+		faulty = securefd.WithFaults(svc, securefd.FaultConfig{Seed: o.faultSeed, ErrorRate: o.faultRate, Metrics: reg})
 		svc = faulty
 	}
 	var retried *securefd.RetryService
 	if o.faultRate > 0 || o.retries > 0 {
-		retried = securefd.WithRetry(svc, securefd.RetryPolicy{MaxAttempts: o.retries})
+		retried = securefd.WithRetry(svc, securefd.RetryPolicy{MaxAttempts: o.retries, Metrics: reg})
 		svc = retried
 	}
+	// Client-side per-op latency histograms: with -connect they measure
+	// the full round trip the protocol actually waits on.
+	svc = securefd.WithTelemetry(svc, reg)
 
 	db, err := securefd.Outsource(svc, rel, securefd.Options{
-		Protocol: protocol,
-		Workers:  o.workers,
-		Network:  network,
-		MaxLHS:   o.maxLHS,
+		Protocol:  protocol,
+		Workers:   o.workers,
+		Network:   network,
+		MaxLHS:    o.maxLHS,
+		Telemetry: reg,
 	})
 	if err != nil {
 		return err
@@ -205,16 +276,16 @@ func run(path string, o options) error {
 	if err != nil {
 		return err
 	}
-	printReport(db, report, o, start)
+	printReport(db, report, o, start, log)
 	if !o.quiet {
 		if faulty != nil || retried != nil {
 			st, err := svc.Stats()
 			if err == nil {
-				fmt.Printf("fault tolerance: %d faults injected, %d retries\n",
-					st.FaultsInjected, st.Retries)
+				log.Info("fault tolerance", "faults_injected", st.FaultsInjected, "retries", st.Retries)
 			}
 		}
 	}
+	printBreakdown(reg, time.Since(start))
 	if durable != nil {
 		if err := durable.Snapshot(); err != nil {
 			return err

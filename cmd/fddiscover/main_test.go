@@ -1,10 +1,13 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/oblivfd/oblivfd/securefd"
 )
 
 func writeCSV(t *testing.T) string {
@@ -57,6 +60,46 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(writeCSV(t), quietOpts("bogus")); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestRunWithTelemetry: -telemetry attaches a registry through every layer
+// and prints a breakdown; the run must still succeed for each protocol.
+func TestRunWithTelemetry(t *testing.T) {
+	path := writeCSV(t)
+	for _, proto := range []string{"sort", "or-oram", "ex-oram"} {
+		o := quietOpts(proto)
+		o.telemetry = true
+		if err := run(path, o); err != nil {
+			t.Errorf("run(%s) with telemetry: %v", proto, err)
+		}
+	}
+}
+
+// TestRunConnect: -connect drives discovery over the TCP transport against
+// a server in another goroutine, with telemetry recording RPC latency.
+func TestRunConnect(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ts := securefd.NewTCPServer(securefd.NewServer())
+	go func() { _ = ts.Serve(l) }()
+	defer ts.Shutdown(time.Second)
+
+	o := quietOpts("sort")
+	o.connect = l.Addr().String()
+	o.telemetry = true
+	if err := run(writeCSV(t), o); err != nil {
+		t.Errorf("run over TCP: %v", err)
+	}
+
+	o = quietOpts("sort")
+	o.connect = l.Addr().String()
+	o.dataDir = t.TempDir()
+	if err := run(writeCSV(t), o); err == nil {
+		t.Error("-connect with -data-dir accepted; want mutual-exclusion error")
 	}
 }
 

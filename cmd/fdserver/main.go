@@ -15,18 +15,30 @@
 // inject seeded transient storage faults and -drop-rate severs live
 // connections mid-call; a client built on securefd.WithRetry and the
 // self-healing DialTCP transport rides through all of them.
+//
+// With -metrics-addr the server additionally exposes operator telemetry:
+// Prometheus text at /metrics, the same snapshot as JSON at /metrics.json,
+// and the Go profiler under /debug/pprof/. Everything exported is an
+// operation count, byte size, or latency — quantities the storage server
+// observes anyway, so the endpoint adds nothing to the leakage profile.
+// Logs are human-readable key=value lines by default; -log-json switches
+// to one JSON object per line for log shippers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
@@ -43,12 +55,14 @@ type config struct {
 	spike        time.Duration // spike magnitude
 	dropRate     float64       // seeded mid-call connection drop rate
 	faultSeed    int64
+	metricsAddr  string // if set, serve /metrics + /metrics.json + /debug/pprof/
+	logJSON      bool
 }
 
 func main() {
 	var cfg config
 	listen := flag.String("listen", ":7066", "address to listen on")
-	flag.DurationVar(&cfg.statsEvery, "stats", 0, "if > 0, print storage stats at this interval")
+	flag.DurationVar(&cfg.statsEvery, "stats", 0, "if > 0, log storage stats at this interval")
 	flag.DurationVar(&cfg.latency, "latency", 0, "artificial per-operation delay, to model a slower network")
 	flag.StringVar(&cfg.snapshotPath, "snapshot", "", "persistence file: loaded at startup if present, written on shutdown")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable storage directory (WAL + atomic snapshots): crash-safe, recovers on start; excludes -snapshot")
@@ -58,6 +72,8 @@ func main() {
 	flag.DurationVar(&cfg.spike, "spike", 5*time.Millisecond, "latency spike magnitude for -spike-rate")
 	flag.Float64Var(&cfg.dropRate, "drop-rate", 0, "sever live connections mid-call at this per-I/O rate (0..1)")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for the deterministic fault/drop schedules")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "if set, serve Prometheus /metrics, /metrics.json, and /debug/pprof/ on this address")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "log as JSON lines instead of key=value text")
 	flag.Parse()
 
 	if err := run(*listen, cfg); err != nil {
@@ -74,6 +90,14 @@ func run(listen string, cfg config) error {
 	return serve(l, cfg)
 }
 
+// newLogger builds the process logger: text for humans, JSON for shippers.
+func newLogger(jsonFormat bool) *slog.Logger {
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(os.Stdout, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stdout, nil))
+}
+
 // baseStore is what the command needs from either storage backend beyond the
 // Service surface.
 type baseStore interface {
@@ -84,6 +108,16 @@ type baseStore interface {
 // serve runs the server on an established listener until it closes or a
 // termination signal drains it.
 func serve(l net.Listener, cfg config) error {
+	log := newLogger(cfg.logJSON)
+
+	// One registry is shared by every layer: durable storage (WAL/snapshot
+	// timings), the service decorators (per-op latency, fault counters),
+	// and the RPC server (per-RPC latency, connection and byte counters).
+	var reg *telemetry.Registry
+	if cfg.metricsAddr != "" {
+		reg = telemetry.New()
+	}
+
 	var srv baseStore
 	var durable *store.DurableServer
 	var mem *store.Server
@@ -91,17 +125,18 @@ func serve(l net.Listener, cfg config) error {
 		if cfg.snapshotPath != "" {
 			return fmt.Errorf("-snapshot and -data-dir are mutually exclusive")
 		}
-		d, err := store.OpenDir(cfg.dataDir, store.DurableOptions{})
+		d, err := store.OpenDir(cfg.dataDir, store.DurableOptions{Metrics: reg})
 		if err != nil {
 			return fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
 		}
 		defer d.Close()
 		info := d.Recovery()
 		st, _ := d.Stats()
-		fmt.Printf("recovered %s: snapshot #%d (epoch %d), %d WAL records replayed, %d objects, %d bytes\n",
-			cfg.dataDir, info.SnapshotSeq, info.SnapshotEpoch, info.WALReplayed, st.Objects, st.StoredBytes)
+		log.Info("recovered durable storage", "dir", cfg.dataDir,
+			"snapshot_seq", info.SnapshotSeq, "epoch", info.SnapshotEpoch,
+			"wal_replayed", info.WALReplayed, "objects", st.Objects, "bytes", st.StoredBytes)
 		if info.TornTail {
-			fmt.Printf("repaired torn WAL tail (log truncated at byte %d)\n", info.WALTruncatedAt)
+			log.Warn("repaired torn WAL tail", "truncated_at", info.WALTruncatedAt)
 		}
 		durable, srv = d, d
 	} else {
@@ -114,7 +149,8 @@ func serve(l net.Listener, cfg config) error {
 					return fmt.Errorf("loading snapshot %s: %w", cfg.snapshotPath, err)
 				}
 				st, _ := mem.Stats()
-				fmt.Printf("restored snapshot %s: %d objects, %d bytes\n", cfg.snapshotPath, st.Objects, st.StoredBytes)
+				log.Info("restored snapshot", "path", cfg.snapshotPath,
+					"objects", st.Objects, "bytes", st.StoredBytes)
 			} else if !os.IsNotExist(err) {
 				return err
 			}
@@ -129,17 +165,43 @@ func serve(l net.Listener, cfg config) error {
 			ErrorRate: cfg.faultRate,
 			SpikeRate: cfg.spikeRate,
 			Spike:     cfg.spike,
+			Metrics:   reg,
 		})
 		svc = faulty
-		fmt.Printf("fault injection on: %.1f%% errors, %.1f%% spikes (seed %d)\n",
-			cfg.faultRate*100, cfg.spikeRate*100, cfg.faultSeed)
+		log.Info("fault injection on", "error_rate", cfg.faultRate,
+			"spike_rate", cfg.spikeRate, "seed", cfg.faultSeed)
 	}
+	// Outermost decorator: the per-op histograms measure what an RPC
+	// dispatch actually costs, injected latency and faults included.
+	svc = store.WithMetrics(svc, reg)
 	var droppy *transport.FaultyListener
 	if cfg.dropRate > 0 {
 		droppy = transport.WithConnFaults(l, transport.FaultConfig{Seed: cfg.faultSeed, DropRate: cfg.dropRate})
-		fmt.Printf("connection drops on: %.1f%% per I/O op (seed %d)\n", cfg.dropRate*100, cfg.faultSeed)
+		log.Info("connection drops on", "drop_rate", cfg.dropRate, "seed", cfg.faultSeed)
 	}
-	fmt.Printf("fdserver listening on %s (the server sees only ciphertexts and access patterns)\n", l.Addr())
+	log.Info("fdserver listening (the server sees only ciphertexts and access patterns)",
+		"addr", l.Addr().String())
+
+	var metricsSrv *http.Server
+	if reg != nil {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener on %s: %w", cfg.metricsAddr, err)
+		}
+		metricsSrv = &http.Server{Handler: telemetry.NewMux(reg)}
+		go func() {
+			if serr := metricsSrv.Serve(ml); serr != nil && serr != http.ErrServerClosed {
+				log.Error("metrics server failed", "err", serr)
+			}
+		}()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = metricsSrv.Shutdown(ctx)
+		}()
+		log.Info("telemetry endpoint up", "addr", ml.Addr().String(),
+			"paths", "/metrics /metrics.json /debug/pprof/")
+	}
 
 	if cfg.statsEvery > 0 {
 		go func() {
@@ -148,20 +210,23 @@ func serve(l net.Listener, cfg config) error {
 				if err != nil {
 					continue
 				}
-				line := fmt.Sprintf("stats: %d objects, %d bytes stored, %d ops observed",
-					st.Objects, st.StoredBytes, srv.Trace().TotalOps())
+				attrs := []any{
+					"objects", st.Objects, "bytes", st.StoredBytes,
+					"ops", srv.Trace().TotalOps(),
+				}
 				if faulty != nil {
-					line += fmt.Sprintf(", %d faults injected", faulty.Injected())
+					attrs = append(attrs, "faults_injected", faulty.Injected())
 				}
 				if droppy != nil {
-					line += fmt.Sprintf(", %d conns dropped", droppy.Drops())
+					attrs = append(attrs, "conns_dropped", droppy.Drops())
 				}
-				fmt.Println(line)
+				log.Info("stats", attrs...)
 			}
 		}()
 	}
 
 	ts := transport.NewServer(svc)
+	ts.SetMetrics(reg)
 
 	// Drain cleanly on SIGINT or SIGTERM (what init systems and container
 	// runtimes send): stop accepting, let in-flight requests finish within
@@ -175,10 +240,10 @@ func serve(l net.Listener, cfg config) error {
 		if !ok {
 			return
 		}
-		active := ts.ActiveConns()
-		fmt.Printf("\nreceived %v: draining %d active connections (grace %v)\n", s, active, cfg.grace)
+		log.Info("signal received: draining", "signal", s.String(),
+			"active_conns", ts.ActiveConns(), "grace", cfg.grace.String())
 		ts.Shutdown(cfg.grace)
-		fmt.Println("drained")
+		log.Info("drained")
 	}()
 
 	var err error
@@ -197,7 +262,7 @@ func serve(l net.Listener, cfg config) error {
 		if serr := durable.Snapshot(); serr != nil {
 			return fmt.Errorf("final snapshot: %w", serr)
 		}
-		fmt.Printf("saved final snapshot in %s\n", cfg.dataDir)
+		log.Info("saved final snapshot", "dir", cfg.dataDir)
 	case cfg.snapshotPath != "":
 		f, ferr := os.Create(cfg.snapshotPath)
 		if ferr != nil {
@@ -210,7 +275,7 @@ func serve(l net.Listener, cfg config) error {
 		if cerr := f.Close(); cerr != nil {
 			return cerr
 		}
-		fmt.Printf("saved snapshot to %s\n", cfg.snapshotPath)
+		log.Info("saved snapshot", "path", cfg.snapshotPath)
 	}
 	return err
 }

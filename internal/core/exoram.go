@@ -8,6 +8,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/oram"
 	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // ExEngine is the extended ORAM-based method of §V (Algorithms 4 and 5),
@@ -36,12 +37,28 @@ type ExEngine struct {
 	instance string
 	// Factory builds the oblivious key-value stores backing each
 	// partition; nil means the paper's PathORAM (oram.PathFactory).
-	Factory  oram.Factory
-	capacity int
-	liveIDs  map[int]bool
-	sets     map[relation.AttrSet]*exState
-	seq      atomic.Int64
-	timing   func(x relation.AttrSet, d time.Duration)
+	Factory oram.Factory
+	// Telemetry, if non-nil, instruments every ORAM the engine builds
+	// (path read/write counters, access spans, stash gauge). Set it before
+	// the first materialization, or call SetTelemetry to also cover
+	// already-built stores (the resume path does).
+	Telemetry *telemetry.Registry
+	capacity  int
+	liveIDs   map[int]bool
+	sets      map[relation.AttrSet]*exState
+	seq       atomic.Int64
+	timing    func(x relation.AttrSet, d time.Duration)
+}
+
+// SetTelemetry attaches a metrics registry to the engine and re-instruments
+// every already-materialized ORAM handle (checkpoint resume rebuilds the
+// handles without telemetry; this wires them back up).
+func (e *ExEngine) SetTelemetry(reg *telemetry.Registry) {
+	e.Telemetry = reg
+	for _, st := range e.sets {
+		st.klf.SetTelemetry(reg)
+		st.ikl.SetTelemetry(reg)
+	}
 }
 
 // SetTimingHook installs a callback receiving the duration of each
@@ -102,7 +119,7 @@ func (e *ExEngine) newState(x relation.AttrSet, cover [2]relation.AttrSet) (*exS
 	mk := func(kind string) (oram.Store, error) {
 		return factory(e.edb.svc, e.edb.cipher,
 			fmt.Sprintf("%s:%d:%s", e.instance, seq, kind),
-			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: 2 * labelWidth})
+			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: 2 * labelWidth, Metrics: e.Telemetry})
 	}
 	klf, err := mk("KLF")
 	if err != nil {

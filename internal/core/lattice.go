@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // This file is the database level (§IV-A): the top-down levelwise search of
@@ -45,6 +46,13 @@ type Options struct {
 	// MaxLHS and KeepPartitions are taken from the state, not from this
 	// Options value, so the resumed run cannot diverge from the original.
 	Resume *LatticeState
+	// Telemetry, if non-nil, receives phase spans for the traversal: one
+	// "lattice/level-NN" span per lattice level plus "candidate/single" /
+	// "candidate/union" spans around each partition materialization. Spans
+	// record only wall time and counts — quantities the server already
+	// observes — so attaching a registry does not change the leakage
+	// profile, and the span calls issue no oblivious accesses of their own.
+	Telemetry *telemetry.Registry
 }
 
 // Result is the outcome of a discovery run.
@@ -76,6 +84,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: empty database")
 	}
+	reg := opts.Telemetry // nil registry: every span below is a no-op
 
 	res := &Result{Cardinalities: make(map[relation.AttrSet]int)}
 	universe := relation.FullSet(m)
@@ -158,15 +167,19 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 	} else {
 		// Level 1: materialize every singleton partition.
+		lsp := reg.StartSpan("lattice/level-01")
 		level = relation.AllSingletons(m)
 		for _, x := range level {
+			csp := reg.StartSpan("candidate/single")
 			card, err := engine.CardinalitySingle(x.First())
+			csp.End()
 			if err != nil {
 				return nil, err
 			}
 			res.Cardinalities[x] = card
 			res.SetsMaterialized++
 		}
+		lsp.End()
 		if opts.Checkpoint != nil {
 			if err := opts.Checkpoint(snapshotState(1)); err != nil {
 				return nil, fmt.Errorf("core: checkpoint after level 1: %w", err)
@@ -175,6 +188,12 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 	}
 
 	for l := startLevel; len(level) > 0; l++ {
+		// The span for level l covers processing its nodes AND materializing
+		// level l+1 from them (GenerateNextLevel), so span NN's time is the
+		// cost of ascending from level NN. Error paths return without End;
+		// the run aborts and the partial breakdown is never reported.
+		lsp := reg.StartSpan(fmt.Sprintf("lattice/level-%02d", l))
+
 		// ComputeDependencies: refresh C⁺ for this level.
 		for _, x := range level {
 			cp := universe
@@ -254,6 +273,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 
 		if opts.MaxLHS > 0 && l >= opts.MaxLHS+1 {
+			lsp.End()
 			break // LHS at the next level would exceed the bound
 		}
 
@@ -291,7 +311,9 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 						continue
 					}
 					x1, x2 := z.SplitCover()
+					usp := reg.StartSpan("candidate/union")
 					card, err := engine.CardinalityUnion(x1, x2)
+					usp.End()
 					if err != nil {
 						return nil, err
 					}
@@ -311,6 +333,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 		prevLevel = kept
 		level = next
+		lsp.End()
 
 		// Level boundary: partitions for `level` are materialized, obsolete
 		// ones released — the engine state matches the frontier exactly, so

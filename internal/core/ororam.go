@@ -6,6 +6,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/oram"
 	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // OrEngine is the original ORAM-based method of §IV-C (Algorithms 1 and 2).
@@ -24,11 +25,27 @@ type OrEngine struct {
 	// partition; the default is the paper's PathORAM
 	// (oram.PathFactory). Set before the first materialization to use an
 	// alternative such as oram.LinearFactory.
-	Factory  oram.Factory
-	capacity int
-	n        int // live rows, ids 0..n-1 (insert-only keeps ids contiguous)
-	sets     map[relation.AttrSet]*orState
-	seq      atomic.Int64 // unique ORAM-name counter across the engine's life
+	Factory oram.Factory
+	// Telemetry, if non-nil, instruments every ORAM the engine builds
+	// (path read/write counters, access spans, stash gauge). Set it before
+	// the first materialization, or call SetTelemetry to also cover
+	// already-built stores (the resume path does).
+	Telemetry *telemetry.Registry
+	capacity  int
+	n         int // live rows, ids 0..n-1 (insert-only keeps ids contiguous)
+	sets      map[relation.AttrSet]*orState
+	seq       atomic.Int64 // unique ORAM-name counter across the engine's life
+}
+
+// SetTelemetry attaches a metrics registry to the engine and re-instruments
+// every already-materialized ORAM handle (checkpoint resume rebuilds the
+// handles without telemetry; this wires them back up).
+func (e *OrEngine) SetTelemetry(reg *telemetry.Registry) {
+	e.Telemetry = reg
+	for _, st := range e.sets {
+		st.kl.SetTelemetry(reg)
+		st.il.SetTelemetry(reg)
+	}
 }
 
 type orState struct {
@@ -64,7 +81,7 @@ func (e *OrEngine) newState(x relation.AttrSet, cover [2]relation.AttrSet) (*orS
 	mk := func(kind string) (oram.Store, error) {
 		return factory(e.edb.svc, e.edb.cipher,
 			fmt.Sprintf("%s:%d:%s", e.instance, seq, kind),
-			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: labelWidth})
+			oram.Config{Capacity: e.capacity, KeyWidth: keyWidth, ValueWidth: labelWidth, Metrics: e.Telemetry})
 	}
 	kl, err := mk("KL")
 	if err != nil {

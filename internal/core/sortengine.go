@@ -7,6 +7,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/obsort"
 	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // SortEngine is the oblivious-sorting method of §IV-D (Algorithm 3). For
@@ -32,9 +33,23 @@ type SortEngine struct {
 	// paper's bitonic sorter, obsort.OddEvenMerge saves ~20% of the
 	// comparators (see the network ablation).
 	Network obsort.Network
-	n       int
-	sets    map[relation.AttrSet]*sortState
-	seq     atomic.Int64
+	// Telemetry, if non-nil, instruments every working array the engine
+	// creates (comparison/stage counters and sort-pass spans). Set it
+	// before the first materialization, or call SetTelemetry to cover
+	// arrays that already exist.
+	Telemetry *telemetry.Registry
+	n         int
+	sets      map[relation.AttrSet]*sortState
+	seq       atomic.Int64
+}
+
+// SetTelemetry attaches a metrics registry to the engine and to every
+// already-materialized array (used after resume or late wiring).
+func (e *SortEngine) SetTelemetry(reg *telemetry.Registry) {
+	e.Telemetry = reg
+	for _, st := range e.sets {
+		st.arr.SetTelemetry(reg)
+	}
 }
 
 type sortState struct {
@@ -124,6 +139,7 @@ func (e *SortEngine) CardinalitySingle(attr int) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: building A for attr %d: %w", attr, err)
 	}
+	arr.SetTelemetry(e.Telemetry)
 	st, err := e.materialize(arr)
 	if err != nil {
 		return 0, err
@@ -170,6 +186,7 @@ func (e *SortEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: building A for %v: %w", x, err)
 	}
+	arr.SetTelemetry(e.Telemetry)
 	st, err := e.materialize(arr)
 	if err != nil {
 		return 0, err
@@ -240,6 +257,7 @@ func (e *SortEngine) CardinalityRaw(x relation.AttrSet) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: building raw A for %v: %w", x, err)
 	}
+	wide.SetTelemetry(e.Telemetry)
 
 	// Algorithm 3 on wide records: sort by the raw key, assign dense
 	// labels into the record head, sort back by id.
@@ -288,6 +306,7 @@ func (e *SortEngine) CardinalityRaw(x relation.AttrSet) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: compacting raw B for %v: %w", x, err)
 	}
+	arr.SetTelemetry(e.Telemetry)
 	if err := wide.Destroy(); err != nil {
 		return 0, err
 	}

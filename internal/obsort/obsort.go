@@ -18,6 +18,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/crypto"
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // Less orders two plaintext records. It runs inside the client and never
@@ -38,6 +39,20 @@ type Array struct {
 	recWidth int // payload width; wire records carry one extra flag byte
 
 	comparisons atomic.Int64
+
+	// Telemetry, nil when disabled. The comparison positions are a pure
+	// function of the padded length, so counting and timing them observes
+	// only Size(DB) (DESIGN.md §9).
+	reg      *telemetry.Registry
+	compCtr  *telemetry.Counter
+	stageCtr *telemetry.Counter
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a metrics registry.
+func (a *Array) SetTelemetry(reg *telemetry.Registry) {
+	a.reg = reg
+	a.compCtr = reg.Counter("oblivfd_sort_comparisons_total")
+	a.stageCtr = reg.Counter("oblivfd_sort_stages_total")
 }
 
 // Create encrypts records (all of identical width) into a fresh server array
@@ -272,7 +287,18 @@ func (a *Array) SortNetwork(less Less, workers int, network Network) error {
 	if workers < 1 {
 		workers = 1
 	}
+	var sortSpan telemetry.Span
+	switch network {
+	case Bitonic:
+		sortSpan = a.reg.StartSpan("sort/bitonic")
+	case OddEvenMerge:
+		sortSpan = a.reg.StartSpan("sort/odd-even")
+	}
+	defer sortSpan.End()
 	stage := func(pairs [][2]int64) error {
+		a.stageCtr.Inc()
+		sp := a.reg.StartSpan("sort/stage")
+		defer sp.End()
 		return a.runStage(pairs, less, workers)
 	}
 	switch network {
@@ -340,6 +366,7 @@ func (a *Array) runStage(pairs [][2]int64, less Less, workers int) error {
 // fresh ciphertexts regardless of the comparison's outcome.
 func (a *Array) compareExchange(lo, hi int64, less Less) error {
 	a.comparisons.Add(1)
+	a.compCtr.Inc()
 	cts, err := a.svc.ReadCells(a.name, []int64{lo, hi})
 	if err != nil {
 		return fmt.Errorf("obsort: %w", err)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/crypto"
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // Store is the oblivious key-value interface the protocols consume
@@ -36,6 +37,9 @@ type Store interface {
 	// CheckpointState captures the client-held state for a client-local
 	// checkpoint file; oram.ResumeStore rebuilds the handle from it.
 	CheckpointState() *StoreState
+	// SetTelemetry attaches (or, with nil, detaches) a metrics registry;
+	// used to re-instrument handles rebuilt from checkpoints.
+	SetTelemetry(reg *telemetry.Registry)
 	// Destroy frees the server-side object.
 	Destroy() error
 }
@@ -74,6 +78,15 @@ type Linear struct {
 	blockSize  int
 	live       int
 	accesses   int64
+
+	reg       *telemetry.Registry
+	accessCtr *telemetry.Counter
+}
+
+// SetTelemetry implements Store.
+func (l *Linear) SetTelemetry(reg *telemetry.Registry) {
+	l.reg = reg
+	l.accessCtr = reg.Counter("oblivfd_oram_accesses_total")
 }
 
 // SetupLinear creates an empty linear ORAM with every slot holding an
@@ -94,6 +107,9 @@ func SetupLinear(svc store.Service, cipher *crypto.Cipher, name string, cfg Conf
 		keyWidth:   cfg.KeyWidth,
 		valueWidth: cfg.ValueWidth,
 		blockSize:  1 + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
+	}
+	if cfg.Metrics != nil {
+		l.SetTelemetry(cfg.Metrics)
 	}
 	if err := svc.CreateArray(name, cfg.Capacity); err != nil {
 		return nil, fmt.Errorf("oram: creating linear array: %w", err)
@@ -163,6 +179,9 @@ func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, boo
 		return nil, false, fmt.Errorf("%w: %d bytes, max %d", ErrKeyWidth, len(key), l.keyWidth)
 	}
 	l.accesses++
+	l.accessCtr.Inc()
+	sp := l.reg.StartSpan("oram/access")
+	defer sp.End()
 
 	// Read pass: one block of client memory at a time.
 	matchIdx, firstFree := -1, -1

@@ -29,6 +29,7 @@ import (
 
 	"github.com/oblivfd/oblivfd/internal/crypto"
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // DefaultZ is the paper's bucket capacity.
@@ -69,6 +70,11 @@ type Config struct {
 	// Seed seeds the leaf-choice RNG for reproducible tests; 0 draws a
 	// random seed from crypto/rand.
 	Seed int64
+	// Metrics, when set, counts path reads/writes and accesses and tracks
+	// the stash size across all ORAMs sharing the registry. Everything
+	// observed (access counts, path sizes, stash occupancy) is part of the
+	// construction's public behaviour, not the data (DESIGN.md §9).
+	Metrics *telemetry.Registry
 }
 
 // ORAM is a client-side handle to one oblivious key-value store. It is not
@@ -95,6 +101,28 @@ type ORAM struct {
 	maxStash   int
 	accesses   int64
 	rng        *mrand.Rand
+
+	// Telemetry handles, nil when disabled. stashGauge is shared across
+	// every ORAM on the registry and updated by delta, so it reads as the
+	// total stashed blocks across all live ORAMs; prevStash tracks this
+	// handle's last contribution.
+	reg        *telemetry.Registry
+	pathReads  *telemetry.Counter
+	pathWrites *telemetry.Counter
+	accessCtr  *telemetry.Counter
+	stashGauge *telemetry.Gauge
+	prevStash  int
+}
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry registry.
+// core.Resume uses it to re-instrument handles rebuilt from checkpoints.
+func (o *ORAM) SetTelemetry(reg *telemetry.Registry) {
+	o.reg = reg
+	o.pathReads = reg.Counter("oblivfd_oram_path_reads_total")
+	o.pathWrites = reg.Counter("oblivfd_oram_path_writes_total")
+	o.accessCtr = reg.Counter("oblivfd_oram_accesses_total")
+	o.stashGauge = reg.Gauge("oblivfd_oram_stash_blocks")
+	o.prevStash = 0
 }
 
 // Setup creates an empty ORAM named name on the server (Definition 4's
@@ -137,6 +165,9 @@ func Setup(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (*
 	}
 	if o.stashLimit < sf {
 		o.stashLimit = sf // capacity 1 still gets a usable stash
+	}
+	if cfg.Metrics != nil {
+		o.SetTelemetry(cfg.Metrics)
 	}
 	if err := svc.CreateTree(name, levels, z); err != nil {
 		return nil, fmt.Errorf("oram: creating tree: %w", err)
@@ -265,6 +296,11 @@ func (o *ORAM) Remove(key string) error {
 
 // Destroy deletes the server-side tree. The handle must not be used after.
 func (o *ORAM) Destroy() error {
+	if o.stashGauge != nil {
+		// Withdraw this handle's contribution from the shared gauge.
+		o.stashGauge.Add(-int64(o.prevStash))
+		o.prevStash = 0
+	}
 	return o.svc.Delete(o.name)
 }
 
@@ -283,6 +319,9 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 		return nil, false, fmt.Errorf("%w: %d bytes, max %d", ErrKeyWidth, len(key), o.keyWidth)
 	}
 	o.accesses++
+	o.accessCtr.Inc()
+	sp := o.reg.StartSpan("oram/access")
+	defer sp.End()
 
 	leaf, known := o.posMap[key]
 	if !known {
@@ -295,6 +334,7 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 	if err != nil {
 		return nil, false, fmt.Errorf("oram: %w", err)
 	}
+	o.pathReads.Inc()
 	for _, ct := range slots {
 		if len(ct) == 0 {
 			continue // defensive; Setup leaves no empty slots
@@ -344,6 +384,10 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 	if err := o.evict(leaf); err != nil {
 		return nil, false, err
 	}
+	if o.stashGauge != nil {
+		o.stashGauge.Add(int64(len(o.stash) - o.prevStash))
+		o.prevStash = len(o.stash)
+	}
 
 	if len(o.stash) > o.stashLimit {
 		return nil, false, fmt.Errorf("%w: %d blocks > limit %d", ErrStashOverflow, len(o.stash), o.stashLimit)
@@ -390,6 +434,7 @@ func (o *ORAM) evict(leaf uint32) error {
 	if err := o.svc.WritePath(o.name, leaf, out); err != nil {
 		return fmt.Errorf("oram: %w", err)
 	}
+	o.pathWrites.Inc()
 	return nil
 }
 

@@ -8,7 +8,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
 )
 
@@ -43,6 +45,10 @@ type DurableServer struct {
 	kills   int64 // appends remaining before the kill point (when armed)
 	armed   bool
 	recInfo RecoveryInfo
+
+	walAppendLat *telemetry.Histogram
+	snapshotLat  *telemetry.Histogram
+	snapshots    *telemetry.Counter
 }
 
 var _ Service = (*DurableServer)(nil)
@@ -63,6 +69,9 @@ type DurableOptions struct {
 	// returns ErrServerKilled until the directory is reopened. Zero
 	// disables injection.
 	KillAfterAppends int64
+	// Metrics, when set, times WAL appends (oblivfd_wal_append_seconds)
+	// and snapshots (oblivfd_snapshot_seconds) into the registry.
+	Metrics *telemetry.Registry
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -246,6 +255,11 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 		wal:     w,
 		snapSeq: info.SnapshotSeq,
 		recInfo: info,
+		// Nil-safe: with no registry these handles are nil and observing
+		// them no-ops.
+		walAppendLat: opts.Metrics.Histogram("oblivfd_wal_append_seconds"),
+		snapshotLat:  opts.Metrics.Histogram("oblivfd_snapshot_seconds"),
+		snapshots:    opts.Metrics.Counter("oblivfd_snapshots_total"),
 	}
 	if opts.KillAfterAppends > 0 {
 		ds.armed = true
@@ -301,6 +315,9 @@ func (d *DurableServer) Dir() string { return d.dir }
 // indistinguishable (to the client) from crashing before the call. When the
 // kill point fires the record is written torn and the server plays dead.
 func (d *DurableServer) logMutation(rec *walRecord) error {
+	if d.walAppendLat != nil {
+		defer d.walAppendLat.ObserveSince(time.Now())
+	}
 	if d.armed {
 		d.kills--
 		if d.kills == 0 {
@@ -441,6 +458,10 @@ func (d *DurableServer) Snapshot() error {
 // recover; between rename and truncate — the new snapshot already contains
 // the WAL's effects, and replay over it is idempotent.
 func (d *DurableServer) snapshotLocked() error {
+	if d.snapshotLat != nil {
+		defer d.snapshotLat.ObserveSince(time.Now())
+		defer d.snapshots.Inc()
+	}
 	seq := d.snapSeq + 1
 	final := snapPath(d.dir, seq)
 	tmp, err := os.CreateTemp(d.dir, "snap-*.tmp")

@@ -4,8 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // FaultConfig parameterizes WithFaults. All probabilities are per call.
@@ -20,6 +21,11 @@ type FaultConfig struct {
 	SpikeRate float64
 	// Spike is the extra delay applied on a latency spike.
 	Spike time.Duration
+	// Metrics, when set, backs the injected-fault counters with the shared
+	// registry series oblivfd_faults_injected_total /
+	// oblivfd_fault_spikes_total instead of per-instance counters, making
+	// the registry the single source of truth for the whole stack.
+	Metrics *telemetry.Registry
 }
 
 // FaultService is a Service decorator that injects transient faults on a
@@ -45,21 +51,35 @@ type FaultService struct {
 	rng *rand.Rand
 	seq int64 // calls scheduled so far
 
-	errors atomic.Int64
-	spikes atomic.Int64
+	// errors and spikes are registry-backed (shared across the stack) when
+	// cfg.Metrics is set, standalone otherwise; shared records which.
+	errors *telemetry.Counter
+	spikes *telemetry.Counter
+	shared bool
 }
 
 // WithFaults wraps a Service with seeded fault injection. A zero-rate
 // config returns a wrapper that never faults (useful for uniform plumbing).
 func WithFaults(svc Service, cfg FaultConfig) *FaultService {
-	return &FaultService{svc: svc, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	f := &FaultService{svc: svc, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Metrics != nil {
+		f.errors = cfg.Metrics.Counter("oblivfd_faults_injected_total")
+		f.spikes = cfg.Metrics.Counter("oblivfd_fault_spikes_total")
+		f.shared = true
+	} else {
+		f.errors = telemetry.NewCounter()
+		f.spikes = telemetry.NewCounter()
+	}
+	return f
 }
 
-// Injected returns the number of transient errors injected so far.
-func (f *FaultService) Injected() int64 { return f.errors.Load() }
+// Injected returns the number of transient errors injected so far. With a
+// Metrics registry configured this is the stack-wide total, not just this
+// layer's.
+func (f *FaultService) Injected() int64 { return f.errors.Value() }
 
 // Spikes returns the number of latency spikes injected so far.
-func (f *FaultService) Spikes() int64 { return f.spikes.Load() }
+func (f *FaultService) Spikes() int64 { return f.spikes.Value() }
 
 // decision is one call's slot in the fault schedule.
 type decision struct {
@@ -90,16 +110,16 @@ func (f *FaultService) next(idempotent bool) decision {
 func (f *FaultService) call(op string, idempotent bool, do func() error) error {
 	d := f.next(idempotent)
 	if d.spike && f.cfg.Spike > 0 {
-		f.spikes.Add(1)
+		f.spikes.Inc()
 		time.Sleep(f.cfg.Spike)
 	}
 	if d.fail && !d.after {
-		f.errors.Add(1)
+		f.errors.Inc()
 		return fmt.Errorf("%w: injected before %s (call %d)", ErrTransient, op, d.seq)
 	}
 	err := do()
 	if d.fail && d.after {
-		f.errors.Add(1)
+		f.errors.Inc()
 		return fmt.Errorf("%w: injected after %s (call %d)", ErrTransient, op, d.seq)
 	}
 	return err
@@ -175,13 +195,19 @@ func (f *FaultService) Checkpoint(epoch int64) error {
 
 // Stats implements Service, adding the injected-fault count to the report.
 // Stats itself is exempt from injection so that monitoring stays reliable
-// even under heavy chaos.
+// even under heavy chaos. With a shared registry counter the value is the
+// stack-wide total, so it replaces rather than accumulates — stacking two
+// registry-backed fault layers must not double-count.
 func (f *FaultService) Stats() (Stats, error) {
 	st, err := f.svc.Stats()
 	if err != nil {
 		return st, err
 	}
-	st.FaultsInjected += f.errors.Load()
+	if f.shared {
+		st.FaultsInjected = f.errors.Value()
+	} else {
+		st.FaultsInjected += f.errors.Value()
+	}
 	return st, nil
 }
 

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
+)
+
+// opNames is every Service operation, used to pre-create metric handles so
+// the hot path never touches the registry map.
+var opNames = []string{
+	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
+	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
+	"Delete", "Reveal", "Checkpoint", "Stats",
+}
+
+// Op indices into metricsService handle slices.
+const (
+	opCreateArray = iota
+	opArrayLen
+	opReadCells
+	opWriteCells
+	opCreateTree
+	opReadPath
+	opWritePath
+	opWriteBuckets
+	opDelete
+	opReveal
+	opCheckpoint
+	opStats
+	numOps
+)
+
+// WithMetrics wraps a Service so every call is timed into a per-operation
+// latency histogram (oblivfd_store_op_seconds{op=...}), errors are counted
+// (oblivfd_store_op_errors_total{op=...}), and ciphertext payload volume
+// is accumulated (oblivfd_store_bytes_{read,written}_total). A nil
+// registry returns svc unchanged — the zero-telemetry path has no wrapper
+// at all.
+//
+// Leakage note: everything observed here (operation kind, latency, payload
+// size) is already visible to the server and the persistent adversary; see
+// DESIGN.md §9.
+func WithMetrics(svc Service, reg *telemetry.Registry) Service {
+	if reg == nil {
+		return svc
+	}
+	m := &metricsService{
+		svc:          svc,
+		bytesRead:    reg.Counter("oblivfd_store_bytes_read_total"),
+		bytesWritten: reg.Counter("oblivfd_store_bytes_written_total"),
+	}
+	for i, op := range opNames {
+		m.lat[i] = reg.Histogram("oblivfd_store_op_seconds", "op", op)
+		m.errs[i] = reg.Counter("oblivfd_store_op_errors_total", "op", op)
+	}
+	return m
+}
+
+type metricsService struct {
+	svc          Service
+	lat          [numOps]*telemetry.Histogram
+	errs         [numOps]*telemetry.Counter
+	bytesRead    *telemetry.Counter
+	bytesWritten *telemetry.Counter
+}
+
+// observe records one finished call.
+func (m *metricsService) observe(op int, t0 time.Time, err error) {
+	m.lat[op].ObserveSince(t0)
+	if err != nil {
+		m.errs[op].Inc()
+	}
+}
+
+func payloadBytes(cts [][]byte) int64 {
+	var n int64
+	for _, ct := range cts {
+		n += int64(len(ct))
+	}
+	return n
+}
+
+// CreateArray implements Service.
+func (m *metricsService) CreateArray(name string, n int) error {
+	t0 := time.Now()
+	err := m.svc.CreateArray(name, n)
+	m.observe(opCreateArray, t0, err)
+	return err
+}
+
+// ArrayLen implements Service.
+func (m *metricsService) ArrayLen(name string) (int, error) {
+	t0 := time.Now()
+	n, err := m.svc.ArrayLen(name)
+	m.observe(opArrayLen, t0, err)
+	return n, err
+}
+
+// ReadCells implements Service.
+func (m *metricsService) ReadCells(name string, idx []int64) ([][]byte, error) {
+	t0 := time.Now()
+	cts, err := m.svc.ReadCells(name, idx)
+	m.observe(opReadCells, t0, err)
+	if err == nil {
+		m.bytesRead.Add(payloadBytes(cts))
+	}
+	return cts, err
+}
+
+// WriteCells implements Service.
+func (m *metricsService) WriteCells(name string, idx []int64, cts [][]byte) error {
+	t0 := time.Now()
+	err := m.svc.WriteCells(name, idx, cts)
+	m.observe(opWriteCells, t0, err)
+	if err == nil {
+		m.bytesWritten.Add(payloadBytes(cts))
+	}
+	return err
+}
+
+// CreateTree implements Service.
+func (m *metricsService) CreateTree(name string, levels, slotsPerBucket int) error {
+	t0 := time.Now()
+	err := m.svc.CreateTree(name, levels, slotsPerBucket)
+	m.observe(opCreateTree, t0, err)
+	return err
+}
+
+// ReadPath implements Service.
+func (m *metricsService) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	t0 := time.Now()
+	cts, err := m.svc.ReadPath(name, leaf)
+	m.observe(opReadPath, t0, err)
+	if err == nil {
+		m.bytesRead.Add(payloadBytes(cts))
+	}
+	return cts, err
+}
+
+// WritePath implements Service.
+func (m *metricsService) WritePath(name string, leaf uint32, slots [][]byte) error {
+	t0 := time.Now()
+	err := m.svc.WritePath(name, leaf, slots)
+	m.observe(opWritePath, t0, err)
+	if err == nil {
+		m.bytesWritten.Add(payloadBytes(slots))
+	}
+	return err
+}
+
+// WriteBuckets implements Service.
+func (m *metricsService) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	t0 := time.Now()
+	err := m.svc.WriteBuckets(name, bucketStart, slots)
+	m.observe(opWriteBuckets, t0, err)
+	if err == nil {
+		m.bytesWritten.Add(payloadBytes(slots))
+	}
+	return err
+}
+
+// Delete implements Service.
+func (m *metricsService) Delete(name string) error {
+	t0 := time.Now()
+	err := m.svc.Delete(name)
+	m.observe(opDelete, t0, err)
+	return err
+}
+
+// Reveal implements Service.
+func (m *metricsService) Reveal(tag string, value int64) error {
+	t0 := time.Now()
+	err := m.svc.Reveal(tag, value)
+	m.observe(opReveal, t0, err)
+	return err
+}
+
+// Checkpoint implements Service.
+func (m *metricsService) Checkpoint(epoch int64) error {
+	t0 := time.Now()
+	err := m.svc.Checkpoint(epoch)
+	m.observe(opCheckpoint, t0, err)
+	return err
+}
+
+// Stats implements Service.
+func (m *metricsService) Stats() (Stats, error) {
+	t0 := time.Now()
+	st, err := m.svc.Stats()
+	m.observe(opStats, t0, err)
+	return st, err
+}
+
+var _ Service = (*metricsService)(nil)

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // ErrRetryBudgetExhausted is returned once WithRetry has spent its total
@@ -45,6 +47,9 @@ type RetryPolicy struct {
 	Seed int64
 	// Retryable classifies errors; nil selects DefaultRetryable.
 	Retryable func(error) bool
+	// Metrics, when set, backs the retry counter with the shared registry
+	// series oblivfd_retries_total instead of a per-instance counter.
+	Metrics *telemetry.Registry
 
 	// sleep is a test hook; nil means time.Sleep.
 	sleep func(time.Duration)
@@ -107,7 +112,10 @@ type RetryService struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	retries atomic.Int64
+	// retries is registry-backed (shared) when policy.Metrics is set,
+	// standalone otherwise; shared records which.
+	retries *telemetry.Counter
+	shared  bool
 	spent   atomic.Int64 // against policy.Budget
 }
 
@@ -134,11 +142,19 @@ func WithRetry(svc Service, policy RetryPolicy) *RetryService {
 	if policy.sleep == nil {
 		policy.sleep = time.Sleep
 	}
-	return &RetryService{svc: svc, policy: policy, rng: rand.New(rand.NewSource(policy.Seed))}
+	rs := &RetryService{svc: svc, policy: policy, rng: rand.New(rand.NewSource(policy.Seed))}
+	if policy.Metrics != nil {
+		rs.retries = policy.Metrics.Counter("oblivfd_retries_total")
+		rs.shared = true
+	} else {
+		rs.retries = telemetry.NewCounter()
+	}
+	return rs
 }
 
-// Retries returns the number of re-attempts performed so far.
-func (r *RetryService) Retries() int64 { return r.retries.Load() }
+// Retries returns the number of re-attempts performed so far. With a
+// Metrics registry configured this is the stack-wide total.
+func (r *RetryService) Retries() int64 { return r.retries.Value() }
 
 // backoff computes the jittered delay before retry number n (1-based).
 func (r *RetryService) backoff(n int) time.Duration {
@@ -196,7 +212,7 @@ func (r *RetryService) do(op string, appliedErr error, fn func() error) error {
 			return fmt.Errorf("store: %s deadline exceeded after %d attempts: %w", op, attempt, err)
 		}
 		r.policy.sleep(wait)
-		r.retries.Add(1)
+		r.retries.Inc()
 	}
 }
 
@@ -266,14 +282,20 @@ func (r *RetryService) Checkpoint(epoch int64) error {
 	return r.do("Checkpoint", nil, func() error { return r.svc.Checkpoint(epoch) })
 }
 
-// Stats implements Service, adding the retry count to the report.
+// Stats implements Service, adding the retry count to the report. With a
+// shared registry counter the value is the stack-wide total, so it
+// replaces rather than accumulates (see FaultService.Stats).
 func (r *RetryService) Stats() (Stats, error) {
 	var st Stats
 	err := r.do("Stats", nil, func() error { var e error; st, e = r.svc.Stats(); return e })
 	if err != nil {
 		return Stats{}, err
 	}
-	st.Retries += r.retries.Load()
+	if r.shared {
+		st.Retries = r.retries.Value()
+	} else {
+		st.Retries += r.retries.Value()
+	}
 	return st, nil
 }
 

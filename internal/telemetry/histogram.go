@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the histogram upper bounds in seconds: exponential
+// from 10µs doubling to ~84s (24 finite buckets plus +Inf). The range
+// covers in-process storage calls (~µs) through WAN round trips and WAL
+// fsyncs (~ms) up to pathological stalls.
+var DefaultBuckets = func() []float64 {
+	bounds := make([]float64, 24)
+	b := 10e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}()
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// lock-free (atomic adds); snapshots estimate quantiles by linear
+// interpolation inside the winning bucket, clamped to the observed
+// min/max so single-sample and narrow distributions report exact values.
+//
+// A nil *Histogram ignores observations and snapshots as empty.
+type Histogram struct {
+	series
+	bounds []float64      // ascending upper bounds, seconds; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; MaxInt64 until first observation
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns a standalone (unregistered) histogram with the
+// default buckets.
+func NewHistogram() *Histogram { return newHistogram("", "", DefaultBuckets) }
+
+func newHistogram(name, labels string, bounds []float64) *Histogram {
+	h := &Histogram{
+		series: series{name: name, labels: labels},
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := int64(d)
+	sec := float64(ns) / 1e9
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(t0))
+}
+
+// Bucket is one histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound in seconds;
+	// +Inf for the overflow bucket.
+	UpperBound float64 `json:"-"`
+	// Count is the number of observations ≤ UpperBound (cumulative, per
+	// the Prometheus convention).
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the upper bound as a string so the +Inf overflow
+// bucket survives encoding (JSON has no infinity literal).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return json.Marshal(struct {
+		LE    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Min     time.Duration `json:"min_ns"`
+	Max     time.Duration `json:"max_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P95     time.Duration `json:"p95_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	Buckets []Bucket      `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Snapshot captures the histogram's current state. Concurrent observations
+// may land between field reads; the result is a consistent-enough view for
+// monitoring, not an atomic cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = time.Duration(h.min.Load())
+	s.Max = time.Duration(h.max.Load())
+	raw := make([]int64, len(h.counts))
+	cum := int64(0)
+	s.Buckets = make([]Bucket, len(h.counts))
+	for i := range h.counts {
+		raw[i] = h.counts[i].Load()
+		cum += raw[i]
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	total := cum
+	s.P50 = h.quantile(raw, total, 0.50, s.Min, s.Max)
+	s.P95 = h.quantile(raw, total, 0.95, s.Min, s.Max)
+	s.P99 = h.quantile(raw, total, 0.99, s.Min, s.Max)
+	return s
+}
+
+// quantile estimates the p-quantile from per-bucket counts by linear
+// interpolation inside the bucket that contains the target rank, clamped
+// to [min, max]. With one sample every quantile is that sample.
+func (h *Histogram) quantile(raw []int64, total int64, p float64, min, max time.Duration) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	target := p * float64(total)
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range raw {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := float64(max) / 1e9 // +Inf bucket: cap at observed max
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			}
+			frac := (target - float64(cum)) / float64(c)
+			v := time.Duration((lower + (upper-lower)*frac) * 1e9)
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+		cum += c
+	}
+	return max
+}

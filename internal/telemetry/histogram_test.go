@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot not all zero: %+v", s)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("empty mean = %v", s.Mean())
+	}
+	if len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot has buckets")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	d := 137 * time.Microsecond
+	h.Observe(d)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != d || s.Min != d || s.Max != d {
+		t.Fatalf("single-sample snapshot: %+v", s)
+	}
+	// Min/max clamping makes every quantile exact for one sample.
+	for _, q := range []time.Duration{s.P50, s.P95, s.P99} {
+		if q != d {
+			t.Fatalf("single-sample quantile = %v, want %v", q, d)
+		}
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Microsecond)  // == first bound, goes in bucket 0
+	h.Observe(11 * time.Microsecond)  // bucket 1 (10µs < v <= 20µs)
+	h.Observe(500 * time.Millisecond) // some mid bucket
+	h.Observe(time.Hour)              // beyond last bound: +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if len(s.Buckets) != len(DefaultBuckets)+1 {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), len(DefaultBuckets)+1)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Fatalf("bucket0 cumulative = %d, want 1", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 2 {
+		t.Fatalf("bucket1 cumulative = %d, want 2", s.Buckets[1].Count)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", last.UpperBound)
+	}
+	if last.Count != 4 {
+		t.Fatalf("+Inf cumulative = %d, want 4 (cumulative convention)", last.Count)
+	}
+	// Monotone non-decreasing cumulative counts.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket counts not cumulative at %d", i)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 samples spread 1ms..100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Bucket interpolation is coarse (power-of-two buckets); accept a
+	// factor-of-two window around the true quantile.
+	check := func(name string, got, want time.Duration) {
+		t.Helper()
+		if got < want/2 || got > want*2 {
+			t.Fatalf("%s = %v, want within [%v, %v]", name, got, want/2, want*2)
+		}
+	}
+	check("p50", s.P50, 50*time.Millisecond)
+	check("p95", s.P95, 95*time.Millisecond)
+	check("p99", s.P99, 99*time.Millisecond)
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > s.Max {
+		t.Fatalf("p99 %v > max %v", s.P99, s.Max)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if m := s.Mean(); m < 45*time.Millisecond || m > 56*time.Millisecond {
+		t.Fatalf("mean = %v, want ~50.5ms", m)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Sum != 0 {
+		t.Fatalf("negative observation not clamped: %+v", s)
+	}
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns the operator HTTP mux: Prometheus text on /metrics, the
+// JSON snapshot on /metrics.json, and the standard runtime profiles under
+// /debug/pprof/. fdserver mounts this on -metrics-addr.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	// net/http/pprof registers on DefaultServeMux via init; mount its
+	// handlers explicitly so the metrics mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// famEntry is one series gathered for exposition.
+type famEntry struct {
+	labels string
+	metric any
+}
+
+// families groups every registered metric by base name, each family's
+// series sorted by label string, family names sorted. The Prometheus text
+// format requires all series of one family to be consecutive under a
+// single # TYPE line.
+func (r *Registry) families() (names []string, byName map[string][]famEntry) {
+	byName = make(map[string][]famEntry)
+	r.visit(func(_ string, m any) {
+		var s series
+		switch v := m.(type) {
+		case *Counter:
+			s = v.series
+		case *Gauge:
+			s = v.series
+		case *Histogram:
+			s = v.series
+		default:
+			return
+		}
+		if s.name == "" {
+			return // standalone metric that leaked into a registry; skip
+		}
+		if _, ok := byName[s.name]; !ok {
+			names = append(names, s.name)
+		}
+		byName[s.name] = append(byName[s.name], famEntry{labels: s.labels, metric: m})
+	})
+	sort.Strings(names)
+	for _, n := range names {
+		es := byName[n]
+		sort.Slice(es, func(i, j int) bool { return es[i].labels < es[j].labels })
+	}
+	return names, byName
+}
+
+func fmtFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// writeSeries writes one `name{labels} value` sample line, merging extra
+// label pairs (already rendered) with the series labels.
+func writeSeries(w io.Writer, name, labels, extra, value string) {
+	all := labels
+	if extra != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extra
+	}
+	if all == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		fmt.Fprintf(w, "%s{%s} %s\n", name, all, value)
+	}
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Histograms emit the conventional
+// _bucket{le=...}/_sum/_count triple; tracer phases are exported as the
+// oblivfd_phase_seconds_total / oblivfd_phase_spans_total counter pair.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	names, byName := r.families()
+	for _, name := range names {
+		entries := byName[name]
+		switch entries[0].metric.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		case *Histogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		}
+		for _, e := range entries {
+			switch m := e.metric.(type) {
+			case *Counter:
+				writeSeries(w, name, e.labels, "", strconv.FormatInt(m.Value(), 10))
+			case *Gauge:
+				writeSeries(w, name, e.labels, "", strconv.FormatInt(m.Value(), 10))
+			case *Histogram:
+				s := m.Snapshot()
+				for _, b := range s.Buckets {
+					writeSeries(w, name+"_bucket", e.labels,
+						`le="`+fmtFloat(b.UpperBound)+`"`,
+						strconv.FormatInt(b.Count, 10))
+				}
+				if len(s.Buckets) == 0 {
+					// Empty histogram: still expose the shape.
+					for _, ub := range append(append([]float64(nil), m.bounds...), math.Inf(1)) {
+						writeSeries(w, name+"_bucket", e.labels, `le="`+fmtFloat(ub)+`"`, "0")
+					}
+				}
+				writeSeries(w, name+"_sum", e.labels, "", fmtFloat(s.Sum.Seconds()))
+				writeSeries(w, name+"_count", e.labels, "", strconv.FormatInt(s.Count, 10))
+			}
+		}
+	}
+	phases := r.Tracer().Phases()
+	if len(phases) == 0 {
+		return
+	}
+	sorted := append([]Phase(nil), phases...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	fmt.Fprintf(w, "# TYPE oblivfd_phase_seconds_total counter\n")
+	for _, p := range sorted {
+		writeSeries(w, "oblivfd_phase_seconds_total", `phase="`+escapeLabel(p.Name)+`"`, "",
+			fmtFloat(p.Total.Seconds()))
+	}
+	fmt.Fprintf(w, "# TYPE oblivfd_phase_spans_total counter\n")
+	for _, p := range sorted {
+		writeSeries(w, "oblivfd_phase_spans_total", `phase="`+escapeLabel(p.Name)+`"`, "",
+			strconv.FormatInt(p.Count, 10))
+	}
+}
+
+// jsonSnapshot is the /metrics.json document shape.
+type jsonSnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Phases     []Phase                      `json:"phases,omitempty"`
+}
+
+// snapshotJSON builds the JSON view of the registry. Histogram bucket
+// lists are included; keys are the full series key (name{labels}).
+func (r *Registry) snapshotJSON() jsonSnapshot {
+	doc := jsonSnapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.visit(func(key string, m any) {
+		switch v := m.(type) {
+		case *Counter:
+			doc.Counters[key] = v.Value()
+		case *Gauge:
+			doc.Gauges[key] = v.Value()
+		case *Histogram:
+			doc.Histograms[key] = v.Snapshot()
+		}
+	})
+	doc.Phases = r.Tracer().Phases()
+	return doc
+}
+
+// WriteJSON renders the registry as an indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.snapshotJSON())
+}
+
+// MarshalBreakdownJSON returns the per-phase breakdown plus key counters
+// as JSON, the artifact fdbench writes next to its bench output.
+func (r *Registry) MarshalBreakdownJSON(wall time.Duration) ([]byte, error) {
+	if r == nil {
+		return []byte("{}\n"), nil
+	}
+	doc := struct {
+		WallNS int64 `json:"wall_ns"`
+		jsonSnapshot
+	}{WallNS: int64(wall), jsonSnapshot: r.snapshotJSON()}
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}

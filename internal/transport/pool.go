@@ -3,9 +3,9 @@ package transport
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // Pool is a store.Service backed by several TCP connections to the same
@@ -27,7 +27,11 @@ type Pool struct {
 	conns chan *Client
 	all   map[*Client]struct{}
 
-	replacements atomic.Int64
+	// replacements is registry-backed when cfg.Metrics is set;
+	// sharedReconnects is the config-wide redial counter all pooled
+	// clients report into (nil when metrics are off).
+	replacements     *telemetry.Counter
+	sharedReconnects *telemetry.Counter
 }
 
 var _ store.Service = (*Pool)(nil)
@@ -48,6 +52,12 @@ func DialPoolWith(addr string, size int, cfg ClientConfig) (*Pool, error) {
 		cfg:   cfg.withDefaults(),
 		conns: make(chan *Client, size),
 		all:   make(map[*Client]struct{}, size),
+	}
+	if p.cfg.Metrics != nil {
+		p.replacements = p.cfg.Metrics.Counter("oblivfd_pool_replacements_total")
+		p.sharedReconnects = p.cfg.Metrics.Counter("oblivfd_client_reconnects_total")
+	} else {
+		p.replacements = telemetry.NewCounter()
 	}
 	for i := 0; i < size; i++ {
 		c, err := DialWith(addr, p.cfg)
@@ -70,10 +80,16 @@ func (p *Pool) Size() int {
 
 // Reconnects returns the pool-wide reconnection count: re-dials performed
 // by the pooled clients plus whole-connection replacements by the pool.
+// With a Metrics registry the redial count is read once from the shared
+// counter instead of summed per client — summing shared counters would
+// multiply every redial by the pool size.
 func (p *Pool) Reconnects() int64 {
+	total := p.replacements.Value()
+	if p.sharedReconnects != nil {
+		return total + p.sharedReconnects.Value()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	total := p.replacements.Load()
 	for c := range p.all {
 		total += c.Reconnects()
 	}
@@ -115,7 +131,13 @@ func (p *Pool) maybeReplace(c *Client) *Client {
 	delete(p.all, c)
 	p.all[fresh] = struct{}{}
 	p.mu.Unlock()
-	p.replacements.Add(1 + c.Reconnects()) // keep the dead client's count
+	if p.sharedReconnects != nil {
+		// The dead client's redials already persist in the shared counter;
+		// folding them into replacements too would double-count.
+		p.replacements.Inc()
+	} else {
+		p.replacements.Add(1 + c.Reconnects()) // keep the dead client's count
+	}
 	_ = c.Close()
 	return fresh
 }

@@ -4,12 +4,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // Server accepts transport connections and dispatches requests to a
@@ -26,11 +28,55 @@ type Server struct {
 	draining bool
 
 	inflight atomic.Int64 // requests decoded but not yet answered
+
+	// Telemetry handles, all nil until SetMetrics; serveConn checks rpcLat
+	// once per connection so the metrics-off path is a single nil test.
+	rpcLat        *[numKinds]*telemetry.Histogram
+	inflightGauge *telemetry.Gauge
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	connsGauge    *telemetry.Gauge
 }
 
 // NewServer wraps a service for serving over TCP.
 func NewServer(svc store.Service) *Server {
 	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+}
+
+// SetMetrics attaches a telemetry registry: per-RPC server-side latency
+// (oblivfd_rpc_seconds{op=...}), the in-flight request gauge
+// (oblivfd_rpc_inflight), open-connection gauge (oblivfd_conns_open), and
+// wire byte counters (oblivfd_net_rx_bytes_total /
+// oblivfd_net_tx_bytes_total). Call before Serve; a nil registry is a
+// no-op. Everything observed is already server-visible, so nothing beyond
+// L(DB) is recorded (DESIGN.md §9).
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.rpcLat = rpcHistograms(reg, "oblivfd_rpc_seconds")
+	s.inflightGauge = reg.Gauge("oblivfd_rpc_inflight")
+	s.connsGauge = reg.Gauge("oblivfd_conns_open")
+	s.bytesIn = reg.Counter("oblivfd_net_rx_bytes_total")
+	s.bytesOut = reg.Counter("oblivfd_net_tx_bytes_total")
+}
+
+// countingConn counts wire bytes as they cross the gob codecs.
+type countingConn struct {
+	net.Conn
+	in, out *telemetry.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // Serve accepts connections on l until the listener closes (returning nil)
@@ -80,18 +126,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		s.track(conn, false)
 		conn.Close()
+		s.connsGauge.Add(-1)
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	s.connsGauge.Add(1)
+	var rw io.ReadWriter = conn
+	if s.rpcLat != nil {
+		rw = &countingConn{Conn: conn, in: s.bytesIn, out: s.bytesOut}
+	}
+	dec := gob.NewDecoder(rw)
+	enc := gob.NewEncoder(rw)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return // io.EOF on clean shutdown; anything else also ends the conn
 		}
 		s.inflight.Add(1)
+		s.inflightGauge.Add(1)
+		var t0 time.Time
+		if s.rpcLat != nil {
+			t0 = time.Now()
+		}
 		resp := dispatch(s.svc, &req)
+		if s.rpcLat != nil && req.Kind < numKinds {
+			s.rpcLat[req.Kind].ObserveSince(t0)
+		}
 		err := enc.Encode(resp)
 		s.inflight.Add(-1)
+		s.inflightGauge.Add(-1)
 		if err != nil {
 			return
 		}

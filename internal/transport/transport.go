@@ -28,10 +28,10 @@ import (
 	"io"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // ErrClosed is returned by calls on a closed client.
@@ -52,7 +52,26 @@ const (
 	kindReveal
 	kindStats
 	kindCheckpoint
+	numKinds
 )
+
+// kindNames maps wire kinds to the Service method names used as metric
+// labels.
+var kindNames = [numKinds]string{
+	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
+	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
+	"Delete", "Reveal", "Stats", "Checkpoint",
+}
+
+// rpcHistograms pre-creates one latency histogram per RPC kind so the
+// per-call path never touches the registry map.
+func rpcHistograms(reg *telemetry.Registry, name string) *[numKinds]*telemetry.Histogram {
+	var h [numKinds]*telemetry.Histogram
+	for k, op := range kindNames {
+		h[k] = reg.Histogram(name, "op", op)
+	}
+	return &h
+}
 
 // request is the wire format for one Service call.
 type request struct {
@@ -205,6 +224,11 @@ type ClientConfig struct {
 	// doubling per attempt up to RedialMaxBackoff (default 2s).
 	RedialBackoff    time.Duration
 	RedialMaxBackoff time.Duration
+	// Metrics, when set, records client-side per-RPC latency
+	// (oblivfd_rpc_client_seconds{op=...}) and backs the reconnect counter
+	// with the shared series oblivfd_client_reconnects_total, so every
+	// client and pool built from this config reports into one place.
+	Metrics *telemetry.Registry
 }
 
 // DefaultClientConfig returns the defaults documented on ClientConfig.
@@ -253,7 +277,11 @@ type Client struct {
 	dec    *gob.Decoder
 	closed bool
 
-	reconnects atomic.Int64
+	// reconnects is registry-backed (shared across all clients built from
+	// the same config) when cfg.Metrics is set, standalone otherwise.
+	reconnects *telemetry.Counter
+	shared     bool
+	lat        *[numKinds]*telemetry.Histogram // nil when metrics are off
 }
 
 var _ store.Service = (*Client)(nil)
@@ -274,6 +302,11 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 	c := NewClient(conn)
 	c.addr = addr
 	c.cfg = cfg
+	if cfg.Metrics != nil {
+		c.reconnects = cfg.Metrics.Counter("oblivfd_client_reconnects_total")
+		c.shared = true
+		c.lat = rpcHistograms(cfg.Metrics, "oblivfd_rpc_client_seconds")
+	}
 	return c, nil
 }
 
@@ -283,10 +316,11 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 // and custom conn types).
 func NewClient(conn net.Conn) *Client {
 	return &Client{
-		cfg:  ClientConfig{CallTimeout: -1, Redials: -1},
-		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
+		cfg:        ClientConfig{CallTimeout: -1, Redials: -1},
+		conn:       conn,
+		enc:        gob.NewEncoder(conn),
+		dec:        gob.NewDecoder(conn),
+		reconnects: telemetry.NewCounter(),
 	}
 }
 
@@ -304,8 +338,10 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// Reconnects returns how many times this client re-dialed its server.
-func (c *Client) Reconnects() int64 { return c.reconnects.Load() }
+// Reconnects returns how many times this client re-dialed its server. With
+// a Metrics registry configured the counter is shared, so this is the total
+// across every client built from the same config.
+func (c *Client) Reconnects() int64 { return c.reconnects.Value() }
 
 // Broken reports whether the client currently has no live connection (its
 // last call tore the connection down and could not re-establish it). A
@@ -333,7 +369,7 @@ func (c *Client) redialLocked() error {
 	c.conn = conn
 	c.enc = gob.NewEncoder(conn)
 	c.dec = gob.NewDecoder(conn)
-	c.reconnects.Add(1)
+	c.reconnects.Inc()
 	return nil
 }
 
@@ -356,6 +392,9 @@ func (c *Client) call(req *request) (*response, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
+	}
+	if c.lat != nil && req.Kind < numKinds {
+		defer c.lat[req.Kind].ObserveSince(time.Now())
 	}
 	redials := 0
 	resent := false
@@ -497,12 +536,18 @@ func (c *Client) statsRaw() (store.Stats, error) {
 }
 
 // Stats implements store.Service, adding this client's reconnect count to
-// the server-side report.
+// the server-side report. With a shared registry counter the value is the
+// config-wide total, so it replaces rather than accumulates — stacking
+// would double-count what other sharers already reported.
 func (c *Client) Stats() (store.Stats, error) {
 	st, err := c.statsRaw()
 	if err != nil {
 		return store.Stats{}, err
 	}
-	st.Reconnects += c.reconnects.Load()
+	if c.shared {
+		st.Reconnects = c.reconnects.Value()
+	} else {
+		st.Reconnects += c.reconnects.Value()
+	}
 	return st, nil
 }

@@ -46,6 +46,7 @@ import (
 	"github.com/oblivfd/oblivfd/internal/oram"
 	"github.com/oblivfd/oblivfd/internal/relation"
 	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
 	"github.com/oblivfd/oblivfd/internal/transport"
 )
@@ -158,6 +159,24 @@ func WithFaults(svc Service, cfg FaultConfig) *store.FaultService { return store
 // WithRetry wraps a service so transient failures are retried with
 // exponential backoff, deadlines, and a retry budget.
 func WithRetry(svc Service, p RetryPolicy) *store.RetryService { return store.WithRetry(svc, p) }
+
+// Telemetry. A Registry collects counters, gauges, latency histograms, and
+// phase spans from every instrumented layer it is attached to; it observes
+// only operation counts, byte sizes, and wall-clock timings — quantities
+// within the protocol's leakage profile L(DB) — and never plaintext or key
+// material. One registry may be shared by the storage decorators, the TCP
+// client, the engines, and the lattice traversal; fdserver additionally
+// serves a registry over HTTP (/metrics, /metrics.json, /debug/pprof/).
+// A nil *Registry disables all instrumentation at zero cost.
+type Registry = telemetry.Registry
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.New() }
+
+// WithTelemetry wraps a service so every storage operation records its
+// latency, outcome, and payload bytes into the registry. A nil registry
+// returns svc unchanged.
+func WithTelemetry(svc Service, reg *Registry) Service { return store.WithMetrics(svc, reg) }
 
 // DefaultClientConfig returns the self-healing client defaults.
 func DefaultClientConfig() ClientConfig { return transport.DefaultClientConfig() }
@@ -289,6 +308,11 @@ type Options struct {
 	// required before calling Insert/Delete. ProtocolDynamicORAM sets it
 	// implicitly.
 	KeepPartitions bool
+	// Telemetry, if non-nil, instruments the protocol engine and the
+	// lattice traversal: ORAM access counters, sort-pass spans, per-level
+	// lattice spans. It is honored by the secure protocols (sort, or-oram,
+	// ex-oram); the benchmarking baselines ignore it.
+	Telemetry *Registry
 }
 
 // Database is the client's handle to one outsourced database: it owns the
@@ -358,10 +382,12 @@ func Outsource(svc Service, rel *Relation, opts Options) (*Database, error) {
 		case ProtocolSort:
 			eng := core.NewSortEngine(edb, opts.Workers)
 			eng.Network = opts.Network
+			eng.Telemetry = opts.Telemetry
 			db.engine = eng
 		case ProtocolORAM:
 			eng := core.NewOrEngine(edb)
 			eng.Factory = factory
+			eng.Telemetry = opts.Telemetry
 			db.engine = eng
 		case ProtocolDynamicORAM:
 			eng, err := core.NewExEngine(edb)
@@ -369,6 +395,7 @@ func Outsource(svc Service, rel *Relation, opts Options) (*Database, error) {
 				return nil, fmt.Errorf("securefd: %w", err)
 			}
 			eng.Factory = factory
+			eng.Telemetry = opts.Telemetry
 			db.engine = eng
 		case ProtocolDeterministic:
 			db.engine = core.NewDetEngine(edb)
@@ -400,6 +427,7 @@ func (db *Database) discoverOptions() *core.Options {
 		KeepPartitions: keep,
 		MaxLHS:         db.opts.MaxLHS,
 		Resume:         db.resume,
+		Telemetry:      db.opts.Telemetry,
 		Reveal: func(fd relation.FD, holds bool) {
 			db.revealed.Add(1)
 			v := int64(0)
@@ -535,6 +563,18 @@ func (db *Database) Update(id int, row Row) (int, error) {
 		return 0, fmt.Errorf("securefd: update deleted record %d but could not reinsert: %w", id, err)
 	}
 	return newID, nil
+}
+
+// SetTelemetry attaches a metrics registry to the handle's engine,
+// including partitions that are already materialized. Use it to instrument
+// a handle built by Resume (checkpoints carry no telemetry wiring) or to
+// attach a registry after Outsource. Engines without instrumentation (the
+// benchmarking baselines) accept the call as a no-op.
+func (db *Database) SetTelemetry(reg *Registry) {
+	db.opts.Telemetry = reg
+	if eng, ok := db.engine.(interface{ SetTelemetry(*telemetry.Registry) }); ok {
+		eng.SetTelemetry(reg)
+	}
 }
 
 // NumRows returns the live record count.
