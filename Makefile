@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash bench experiments examples telemetry-smoke clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke clean
 
 all: build vet test
 
@@ -40,6 +40,14 @@ test-race:
 crash:
 	$(GO) test -count=1 -run 'CrashRecovery' .
 	$(GO) test -count=1 ./internal/store/ ./internal/core/ ./internal/oram/
+
+# Tamper-injection suite: corrupt ciphertexts at seeded read offsets —
+# in-process and over TCP — plus WAL frames and snapshots at rest, and
+# require every corruption to be detected (never a silent wrong FD set).
+# -race because detection paths cross the fault injector's locks.
+tamper:
+	$(GO) test -race -count=1 -run 'Tamper' .
+	$(GO) test -race -count=1 ./internal/crypto/ ./internal/oram/ ./internal/obsort/ ./internal/transport/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -35,11 +35,12 @@ func main() {
 		t2rtt   = flag.Duration("table2-rtt", 0, "modeled network RTT for table2 (0 = in-process timings)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		frate   = flag.Float64("fault-rate", 0.02, "transient error and spike rate for the faults experiment")
+		crate   = flag.Float64("corrupt-rate", 0.01, "per-read payload corruption rate for the faults experiment's detection axis (0 disables)")
 		telOut  = flag.String("telemetry", "", "write the telemetry experiment's per-phase breakdown to this JSON file (e.g. BENCH_telemetry.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *seed, *telOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -69,7 +70,7 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate float64, seed int64, telemetryOut string) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
@@ -93,7 +94,7 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 		{"ablation-oram", func() (renderer, error) { return bench.AblationORAM(sweep(16, minn*4), seed) }},
 		{"comm", func() (renderer, error) { return bench.Comm(sweep(minn, maxn/2), seed) }},
 		{"faults", func() (renderer, error) {
-			return bench.FaultTolerance(sweep(minn, maxn/2), faultRate, faultRate, seed)
+			return bench.FaultTolerance(sweep(minn, maxn/2), faultRate, faultRate, corruptRate, seed)
 		}},
 		{"recovery", func() (renderer, error) { return bench.Recovery(sweep(minn, maxn/4), seed) }},
 		{"telemetry", func() (renderer, error) {

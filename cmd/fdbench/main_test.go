@@ -53,14 +53,14 @@ func TestSweep(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
 	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1, ""); err != nil {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 1, ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 1, out); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)

@@ -42,22 +42,23 @@ import (
 
 // options collects the run knobs so flags extend without churn.
 type options struct {
-	protoName string
-	network   string
-	workers   int
-	maxLHS    int
-	aggregate bool
-	quiet     bool
-	rtt       time.Duration // artificial per-operation latency
-	faultRate float64       // seeded transient fault injection rate
-	faultSeed int64
-	retries   int    // max attempts per storage call (1 = no retry)
-	dataDir   string // durable server state directory
-	ckptPath  string // client checkpoint file, written at level boundaries
-	resume    string // checkpoint file to continue from
-	connect   string // remote fdserver address; empty = in-process server
-	telemetry bool   // print a per-phase breakdown after discovery
-	logJSON   bool
+	protoName   string
+	network     string
+	workers     int
+	maxLHS      int
+	aggregate   bool
+	quiet       bool
+	rtt         time.Duration // artificial per-operation latency
+	faultRate   float64       // seeded transient fault injection rate
+	corruptRate float64       // seeded read-payload corruption rate
+	faultSeed   int64
+	retries     int    // max attempts per storage call (1 = no retry)
+	dataDir     string // durable server state directory
+	ckptPath    string // client checkpoint file, written at level boundaries
+	resume      string // checkpoint file to continue from
+	connect     string // remote fdserver address; empty = in-process server
+	telemetry   bool   // print a per-phase breakdown after discovery
+	logJSON     bool
 }
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the FDs")
 	flag.DurationVar(&o.rtt, "rtt", 0, "artificial per-operation storage latency, to model a remote server")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient storage faults at this rate (0..1)")
+	flag.Float64Var(&o.corruptRate, "corrupt-rate", 0, "corrupt read payloads at this rate (0..1); every hit must abort discovery with an integrity error")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the deterministic fault schedule")
 	flag.IntVar(&o.retries, "retries", 0, "max attempts per storage call (0 = default policy, 1 = no retry)")
 	flag.StringVar(&o.dataDir, "data-dir", "", "durable server state directory (WAL + snapshots); survives crashes")
@@ -241,8 +243,13 @@ func run(path string, o options) error {
 		svc = securefd.WithLatency(svc, o.rtt)
 	}
 	var faulty *securefd.FaultService
-	if o.faultRate > 0 {
-		faulty = securefd.WithFaults(svc, securefd.FaultConfig{Seed: o.faultSeed, ErrorRate: o.faultRate, Metrics: reg})
+	if o.faultRate > 0 || o.corruptRate > 0 {
+		faulty = securefd.WithFaults(svc, securefd.FaultConfig{
+			Seed:        o.faultSeed,
+			ErrorRate:   o.faultRate,
+			CorruptRate: o.corruptRate,
+			Metrics:     reg,
+		})
 		svc = faulty
 	}
 	var retried *securefd.RetryService

@@ -54,6 +54,7 @@ type config struct {
 	spikeRate    float64       // seeded latency spike rate
 	spike        time.Duration // spike magnitude
 	dropRate     float64       // seeded mid-call connection drop rate
+	corruptRate  float64       // seeded read-payload corruption rate
 	faultSeed    int64
 	metricsAddr  string // if set, serve /metrics + /metrics.json + /debug/pprof/
 	logJSON      bool
@@ -71,6 +72,7 @@ func main() {
 	flag.Float64Var(&cfg.spikeRate, "spike-rate", 0, "inject latency spikes at this rate (0..1)")
 	flag.DurationVar(&cfg.spike, "spike", 5*time.Millisecond, "latency spike magnitude for -spike-rate")
 	flag.Float64Var(&cfg.dropRate, "drop-rate", 0, "sever live connections mid-call at this per-I/O rate (0..1)")
+	flag.Float64Var(&cfg.corruptRate, "corrupt-rate", 0, "corrupt read payloads at this rate (0..1), modeling a Byzantine server; clients must detect every hit")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for the deterministic fault/drop schedules")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "if set, serve Prometheus /metrics, /metrics.json, and /debug/pprof/ on this address")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "log as JSON lines instead of key=value text")
@@ -159,17 +161,19 @@ func serve(l net.Listener, cfg config) error {
 	}
 	svc := store.WithLatency(store.Service(srv), cfg.latency)
 	var faulty *store.FaultService
-	if cfg.faultRate > 0 || cfg.spikeRate > 0 {
+	if cfg.faultRate > 0 || cfg.spikeRate > 0 || cfg.corruptRate > 0 {
 		faulty = store.WithFaults(svc, store.FaultConfig{
-			Seed:      cfg.faultSeed,
-			ErrorRate: cfg.faultRate,
-			SpikeRate: cfg.spikeRate,
-			Spike:     cfg.spike,
-			Metrics:   reg,
+			Seed:        cfg.faultSeed,
+			ErrorRate:   cfg.faultRate,
+			SpikeRate:   cfg.spikeRate,
+			Spike:       cfg.spike,
+			CorruptRate: cfg.corruptRate,
+			Metrics:     reg,
 		})
 		svc = faulty
 		log.Info("fault injection on", "error_rate", cfg.faultRate,
-			"spike_rate", cfg.spikeRate, "seed", cfg.faultSeed)
+			"spike_rate", cfg.spikeRate, "corrupt_rate", cfg.corruptRate,
+			"seed", cfg.faultSeed)
 	}
 	// Outermost decorator: the per-op histograms measure what an RPC
 	// dispatch actually costs, injected latency and faults included.

@@ -364,7 +364,7 @@ func TestNewSetupUnknownMethod(t *testing.T) {
 // TestFaultToleranceTiny: the faults experiment completes, injects faults,
 // retries them, and agrees with the clean run (enforced inside).
 func TestFaultToleranceTiny(t *testing.T) {
-	res, err := FaultTolerance([]int{32, 64}, 0.05, 0.05, 1)
+	res, err := FaultTolerance([]int{32, 64}, 0.05, 0.05, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,6 +387,30 @@ func TestFaultToleranceTiny(t *testing.T) {
 	}
 	if out := res.Render(); !strings.Contains(out, "Fault tolerance overhead") {
 		t.Errorf("render:\n%s", out)
+	}
+}
+
+// TestFaultToleranceCorruption: with the corruption axis on, every size
+// either detects an injected corruption (aborting with ErrIntegrity) or
+// injects none; a 5% per-read rate over these workloads always fires.
+func TestFaultToleranceCorruption(t *testing.T) {
+	res, err := FaultTolerance([]int{32, 64}, 0, 0, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corruptions, detected int64
+	for _, p := range res.Points {
+		corruptions += p.Corruptions
+		detected += p.Detected
+	}
+	if corruptions == 0 {
+		t.Error("no corruptions injected at 5% over two sizes")
+	}
+	if detected == 0 {
+		t.Error("no run detected its corruption")
+	}
+	if out := res.Render(); !strings.Contains(out, "detected") {
+		t.Errorf("render missing the detection column:\n%s", out)
 	}
 }
 

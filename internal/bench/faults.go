@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -22,6 +23,13 @@ type FaultPoint struct {
 	Injected int64 // transient errors injected
 	Spikes   int64 // latency spikes injected
 	Retries  int64 // re-attempts the retry layer performed
+
+	// Corruption axis (zero unless a corruption rate was requested): a
+	// separate run under payload corruption must either abort with
+	// ErrIntegrity or — if the schedule happened to inject nothing —
+	// reproduce the clean result exactly.
+	Corruptions int64 // payload corruptions injected
+	Detected    int64 // corrupted runs aborted with ErrIntegrity
 }
 
 // Overhead is the faulty/clean wall-clock ratio.
@@ -39,9 +47,10 @@ func (p FaultPoint) Overhead() float64 {
 // already costs an RTT, the relative overhead shrinks by orders of
 // magnitude (compare fig6a's RTT model).
 type FaultToleranceResult struct {
-	ErrorRate float64
-	SpikeRate float64
-	Points    []FaultPoint
+	ErrorRate   float64
+	SpikeRate   float64
+	CorruptRate float64
+	Points      []FaultPoint
 }
 
 // FaultTolerance runs the Sort method's pair-partition workload on RND,
@@ -49,8 +58,16 @@ type FaultToleranceResult struct {
 // seeded fault injection (errorRate transient errors, spikeRate latency
 // spikes) and the default retry policy. The two runs must agree on the
 // partition cardinality — retries change timing, never results.
-func FaultTolerance(sizes []int, errorRate, spikeRate float64, seed int64) (*FaultToleranceResult, error) {
-	res := &FaultToleranceResult{ErrorRate: errorRate, SpikeRate: spikeRate}
+//
+// A non-zero corruptRate adds a third run per size under seeded payload
+// corruption (per-read bit flips). Unlike transient faults, corruption is
+// not ridden out: the retry layer classifies ErrIntegrity as fatal, so the
+// run must abort at the first corrupted read it verifies. The table reports
+// how many corruptions were injected and how many runs detected one —
+// anything injected but not detected would be a silent-wrong-result hole,
+// and is reported as an error, not a table row.
+func FaultTolerance(sizes []int, errorRate, spikeRate, corruptRate float64, seed int64) (*FaultToleranceResult, error) {
+	res := &FaultToleranceResult{ErrorRate: errorRate, SpikeRate: spikeRate, CorruptRate: corruptRate}
 	for _, n := range sizes {
 		rel := rndRelation(4, n, seed+int64(n))
 
@@ -94,14 +111,49 @@ func FaultTolerance(sizes []int, errorRate, spikeRate float64, seed int64) (*Fau
 			return nil, fmt.Errorf("bench: faults n=%d: cardinality %d under faults, want %d — retries must not change results", n, gotCard, wantCard)
 		}
 
-		res.Points = append(res.Points, FaultPoint{
+		pt := FaultPoint{
 			N:        n,
 			Clean:    cleanDur,
 			Faulty:   faultyDur,
 			Injected: faulty.Injected(),
 			Spikes:   faulty.Spikes(),
 			Retries:  retried.Retries(),
-		})
+		}
+
+		if corruptRate > 0 {
+			corrupt := store.WithFaults(store.NewServer(), store.FaultConfig{
+				Seed:        seed + int64(n),
+				CorruptRate: corruptRate,
+			})
+			cretried := store.WithRetry(corrupt, store.RetryPolicy{
+				Seed:           seed,
+				InitialBackoff: 100 * time.Microsecond,
+				MaxBackoff:     2 * time.Millisecond,
+			})
+			cs, err := newSetupOn(cretried, rel, MethodSort, 1, 0)
+			if err == nil {
+				_, err = cs.timePair(0, 1)
+				if err == nil {
+					gotCard, ok := cs.eng.Cardinality(pairAttrs())
+					if !ok || gotCard != wantCard {
+						cs.close()
+						return nil, fmt.Errorf("bench: corrupt n=%d: cardinality %d, want %d — undetected corruption changed a result", n, gotCard, wantCard)
+					}
+				}
+				cs.close()
+			}
+			pt.Corruptions = corrupt.Corruptions()
+			switch {
+			case err == nil && pt.Corruptions > 0:
+				return nil, fmt.Errorf("bench: corrupt n=%d: %d corruptions injected yet the run completed — silent-wrong-result hole", n, pt.Corruptions)
+			case err != nil && !errors.Is(err, store.ErrIntegrity):
+				return nil, fmt.Errorf("bench: corrupt n=%d: aborted with %w, want ErrIntegrity", n, err)
+			case err != nil:
+				pt.Detected = 1
+			}
+		}
+
+		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }
@@ -111,10 +163,19 @@ func (r *FaultToleranceResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fault tolerance overhead (Sort pair partition, RND; %.1f%% transient errors, %.1f%% latency spikes; backoff scaled to in-process op cost)\n",
 		r.ErrorRate*100, r.SpikeRate*100)
-	fmt.Fprintf(&b, "%8s %12s %12s %9s %8s %8s %8s\n", "n", "clean", "faulty", "overhead", "faults", "spikes", "retries")
-	for _, p := range r.Points {
-		fmt.Fprintf(&b, "%8d %12s %12s %8.2fx %8d %8d %8d\n",
-			p.N, fmtDur(p.Clean), fmtDur(p.Faulty), p.Overhead(), p.Injected, p.Spikes, p.Retries)
+	if r.CorruptRate > 0 {
+		fmt.Fprintf(&b, "corruption axis: %.1f%% per-read payload corruption; detected=1 means the run aborted with ErrIntegrity\n", r.CorruptRate*100)
+		fmt.Fprintf(&b, "%8s %12s %12s %9s %8s %8s %8s %10s %9s\n", "n", "clean", "faulty", "overhead", "faults", "spikes", "retries", "corrupted", "detected")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%8d %12s %12s %8.2fx %8d %8d %8d %10d %9d\n",
+				p.N, fmtDur(p.Clean), fmtDur(p.Faulty), p.Overhead(), p.Injected, p.Spikes, p.Retries, p.Corruptions, p.Detected)
+		}
+	} else {
+		fmt.Fprintf(&b, "%8s %12s %12s %9s %8s %8s %8s\n", "n", "clean", "faulty", "overhead", "faults", "spikes", "retries")
+		for _, p := range r.Points {
+			fmt.Fprintf(&b, "%8d %12s %12s %8.2fx %8d %8d %8d\n",
+				p.N, fmtDur(p.Clean), fmtDur(p.Faulty), p.Overhead(), p.Injected, p.Spikes, p.Retries)
+		}
 	}
 	b.WriteString("identical partition cardinalities in both runs: retries repeat work, never change results\n")
 	return b.String()

@@ -300,8 +300,11 @@ func VerifyEpoch(svc store.Service, epoch int64) error {
 		return err
 	}
 	if st.Epoch != epoch || st.MutationsSinceEpoch != 0 {
-		return fmt.Errorf("%w: checkpoint epoch %d, server epoch %d with %d mutations since",
-			ErrEpochMismatch, epoch, st.Epoch, st.MutationsSinceEpoch)
+		// A stale or rolled-back snapshot is an integrity event, not just a
+		// bookkeeping mismatch: wrap both sentinels so callers matching
+		// either ErrEpochMismatch or store.ErrIntegrity see it.
+		return fmt.Errorf("%w: checkpoint epoch %d, server epoch %d with %d mutations since: %w",
+			ErrEpochMismatch, epoch, st.Epoch, st.MutationsSinceEpoch, store.ErrIntegrity)
 	}
 	return nil
 }

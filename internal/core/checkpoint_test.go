@@ -296,4 +296,3 @@ func TestResumeEngineKindMismatch(t *testing.T) {
 		t.Errorf("unknown kind = %v, want ErrCorruptCheckpoint", err)
 	}
 }
-

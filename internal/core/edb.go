@@ -58,7 +58,7 @@ func UploadWithCapacity(svc store.Service, cipher *crypto.Cipher, name string, r
 		idx := make([]int64, rel.NumRows())
 		cts := make([][]byte, rel.NumRows())
 		for i := 0; i < rel.NumRows(); i++ {
-			ct, err := cipher.Encrypt([]byte(rel.Value(i, j)))
+			ct, err := cipher.Seal([]byte(rel.Value(i, j)), e.cellAD(i, j))
 			if err != nil {
 				return nil, fmt.Errorf("core: encrypting cell (%d,%d): %w", i, j, err)
 			}
@@ -83,7 +83,7 @@ func (e *EncryptedDB) AppendRow(row relation.Row) (int, error) {
 	}
 	id := e.n
 	for j, v := range row {
-		ct, err := e.cipher.Encrypt([]byte(v))
+		ct, err := e.cipher.Seal([]byte(v), e.cellAD(id, j))
 		if err != nil {
 			return 0, fmt.Errorf("core: encrypting appended cell %d: %w", j, err)
 		}
@@ -100,6 +100,14 @@ func (e *EncryptedDB) Capacity() int { return e.capacity }
 
 func (e *EncryptedDB) columnName(j int) string {
 	return fmt.Sprintf("db:%s:col%d", e.name, j)
+}
+
+// cellAD binds a cell ciphertext to its (column, row) location. The column
+// arrays are append-only — a cell is written once and never moves — so
+// location binding alone makes cross-cell substitution detectable; there is
+// no version to track.
+func (e *EncryptedDB) cellAD(i, j int) []byte {
+	return []byte(fmt.Sprintf("cell:%s:%d", e.columnName(j), i))
 }
 
 // Name returns the database name.
@@ -121,9 +129,9 @@ func (e *EncryptedDB) CellValue(i, j int) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("core: reading cell (%d,%d): %w", i, j, err)
 	}
-	pt, err := e.cipher.Decrypt(cts[0])
+	pt, err := e.cipher.Open(cts[0], e.cellAD(i, j))
 	if err != nil {
-		return "", fmt.Errorf("core: decrypting cell (%d,%d): %w", i, j, err)
+		return "", fmt.Errorf("core: cell (%d,%d) of %q failed verification: %v: %w", i, j, e.name, err, store.ErrIntegrity)
 	}
 	return string(pt), nil
 }

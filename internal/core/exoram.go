@@ -55,6 +55,7 @@ type ExEngine struct {
 // handles without telemetry; this wires them back up).
 func (e *ExEngine) SetTelemetry(reg *telemetry.Registry) {
 	e.Telemetry = reg
+	e.edb.cipher.SetTelemetry(reg)
 	for _, st := range e.sets {
 		st.klf.SetTelemetry(reg)
 		st.ikl.SetTelemetry(reg)

@@ -1,12 +1,25 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
+
+// describeIntegrity annotates an engine error that originated in failed
+// verification with the lattice coordinates that tripped it, so the operator
+// sees *where* in the search the store returned tampered data. Non-integrity
+// errors pass through unchanged.
+func describeIntegrity(err error, level int, x relation.AttrSet) error {
+	if errors.Is(err, store.ErrIntegrity) {
+		return fmt.Errorf("core: integrity failure at lattice level %d, attribute set %v: %w", level, x, err)
+	}
+	return err
+}
 
 // This file is the database level (§IV-A): the top-down levelwise search of
 // TANE (Huhtala et al., the paper's [23]) over the attribute-set containment
@@ -174,7 +187,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 			card, err := engine.CardinalitySingle(x.First())
 			csp.End()
 			if err != nil {
-				return nil, err
+				return nil, describeIntegrity(err, 1, x)
 			}
 			res.Cardinalities[x] = card
 			res.SetsMaterialized++
@@ -315,7 +328,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 					card, err := engine.CardinalityUnion(x1, x2)
 					usp.End()
 					if err != nil {
-						return nil, err
+						return nil, describeIntegrity(err, l+1, z)
 					}
 					res.Cardinalities[z] = card
 					res.SetsMaterialized++

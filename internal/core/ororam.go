@@ -42,6 +42,7 @@ type OrEngine struct {
 // handles without telemetry; this wires them back up).
 func (e *OrEngine) SetTelemetry(reg *telemetry.Registry) {
 	e.Telemetry = reg
+	e.edb.cipher.SetTelemetry(reg)
 	for _, st := range e.sets {
 		st.kl.SetTelemetry(reg)
 		st.il.SetTelemetry(reg)

@@ -47,6 +47,7 @@ type SortEngine struct {
 // already-materialized array (used after resume or late wiring).
 func (e *SortEngine) SetTelemetry(reg *telemetry.Registry) {
 	e.Telemetry = reg
+	e.edb.cipher.SetTelemetry(reg)
 	for _, st := range e.sets {
 		st.arr.SetTelemetry(reg)
 	}

@@ -1,13 +1,20 @@
-// Package crypto provides the cell-level semantically secure encryption used
+// Package crypto provides the cell-level authenticated encryption used
 // throughout the protocols.
 //
 // The paper (§II-A, §III-C) assumes each attribute value of each record is
 // encrypted individually with a semantically secure scheme, and that the
 // client re-encrypts every value it writes back so the server never observes
-// a repeated ciphertext. We use AES-128 in CTR mode with a fresh random
-// nonce per encryption (the paper uses AES/CBC; both are IND-CPA, and
-// semantic security is the only property the protocols rely on — see
-// DESIGN.md §2).
+// a repeated ciphertext. We use AES-128-GCM with a fresh random nonce per
+// encryption (the paper uses AES/CBC; both are IND-CPA, and semantic
+// security is the only property the protocols rely on — see DESIGN.md §2).
+// GCM additionally authenticates every ciphertext, so a Byzantine server
+// that flips bits or substitutes blocks is detected at decryption time
+// rather than silently corrupting partition cardinalities (DESIGN.md §10).
+//
+// Seal/Open accept an associated-data slot that binds a ciphertext to its
+// logical location (array name, cell index, ORAM tree); a ciphertext moved
+// to a different location fails to open even though it authenticates under
+// the same key.
 package crypto
 
 import (
@@ -20,21 +27,37 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 // KeySize is the symmetric key length in bytes (128-bit keys, as in the
 // paper's evaluation setup).
 const KeySize = 16
 
-// NonceSize is the per-ciphertext nonce length in bytes.
-const NonceSize = aes.BlockSize
+// NonceSize is the per-ciphertext nonce length in bytes (the GCM standard
+// nonce size).
+const NonceSize = 12
 
-// Overhead is the number of bytes a ciphertext is longer than its plaintext.
-const Overhead = NonceSize
+// TagSize is the length of the GCM authentication tag appended to every
+// ciphertext.
+const TagSize = 16
 
-// ErrCiphertextTooShort is returned by Decrypt when the input cannot even
-// hold a nonce.
-var ErrCiphertextTooShort = errors.New("crypto: ciphertext shorter than nonce")
+// Overhead is the number of bytes a ciphertext is longer than its plaintext:
+// the nonce prefix plus the authentication tag. It depends only on constants,
+// never on the plaintext, so equal-length plaintexts still yield equal-length
+// ciphertexts (the property the obliviousness arguments rely on).
+const Overhead = NonceSize + TagSize
+
+// ErrCiphertextTooShort is returned by Open/Decrypt when the input cannot
+// even hold a nonce and tag.
+var ErrCiphertextTooShort = errors.New("crypto: ciphertext shorter than nonce and tag")
+
+// ErrAuth is returned by Open/Decrypt when the authentication tag does not
+// verify: the ciphertext was modified, was encrypted under a different key,
+// or is being opened at a different logical location (associated data
+// mismatch) than it was sealed for.
+var ErrAuth = errors.New("crypto: ciphertext authentication failed")
 
 // Key is a symmetric encryption key held only by the client C.
 type Key [KeySize]byte
@@ -59,13 +82,21 @@ func MustNewKey() Key {
 }
 
 // Cipher encrypts and decrypts individual cells. It is safe for concurrent
-// use: the AES block cipher is stateless after construction and every
-// encryption draws its own nonce.
+// use: the AEAD is stateless after construction and every encryption draws
+// its own nonce. SetTelemetry must not race with Seal/Open (attach the
+// registry before handing the cipher to worker goroutines, as
+// securefd.Outsource and the engine SetTelemetry paths do).
 type Cipher struct {
-	key   Key // retained so client-side checkpoints can rebuild the cipher
-	block cipher.Block
-	mac   []byte // HMAC key derived from the AES key, for PRF use
-	rand  io.Reader
+	key  Key // retained so client-side checkpoints can rebuild the cipher
+	aead cipher.AEAD
+	mac  []byte // HMAC key derived from the AES key, for PRF use
+	rand io.Reader
+
+	// Integrity telemetry: one check per Open, one failure per rejected
+	// ciphertext. Nil counters no-op, so an un-instrumented cipher pays an
+	// untaken branch only.
+	checks   *telemetry.Counter
+	failures *telemetry.Counter
 }
 
 // NewCipher builds a Cipher from a key.
@@ -74,8 +105,12 @@ func NewCipher(key Key) (*Cipher, error) {
 	if err != nil {
 		return nil, fmt.Errorf("crypto: building AES cipher: %w", err)
 	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: building GCM: %w", err)
+	}
 	h := sha256.Sum256(append([]byte("oblivfd-prf-v1"), key[:]...))
-	return &Cipher{key: key, block: block, mac: h[:], rand: rand.Reader}, nil
+	return &Cipher{key: key, aead: aead, mac: h[:], rand: rand.Reader}, nil
 }
 
 // Key returns the key the cipher was built from. It exists so a client-side
@@ -93,28 +128,53 @@ func MustNewCipher(key Key) *Cipher {
 	return c
 }
 
-// Encrypt produces nonce ∥ CTR(plaintext) with a fresh random nonce, so two
-// encryptions of equal plaintexts are unlinkable. The result is
-// len(plaintext)+Overhead bytes.
-func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
-	out := make([]byte, NonceSize+len(plaintext))
-	if _, err := io.ReadFull(c.rand, out[:NonceSize]); err != nil {
-		return nil, fmt.Errorf("crypto: drawing nonce: %w", err)
-	}
-	stream := cipher.NewCTR(c.block, out[:NonceSize])
-	stream.XORKeyStream(out[NonceSize:], plaintext)
-	return out, nil
+// SetTelemetry attaches integrity counters to the given registry. A nil
+// registry detaches (counters become no-ops). Counters are client-side only
+// and never touch storage, so instrumenting a cipher cannot perturb the
+// access trace the server observes.
+func (c *Cipher) SetTelemetry(reg *telemetry.Registry) {
+	c.checks = reg.Counter("oblivfd_integrity_checks_total")
+	c.failures = reg.Counter("oblivfd_integrity_failures_total")
 }
 
-// Decrypt reverses Encrypt.
-func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
-	if len(ciphertext) < NonceSize {
+// Seal produces nonce ∥ GCM(plaintext, ad) with a fresh random nonce, so two
+// encryptions of equal plaintexts are unlinkable. The associated data is
+// authenticated but not transmitted: Open must present the same ad, which is
+// how ciphertexts are bound to their logical location. The result is
+// len(plaintext)+Overhead bytes.
+func (c *Cipher) Seal(plaintext, ad []byte) ([]byte, error) {
+	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
+	if _, err := io.ReadFull(c.rand, out); err != nil {
+		return nil, fmt.Errorf("crypto: drawing nonce: %w", err)
+	}
+	return c.aead.Seal(out, out[:NonceSize], plaintext, ad), nil
+}
+
+// Open reverses Seal, verifying the authentication tag and the binding to
+// ad. It returns ErrAuth (or ErrCiphertextTooShort) when verification fails.
+func (c *Cipher) Open(ciphertext, ad []byte) ([]byte, error) {
+	c.checks.Inc()
+	if len(ciphertext) < Overhead {
+		c.failures.Inc()
 		return nil, ErrCiphertextTooShort
 	}
-	stream := cipher.NewCTR(c.block, ciphertext[:NonceSize])
-	out := make([]byte, len(ciphertext)-NonceSize)
-	stream.XORKeyStream(out, ciphertext[NonceSize:])
-	return out, nil
+	pt, err := c.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], ad)
+	if err != nil {
+		c.failures.Inc()
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// Encrypt is Seal with no associated data, for cells whose location is
+// authenticated elsewhere (or not at all).
+func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
+	return c.Seal(plaintext, nil)
+}
+
+// Decrypt reverses Encrypt, verifying the authentication tag.
+func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
+	return c.Open(ciphertext, nil)
 }
 
 // ReEncrypt decrypts and re-encrypts a ciphertext under a fresh nonce. The

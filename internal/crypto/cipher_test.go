@@ -2,8 +2,11 @@ package crypto
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
 
 func newTestCipher(t *testing.T) *Cipher {
@@ -100,12 +103,104 @@ func TestDifferentKeysDisagree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := c2.Decrypt(ct)
+	if _, err := c2.Decrypt(ct); !errors.Is(err, ErrAuth) {
+		t.Errorf("decryption under wrong key: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("authenticated cell value")
+	ct, err := c.Encrypt(pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if bytes.Equal(got, pt) {
-		t.Error("decryption under wrong key recovered the plaintext")
+	// Flip one bit at every position: nonce, body, and tag must all be
+	// covered by the authentication check.
+	for i := range ct {
+		mutated := bytes.Clone(ct)
+		mutated[i] ^= 0x01
+		if _, err := c.Decrypt(mutated); !errors.Is(err, ErrAuth) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrAuth", i, err)
+		}
+	}
+	// Truncation is rejected too.
+	if _, err := c.Decrypt(ct[:Overhead-1]); err == nil {
+		t.Error("truncated ciphertext decrypted successfully")
+	}
+}
+
+func TestAssociatedDataBindsLocation(t *testing.T) {
+	c := newTestCipher(t)
+	pt := []byte("row 7 of column city")
+	ct, err := c.Seal(pt, []byte("cell:db:x:col0:7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Open(ct, []byte("cell:db:x:col0:7"))
+	if err != nil || !bytes.Equal(got, pt) {
+		t.Fatalf("Open at same location: %q, %v", got, err)
+	}
+	// The same ciphertext presented at any other location must fail.
+	for _, ad := range [][]byte{[]byte("cell:db:x:col0:8"), []byte("cell:db:x:col1:7"), nil} {
+		if _, err := c.Open(ct, ad); !errors.Is(err, ErrAuth) {
+			t.Errorf("Open with ad %q: err = %v, want ErrAuth", ad, err)
+		}
+	}
+}
+
+func TestNonceUniquenessAcrossReEncryptions(t *testing.T) {
+	// Guards the semantic-security claim of §III-C: every write back to the
+	// server must carry a fresh IV. Re-encrypt the same cell many times and
+	// require all nonce prefixes to be distinct.
+	c := newTestCipher(t)
+	ct, err := c.Seal([]byte("hot cell"), []byte("slot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < 4096; i++ {
+		n := string(ct[:NonceSize])
+		if seen[n] {
+			t.Fatalf("nonce reused after %d re-encryptions", i)
+		}
+		seen[n] = true
+		pt, err := c.Open(ct, []byte("slot"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct, err = c.Seal(pt, []byte("slot")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIntegrityCounters(t *testing.T) {
+	c := newTestCipher(t)
+	reg := telemetry.New()
+	c.SetTelemetry(reg)
+	ct, err := c.Seal([]byte("counted"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open(ct, nil); err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Clone(ct)
+	mutated[len(mutated)-1] ^= 0xFF
+	if _, err := c.Open(mutated, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered Open: %v", err)
+	}
+	if got := reg.Counter("oblivfd_integrity_checks_total").Value(); got != 2 {
+		t.Errorf("integrity_checks_total = %d, want 2", got)
+	}
+	if got := reg.Counter("oblivfd_integrity_failures_total").Value(); got != 1 {
+		t.Errorf("integrity_failures_total = %d, want 1", got)
+	}
+	// Detaching must not panic, and a detached cipher still verifies.
+	c.SetTelemetry(nil)
+	if _, err := c.Open(ct, nil); err != nil {
+		t.Errorf("Open after detaching telemetry: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@ package obsort
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -83,7 +84,7 @@ func Create(svc store.Service, cipher *crypto.Cipher, name string, records [][]b
 		if i < len(records) {
 			rec = records[i]
 		}
-		ct, err := a.encrypt(rec, i >= len(records))
+		ct, err := a.encrypt(rec, i >= len(records), int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -127,7 +128,7 @@ func CreateStreamed(svc store.Service, cipher *crypto.Cipher, name string, n, wi
 			}
 			rec = r
 		}
-		ct, err := a.encrypt(rec, pad)
+		ct, err := a.encrypt(rec, pad, int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +148,7 @@ func (a *Array) Get(i int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obsort: %w", err)
 	}
-	rec, pad, err := a.decrypt(cts[0])
+	rec, pad, err := a.decrypt(cts[0], int64(i))
 	if err != nil {
 		return nil, err
 	}
@@ -175,23 +176,34 @@ func (a *Array) Comparisons() int64 { return a.comparisons.Load() }
 // Destroy deletes the server-side array.
 func (a *Array) Destroy() error { return a.svc.Delete(a.name) }
 
-func (a *Array) encrypt(rec []byte, pad bool) ([]byte, error) {
+// cellAD binds a record ciphertext to (array, position). Every read and
+// write addresses a cell by its current position and compare-exchange
+// re-encrypts both cells it moves, so position binding holds across the
+// whole sort: a server that swaps two cells is detected at the next read.
+// (Replaying an *old* ciphertext of the same cell is the one substitution
+// this layer cannot see — the sort protocols have no per-cell version state;
+// DESIGN.md §10 discusses the residual window.)
+func (a *Array) cellAD(i int64) []byte {
+	return []byte("sort:" + a.name + ":" + strconv.FormatInt(i, 10))
+}
+
+func (a *Array) encrypt(rec []byte, pad bool, i int64) ([]byte, error) {
 	pt := make([]byte, 1+a.recWidth)
 	if pad {
 		pt[0] = 1
 	} else {
 		copy(pt[1:], rec)
 	}
-	return a.cipher.Encrypt(pt)
+	return a.cipher.Seal(pt, a.cellAD(i))
 }
 
-func (a *Array) decrypt(ct []byte) (rec []byte, pad bool, err error) {
-	pt, err := a.cipher.Decrypt(ct)
+func (a *Array) decrypt(ct []byte, i int64) (rec []byte, pad bool, err error) {
+	pt, err := a.cipher.Open(ct, a.cellAD(i))
 	if err != nil {
-		return nil, false, fmt.Errorf("obsort: %w", err)
+		return nil, false, fmt.Errorf("obsort %q: cell %d authentication failed: %v: %w", a.name, i, err, store.ErrIntegrity)
 	}
 	if len(pt) != 1+a.recWidth {
-		return nil, false, fmt.Errorf("obsort: record has %d bytes, want %d", len(pt), 1+a.recWidth)
+		return nil, false, fmt.Errorf("obsort %q: cell %d has %d plaintext bytes, want %d: %w", a.name, i, len(pt), 1+a.recWidth, store.ErrIntegrity)
 	}
 	return pt[1:], pt[0] == 1, nil
 }
@@ -371,11 +383,11 @@ func (a *Array) compareExchange(lo, hi int64, less Less) error {
 	if err != nil {
 		return fmt.Errorf("obsort: %w", err)
 	}
-	rec0, pad0, err := a.decrypt(cts[0])
+	rec0, pad0, err := a.decrypt(cts[0], lo)
 	if err != nil {
 		return err
 	}
-	rec1, pad1, err := a.decrypt(cts[1])
+	rec1, pad1, err := a.decrypt(cts[1], hi)
 	if err != nil {
 		return err
 	}
@@ -390,11 +402,11 @@ func (a *Array) compareExchange(lo, hi int64, less Less) error {
 	if swap {
 		rec0, pad0, rec1, pad1 = rec1, pad1, rec0, pad0
 	}
-	ct0, err := a.encrypt(rec0, pad0)
+	ct0, err := a.encrypt(rec0, pad0, lo)
 	if err != nil {
 		return err
 	}
-	ct1, err := a.encrypt(rec1, pad1)
+	ct1, err := a.encrypt(rec1, pad1, hi)
 	if err != nil {
 		return err
 	}
@@ -414,7 +426,7 @@ func (a *Array) Scan(fn func(i int, rec []byte) ([]byte, error)) error {
 		if err != nil {
 			return fmt.Errorf("obsort: %w", err)
 		}
-		rec, pad, err := a.decrypt(cts[0])
+		rec, pad, err := a.decrypt(cts[0], int64(i))
 		if err != nil {
 			return err
 		}
@@ -428,7 +440,7 @@ func (a *Array) Scan(fn func(i int, rec []byte) ([]byte, error)) error {
 		if len(out) != a.recWidth {
 			return fmt.Errorf("obsort: Scan fn returned %d bytes, want %d", len(out), a.recWidth)
 		}
-		ct, err := a.encrypt(out, false)
+		ct, err := a.encrypt(out, false, int64(i))
 		if err != nil {
 			return err
 		}
@@ -448,7 +460,7 @@ func (a *Array) ReadAll() ([][]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("obsort: %w", err)
 		}
-		rec, pad, err := a.decrypt(cts[0])
+		rec, pad, err := a.decrypt(cts[0], int64(i))
 		if err != nil {
 			return nil, err
 		}

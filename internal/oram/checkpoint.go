@@ -30,6 +30,9 @@ type State struct {
 	Seed       int64 // seeds the resumed handle's leaf-choice RNG
 	PosMap     map[string]uint32
 	Stash      map[string][]byte
+	// Vers holds the freshness tags (block versions) — without them a
+	// resumed handle could not detect rollback of the server-side tree.
+	Vers map[string]uint64
 }
 
 // State captures the client state. Maps are deep-copied so later accesses on
@@ -56,12 +59,16 @@ func (o *ORAM) State() *State {
 		Seed:       seed,
 		PosMap:     make(map[string]uint32, len(o.posMap)),
 		Stash:      make(map[string][]byte, len(o.stash)),
+		Vers:       make(map[string]uint64, len(o.vers)),
 	}
 	for k, v := range o.posMap {
 		st.PosMap[k] = v
 	}
 	for k, v := range o.stash {
 		st.Stash[k] = append([]byte(nil), v...)
+	}
+	for k, v := range o.vers {
+		st.Vers[k] = v
 	}
 	return st
 }
@@ -84,9 +91,11 @@ func Resume(svc store.Service, cipher *crypto.Cipher, st *State) (*ORAM, error) 
 		numLeaves:  st.NumLeaves,
 		keyWidth:   st.KeyWidth,
 		valueWidth: st.ValueWidth,
-		blockSize:  1 + crypto.PadWidth(st.KeyWidth) + st.ValueWidth,
+		blockSize:  1 + verWidth + crypto.PadWidth(st.KeyWidth) + st.ValueWidth,
 		posMap:     make(map[string]uint32, len(st.PosMap)),
 		stash:      make(map[string][]byte, len(st.Stash)),
+		vers:       make(map[string]uint64, len(st.Vers)),
+		ad:         treeAD(st.Name),
 		stashLimit: st.StashLimit,
 		maxStash:   st.MaxStash,
 		accesses:   st.Accesses,
@@ -97,6 +106,9 @@ func Resume(svc store.Service, cipher *crypto.Cipher, st *State) (*ORAM, error) 
 	}
 	for k, v := range st.Stash {
 		o.stash[k] = append([]byte(nil), v...)
+	}
+	for k, v := range st.Vers {
+		o.vers[k] = v
 	}
 	return o, nil
 }
@@ -133,6 +145,9 @@ type LinearState struct {
 	ValueWidth int
 	Live       int
 	Accesses   int64
+	// Ver is the global freshness version all slots currently carry; a
+	// resumed handle rejects any slot at a different version (rollback).
+	Ver uint64
 }
 
 // State captures the client state of a linear ORAM.
@@ -144,6 +159,7 @@ func (l *Linear) State() *LinearState {
 		ValueWidth: l.valueWidth,
 		Live:       l.live,
 		Accesses:   l.accesses,
+		Ver:        l.ver,
 	}
 }
 
@@ -164,9 +180,10 @@ func ResumeLinear(svc store.Service, cipher *crypto.Cipher, st *LinearState) (*L
 		capacity:   st.Capacity,
 		keyWidth:   st.KeyWidth,
 		valueWidth: st.ValueWidth,
-		blockSize:  1 + crypto.PadWidth(st.KeyWidth) + st.ValueWidth,
+		blockSize:  1 + verWidth + crypto.PadWidth(st.KeyWidth) + st.ValueWidth,
 		live:       st.Live,
 		accesses:   st.Accesses,
+		ver:        st.Ver,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package oram
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/oblivfd/oblivfd/internal/crypto"
@@ -68,6 +69,11 @@ func LinearFactory(svc store.Service, cipher *crypto.Cipher, name string, cfg Co
 // under fresh encryption. The access pattern is the full scan regardless of
 // data — obliviousness by brute force. The client holds only the slot
 // cursor: no position map, no stash.
+//
+// Freshness needs only O(1) client state here: because every access rewrites
+// every slot, all slots always carry the same version, so one global counter
+// (ver) detects any replayed or rolled-back slot. The associated data binds
+// each ciphertext to its slot index, so swapped slots are caught too.
 type Linear struct {
 	svc        store.Service
 	cipher     *crypto.Cipher
@@ -78,9 +84,23 @@ type Linear struct {
 	blockSize  int
 	live       int
 	accesses   int64
+	ver        uint64 // version stamped into every slot by the last write pass
 
 	reg       *telemetry.Registry
 	accessCtr *telemetry.Counter
+}
+
+// slotAD is the associated-data slot binding a ciphertext to (array, index).
+func (l *Linear) slotAD(i int) []byte {
+	return []byte(fmt.Sprintf("lor:%s:%d", l.name, i))
+}
+
+// integrityErr wraps a verification failure in store.ErrIntegrity.
+func (l *Linear) integrityErr(what string, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("oram %q: %s: %v: %w", l.name, what, cause, store.ErrIntegrity)
+	}
+	return fmt.Errorf("oram %q: %s: %w", l.name, what, store.ErrIntegrity)
 }
 
 // SetTelemetry implements Store.
@@ -106,7 +126,7 @@ func SetupLinear(svc store.Service, cipher *crypto.Cipher, name string, cfg Conf
 		capacity:   cfg.Capacity,
 		keyWidth:   cfg.KeyWidth,
 		valueWidth: cfg.ValueWidth,
-		blockSize:  1 + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
+		blockSize:  1 + verWidth + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
 	}
 	if cfg.Metrics != nil {
 		l.SetTelemetry(cfg.Metrics)
@@ -115,7 +135,7 @@ func SetupLinear(svc store.Service, cipher *crypto.Cipher, name string, cfg Conf
 		return nil, fmt.Errorf("oram: creating linear array: %w", err)
 	}
 	for i := 0; i < cfg.Capacity; i++ {
-		ct, err := l.encrypt("", nil, false)
+		ct, err := l.encrypt("", nil, false, 0, i)
 		if err != nil {
 			return nil, err
 		}
@@ -126,35 +146,43 @@ func SetupLinear(svc store.Service, cipher *crypto.Cipher, name string, cfg Conf
 	return l, nil
 }
 
-func (l *Linear) encrypt(key string, value []byte, real bool) ([]byte, error) {
+// encrypt seals a slot as flag(1) ∥ version(8) ∥ padded key ∥ value, bound
+// to its slot index. Dummies carry the version too, so a replayed dummy is
+// as detectable as a replayed real block.
+func (l *Linear) encrypt(key string, value []byte, real bool, ver uint64, idx int) ([]byte, error) {
 	pt := make([]byte, l.blockSize)
+	binary.BigEndian.PutUint64(pt[1:1+verWidth], ver)
 	if real {
 		pt[0] = 1
 		padded, err := crypto.Pad([]byte(key), l.keyWidth)
 		if err != nil {
 			return nil, fmt.Errorf("oram: padding key: %w", err)
 		}
-		copy(pt[1:], padded)
-		copy(pt[1+len(padded):], value)
+		copy(pt[1+verWidth:], padded)
+		copy(pt[1+verWidth+len(padded):], value)
 	}
-	return l.cipher.Encrypt(pt)
+	return l.cipher.Seal(pt, l.slotAD(idx))
 }
 
-func (l *Linear) decrypt(ct []byte) (key string, value []byte, real bool, err error) {
-	pt, err := l.cipher.Decrypt(ct)
+// decrypt authenticates a slot against its index and expected version.
+func (l *Linear) decrypt(ct []byte, idx int, wantVer uint64) (key string, value []byte, real bool, err error) {
+	pt, err := l.cipher.Open(ct, l.slotAD(idx))
 	if err != nil {
-		return "", nil, false, fmt.Errorf("oram: decrypting linear slot: %w", err)
+		return "", nil, false, l.integrityErr(fmt.Sprintf("slot %d authentication failed", idx), err)
 	}
 	if len(pt) != l.blockSize {
-		return "", nil, false, fmt.Errorf("oram: linear slot has %d bytes, want %d", len(pt), l.blockSize)
+		return "", nil, false, l.integrityErr(fmt.Sprintf("slot %d has %d bytes, want %d", idx, len(pt), l.blockSize), nil)
+	}
+	if ver := binary.BigEndian.Uint64(pt[1 : 1+verWidth]); ver != wantVer {
+		return "", nil, false, l.integrityErr(fmt.Sprintf("stale slot %d: version %d, want %d", idx, ver, wantVer), nil)
 	}
 	if pt[0] == 0 {
 		return "", nil, false, nil
 	}
-	keyEnd := 1 + crypto.PadWidth(l.keyWidth)
-	rawKey, err := crypto.Unpad(pt[1:keyEnd])
+	keyEnd := 1 + verWidth + crypto.PadWidth(l.keyWidth)
+	rawKey, err := crypto.Unpad(pt[1+verWidth : keyEnd])
 	if err != nil {
-		return "", nil, false, fmt.Errorf("oram: unpadding linear key: %w", err)
+		return "", nil, false, l.integrityErr(fmt.Sprintf("unpadding key of slot %d", idx), err)
 	}
 	v := make([]byte, l.valueWidth)
 	copy(v, pt[keyEnd:])
@@ -191,7 +219,7 @@ func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, boo
 		if err != nil {
 			return nil, false, fmt.Errorf("oram: %w", err)
 		}
-		k, v, real, err := l.decrypt(cts[0])
+		k, v, real, err := l.decrypt(cts[0], i, l.ver)
 		if err != nil {
 			return nil, false, err
 		}
@@ -213,12 +241,15 @@ func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, boo
 	}
 
 	// Write pass: every slot rewritten; at most one slot's contents change.
+	// Slot i is always re-read before it is overwritten, so the read side
+	// still expects the old version while the written copy carries the new
+	// one; bumping l.ver after the loop commits the whole pass at once.
 	for i := 0; i < l.capacity; i++ {
 		cts, err := l.svc.ReadCells(l.name, []int64{int64(i)})
 		if err != nil {
 			return nil, false, fmt.Errorf("oram: %w", err)
 		}
-		k, v, real, err := l.decrypt(cts[0])
+		k, v, real, err := l.decrypt(cts[0], i, l.ver)
 		if err != nil {
 			return nil, false, err
 		}
@@ -230,7 +261,7 @@ func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, boo
 		case i == insertAt:
 			k, v, real = key, newValue, true
 		}
-		ct, err := l.encrypt(k, v, real)
+		ct, err := l.encrypt(k, v, real, l.ver+1, i)
 		if err != nil {
 			return nil, false, err
 		}
@@ -238,6 +269,7 @@ func (l *Linear) access(key string, newValue []byte, kind linearOp) ([]byte, boo
 			return nil, false, fmt.Errorf("oram: %w", err)
 		}
 	}
+	l.ver++
 
 	switch kind {
 	case linWrite:
@@ -282,8 +314,9 @@ func (l *Linear) Len() int { return l.live }
 // Accesses implements Store.
 func (l *Linear) Accesses() int64 { return l.accesses }
 
-// ClientMemoryBytes implements Store: one block in flight plus counters.
-func (l *Linear) ClientMemoryBytes() int { return l.blockSize + 16 }
+// ClientMemoryBytes implements Store: one block in flight plus counters and
+// the global freshness version.
+func (l *Linear) ClientMemoryBytes() int { return l.blockSize + 16 + verWidth }
 
 // Destroy implements Store.
 func (l *Linear) Destroy() error { return l.svc.Delete(l.name) }

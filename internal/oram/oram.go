@@ -51,6 +51,15 @@ var ErrValueWidth = errors.New("oram: value width mismatch")
 // ErrKeyWidth is returned when a key exceeds the ORAM's fixed key width.
 var ErrKeyWidth = errors.New("oram: key too long")
 
+// verWidth is the size of the freshness version embedded in every block
+// plaintext, between the real/dummy flag and the padded key. Dummies carry a
+// zero version, so real and dummy plaintexts stay the same length.
+const verWidth = 8
+
+// treeAD is the associated-data slot for every ciphertext in a tree: blocks
+// authenticate only within the tree they were written to.
+func treeAD(name string) []byte { return []byte("oram:" + name) }
+
 // Config parameterizes Setup.
 type Config struct {
 	// Capacity is the maximum number of live key-value pairs (the paper's
@@ -92,10 +101,18 @@ type ORAM struct {
 	valueWidth int
 	blockSize  int
 
-	// Client-held state: position map and stash (§VII-C discusses their
-	// O(n) memory cost).
+	// Client-held state: position map, stash, and freshness tags (§VII-C
+	// discusses their O(n) memory cost). vers[k] is the version stamped
+	// into the tree copy of block k when it was last evicted; a decrypted
+	// block whose version differs is a replayed or rolled-back copy
+	// (DESIGN.md §10).
 	posMap map[string]uint32
 	stash  map[string][]byte
+	vers   map[string]uint64
+
+	// ad binds every ciphertext of this tree to the tree's name, so blocks
+	// cannot be transplanted between ORAMs sharing a key.
+	ad []byte
 
 	stashLimit int
 	maxStash   int
@@ -157,9 +174,11 @@ func Setup(svc store.Service, cipher *crypto.Cipher, name string, cfg Config) (*
 		numLeaves:  numLeaves,
 		keyWidth:   cfg.KeyWidth,
 		valueWidth: cfg.ValueWidth,
-		blockSize:  1 + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
+		blockSize:  1 + verWidth + crypto.PadWidth(cfg.KeyWidth) + cfg.ValueWidth,
 		posMap:     make(map[string]uint32),
 		stash:      make(map[string][]byte),
+		vers:       make(map[string]uint64),
+		ad:         treeAD(name),
 		stashLimit: sf * ceilLog2(cfg.Capacity),
 		rng:        newRNG(cfg.Seed),
 	}
@@ -265,6 +284,9 @@ func (o *ORAM) ClientMemoryBytes() int {
 	for k := range o.posMap {
 		total += len(k) + 4
 	}
+	for k := range o.vers {
+		total += len(k) + verWidth // freshness tags are client state too
+	}
 	for k, v := range o.stash {
 		total += len(k) + len(v)
 	}
@@ -335,9 +357,11 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 		return nil, false, fmt.Errorf("oram: %w", err)
 	}
 	o.pathReads.Inc()
-	for _, ct := range slots {
+	for i, ct := range slots {
 		if len(ct) == 0 {
-			continue // defensive; Setup leaves no empty slots
+			// Setup leaves no empty slots; an empty one means the server
+			// dropped a ciphertext.
+			return nil, false, o.integrityErr(fmt.Sprintf("empty slot %d on path to leaf %d", i, leaf), nil)
 		}
 		blk, err := o.decryptBlock(ct)
 		if err != nil {
@@ -346,13 +370,28 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 		if blk == nil {
 			continue // encrypted dummy
 		}
+		// Honest invariant: each live key has exactly one copy, in the
+		// stash or in one tree bucket on its assigned path. A tree block
+		// violating that is a replayed, duplicated, or rolled-back copy.
 		if _, inStash := o.stash[blk.key]; inStash {
-			continue // stash holds the newer copy
+			return nil, false, o.integrityErr(fmt.Sprintf("duplicate copy of block %q (already stashed)", blk.key), nil)
 		}
 		if _, live := o.posMap[blk.key]; !live {
-			continue // stale block of a removed key
+			return nil, false, o.integrityErr(fmt.Sprintf("replayed block %q (key not live)", blk.key), nil)
+		}
+		if want := o.vers[blk.key]; blk.ver != want {
+			return nil, false, o.integrityErr(fmt.Sprintf("stale block %q: version %d, want %d", blk.key, blk.ver, want), nil)
 		}
 		o.stash[blk.key] = blk.value
+	}
+	// Freshness of the path as a whole: a key the position map assigns to
+	// this path must now be in the stash; otherwise the server suppressed
+	// the real block (e.g. substituted an authenticated dummy from another
+	// slot of the same tree).
+	if known {
+		if _, inStash := o.stash[key]; !inStash {
+			return nil, false, o.integrityErr(fmt.Sprintf("block %q missing from its assigned path (leaf %d)", key, leaf), nil)
+		}
 	}
 
 	// 2. Serve the operation from the stash. Values are copied on both
@@ -368,6 +407,7 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 	case opRemove:
 		delete(o.stash, key)
 		delete(o.posMap, key)
+		delete(o.vers, key)
 	case opRead:
 		if found {
 			// Standard PathORAM remap on every touch.
@@ -415,7 +455,10 @@ func (o *ORAM) evict(leaf uint32) error {
 			if (blockLeaf >> uint(leafLevel-l)) != (leaf >> uint(leafLevel-l)) {
 				continue
 			}
-			ct, err := o.encryptBlock(&block{key: k, value: v})
+			// Stamp a fresh version into the outgoing copy; the client-held
+			// tag is what later reads are checked against.
+			o.vers[k]++
+			ct, err := o.encryptBlock(&block{key: k, value: v, ver: o.vers[k]})
 			if err != nil {
 				return err
 			}
@@ -438,48 +481,65 @@ func (o *ORAM) evict(leaf uint32) error {
 	return nil
 }
 
-// block is a decrypted real block.
+// block is a decrypted real block. ver is the freshness tag checked against
+// the client-held version map.
 type block struct {
 	key   string
 	value []byte
+	ver   uint64
 }
 
-// encryptBlock serializes and encrypts a real block to the fixed block size.
+// integrityErr wraps a verification failure in store.ErrIntegrity so the
+// retry layer classifies it fatal and discovery aborts with the location.
+func (o *ORAM) integrityErr(what string, cause error) error {
+	if cause != nil {
+		return fmt.Errorf("oram %q: %s: %v: %w", o.name, what, cause, store.ErrIntegrity)
+	}
+	return fmt.Errorf("oram %q: %s: %w", o.name, what, store.ErrIntegrity)
+}
+
+// encryptBlock serializes and encrypts a real block to the fixed block size:
+// flag(1) ∥ version(8) ∥ padded key ∥ value, sealed with the tree's
+// associated data.
 func (o *ORAM) encryptBlock(b *block) ([]byte, error) {
 	pt := make([]byte, o.blockSize)
 	pt[0] = 1
+	binary.BigEndian.PutUint64(pt[1:1+verWidth], b.ver)
 	padded, err := crypto.Pad([]byte(b.key), o.keyWidth)
 	if err != nil {
 		return nil, fmt.Errorf("oram: padding key: %w", err)
 	}
-	copy(pt[1:], padded)
-	copy(pt[1+len(padded):], b.value)
-	return o.cipher.Encrypt(pt)
+	copy(pt[1+verWidth:], padded)
+	copy(pt[1+verWidth+len(padded):], b.value)
+	return o.cipher.Seal(pt, o.ad)
 }
 
 // encryptDummy encrypts a dummy block of the same size as a real one.
 func (o *ORAM) encryptDummy() ([]byte, error) {
-	return o.cipher.Encrypt(make([]byte, o.blockSize))
+	return o.cipher.Seal(make([]byte, o.blockSize), o.ad)
 }
 
-// decryptBlock decrypts a slot; it returns nil for dummies.
+// decryptBlock authenticates and decrypts a slot; it returns nil for
+// dummies and an ErrIntegrity-wrapped error for anything that fails to
+// verify.
 func (o *ORAM) decryptBlock(ct []byte) (*block, error) {
-	pt, err := o.cipher.Decrypt(ct)
+	pt, err := o.cipher.Open(ct, o.ad)
 	if err != nil {
-		return nil, fmt.Errorf("oram: decrypting block: %w", err)
+		return nil, o.integrityErr("block authentication failed", err)
 	}
 	if len(pt) != o.blockSize {
-		return nil, fmt.Errorf("oram: block has %d bytes, want %d", len(pt), o.blockSize)
+		return nil, o.integrityErr(fmt.Sprintf("block has %d bytes, want %d", len(pt), o.blockSize), nil)
 	}
 	if pt[0] == 0 {
 		return nil, nil
 	}
-	keyEnd := 1 + crypto.PadWidth(o.keyWidth)
-	key, err := crypto.Unpad(pt[1:keyEnd])
+	ver := binary.BigEndian.Uint64(pt[1 : 1+verWidth])
+	keyEnd := 1 + verWidth + crypto.PadWidth(o.keyWidth)
+	key, err := crypto.Unpad(pt[1+verWidth : keyEnd])
 	if err != nil {
-		return nil, fmt.Errorf("oram: unpadding key: %w", err)
+		return nil, o.integrityErr("unpadding key", err)
 	}
 	value := make([]byte, o.valueWidth)
 	copy(value, pt[keyEnd:])
-	return &block{key: string(key), value: value}, nil
+	return &block{key: string(key), value: value, ver: ver}, nil
 }

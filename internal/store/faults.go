@@ -21,12 +21,39 @@ type FaultConfig struct {
 	SpikeRate float64
 	// Spike is the extra delay applied on a latency spike.
 	Spike time.Duration
+	// CorruptRate is the probability that a successful read's payload
+	// (ReadCells or ReadPath) is corrupted — a seeded bit flip or block
+	// swap, per CorruptMode — before it reaches the client. This models a
+	// Byzantine server or bit rot; unlike ErrorRate faults it produces no
+	// error at the injection site, only wrong bytes the client's integrity
+	// layer must catch.
+	CorruptRate float64
+	// CorruptAfterReads, when > 0, corrupts exactly the Nth successful
+	// read (1-based, counting ReadCells and ReadPath together). One-shot
+	// and fully deterministic — the tamper harness uses it to guarantee
+	// exactly one corruption per run at a seeded offset.
+	CorruptAfterReads int64
+	// CorruptMode selects the corruption shape (bit flip or block swap).
+	CorruptMode CorruptMode
 	// Metrics, when set, backs the injected-fault counters with the shared
 	// registry series oblivfd_faults_injected_total /
-	// oblivfd_fault_spikes_total instead of per-instance counters, making
-	// the registry the single source of truth for the whole stack.
+	// oblivfd_fault_spikes_total / oblivfd_corruptions_injected_total
+	// instead of per-instance counters, making the registry the single
+	// source of truth for the whole stack.
 	Metrics *telemetry.Registry
 }
+
+// CorruptMode selects how an injected corruption mangles a read's payload.
+type CorruptMode int
+
+const (
+	// CorruptFlip flips one random bit of one returned block.
+	CorruptFlip CorruptMode = iota
+	// CorruptSwap swaps two returned blocks (positions within the batch);
+	// a single-block batch degrades to a bit flip so the corruption is
+	// never silently skipped.
+	CorruptSwap
+)
 
 // FaultService is a Service decorator that injects transient faults on a
 // deterministic, seeded schedule. It mirrors WithLatency: protocol code
@@ -47,28 +74,41 @@ type FaultService struct {
 	svc Service
 	cfg FaultConfig
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	seq int64 // calls scheduled so far
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seq   int64 // calls scheduled so far
+	crng  *rand.Rand
+	reads int64 // successful reads observed (corruption schedule index)
 
 	// errors and spikes are registry-backed (shared across the stack) when
 	// cfg.Metrics is set, standalone otherwise; shared records which.
-	errors *telemetry.Counter
-	spikes *telemetry.Counter
-	shared bool
+	errors      *telemetry.Counter
+	spikes      *telemetry.Counter
+	corruptions *telemetry.Counter
+	shared      bool
 }
 
 // WithFaults wraps a Service with seeded fault injection. A zero-rate
 // config returns a wrapper that never faults (useful for uniform plumbing).
 func WithFaults(svc Service, cfg FaultConfig) *FaultService {
-	f := &FaultService{svc: svc, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	// Corruption draws from its own seeded stream so enabling it never
+	// shifts the transient-fault schedule: two services with the same seed
+	// inject the same transient faults whether or not corruption is on.
+	f := &FaultService{
+		svc:  svc,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		crng: rand.New(rand.NewSource(cfg.Seed ^ 0x1e35a7bd1e35a7bd)),
+	}
 	if cfg.Metrics != nil {
 		f.errors = cfg.Metrics.Counter("oblivfd_faults_injected_total")
 		f.spikes = cfg.Metrics.Counter("oblivfd_fault_spikes_total")
+		f.corruptions = cfg.Metrics.Counter("oblivfd_corruptions_injected_total")
 		f.shared = true
 	} else {
 		f.errors = telemetry.NewCounter()
 		f.spikes = telemetry.NewCounter()
+		f.corruptions = telemetry.NewCounter()
 	}
 	return f
 }
@@ -80,6 +120,57 @@ func (f *FaultService) Injected() int64 { return f.errors.Value() }
 
 // Spikes returns the number of latency spikes injected so far.
 func (f *FaultService) Spikes() int64 { return f.spikes.Value() }
+
+// Corruptions returns the number of payload corruptions injected so far.
+func (f *FaultService) Corruptions() int64 { return f.corruptions.Value() }
+
+// maybeCorrupt applies the corruption schedule to a successful read's
+// payload. Affected blocks are copied before mutation so an in-process
+// backend's storage is never damaged — the corruption exists only on the
+// "wire" to this client, exactly like a TCP-level bit flip. One variate is
+// drawn from the corruption stream per read when CorruptRate is set, so the
+// schedule is a pure function of the seed and the read index.
+func (f *FaultService) maybeCorrupt(cts [][]byte) [][]byte {
+	if f.cfg.CorruptRate <= 0 && f.cfg.CorruptAfterReads <= 0 {
+		return cts
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reads++
+	hit := f.cfg.CorruptAfterReads > 0 && f.reads == f.cfg.CorruptAfterReads
+	if f.cfg.CorruptRate > 0 && f.crng.Float64() < f.cfg.CorruptRate {
+		hit = true
+	}
+	if !hit {
+		return cts
+	}
+	var nonEmpty []int
+	for i, ct := range cts {
+		if len(ct) > 0 {
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return cts
+	}
+	out := make([][]byte, len(cts))
+	copy(out, cts)
+	if f.cfg.CorruptMode == CorruptSwap && len(nonEmpty) >= 2 {
+		i := nonEmpty[f.crng.Intn(len(nonEmpty))]
+		j := i
+		for j == i {
+			j = nonEmpty[f.crng.Intn(len(nonEmpty))]
+		}
+		out[i], out[j] = out[j], out[i]
+	} else {
+		i := nonEmpty[f.crng.Intn(len(nonEmpty))]
+		b := append([]byte(nil), out[i]...)
+		b[f.crng.Intn(len(b))] ^= 1 << uint(f.crng.Intn(8))
+		out[i] = b
+	}
+	f.corruptions.Inc()
+	return out
+}
 
 // decision is one call's slot in the fault schedule.
 type decision struct {
@@ -142,7 +233,7 @@ func (f *FaultService) ReadCells(name string, idx []int64) (cts [][]byte, err er
 	if err != nil {
 		return nil, err
 	}
-	return cts, nil
+	return f.maybeCorrupt(cts), nil
 }
 
 // WriteCells implements Service.
@@ -161,7 +252,7 @@ func (f *FaultService) ReadPath(name string, leaf uint32) (cts [][]byte, err err
 	if err != nil {
 		return nil, err
 	}
-	return cts, nil
+	return f.maybeCorrupt(cts), nil
 }
 
 // WritePath implements Service.

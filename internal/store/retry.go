@@ -67,11 +67,13 @@ func DefaultRetryable(err error) bool {
 	case errors.Is(err, ErrUnknownObject), errors.Is(err, ErrObjectExists),
 		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrBadPath):
 		return false
-	case errors.Is(err, ErrCorruptSnapshot), errors.Is(err, ErrCorruptWAL),
+	case errors.Is(err, ErrIntegrity),
 		errors.Is(err, ErrServerKilled), errors.Is(err, ErrNoSuchEpoch):
-		// Fatal: on-disk corruption and a dead process cannot be retried
-		// away — recovery (reopening the data directory) is an operator
-		// action, not a request-level one.
+		// Fatal: failed verification (which covers ErrCorruptSnapshot and
+		// ErrCorruptWAL — both match ErrIntegrity), corruption, and a dead
+		// process cannot be retried away — recovery is an operator action,
+		// not a request-level one. Re-reading a tampered or rotted block
+		// returns the same wrong bytes.
 		return false
 	case errors.Is(err, ErrTransient), errors.Is(err, ErrUnavailable):
 		return true

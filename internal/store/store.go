@@ -28,16 +28,25 @@ var (
 	// its own reconnection attempts. WithRetry retries on it.
 	ErrUnavailable = errors.New("store: service unavailable")
 
+	// ErrIntegrity marks data that failed client-side verification: an
+	// AEAD authentication failure, a stale or replayed ORAM block, a
+	// version-tag or epoch-tag mismatch, a corrupt WAL frame or snapshot.
+	// The data is wrong, not the network, so it is fatal — WithRetry never
+	// retries it — and discovery aborts with the location that tripped it.
+	ErrIntegrity = errors.New("store: integrity verification failed")
+
 	// ErrCorruptSnapshot marks a snapshot stream that cannot be restored:
-	// truncated, bit-flipped, or semantically inconsistent. It is fatal —
+	// truncated, bit-flipped, or semantically inconsistent. It is an
+	// integrity failure (errors.Is(err, ErrIntegrity) holds) and fatal —
 	// retrying the identical load cannot succeed — so the retry classifier
 	// treats it as non-retryable.
-	ErrCorruptSnapshot = errors.New("store: corrupt snapshot")
+	ErrCorruptSnapshot error = &integrityError{"store: corrupt snapshot"}
 	// ErrCorruptWAL marks a write-ahead log whose surviving prefix cannot
 	// be applied to the snapshot it extends (a torn *tail* is expected
 	// after a crash and silently truncated; this error means corruption
-	// before the tail). Fatal, like ErrCorruptSnapshot.
-	ErrCorruptWAL = errors.New("store: corrupt write-ahead log")
+	// before the tail). An integrity failure, fatal like
+	// ErrCorruptSnapshot.
+	ErrCorruptWAL error = &integrityError{"store: corrupt write-ahead log"}
 	// ErrServerKilled is returned by a durable server whose crash-injection
 	// kill point fired: the simulated process is dead and every further
 	// call fails until the data directory is re-opened. Fatal by
@@ -47,6 +56,16 @@ var (
 	// snapshot matches the requested recovery epoch.
 	ErrNoSuchEpoch = errors.New("store: no snapshot for requested epoch")
 )
+
+// integrityError is a named sentinel that additionally matches ErrIntegrity
+// under errors.Is, so callers can branch on the specific failure
+// (ErrCorruptSnapshot vs ErrCorruptWAL) or on the whole integrity class with
+// one check.
+type integrityError struct{ msg string }
+
+func (e *integrityError) Error() string { return e.msg }
+
+func (e *integrityError) Is(target error) bool { return target == ErrIntegrity }
 
 // Stats summarizes server-side resource usage; it backs the storage columns
 // of Table II and Fig. 5. The fault-tolerance counters are contributed by

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -46,6 +47,97 @@ func TestSentinelErrorsSurviveTheWire(t *testing.T) {
 	_, err := c.ReadCells("missing", []int64{0})
 	if err == nil || err.Error() != `store: unknown object: array "missing"` {
 		t.Errorf("message not preserved: %q", err)
+	}
+}
+
+// TestWireErrorTable: every sentinel round-trips encode→decode with its
+// message verbatim and errors.Is intact. The corruption sentinels must
+// additionally classify as ErrIntegrity after decoding, and the encoder must
+// pick the specific code (not the bare integrity code) for them — that is
+// what the most-specific-first ordering of sentinelCodes guarantees.
+func TestWireErrorTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		code     errCode
+		sentinel error
+		alsoIs   []error
+	}{
+		{"unknown-object", fmt.Errorf("op: %w", store.ErrUnknownObject), codeUnknownObject, store.ErrUnknownObject, nil},
+		{"object-exists", fmt.Errorf("op: %w", store.ErrObjectExists), codeObjectExists, store.ErrObjectExists, nil},
+		{"out-of-range", fmt.Errorf("op: %w", store.ErrOutOfRange), codeOutOfRange, store.ErrOutOfRange, nil},
+		{"bad-path", fmt.Errorf("op: %w", store.ErrBadPath), codeBadPath, store.ErrBadPath, nil},
+		{"transient", fmt.Errorf("op: %w", store.ErrTransient), codeTransient, store.ErrTransient, nil},
+		{"corrupt-snapshot", fmt.Errorf("op: %w", store.ErrCorruptSnapshot), codeCorruptSnapshot,
+			store.ErrCorruptSnapshot, []error{store.ErrIntegrity}},
+		{"corrupt-wal", fmt.Errorf("op: %w", store.ErrCorruptWAL), codeCorruptWAL,
+			store.ErrCorruptWAL, []error{store.ErrIntegrity}},
+		{"server-killed", fmt.Errorf("op: %w", store.ErrServerKilled), codeServerKilled, store.ErrServerKilled, nil},
+		{"no-such-epoch", fmt.Errorf("op: %w", store.ErrNoSuchEpoch), codeNoSuchEpoch, store.ErrNoSuchEpoch, nil},
+		{"integrity", fmt.Errorf("op: %w", store.ErrIntegrity), codeIntegrity, store.ErrIntegrity, nil},
+		{"generic", errors.New("op: something else"), codeGeneric, nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msg, code := encodeErr(tc.err)
+			if code != tc.code {
+				t.Errorf("encodeErr code = %d, want %d", code, tc.code)
+			}
+			got := decodeErr(code, msg)
+			if got == nil || got.Error() != tc.err.Error() {
+				t.Errorf("message not preserved: got %v, want %q", got, tc.err.Error())
+			}
+			if tc.sentinel != nil && !errors.Is(got, tc.sentinel) {
+				t.Errorf("decoded error does not match its sentinel %v", tc.sentinel)
+			}
+			for _, e := range tc.alsoIs {
+				if !errors.Is(got, e) {
+					t.Errorf("decoded error should also match %v", e)
+				}
+			}
+		})
+	}
+	if msg, code := encodeErr(nil); code != codeOK || msg != "" {
+		t.Errorf("encodeErr(nil) = (%q, %d), want empty codeOK", msg, code)
+	}
+	if err := decodeErr(codeOK, ""); err != nil {
+		t.Errorf("decodeErr(codeOK) = %v, want nil", err)
+	}
+}
+
+// integrityStub is a backend whose reads always fail verification, standing
+// in for a durable server that detected corruption during recovery.
+type integrityStub struct{ store.Service }
+
+func (s integrityStub) ReadCells(name string, idx []int64) ([][]byte, error) {
+	return nil, fmt.Errorf("stub: array %q failed verification: %w", name, store.ErrIntegrity)
+}
+
+// TestIntegrityErrorSurvivesTheWire: ErrIntegrity classifies correctly on
+// the client through TCP and is fatal — the retry layer must never retry a
+// verification failure, because the data will be just as corrupt next time.
+func TestIntegrityErrorSurvivesTheWire(t *testing.T) {
+	backend := integrityStub{store.NewServer()}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = Serve(l, backend) }()
+	t.Cleanup(func() { l.Close() })
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ReadCells("a", []int64{0})
+	if !errors.Is(err, store.ErrIntegrity) {
+		t.Errorf("err = %v, want errors.Is(ErrIntegrity) through TCP", err)
+	}
+	if store.DefaultRetryable(err) {
+		t.Errorf("integrity error classified retryable; corruption must be fatal")
 	}
 }
 

@@ -102,6 +102,7 @@ const (
 	codeCorruptWAL
 	codeServerKilled
 	codeNoSuchEpoch
+	codeIntegrity
 )
 
 // codeSentinel maps wire codes back to the sentinel errors they stand for.
@@ -115,16 +116,40 @@ var codeSentinel = map[errCode]error{
 	codeCorruptWAL:      store.ErrCorruptWAL,
 	codeServerKilled:    store.ErrServerKilled,
 	codeNoSuchEpoch:     store.ErrNoSuchEpoch,
+	codeIntegrity:       store.ErrIntegrity,
 }
 
-// encodeErr flattens an error for the wire, preserving its sentinel.
+// sentinelCodes is the classification order for encoding: most specific
+// first. Order matters because sentinels may imply one another —
+// ErrCorruptSnapshot and ErrCorruptWAL both match ErrIntegrity under
+// errors.Is, so the bare ErrIntegrity code must be checked after them or the
+// wire would lose the specific sentinel (a map iteration here would pick one
+// nondeterministically).
+var sentinelCodes = []struct {
+	code errCode
+	err  error
+}{
+	{codeUnknownObject, store.ErrUnknownObject},
+	{codeObjectExists, store.ErrObjectExists},
+	{codeOutOfRange, store.ErrOutOfRange},
+	{codeBadPath, store.ErrBadPath},
+	{codeTransient, store.ErrTransient},
+	{codeCorruptSnapshot, store.ErrCorruptSnapshot},
+	{codeCorruptWAL, store.ErrCorruptWAL},
+	{codeServerKilled, store.ErrServerKilled},
+	{codeNoSuchEpoch, store.ErrNoSuchEpoch},
+	{codeIntegrity, store.ErrIntegrity},
+}
+
+// encodeErr flattens an error for the wire, preserving its most specific
+// sentinel.
 func encodeErr(err error) (string, errCode) {
 	if err == nil {
 		return "", codeOK
 	}
-	for code, sentinel := range codeSentinel {
-		if errors.Is(err, sentinel) {
-			return err.Error(), code
+	for _, sc := range sentinelCodes {
+		if errors.Is(err, sc.err) {
+			return err.Error(), sc.code
 		}
 	}
 	return err.Error(), codeGeneric

@@ -53,7 +53,9 @@ var (
 	// ErrCorruptCheckpoint marks an unreadable client checkpoint file.
 	ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
 	// ErrEpochMismatch means the server's storage state does not match the
-	// checkpoint's epoch; recover the server first (OpenDirAtEpoch).
+	// checkpoint's epoch; recover the server first (OpenDirAtEpoch). A stale
+	// or rolled-back snapshot is an integrity event, so errors carrying this
+	// sentinel also match ErrIntegrity.
 	ErrEpochMismatch = core.ErrEpochMismatch
 )
 
@@ -121,10 +123,13 @@ func (db *Database) DiscoverResumable(path string) (*Report, error) {
 }
 
 // Resume rebuilds a Database from a checkpoint file against a service whose
-// storage state matches the checkpoint's epoch exactly (ErrEpochMismatch
-// otherwise — recover the server to that epoch first, e.g. with
-// OpenDirAtEpoch or ResumeFromDir). The next Discover or DiscoverResumable
-// call on the returned handle continues from the checkpointed lattice level.
+// storage state matches the checkpoint's epoch exactly. The recovered
+// snapshot's epoch tag is verified before the engine is re-instrumented; on
+// mismatch Resume returns an error matching both ErrEpochMismatch and
+// ErrIntegrity instead of proceeding — recover the server to that epoch
+// first, e.g. with OpenDirAtEpoch or ResumeFromDir. The next Discover or
+// DiscoverResumable call on the returned handle continues from the
+// checkpointed lattice level.
 func Resume(svc Service, path string) (*Database, error) {
 	cp, err := core.ReadCheckpointFile(path)
 	if err != nil {

@@ -149,6 +149,13 @@ var (
 	// ErrUnavailable marks a connection that could not be established or
 	// re-established within the redial budget.
 	ErrUnavailable = store.ErrUnavailable
+	// ErrIntegrity marks data the client refused because verification
+	// failed: a tampered or replayed ciphertext, a stale ORAM block, a
+	// corrupt WAL frame or snapshot, or a checkpoint/server epoch mismatch.
+	// It is never retried — re-reading tampered data returns the same
+	// wrong bytes — and discovery aborts with the lattice level and
+	// attribute set that tripped the check.
+	ErrIntegrity = store.ErrIntegrity
 )
 
 // WithFaults wraps a service with seeded, deterministic fault injection:
@@ -364,6 +371,9 @@ func Outsource(svc Service, rel *Relation, opts Options) (*Database, error) {
 		if err != nil {
 			return nil, fmt.Errorf("securefd: %w", err)
 		}
+		// Attach before upload so integrity_checks_total covers the whole
+		// lifetime of the database, including setup reads.
+		cipher.SetTelemetry(opts.Telemetry)
 		edb, err := core.UploadWithCapacity(svc, cipher, name, rel, capacity)
 		if err != nil {
 			return nil, fmt.Errorf("securefd: %w", err)
