@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race clean
 
 all: build vet test
 
@@ -61,6 +61,21 @@ experiments:
 # with -telemetry, and curl assertions on /metrics, /metrics.json, pprof.
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# Quick scaling check: a small worker sweep plus the batched-vs-unbatched
+# rounds comparison. Sizes are CI-friendly; BENCH_scaling.json (the
+# committed baseline) is regenerated with scaling-baseline instead.
+scaling-smoke:
+	$(GO) run ./cmd/fdbench -exp scaling -minn 64 -rtt 200us -threads 1,4
+
+# Regenerate the committed performance baseline at the recorded settings.
+scaling-baseline:
+	$(GO) run ./cmd/fdbench -exp scaling -minn 128 -rtt 1ms -threads 1,2,4,8 -scaling-out BENCH_scaling.json
+
+# Serial-vs-parallel equivalence suite under the race detector, at one and
+# four schedulable cores (GOMAXPROCS=1 hides interleavings; 4 exposes them).
+parallel-race:
+	$(GO) test -race -count=1 -cpu 1,4 -run 'Parallel|RunBatch|Batch' ./internal/core/ ./internal/store/ ./internal/transport/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -37,10 +37,11 @@ func main() {
 		frate   = flag.Float64("fault-rate", 0.02, "transient error and spike rate for the faults experiment")
 		crate   = flag.Float64("corrupt-rate", 0.01, "per-read payload corruption rate for the faults experiment's detection axis (0 disables)")
 		telOut  = flag.String("telemetry", "", "write the telemetry experiment's per-phase breakdown to this JSON file (e.g. BENCH_telemetry.json)")
+		sclOut  = flag.String("scaling-out", "", "write the scaling experiment's worker sweep and rounds comparison to this JSON file (e.g. BENCH_scaling.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -70,10 +71,11 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut string) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
+	var scalingResult *bench.ScalingResult
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -102,6 +104,11 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			telemetryResult = r
 			return r, err
 		}},
+		{"scaling", func() (renderer, error) {
+			r, err := bench.Scaling(minn, 6, threads, rtt, seed)
+			scalingResult = r
+			return r, err
+		}},
 	}
 
 	ran := 0
@@ -125,6 +132,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return fmt.Errorf("writing %s: %w", telemetryOut, err)
 		}
 		fmt.Printf("wrote %s (%d points)\n", telemetryOut, len(telemetryResult.Points))
+	}
+	if scalingOut != "" && scalingResult != nil {
+		if err := scalingResult.WriteFile(scalingOut); err != nil {
+			return fmt.Errorf("writing %s: %w", scalingOut, err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", scalingOut, len(scalingResult.Points))
 	}
 	return nil
 }

@@ -53,14 +53,14 @@ func TestSweep(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
 	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, ""); err != nil {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -93,5 +93,36 @@ func TestRunTelemetryArtifact(t *testing.T) {
 		if pt.Method == "Sort" && pt.SortComparisons == 0 {
 			t.Errorf("point %s/%d recorded no comparisons", pt.Method, pt.N)
 		}
+	}
+}
+
+// TestRunScalingArtifact: -scaling-out writes the worker sweep and the
+// batched-vs-unbatched rounds comparison.
+func TestRunScalingArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scaling.json")
+	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out); err != nil {
+		t.Fatalf("run(scaling): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.ScalingResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Points) != 6 { // 3 methods × 2 worker counts
+		t.Fatalf("artifact has %d points, want 6", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.WallNS <= 0 || pt.Speedup <= 0 {
+			t.Errorf("point %s/%d missing wall time or speedup", pt.Method, pt.Workers)
+		}
+	}
+	if len(res.Rounds) != 2 || res.Rounds[0].Rounds <= res.Rounds[1].Rounds {
+		t.Errorf("rounds comparison = %+v, want unbatched > batched", res.Rounds)
+	}
+	if res.RoundsFactor < 2 {
+		t.Errorf("rounds factor = %.1f, want ≥ 2 (batching must at least halve rounds)", res.RoundsFactor)
 	}
 }

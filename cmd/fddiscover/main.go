@@ -64,7 +64,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.protoName, "protocol", "sort", "sort|or-oram|ex-oram|plaintext|enclave")
-	flag.IntVar(&o.workers, "workers", 1, "sorting parallelism degree")
+	flag.IntVar(&o.workers, "workers", 1, "parallelism degree: sorting-network workers and concurrent partition materializations per lattice level")
 	flag.StringVar(&o.network, "network", "bitonic", "sorting network: bitonic|odd-even")
 	flag.IntVar(&o.maxLHS, "max-lhs", 0, "bound determinant size (0 = unbounded)")
 	flag.BoolVar(&o.aggregate, "aggregate", false, "merge FDs per determinant")

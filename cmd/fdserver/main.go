@@ -1,7 +1,9 @@
 // Command fdserver runs the untrusted storage server S: it holds only
 // ciphertexts and answers the storage protocol over TCP. Pair it with
 // fdclient (or any securefd.DialTCP client) to reproduce the paper's
-// two-machine deployment (§VII-A).
+// two-machine deployment (§VII-A). The protocol includes fused batch
+// frames (one message carrying many cell operations, applied in order),
+// so clients that batch pay network round trips per batch, not per cell.
 //
 //	fdserver -listen :7066
 //

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/core"
+	"github.com/oblivfd/oblivfd/internal/dataset"
+	"github.com/oblivfd/oblivfd/internal/obsort"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// The scaling experiment is the repository's first recorded performance
+// baseline for level-parallel discovery (DESIGN.md §11): it sweeps the
+// lattice-level worker pool for every secure engine under modeled network
+// latency, and separately counts transport round trips with cell batching
+// on and off. fdbench writes the result to BENCH_scaling.json so later
+// changes can be compared against a committed artifact.
+//
+// Two mechanisms are measured:
+//
+//   - Worker scaling: full discovery wall time at each worker count, over a
+//     store.WithLatency service. On a single-core host the speedup comes
+//     entirely from overlapping round trips of independent partition
+//     materializations — the same mechanism as the paper's multi-threaded
+//     client (§VII, Fig. 6a), but across lattice candidates instead of
+//     inside one sort.
+//   - Cell batching: logical storage rounds (store.RoundCounter) for one
+//     full Sort discovery with obsort.ChunkCells at its production value
+//     versus 1 (every cell its own message). Rounds are scheduling- and
+//     latency-independent, so they are counted without sleeping and priced
+//     afterwards at the modeled RTT.
+
+// scalingBatchRTT prices the rounds comparison: at 10ms per round trip the
+// modeled wall-clock gap between batched and unbatched transport is the
+// headline number.
+const scalingBatchRTT = 10 * time.Millisecond
+
+// ScalingPoint is one (method, workers) full-discovery measurement.
+type ScalingPoint struct {
+	Method  string  `json:"method"`
+	Workers int     `json:"workers"`
+	WallNS  int64   `json:"wall_ns"`
+	Speedup float64 `json:"speedup"` // vs the same method at workers=1
+}
+
+// ScalingRoundsPoint is one cell-batching configuration's transport cost
+// for a full Sort discovery.
+type ScalingRoundsPoint struct {
+	ChunkCells int   `json:"chunk_cells"`
+	Rounds     int64 `json:"rounds"`
+	ModeledNS  int64 `json:"modeled_ns"` // Rounds × scalingBatchRTT
+}
+
+// ScalingResult is the full experiment outcome.
+type ScalingResult struct {
+	N            int                  `json:"n"`
+	M            int                  `json:"m"`
+	Seed         int64                `json:"seed"`
+	RTTNS        int64                `json:"rtt_ns"`
+	BatchRTTNS   int64                `json:"batch_rtt_ns"`
+	Points       []ScalingPoint       `json:"points"`
+	Rounds       []ScalingRoundsPoint `json:"rounds"`
+	RoundsFactor float64              `json:"rounds_factor"` // unbatched ÷ batched
+}
+
+// Scaling runs full FD discovery on RND(m, n) for every method at each
+// worker count with rtt of modeled latency per storage round, then counts
+// transport rounds for Sort with batching on and off.
+func Scaling(n, m int, workersList []int, rtt time.Duration, seed int64) (*ScalingResult, error) {
+	rel := dataset.RND(m, n, seed)
+	res := &ScalingResult{N: n, M: m, Seed: seed, RTTNS: rtt.Nanoseconds(), BatchRTTNS: scalingBatchRTT.Nanoseconds()}
+
+	for _, method := range AllMethods {
+		base := time.Duration(0)
+		for _, w := range workersList {
+			svc := store.WithLatency(store.Service(store.NewServer()), rtt)
+			// Inner sorting-network workers stay at 1: the axis under test
+			// is the lattice-level pool (fig6a covers intra-sort workers).
+			s, err := newSetupOn(svc, rel, method, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			_, err = core.Discover(s.eng, m, &core.Options{Workers: w})
+			wall := time.Since(start)
+			s.close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: scaling %s workers=%d: %w", method, w, err)
+			}
+			if base == 0 {
+				base = wall
+			}
+			res.Points = append(res.Points, ScalingPoint{
+				Method:  string(method),
+				Workers: w,
+				WallNS:  wall.Nanoseconds(),
+				Speedup: float64(base) / float64(wall),
+			})
+		}
+	}
+
+	// Rounds with batching off (every cell its own round) vs on. Restore
+	// the production value before returning — ChunkCells is package state.
+	defer func(cc int) { obsort.ChunkCells = cc }(obsort.ChunkCells)
+	for _, cc := range []int{1, obsort.ChunkCells} {
+		obsort.ChunkCells = cc
+		rc := store.WithRoundCounter(store.NewServer())
+		s, err := newSetupOn(rc, rel, MethodSort, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		setupRounds := rc.Rounds() // exclude upload cost from the comparison
+		if _, err := core.Discover(s.eng, m, &core.Options{Workers: 1}); err != nil {
+			s.close()
+			return nil, fmt.Errorf("bench: scaling rounds chunk=%d: %w", cc, err)
+		}
+		rounds := rc.Rounds() - setupRounds
+		s.close()
+		res.Rounds = append(res.Rounds, ScalingRoundsPoint{
+			ChunkCells: cc,
+			Rounds:     rounds,
+			ModeledNS:  rounds * scalingBatchRTT.Nanoseconds(),
+		})
+	}
+	if len(res.Rounds) == 2 && res.Rounds[1].Rounds > 0 {
+		res.RoundsFactor = float64(res.Rounds[0].Rounds) / float64(res.Rounds[1].Rounds)
+	}
+	return res, nil
+}
+
+// Render prints the worker sweep per method and the batching comparison.
+func (r *ScalingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scaling: full discovery, RND m=%d n=%d, rtt=%s per storage round\n",
+		r.M, r.N, time.Duration(r.RTTNS))
+	fmt.Fprintf(&b, "%-8s %8s %12s %10s\n", "method", "workers", "wall", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-8s %8d %12s %9.2fx\n",
+			p.Method, p.Workers, fmtDur(time.Duration(p.WallNS)), p.Speedup)
+	}
+	fmt.Fprintf(&b, "Transport rounds, Sort discovery (modeled at %s/round):\n", time.Duration(r.BatchRTTNS))
+	fmt.Fprintf(&b, "%12s %10s %14s\n", "chunk-cells", "rounds", "modeled")
+	for _, p := range r.Rounds {
+		fmt.Fprintf(&b, "%12d %10d %14s\n", p.ChunkCells, p.Rounds, fmtDur(time.Duration(p.ModeledNS)))
+	}
+	if r.RoundsFactor > 0 {
+		fmt.Fprintf(&b, "Batching sends %.1fx fewer rounds.\n", r.RoundsFactor)
+	}
+	b.WriteString("Expected shape: Sort speedup ≥2x by 8 workers (round-trip overlap), batching ≥2x fewer rounds.\n")
+	return b.String()
+}
+
+// WriteFile writes the JSON artifact (BENCH_scaling.json).
+func (r *ScalingResult) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -136,6 +136,32 @@ func (e *EncryptedDB) CellValue(i, j int) (string, error) {
 	return string(pt), nil
 }
 
+// CellValues retrieves and decrypts the cells (lo..hi-1, j) of one column
+// in a single ReadCells round. Callers bound hi-lo to a constant chunk to
+// keep client memory O(1); the server still records one access per cell.
+func (e *EncryptedDB) CellValues(lo, hi, j int) ([]string, error) {
+	if lo < 0 || hi > e.n || lo > hi {
+		return nil, fmt.Errorf("core: cell range [%d,%d) out of [0,%d)", lo, hi, e.n)
+	}
+	idx := make([]int64, hi-lo)
+	for k := range idx {
+		idx[k] = int64(lo + k)
+	}
+	cts, err := e.svc.ReadCells(e.columnName(j), idx)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading cells [%d,%d) of column %d: %w", lo, hi, j, err)
+	}
+	out := make([]string, len(cts))
+	for k, ct := range cts {
+		pt, err := e.cipher.Open(ct, e.cellAD(lo+k, j))
+		if err != nil {
+			return nil, fmt.Errorf("core: cell (%d,%d) of %q failed verification: %v: %w", lo+k, j, e.name, err, store.ErrIntegrity)
+		}
+		out[k] = string(pt)
+	}
+	return out, nil
+}
+
 // Delete removes the database's column arrays from the server.
 func (e *EncryptedDB) Delete() error {
 	for j := 0; j < e.schema.Width(); j++ {

@@ -293,6 +293,118 @@ func (e *ExEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
 	return int(st.card), nil
 }
 
+// CardinalitySingleBatch implements ParallelEngine; see the OrEngine
+// counterpart. ORAM pairs are created serially in job order, traversals run
+// concurrently over a shared snapshot of the live-id order.
+func (e *ExEngine) CardinalitySingleBatch(attrs []int, workers int) ([]int, error) {
+	results := make([]int, len(attrs))
+	jobs := make([]batchJob, len(attrs))
+	ids := e.liveOrdered()
+	pendingTarget := make(map[relation.AttrSet]bool, len(attrs))
+	for k, attr := range attrs {
+		k, attr := k, attr
+		x := relation.SingleAttr(attr)
+		var st *exState
+		if _, cached := e.sets[x]; !cached && !pendingTarget[x] {
+			var err error
+			st, err = e.newState(x, [2]relation.AttrSet{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		pendingTarget[x] = true
+		jobs[k] = batchJob{
+			resources: []relation.AttrSet{x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				for _, id := range ids {
+					key, err := e.singleKeyFor(id, attr)
+					if err != nil {
+						return err
+					}
+					if err := st.step(id, key); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(jobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// CardinalityUnionBatch implements ParallelEngine. As with OrEngine, jobs
+// sharing a cover are serialized into different waves: reading a cover's
+// O^IKL is a mutating access on a handle that is not goroutine-safe.
+func (e *ExEngine) CardinalityUnionBatch(jobs []UnionJob, workers int) ([]int, error) {
+	results := make([]int, len(jobs))
+	bjobs := make([]batchJob, len(jobs))
+	ids := e.liveOrdered()
+	pendingTarget := make(map[relation.AttrSet]bool, len(jobs))
+	for k, uj := range jobs {
+		k, x1, x2 := k, uj.X1, uj.X2
+		x, err := validateUnion(x1, x2)
+		if err != nil {
+			return nil, err
+		}
+		var st *exState
+		if _, cached := e.sets[x]; !cached && !pendingTarget[x] {
+			st, err = e.newState(x, [2]relation.AttrSet{x1, x2})
+			if err != nil {
+				return nil, err
+			}
+		}
+		pendingTarget[x] = true
+		bjobs[k] = batchJob{
+			resources: []relation.AttrSet{x1, x2, x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				st1, ok := e.sets[x1]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+				}
+				st2, ok := e.sets[x2]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+				}
+				for _, id := range ids {
+					key, err := e.unionKeyFor(id, st1, st2)
+					if err != nil {
+						return err
+					}
+					if err := st.step(id, key); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(bjobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var _ ParallelEngine = (*ExEngine)(nil)
+
 // Cardinality implements Engine.
 func (e *ExEngine) Cardinality(x relation.AttrSet) (int, bool) {
 	st, ok := e.sets[x]

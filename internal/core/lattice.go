@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"github.com/oblivfd/oblivfd/internal/relation"
@@ -17,6 +18,16 @@ import (
 func describeIntegrity(err error, level int, x relation.AttrSet) error {
 	if errors.Is(err, store.ErrIntegrity) {
 		return fmt.Errorf("core: integrity failure at lattice level %d, attribute set %v: %w", level, x, err)
+	}
+	return err
+}
+
+// describeIntegrityLevel is describeIntegrity for batched materializations,
+// where the failing set is not known at this layer (the engines wrap their
+// own per-set context into the error).
+func describeIntegrityLevel(err error, level int) error {
+	if errors.Is(err, store.ErrIntegrity) {
+		return fmt.Errorf("core: integrity failure at lattice level %d: %w", level, err)
 	}
 	return err
 }
@@ -61,11 +72,21 @@ type Options struct {
 	Resume *LatticeState
 	// Telemetry, if non-nil, receives phase spans for the traversal: one
 	// "lattice/level-NN" span per lattice level plus "candidate/single" /
-	// "candidate/union" spans around each partition materialization. Spans
-	// record only wall time and counts — quantities the server already
-	// observes — so attaching a registry does not change the leakage
-	// profile, and the span calls issue no oblivious accesses of their own.
+	// "candidate/union" spans around each partition materialization (or
+	// "candidate/single-batch" / "candidate/union-batch" per level when
+	// running parallel). Spans record only wall time and counts —
+	// quantities the server already observes — so attaching a registry does
+	// not change the leakage profile, and the span calls issue no oblivious
+	// accesses of their own.
 	Telemetry *telemetry.Registry
+	// Workers bounds how many of one level's partition materializations
+	// proceed concurrently when the engine supports it (ParallelEngine).
+	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial per-candidate
+	// path, whose access trace is byte-identical to previous releases.
+	// Parallelism changes only the interleaving of accesses across
+	// structures, never any single structure's sequence — see DESIGN.md
+	// §11.
+	Workers int
 }
 
 // Result is the outcome of a discovery run.
@@ -98,6 +119,15 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		return nil, fmt.Errorf("core: empty database")
 	}
 	reg := opts.Telemetry // nil registry: every span below is a no-op
+
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	pe, parallel := engine.(ParallelEngine)
+	if workers <= 1 {
+		parallel = false // serial path: per-candidate calls, unchanged trace
+	}
 
 	res := &Result{Cardinalities: make(map[relation.AttrSet]int)}
 	universe := relation.FullSet(m)
@@ -182,15 +212,32 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		// Level 1: materialize every singleton partition.
 		lsp := reg.StartSpan("lattice/level-01")
 		level = relation.AllSingletons(m)
-		for _, x := range level {
-			csp := reg.StartSpan("candidate/single")
-			card, err := engine.CardinalitySingle(x.First())
+		if parallel {
+			attrs := make([]int, len(level))
+			for i, x := range level {
+				attrs[i] = x.First()
+			}
+			csp := reg.StartSpan("candidate/single-batch")
+			cards, err := pe.CardinalitySingleBatch(attrs, workers)
 			csp.End()
 			if err != nil {
-				return nil, describeIntegrity(err, 1, x)
+				return nil, describeIntegrityLevel(err, 1)
 			}
-			res.Cardinalities[x] = card
-			res.SetsMaterialized++
+			for i, x := range level {
+				res.Cardinalities[x] = cards[i]
+				res.SetsMaterialized++
+			}
+		} else {
+			for _, x := range level {
+				csp := reg.StartSpan("candidate/single")
+				card, err := engine.CardinalitySingle(x.First())
+				csp.End()
+				if err != nil {
+					return nil, describeIntegrity(err, 1, x)
+				}
+				res.Cardinalities[x] = card
+				res.SetsMaterialized++
+			}
 		}
 		lsp.End()
 		if opts.Checkpoint != nil {
@@ -308,7 +355,10 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		// Deterministic traversal order: the access pattern must be a
 		// function of (m, n, FD(DB)) alone, never of map iteration.
 		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
-		var next []relation.AttrSet
+		type cand struct {
+			z, x1, x2 relation.AttrSet
+		}
+		var cands []cand
 		for _, prefix := range prefixes {
 			group := buckets[prefix]
 			for i := 0; i < len(group); i++ {
@@ -324,16 +374,38 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 						continue
 					}
 					x1, x2 := z.SplitCover()
-					usp := reg.StartSpan("candidate/union")
-					card, err := engine.CardinalityUnion(x1, x2)
-					usp.End()
-					if err != nil {
-						return nil, describeIntegrity(err, l+1, z)
-					}
-					res.Cardinalities[z] = card
-					res.SetsMaterialized++
-					next = append(next, z)
+					cands = append(cands, cand{z: z, x1: x1, x2: x2})
 				}
+			}
+		}
+		var next []relation.AttrSet
+		if parallel && len(cands) > 0 {
+			jobs := make([]UnionJob, len(cands))
+			for i, c := range cands {
+				jobs[i] = UnionJob{X1: c.x1, X2: c.x2}
+			}
+			usp := reg.StartSpan("candidate/union-batch")
+			cards, err := pe.CardinalityUnionBatch(jobs, workers)
+			usp.End()
+			if err != nil {
+				return nil, describeIntegrityLevel(err, l+1)
+			}
+			for i, c := range cands {
+				res.Cardinalities[c.z] = cards[i]
+				res.SetsMaterialized++
+				next = append(next, c.z)
+			}
+		} else {
+			for _, c := range cands {
+				usp := reg.StartSpan("candidate/union")
+				card, err := engine.CardinalityUnion(c.x1, c.x2)
+				usp.End()
+				if err != nil {
+					return nil, describeIntegrity(err, l+1, c.z)
+				}
+				res.Cardinalities[c.z] = card
+				res.SetsMaterialized++
+				next = append(next, c.z)
 			}
 		}
 		// Sets two levels down are no longer anyone's cover.
@@ -381,11 +453,25 @@ func AggregateFDs(minimal []relation.FD) []relation.FD {
 // Validate checks a single dependency X → Y on an engine by materializing
 // the partition chain for X and X ∪ Y (respecting Property 1) and applying
 // Theorem 1. It returns whether the FD holds.
-func Validate(engine Engine, x, y relation.AttrSet) (bool, error) {
+//
+// Every partition this validation materialized itself is released before
+// returning — on success, on error, and on the trivial-dependency early
+// return alike — so repeated Validate calls do not accumulate server-side
+// state. Partitions that already existed (e.g. retained by a prior Discover
+// with KeepPartitions) are left in place.
+func Validate(engine Engine, x, y relation.AttrSet) (holds bool, err error) {
 	if x.IsEmpty() || y.IsEmpty() {
 		return false, fmt.Errorf("core: Validate needs non-empty attribute sets")
 	}
-	cardX, err := materializeChain(engine, x)
+	var created []relation.AttrSet
+	defer func() {
+		for i := len(created) - 1; i >= 0; i-- {
+			if rerr := engine.Release(created[i]); rerr != nil && err == nil {
+				holds, err = false, rerr
+			}
+		}
+	}()
+	cardX, err := materializeChain(engine, x, &created)
 	if err != nil {
 		return false, err
 	}
@@ -393,7 +479,7 @@ func Validate(engine Engine, x, y relation.AttrSet) (bool, error) {
 	if union == x {
 		return true, nil // Y ⊆ X: trivial dependency
 	}
-	cardXY, err := materializeChain(engine, union)
+	cardXY, err := materializeChain(engine, union, &created)
 	if err != nil {
 		return false, err
 	}
@@ -401,23 +487,39 @@ func Validate(engine Engine, x, y relation.AttrSet) (bool, error) {
 }
 
 // materializeChain materializes π_x by growing one attribute at a time:
-// {a₁}, {a₁,a₂}, … — each step a valid two-subset cover.
-func materializeChain(engine Engine, x relation.AttrSet) (int, error) {
+// {a₁}, {a₁,a₂}, … — each step a valid two-subset cover. Sets this call
+// materialized (as opposed to found already cached) are appended to
+// created, so the caller can release exactly its own additions.
+func materializeChain(engine Engine, x relation.AttrSet, created *[]relation.AttrSet) (int, error) {
+	track := func(s relation.AttrSet, pre bool) {
+		if !pre {
+			*created = append(*created, s)
+		}
+	}
 	attrs := x.Attrs()
+	first := relation.SingleAttr(attrs[0])
+	_, pre := engine.Cardinality(first)
 	card, err := engine.CardinalitySingle(attrs[0])
 	if err != nil {
 		return 0, err
 	}
-	cur := relation.SingleAttr(attrs[0])
+	track(first, pre)
+	cur := first
 	for _, a := range attrs[1:] {
+		single := relation.SingleAttr(a)
+		_, pre := engine.Cardinality(single)
 		if _, err := engine.CardinalitySingle(a); err != nil {
 			return 0, err
 		}
-		card, err = engine.CardinalityUnion(cur, relation.SingleAttr(a))
+		track(single, pre)
+		next := cur.Add(a)
+		_, pre = engine.Cardinality(next)
+		card, err = engine.CardinalityUnion(cur, single)
 		if err != nil {
 			return 0, err
 		}
-		cur = cur.Add(a)
+		track(next, pre)
+		cur = next
 	}
 	return card, nil
 }

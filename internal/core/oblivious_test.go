@@ -238,6 +238,9 @@ func TestFullDiscoveryTraceEquality(t *testing.T) {
 		srv.Trace().Reset()
 		srv.Trace().Enable()
 		_, err = Discover(eng, rel.NumAttrs(), &Options{
+			// Pin the serial path: this test compares full (interleaved)
+			// trace shapes, which are only deterministic with one worker.
+			Workers: 1,
 			Reveal: func(fd relation.FD, holds bool) {
 				v := int64(0)
 				if holds {

@@ -207,6 +207,121 @@ func (e *OrEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
 	return int(st.card), nil
 }
 
+// CardinalitySingleBatch implements ParallelEngine. ORAM pairs are created
+// serially in job order (tree setup is a deterministic linear pass), then
+// the per-record traversals run concurrently: each traversal touches only
+// its own attribute column and its own KL/IL pair, so all jobs share a
+// wave.
+func (e *OrEngine) CardinalitySingleBatch(attrs []int, workers int) ([]int, error) {
+	results := make([]int, len(attrs))
+	jobs := make([]batchJob, len(attrs))
+	pendingTarget := make(map[relation.AttrSet]bool, len(attrs))
+	for k, attr := range attrs {
+		k, attr := k, attr
+		x := relation.SingleAttr(attr)
+		var st *orState
+		if _, cached := e.sets[x]; !cached && !pendingTarget[x] {
+			var err error
+			st, err = e.newState(x, [2]relation.AttrSet{})
+			if err != nil {
+				return nil, err
+			}
+		}
+		pendingTarget[x] = true
+		jobs[k] = batchJob{
+			resources: []relation.AttrSet{x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				for id := 0; id < e.n; id++ {
+					key, err := e.singleKeyFor(id, attr)
+					if err != nil {
+						return err
+					}
+					if err := st.step(id, key); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(jobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// CardinalityUnionBatch implements ParallelEngine. Reading a cover's
+// ID-Label ORAM is a mutating PathORAM access and the handles are not
+// goroutine-safe, so jobs sharing a cover are serialized into different
+// waves — which also keeps every tree's access sequence identical to the
+// serial run's. ORAM pairs are created serially in job order before any
+// traversal starts.
+func (e *OrEngine) CardinalityUnionBatch(jobs []UnionJob, workers int) ([]int, error) {
+	results := make([]int, len(jobs))
+	bjobs := make([]batchJob, len(jobs))
+	pendingTarget := make(map[relation.AttrSet]bool, len(jobs))
+	for k, uj := range jobs {
+		k, x1, x2 := k, uj.X1, uj.X2
+		x, err := validateUnion(x1, x2)
+		if err != nil {
+			return nil, err
+		}
+		var st *orState
+		if _, cached := e.sets[x]; !cached && !pendingTarget[x] {
+			st, err = e.newState(x, [2]relation.AttrSet{x1, x2})
+			if err != nil {
+				return nil, err
+			}
+		}
+		pendingTarget[x] = true
+		bjobs[k] = batchJob{
+			resources: []relation.AttrSet{x1, x2, x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				st1, ok := e.sets[x1]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+				}
+				st2, ok := e.sets[x2]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+				}
+				for id := 0; id < e.n; id++ {
+					key, err := e.unionKeyFor(id, st1, st2)
+					if err != nil {
+						return err
+					}
+					if err := st.step(id, key); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(bjobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var _ ParallelEngine = (*OrEngine)(nil)
+
 // Cardinality implements Engine.
 func (e *OrEngine) Cardinality(x relation.AttrSet) (int, bool) {
 	st, ok := e.sets[x]

@@ -119,29 +119,84 @@ func (e *SortEngine) materialize(arr *obsort.Array) (*sortState, error) {
 	return &sortState{arr: arr, card: card + 1}, nil
 }
 
+// nextName draws a unique server-side array name. Batch calls draw names
+// up front, in job order, so naming is deterministic under any worker count.
+func (e *SortEngine) nextName() string {
+	return fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
+}
+
+// buildSingle materializes B_{attr} under the given array name. Cell values
+// are prefetched one ChunkCells-sized column range per storage round; the
+// per-cell accesses the server records are the same ascending scan as a
+// one-at-a-time read.
+func (e *SortEngine) buildSingle(attr int, name string) (*sortState, error) {
+	var vals []string
+	var base int
+	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
+		func(i int) ([]byte, error) {
+			if i%obsort.ChunkCells == 0 {
+				hi := i + obsort.ChunkCells
+				if hi > e.n {
+					hi = e.n
+				}
+				v, err := e.edb.CellValues(i, hi, attr)
+				if err != nil {
+					return nil, err
+				}
+				vals, base = v, i
+			}
+			rec := make([]byte, sortRecWidth)
+			copy(rec, encodeUint64(singleKey(e.edb.cipher, vals[i-base])))
+			copy(rec[8:], encodeUint64(uint64(i)))
+			return rec, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: building A for attr %d: %w", attr, err)
+	}
+	arr.SetTelemetry(e.Telemetry)
+	return e.materialize(arr)
+}
+
+// buildUnion materializes B_{x1∪x2} from the covers' arrays under the given
+// name. Both covers' label records are prefetched one ChunkCells-sized range
+// at a time, fused into a single batched round when the storage service
+// supports it.
+func (e *SortEngine) buildUnion(x relation.AttrSet, st1, st2 *sortState, name string) (*sortState, error) {
+	var recs [][][]byte
+	var base int
+	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
+		func(i int) ([]byte, error) {
+			if i%obsort.ChunkCells == 0 {
+				hi := i + obsort.ChunkCells
+				if hi > e.n {
+					hi = e.n
+				}
+				r, err := obsort.GetRanges([]*obsort.Array{st1.arr, st2.arr}, i, hi)
+				if err != nil {
+					return nil, err
+				}
+				recs, base = r, i
+			}
+			r1, r2 := recs[0][i-base], recs[1][i-base]
+			rec := make([]byte, sortRecWidth)
+			copy(rec, encodeUint64(unionKey(decodeUint64(r1), decodeUint64(r2))))
+			copy(rec[8:], r1[8:16]) // r[ID], identical in both inputs
+			return rec, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: building A for %v: %w", x, err)
+	}
+	arr.SetTelemetry(e.Telemetry)
+	return e.materialize(arr)
+}
+
 // CardinalitySingle implements Engine.
 func (e *SortEngine) CardinalitySingle(attr int) (int, error) {
 	x := relation.SingleAttr(attr)
 	if st, ok := e.sets[x]; ok {
 		return int(st.card), nil
 	}
-	name := fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
-	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
-		func(i int) ([]byte, error) {
-			v, err := e.edb.CellValue(i, attr)
-			if err != nil {
-				return nil, err
-			}
-			rec := make([]byte, sortRecWidth)
-			copy(rec, encodeUint64(singleKey(e.edb.cipher, v)))
-			copy(rec[8:], encodeUint64(uint64(i)))
-			return rec, nil
-		})
-	if err != nil {
-		return 0, fmt.Errorf("core: building A for attr %d: %w", attr, err)
-	}
-	arr.SetTelemetry(e.Telemetry)
-	st, err := e.materialize(arr)
+	st, err := e.buildSingle(attr, e.nextName())
 	if err != nil {
 		return 0, err
 	}
@@ -168,33 +223,95 @@ func (e *SortEngine) CardinalityUnion(x1, x2 relation.AttrSet) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
 	}
-	name := fmt.Sprintf("%s:%d:B", e.instance, e.seq.Add(1))
-	arr, err := obsort.CreateStreamed(e.edb.svc, e.edb.cipher, name, e.n, sortRecWidth,
-		func(i int) ([]byte, error) {
-			r1, err := st1.arr.Get(i)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := st2.arr.Get(i)
-			if err != nil {
-				return nil, err
-			}
-			rec := make([]byte, sortRecWidth)
-			copy(rec, encodeUint64(unionKey(decodeUint64(r1), decodeUint64(r2))))
-			copy(rec[8:], r1[8:16]) // r[ID], identical in both inputs
-			return rec, nil
-		})
-	if err != nil {
-		return 0, fmt.Errorf("core: building A for %v: %w", x, err)
-	}
-	arr.SetTelemetry(e.Telemetry)
-	st, err := e.materialize(arr)
+	st, err := e.buildUnion(x, st1, st2, e.nextName())
 	if err != nil {
 		return 0, err
 	}
 	e.sets[x] = st
 	return int(st.card), nil
 }
+
+// CardinalitySingleBatch implements ParallelEngine. Partition builds are
+// embarrassingly parallel here: each job touches only its own attribute
+// column and its own fresh array, so all jobs share a wave and the sorting
+// work overlaps across candidates as well as inside each bitonic network.
+func (e *SortEngine) CardinalitySingleBatch(attrs []int, workers int) ([]int, error) {
+	results := make([]int, len(attrs))
+	jobs := make([]batchJob, len(attrs))
+	for k, attr := range attrs {
+		k, attr := k, attr
+		x := relation.SingleAttr(attr)
+		name := e.nextName()
+		var st *sortState
+		jobs[k] = batchJob{
+			resources: []relation.AttrSet{x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				var err error
+				st, err = e.buildSingle(attr, name)
+				return err
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(jobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// CardinalityUnionBatch implements ParallelEngine. Jobs sharing a cover run
+// in different waves so each cover array's read sequence stays in serial
+// order; everything else proceeds concurrently.
+func (e *SortEngine) CardinalityUnionBatch(jobs []UnionJob, workers int) ([]int, error) {
+	results := make([]int, len(jobs))
+	bjobs := make([]batchJob, len(jobs))
+	for k, uj := range jobs {
+		k, x1, x2 := k, uj.X1, uj.X2
+		x, err := validateUnion(x1, x2)
+		if err != nil {
+			return nil, err
+		}
+		name := e.nextName()
+		var st *sortState
+		bjobs[k] = batchJob{
+			resources: []relation.AttrSet{x1, x2, x},
+			run: func() error {
+				if cached, ok := e.sets[x]; ok {
+					st = cached
+					return nil
+				}
+				st1, ok := e.sets[x1]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x1)
+				}
+				st2, ok := e.sets[x2]
+				if !ok {
+					return fmt.Errorf("%w: %v", ErrNotMaterialized, x2)
+				}
+				var err error
+				st, err = e.buildUnion(x, st1, st2, name)
+				return err
+			},
+			commit: func() {
+				e.sets[x] = st
+				results[k] = int(st.card)
+			},
+		}
+	}
+	if err := runBatch(bjobs, workers); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+var _ ParallelEngine = (*SortEngine)(nil)
 
 // CardinalityRaw materializes π_X without attribute compression: the sort
 // key is the full projected value r[X] itself, so every record fetches and

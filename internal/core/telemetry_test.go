@@ -45,7 +45,10 @@ func discoverWithTelemetry(t *testing.T, kind engineKind, reg *telemetry.Registr
 
 	srv.Trace().Reset()
 	srv.Trace().Enable()
-	res, err := Discover(eng, 4, &Options{Telemetry: reg})
+	// Workers: 1 pins the serial path: the span-count assertions below name
+	// the serial spans (candidate/single, candidate/union), and full trace
+	// shapes are only deterministic without concurrent materialization.
+	res, err := Discover(eng, 4, &Options{Telemetry: reg, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

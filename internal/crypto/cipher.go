@@ -143,22 +143,41 @@ func (c *Cipher) SetTelemetry(reg *telemetry.Registry) {
 // how ciphertexts are bound to their logical location. The result is
 // len(plaintext)+Overhead bytes.
 func (c *Cipher) Seal(plaintext, ad []byte) ([]byte, error) {
-	out := make([]byte, NonceSize, NonceSize+len(plaintext)+TagSize)
-	if _, err := io.ReadFull(c.rand, out); err != nil {
+	return c.SealTo(make([]byte, 0, NonceSize+len(plaintext)+TagSize), plaintext, ad)
+}
+
+// SealTo is Seal appending to dst, reusing dst's capacity when it suffices.
+// The per-call output allocation disappears once the caller recycles the
+// returned slice — but only callers that own the buffer may do so: the
+// in-process server retains the exact ciphertext slice it is handed, so
+// ciphertexts headed for storage must come from Seal (a fresh allocation)
+// or from a buffer that is never reused afterwards.
+func (c *Cipher) SealTo(dst, plaintext, ad []byte) ([]byte, error) {
+	off := len(dst)
+	var zero [NonceSize]byte
+	dst = append(dst, zero[:]...)
+	if _, err := io.ReadFull(c.rand, dst[off:off+NonceSize]); err != nil {
 		return nil, fmt.Errorf("crypto: drawing nonce: %w", err)
 	}
-	return c.aead.Seal(out, out[:NonceSize], plaintext, ad), nil
+	return c.aead.Seal(dst, dst[off:off+NonceSize], plaintext, ad), nil
 }
 
 // Open reverses Seal, verifying the authentication tag and the binding to
 // ad. It returns ErrAuth (or ErrCiphertextTooShort) when verification fails.
 func (c *Cipher) Open(ciphertext, ad []byte) ([]byte, error) {
+	return c.OpenTo(nil, ciphertext, ad)
+}
+
+// OpenTo is Open appending the plaintext to dst. Passing a recycled buffer
+// (e.g. scratch[:0]) makes decryption allocation-free in steady state —
+// the pattern the ORAM path-read hot loop uses.
+func (c *Cipher) OpenTo(dst, ciphertext, ad []byte) ([]byte, error) {
 	c.checks.Inc()
 	if len(ciphertext) < Overhead {
 		c.failures.Inc()
 		return nil, ErrCiphertextTooShort
 	}
-	pt, err := c.aead.Open(nil, ciphertext[:NonceSize], ciphertext[NonceSize:], ad)
+	pt, err := c.aead.Open(dst, ciphertext[:NonceSize], ciphertext[NonceSize:], ad)
 	if err != nil {
 		c.failures.Inc()
 		return nil, ErrAuth

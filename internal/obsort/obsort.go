@@ -27,6 +27,19 @@ import (
 // written back.
 type Less func(a, b []byte) bool
 
+// ChunkCells bounds how many cells one storage call carries. Sequential
+// passes (Scan, CreateStreamed, ReadAll) and sort stages coalesce up to this
+// many cells per ReadCells/WriteCells, so round-trip count scales with
+// n/ChunkCells instead of n while client memory stays O(1): the chunk size
+// is a fixed constant, not a function of n. The cells touched and their
+// per-cell server-visible accesses are identical to the one-at-a-time
+// schedule — only the call framing changes (DESIGN.md §11).
+//
+// It is a variable only so the scaling benchmark can set it to 1 and measure
+// the unbatched round-trip baseline; it must not be mutated while any sort
+// or scan is in flight.
+var ChunkCells = 64
+
 // Array is a client-side handle to a server-resident encrypted array of
 // fixed-width records, padded to a power of two so the bitonic network is
 // well-formed. Padding records always sort after real ones and are
@@ -115,24 +128,35 @@ func CreateStreamed(svc store.Service, cipher *crypto.Cipher, name string, n, wi
 	if err := svc.CreateArray(name, p); err != nil {
 		return nil, fmt.Errorf("obsort: %w", err)
 	}
-	for i := 0; i < p; i++ {
-		var rec []byte
-		pad := i >= n
-		if !pad {
-			r, err := next(i)
+	idx := make([]int64, 0, ChunkCells)
+	cts := make([][]byte, 0, ChunkCells)
+	for lo := 0; lo < p; lo += ChunkCells {
+		hi := lo + ChunkCells
+		if hi > p {
+			hi = p
+		}
+		idx, cts = idx[:0], cts[:0]
+		for i := lo; i < hi; i++ {
+			var rec []byte
+			pad := i >= n
+			if !pad {
+				r, err := next(i)
+				if err != nil {
+					return nil, err
+				}
+				if len(r) != width {
+					return nil, fmt.Errorf("obsort: record %d has %d bytes, want %d", i, len(r), width)
+				}
+				rec = r
+			}
+			ct, err := a.encrypt(rec, pad, int64(i))
 			if err != nil {
 				return nil, err
 			}
-			if len(r) != width {
-				return nil, fmt.Errorf("obsort: record %d has %d bytes, want %d", i, len(r), width)
-			}
-			rec = r
+			idx = append(idx, int64(i))
+			cts = append(cts, ct)
 		}
-		ct, err := a.encrypt(rec, pad, int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if err := svc.WriteCells(name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+		if err := svc.WriteCells(name, idx, cts); err != nil {
 			return nil, fmt.Errorf("obsort: %w", err)
 		}
 	}
@@ -156,6 +180,81 @@ func (a *Array) Get(i int) ([]byte, error) {
 		return nil, fmt.Errorf("obsort: padding record inside logical range at %d", i)
 	}
 	return append([]byte(nil), rec...), nil
+}
+
+// GetRange decrypts and returns the logical records in [lo, hi), fetching
+// at most ChunkCells cells per storage call.
+func (a *Array) GetRange(lo, hi int) ([][]byte, error) {
+	if lo < 0 || hi > a.n || lo > hi {
+		return nil, fmt.Errorf("obsort: range [%d,%d) out of [0,%d)", lo, hi, a.n)
+	}
+	out := make([][]byte, 0, hi-lo)
+	for start := lo; start < hi; start += ChunkCells {
+		end := start + ChunkCells
+		if end > hi {
+			end = hi
+		}
+		idx := make([]int64, end-start)
+		for k := range idx {
+			idx[k] = int64(start + k)
+		}
+		cts, err := a.svc.ReadCells(a.name, idx)
+		if err != nil {
+			return nil, fmt.Errorf("obsort: %w", err)
+		}
+		for k, ct := range cts {
+			rec, pad, err := a.decrypt(ct, idx[k])
+			if err != nil {
+				return nil, err
+			}
+			if pad {
+				return nil, fmt.Errorf("obsort: padding record inside logical range at %d", idx[k])
+			}
+			out = append(out, append([]byte(nil), rec...))
+		}
+	}
+	return out, nil
+}
+
+// GetRanges fetches the same logical range [lo, hi) from several arrays,
+// fusing all the reads into one batched round trip when the storage service
+// supports it (store.Batcher) and falling back to one read per array
+// otherwise. All arrays must live on the same service. Callers bound the
+// range themselves (typically to ChunkCells) to keep client memory O(1).
+func GetRanges(arrays []*Array, lo, hi int) ([][][]byte, error) {
+	if len(arrays) == 0 {
+		return nil, nil
+	}
+	idx := make([]int64, hi-lo)
+	for k := range idx {
+		idx[k] = int64(lo + k)
+	}
+	ops := make([]store.BatchOp, len(arrays))
+	for j, a := range arrays {
+		if lo < 0 || hi > a.n || lo > hi {
+			return nil, fmt.Errorf("obsort: range [%d,%d) out of [0,%d)", lo, hi, a.n)
+		}
+		ops[j] = store.BatchOp{Name: a.name, Idx: idx}
+	}
+	res, err := store.DoBatch(arrays[0].svc, ops)
+	if err != nil {
+		return nil, fmt.Errorf("obsort: %w", err)
+	}
+	out := make([][][]byte, len(arrays))
+	for j, a := range arrays {
+		out[j] = make([][]byte, len(idx))
+		for k, ct := range res[j] {
+			rec, pad, err := a.decrypt(ct, idx[k])
+			if err != nil {
+				return nil, err
+			}
+			if pad {
+				return nil, fmt.Errorf("obsort: padding record inside logical range at %d", idx[k])
+			}
+			out[j][k] = append([]byte(nil), rec...)
+		}
+	}
+	return out, nil
 }
 
 // Name returns the server-side array name.
@@ -325,18 +424,14 @@ func (a *Array) SortNetwork(less Less, workers int, network Network) error {
 
 // runStage executes one network stage; all pairs are disjoint, so workers
 // can process them concurrently. Pairs are split into contiguous chunks —
-// one per worker — so dispatch overhead is per stage, not per comparator.
+// one per worker — so dispatch overhead is per stage, not per comparator,
+// and each worker coalesces its pairs into ChunkCells-sized storage calls.
 func (a *Array) runStage(pairs [][2]int64, less Less, workers int) error {
 	if workers > len(pairs) {
 		workers = len(pairs)
 	}
 	if workers <= 1 {
-		for _, pr := range pairs {
-			if err := a.compareExchange(pr[0], pr[1], less); err != nil {
-				return err
-			}
-		}
-		return nil
+		return a.compareExchangeBlocks(pairs, less)
 	}
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -353,13 +448,10 @@ func (a *Array) runStage(pairs [][2]int64, less Less, workers int) error {
 		wg.Add(1)
 		go func(part [][2]int64) {
 			defer wg.Done()
-			for _, pr := range part {
-				if err := a.compareExchange(pr[0], pr[1], less); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					return
+			if err := a.compareExchangeBlocks(part, less); err != nil {
+				select {
+				case errs <- err:
+				default:
 				}
 			}
 		}(pairs[lo:hi])
@@ -373,44 +465,73 @@ func (a *Array) runStage(pairs [][2]int64, less Less, workers int) error {
 	}
 }
 
-// compareExchange orders the records at positions lo and hi so that the
-// record at lo sorts before the one at hi. Both cells are rewritten with
-// fresh ciphertexts regardless of the comparison's outcome.
-func (a *Array) compareExchange(lo, hi int64, less Less) error {
-	a.comparisons.Add(1)
-	a.compCtr.Inc()
-	cts, err := a.svc.ReadCells(a.name, []int64{lo, hi})
+// compareExchangeBlocks processes a run of disjoint pairs in blocks of
+// ChunkCells/2 comparators: one ReadCells for the block's cells, the
+// compare decisions in client memory, one WriteCells with every cell
+// re-encrypted fresh — 2 rounds per block instead of 2 per comparator.
+func (a *Array) compareExchangeBlocks(pairs [][2]int64, less Less) error {
+	blockPairs := ChunkCells / 2
+	if blockPairs < 1 {
+		blockPairs = 1 // ChunkCells 1 degenerates to one comparator per round pair
+	}
+	for lo := 0; lo < len(pairs); lo += blockPairs {
+		hi := lo + blockPairs
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if err := a.compareExchangeBlock(pairs[lo:hi], less); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareExchangeBlock orders the records of each (lo, hi) pair so that the
+// record at lo sorts before the one at hi. Every cell is rewritten with a
+// fresh ciphertext regardless of the comparison outcomes.
+func (a *Array) compareExchangeBlock(pairs [][2]int64, less Less) error {
+	idx := make([]int64, 0, 2*len(pairs))
+	for _, pr := range pairs {
+		idx = append(idx, pr[0], pr[1])
+	}
+	cts, err := a.svc.ReadCells(a.name, idx)
 	if err != nil {
 		return fmt.Errorf("obsort: %w", err)
 	}
-	rec0, pad0, err := a.decrypt(cts[0], lo)
-	if err != nil {
-		return err
+	out := make([][]byte, 0, len(idx))
+	for k, pr := range pairs {
+		a.comparisons.Add(1)
+		a.compCtr.Inc()
+		rec0, pad0, err := a.decrypt(cts[2*k], pr[0])
+		if err != nil {
+			return err
+		}
+		rec1, pad1, err := a.decrypt(cts[2*k+1], pr[1])
+		if err != nil {
+			return err
+		}
+		// Padding sorts after every real record; two paddings are equal.
+		swap := false
+		switch {
+		case pad0 && !pad1:
+			swap = true
+		case !pad0 && !pad1:
+			swap = less(rec1, rec0)
+		}
+		if swap {
+			rec0, pad0, rec1, pad1 = rec1, pad1, rec0, pad0
+		}
+		ct0, err := a.encrypt(rec0, pad0, pr[0])
+		if err != nil {
+			return err
+		}
+		ct1, err := a.encrypt(rec1, pad1, pr[1])
+		if err != nil {
+			return err
+		}
+		out = append(out, ct0, ct1)
 	}
-	rec1, pad1, err := a.decrypt(cts[1], hi)
-	if err != nil {
-		return err
-	}
-	// Padding sorts after every real record; two paddings are equal.
-	swap := false
-	switch {
-	case pad0 && !pad1:
-		swap = true
-	case !pad0 && !pad1:
-		swap = less(rec1, rec0)
-	}
-	if swap {
-		rec0, pad0, rec1, pad1 = rec1, pad1, rec0, pad0
-	}
-	ct0, err := a.encrypt(rec0, pad0, lo)
-	if err != nil {
-		return err
-	}
-	ct1, err := a.encrypt(rec1, pad1, hi)
-	if err != nil {
-		return err
-	}
-	if err := a.svc.WriteCells(a.name, []int64{lo, hi}, [][]byte{ct0, ct1}); err != nil {
+	if err := a.svc.WriteCells(a.name, idx, out); err != nil {
 		return fmt.Errorf("obsort: %w", err)
 	}
 	return nil
@@ -419,32 +540,48 @@ func (a *Array) compareExchange(lo, hi int64, less Less) error {
 // Scan performs a sequential oblivious pass over the logical records: every
 // cell is read, handed to fn, and rewritten with a fresh ciphertext whether
 // or not fn changed it. Algorithm 3's labeling loop (lines 3–8) is exactly
-// such a pass. fn must return a record of the array's width.
+// such a pass. fn must return a record of the array's width. Cells move in
+// ChunkCells-sized calls: each chunk is one read round and one write round.
 func (a *Array) Scan(fn func(i int, rec []byte) ([]byte, error)) error {
-	for i := 0; i < a.n; i++ {
-		cts, err := a.svc.ReadCells(a.name, []int64{int64(i)})
+	idx := make([]int64, 0, ChunkCells)
+	wcts := make([][]byte, 0, ChunkCells)
+	for lo := 0; lo < a.n; lo += ChunkCells {
+		hi := lo + ChunkCells
+		if hi > a.n {
+			hi = a.n
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, int64(i))
+		}
+		cts, err := a.svc.ReadCells(a.name, idx)
 		if err != nil {
 			return fmt.Errorf("obsort: %w", err)
 		}
-		rec, pad, err := a.decrypt(cts[0], int64(i))
-		if err != nil {
-			return err
+		wcts = wcts[:0]
+		for k, ct := range cts {
+			i := int(idx[k])
+			rec, pad, err := a.decrypt(ct, idx[k])
+			if err != nil {
+				return err
+			}
+			if pad {
+				return fmt.Errorf("obsort: padding record inside logical range at %d", i)
+			}
+			out, err := fn(i, rec)
+			if err != nil {
+				return err
+			}
+			if len(out) != a.recWidth {
+				return fmt.Errorf("obsort: Scan fn returned %d bytes, want %d", len(out), a.recWidth)
+			}
+			wct, err := a.encrypt(out, false, idx[k])
+			if err != nil {
+				return err
+			}
+			wcts = append(wcts, wct)
 		}
-		if pad {
-			return fmt.Errorf("obsort: padding record inside logical range at %d", i)
-		}
-		out, err := fn(i, rec)
-		if err != nil {
-			return err
-		}
-		if len(out) != a.recWidth {
-			return fmt.Errorf("obsort: Scan fn returned %d bytes, want %d", len(out), a.recWidth)
-		}
-		ct, err := a.encrypt(out, false, int64(i))
-		if err != nil {
-			return err
-		}
-		if err := a.svc.WriteCells(a.name, []int64{int64(i)}, [][]byte{ct}); err != nil {
+		if err := a.svc.WriteCells(a.name, idx, wcts); err != nil {
 			return fmt.Errorf("obsort: %w", err)
 		}
 	}
@@ -454,20 +591,5 @@ func (a *Array) Scan(fn func(i int, rec []byte) ([]byte, error)) error {
 // ReadAll decrypts and returns the logical records. It exists for the final
 // result extraction and for tests; it is a plain sequential scan.
 func (a *Array) ReadAll() ([][]byte, error) {
-	out := make([][]byte, a.n)
-	for i := 0; i < a.n; i++ {
-		cts, err := a.svc.ReadCells(a.name, []int64{int64(i)})
-		if err != nil {
-			return nil, fmt.Errorf("obsort: %w", err)
-		}
-		rec, pad, err := a.decrypt(cts[0], int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if pad {
-			return nil, fmt.Errorf("obsort: padding record inside logical range at %d", i)
-		}
-		out[i] = append([]byte(nil), rec...)
-	}
-	return out, nil
+	return a.GetRange(0, a.n)
 }

@@ -1,0 +1,72 @@
+package oram
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/crypto"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+func benchORAM(tb testing.TB, capacity int) *ORAM {
+	tb.Helper()
+	srv := store.NewServer()
+	o, err := Setup(srv, crypto.MustNewCipher(crypto.MustNewKey()), "bench", Config{
+		Capacity:   capacity,
+		KeyWidth:   32,
+		ValueWidth: 16,
+		Seed:       1,
+	})
+	if err != nil {
+		tb.Fatalf("Setup: %v", err)
+	}
+	v := make([]byte, 16)
+	for i := 0; i < capacity; i++ {
+		if err := o.Write(fmt.Sprintf("key%04d", i), v); err != nil {
+			tb.Fatalf("Write: %v", err)
+		}
+	}
+	return o
+}
+
+// BenchmarkPathAccess measures one full oblivious access (path read, block
+// decryption, eviction, path re-encryption) against the in-memory server, so
+// allocs/op reflects the client-side codec cost with no network noise.
+func BenchmarkPathAccess(b *testing.B) {
+	o := benchORAM(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := o.Read(fmt.Sprintf("key%04d", i%256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPathAccessAllocs bounds the per-access allocation count. One access
+// touches levels×z slots; before the scratch-buffer reuse in decryptBlock,
+// encryptBlock, encryptDummy, and evict, each slot cost several allocations
+// (plaintext, pad, ciphertext staging), totalling hundreds per access. With
+// reuse, the remaining allocations are the per-slot Seal outputs (which must
+// stay fresh — the in-process server retains them), stash/value copies, and
+// map churn. The bound is deliberately loose; it exists to catch the
+// reintroduction of per-slot scratch allocations, not to pin an exact count.
+func TestPathAccessAllocs(t *testing.T) {
+	o := benchORAM(t, 256)
+	// levels for capacity 256: tree has 256 leaves → 9 levels; z = 4.
+	slots := o.levels * o.z
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := o.Read(fmt.Sprintf("key%04d", i%256)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	// Budget: ~3 allocations per slot (Seal's nonce+ciphertext growth and
+	// AEAD internals) plus a fixed overhead for the returned value, key
+	// formatting, and map operations.
+	budget := float64(3*slots + 32)
+	if allocs > budget {
+		t.Errorf("oblivious access allocates %.1f times per op, budget %.0f (%d slots)", allocs, budget, slots)
+	}
+}

@@ -119,6 +119,17 @@ type ORAM struct {
 	accesses   int64
 	rng        *mrand.Rand
 
+	// Scratch buffers reused across accesses so the steady-state path
+	// read/write loop allocates only what must escape: ciphertexts headed
+	// for the server (the in-process server retains the exact slices it is
+	// handed, so those must stay fresh Seal outputs) and values entering
+	// the stash. Lazily initialized so checkpoint-restored handles get them
+	// too. Their reuse is another reason an ORAM handle is not safe for
+	// concurrent use.
+	ptBuf    []byte   // decryptBlock plaintext scratch (via OpenTo)
+	blockPt  []byte   // encryptBlock/encryptDummy plaintext staging
+	evictBuf [][]byte // evict's outgoing slots; every entry overwritten per call
+
 	// Telemetry handles, nil when disabled. stashGauge is shared across
 	// every ORAM on the registry and updated by delta, so it reads as the
 	// total stashed blocks across all live ORAMs; prevStash tracks this
@@ -441,7 +452,13 @@ func (o *ORAM) access(key string, newValue []byte, kind opKind) ([]byte, bool, e
 // evict builds fresh bucket contents for the path to leaf and writes them
 // back. Buckets are filled leaf-to-root with eligible stash blocks.
 func (o *ORAM) evict(leaf uint32) error {
-	out := make([][]byte, o.levels*o.z)
+	if o.evictBuf == nil {
+		o.evictBuf = make([][]byte, o.levels*o.z)
+	}
+	// Safe to reuse: every slot is overwritten below (real blocks then dummy
+	// fill), and the server keeps only the fresh per-slot ciphertexts, never
+	// the outer slice.
+	out := o.evictBuf
 	leafLevel := o.levels - 1
 	for l := leafLevel; l >= 0; l-- {
 		placed := 0
@@ -502,31 +519,42 @@ func (o *ORAM) integrityErr(what string, cause error) error {
 // flag(1) ∥ version(8) ∥ padded key ∥ value, sealed with the tree's
 // associated data.
 func (o *ORAM) encryptBlock(b *block) ([]byte, error) {
-	pt := make([]byte, o.blockSize)
+	pt := o.stagePlaintext()
 	pt[0] = 1
 	binary.BigEndian.PutUint64(pt[1:1+verWidth], b.ver)
-	padded, err := crypto.Pad([]byte(b.key), o.keyWidth)
-	if err != nil {
+	padWidth := crypto.PadWidth(o.keyWidth)
+	if err := crypto.PadInto(pt[1+verWidth:1+verWidth+padWidth], b.key, o.keyWidth); err != nil {
 		return nil, fmt.Errorf("oram: padding key: %w", err)
 	}
-	copy(pt[1+verWidth:], padded)
-	copy(pt[1+verWidth+len(padded):], b.value)
+	copy(pt[1+verWidth+padWidth:], b.value)
 	return o.cipher.Seal(pt, o.ad)
 }
 
 // encryptDummy encrypts a dummy block of the same size as a real one.
 func (o *ORAM) encryptDummy() ([]byte, error) {
-	return o.cipher.Seal(make([]byte, o.blockSize), o.ad)
+	return o.cipher.Seal(o.stagePlaintext(), o.ad)
+}
+
+// stagePlaintext returns the zeroed staging buffer for one block plaintext.
+// Seal copies out of it, so handing the same buffer to consecutive
+// encryptions is safe; the returned ciphertexts are always fresh.
+func (o *ORAM) stagePlaintext() []byte {
+	if o.blockPt == nil {
+		o.blockPt = make([]byte, o.blockSize)
+	}
+	clear(o.blockPt)
+	return o.blockPt
 }
 
 // decryptBlock authenticates and decrypts a slot; it returns nil for
 // dummies and an ErrIntegrity-wrapped error for anything that fails to
 // verify.
 func (o *ORAM) decryptBlock(ct []byte) (*block, error) {
-	pt, err := o.cipher.Open(ct, o.ad)
+	pt, err := o.cipher.OpenTo(o.ptBuf[:0], ct, o.ad)
 	if err != nil {
 		return nil, o.integrityErr("block authentication failed", err)
 	}
+	o.ptBuf = pt // keep the (possibly grown) scratch for the next block
 	if len(pt) != o.blockSize {
 		return nil, o.integrityErr(fmt.Sprintf("block has %d bytes, want %d", len(pt), o.blockSize), nil)
 	}

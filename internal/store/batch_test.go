@@ -1,0 +1,137 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// batchFixture creates an array with n cells holding {byte(i)}.
+func batchFixture(t *testing.T, svc Service, name string, n int) {
+	t.Helper()
+	if err := svc.CreateArray(name, n); err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int64, n)
+	cts := make([][]byte, n)
+	for i := range idx {
+		idx[i] = int64(i)
+		cts[i] = []byte{byte(i)}
+	}
+	if err := svc.WriteCells(name, idx, cts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoBatchMatchesSerial: a fused batch must be observationally identical
+// to issuing its ops one by one — mixed reads and writes, applied in order,
+// with reads seeing earlier writes in the same batch.
+func TestDoBatchMatchesSerial(t *testing.T) {
+	srv := NewServer()
+	batchFixture(t, srv, "a", 4)
+	res, err := DoBatch(srv, []BatchOp{
+		{Name: "a", Idx: []int64{0, 1}},
+		{Write: true, Name: "a", Idx: []int64{0}, Cts: [][]byte{{0xEE}}},
+		{Name: "a", Idx: []int64{0}}, // must observe the write above
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res[0][0], []byte{0}) || !bytes.Equal(res[0][1], []byte{1}) {
+		t.Errorf("op 0 read %v, want [[0] [1]]", res[0])
+	}
+	if res[1] != nil {
+		t.Errorf("write op returned %v, want nil", res[1])
+	}
+	if !bytes.Equal(res[2][0], []byte{0xEE}) {
+		t.Errorf("in-batch read-after-write got %v, want [EE]", res[2][0])
+	}
+}
+
+// nonBatcher hides the Batcher extension so DoBatch exercises the per-op
+// fallback path.
+type nonBatcher struct{ Service }
+
+func TestDoBatchFallback(t *testing.T) {
+	srv := NewServer()
+	batchFixture(t, srv, "a", 2)
+	res, err := DoBatch(nonBatcher{Service(srv)}, []BatchOp{
+		{Name: "a", Idx: []int64{1}},
+		{Write: true, Name: "a", Idx: []int64{1}, Cts: [][]byte{{9}}},
+		{Name: "a", Idx: []int64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res[0][0], []byte{1}) || !bytes.Equal(res[2][0], []byte{9}) {
+		t.Errorf("fallback batch reads = %v / %v, want [1] / [9]", res[0][0], res[2][0])
+	}
+}
+
+// TestRoundCounterCountsBatchesAsOneRound: a fused batch is one logical
+// round regardless of op count; unbatched ops are one round each.
+func TestRoundCounterCountsBatchesAsOneRound(t *testing.T) {
+	srv := NewServer()
+	batchFixture(t, srv, "a", 4)
+	rc := WithRoundCounter(srv)
+
+	base := rc.Rounds()
+	if _, err := DoBatch(rc, []BatchOp{
+		{Name: "a", Idx: []int64{0}},
+		{Name: "a", Idx: []int64{1}},
+		{Name: "a", Idx: []int64{2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.Rounds() - base; got != 1 {
+		t.Errorf("fused batch counted as %d rounds, want 1", got)
+	}
+
+	base = rc.Rounds()
+	for i := int64(0); i < 3; i++ {
+		if _, err := rc.ReadCells("a", []int64{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rc.Rounds() - base; got != 3 {
+		t.Errorf("3 serial reads counted as %d rounds, want 3", got)
+	}
+
+	// A backend that cannot fuse makes each op its own round: the counter
+	// must not report fewer rounds than the backend actually served.
+	rc2 := WithRoundCounter(nonBatcher{Service(srv)})
+	if _, err := DoBatch(rc2, []BatchOp{
+		{Name: "a", Idx: []int64{0}},
+		{Name: "a", Idx: []int64{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rc2.Rounds(); got != 2 {
+		t.Errorf("non-fusing backend: batch of 2 counted as %d rounds, want 2", got)
+	}
+}
+
+// TestWithLatencyBatchPaysOneDelay is the mechanism the scaling experiment
+// prices: a fused batch pays one RTT no matter how many cells it carries.
+func TestWithLatencyBatchPaysOneDelay(t *testing.T) {
+	srv := NewServer()
+	batchFixture(t, srv, "a", 8)
+	const rtt = 20 * time.Millisecond
+	svc := WithLatency(Service(srv), rtt)
+
+	ops := make([]BatchOp, 8)
+	for i := range ops {
+		ops[i] = BatchOp{Name: "a", Idx: []int64{int64(i)}}
+	}
+	start := time.Now()
+	if _, err := DoBatch(svc, ops); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < rtt {
+		t.Errorf("batch took %s, want ≥ one RTT (%s)", elapsed, rtt)
+	}
+	if elapsed >= 4*rtt {
+		t.Errorf("batch of 8 took %s — paying per-op delays instead of one RTT", elapsed)
+	}
+}

@@ -95,3 +95,12 @@ func (l *latencyService) Stats() (Stats, error) {
 	l.delay()
 	return l.svc.Stats()
 }
+
+// Batch implements Batcher: the whole batch pays one round-trip delay, which
+// is the point of batching — RTT cost scales with rounds, not cells.
+func (l *latencyService) Batch(ops []BatchOp) ([][][]byte, error) {
+	l.delay()
+	return DoBatch(l.svc, ops)
+}
+
+var _ Batcher = (*latencyService)(nil)

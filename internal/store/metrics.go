@@ -11,7 +11,7 @@ import (
 var opNames = []string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
-	"Delete", "Reveal", "Checkpoint", "Stats",
+	"Delete", "Reveal", "Checkpoint", "Stats", "Batch",
 }
 
 // Op indices into metricsService handle slices.
@@ -28,6 +28,7 @@ const (
 	opReveal
 	opCheckpoint
 	opStats
+	opBatch
 	numOps
 )
 
@@ -192,4 +193,25 @@ func (m *metricsService) Stats() (Stats, error) {
 	return st, err
 }
 
-var _ Service = (*metricsService)(nil)
+// Batch implements Batcher, timing the fused call as one operation and
+// attributing payload bytes to the read/write totals per inner op.
+func (m *metricsService) Batch(ops []BatchOp) ([][][]byte, error) {
+	t0 := time.Now()
+	res, err := DoBatch(m.svc, ops)
+	m.observe(opBatch, t0, err)
+	if err == nil {
+		for i, op := range ops {
+			if op.Write {
+				m.bytesWritten.Add(payloadBytes(op.Cts))
+			} else if i < len(res) {
+				m.bytesRead.Add(payloadBytes(res[i]))
+			}
+		}
+	}
+	return res, err
+}
+
+var (
+	_ Service = (*metricsService)(nil)
+	_ Batcher = (*metricsService)(nil)
+)

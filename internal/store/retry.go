@@ -301,4 +301,18 @@ func (r *RetryService) Stats() (Stats, error) {
 	return st, nil
 }
 
-var _ Service = (*RetryService)(nil)
+// Batch implements Batcher. A failed batch is retried whole: every op in a
+// batch is a cell read or an idempotent cell write, so re-applying a
+// partially applied batch converges to the same state as one clean pass.
+func (r *RetryService) Batch(ops []BatchOp) (res [][][]byte, err error) {
+	err = r.do("Batch", nil, func() error { res, err = DoBatch(r.svc, ops); return err })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+var (
+	_ Service = (*RetryService)(nil)
+	_ Batcher = (*RetryService)(nil)
+)

@@ -12,6 +12,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -161,6 +162,55 @@ func (s Shape) Canonical() Shape {
 		}
 		e.Object = canon
 		out[i] = e
+	}
+	return out
+}
+
+// CanonicalPerStructure returns a canonical form that is invariant under
+// interleaving of accesses to *distinct* objects, while preserving the exact
+// per-object access sequence. It groups events by object (keeping each
+// object's internal order), renders every group, sorts the groups by their
+// rendered content, and reassigns placeholder names ("obj0", "obj1", …) in
+// sorted order. Two runs have equal CanonicalPerStructure shapes iff they
+// touch the same multiset of per-object access sequences — exactly the
+// obliviousness invariant for level-parallel execution (DESIGN.md §11):
+// each structure's sequence is unchanged from the serial run; only the
+// cross-structure interleaving (scheduling noise) differs. Groups with
+// identical content are interchangeable, so ties sort stably by content
+// alone without affecting equality.
+func (s Shape) CanonicalPerStructure() Shape {
+	type group struct {
+		events   []Event
+		rendered string
+	}
+	byObj := make(map[string]*group)
+	var order []*group
+	for _, e := range s {
+		g, ok := byObj[e.Object]
+		if !ok {
+			g = &group{}
+			byObj[e.Object] = g
+			order = append(order, g)
+		}
+		e.Object = "" // blanked: identity is carried by group membership
+		g.events = append(g.events, e)
+	}
+	for _, g := range order {
+		var b strings.Builder
+		for _, e := range g.events {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+		g.rendered = b.String()
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].rendered < order[j].rendered })
+	out := make(Shape, 0, len(s))
+	for i, g := range order {
+		name := fmt.Sprintf("obj%d", i)
+		for _, e := range g.events {
+			e.Object = name
+			out = append(out, e)
+		}
 	}
 	return out
 }

@@ -200,6 +200,16 @@ func (p *Pool) Checkpoint(epoch int64) error {
 	return p.with(func(c *Client) error { return c.Checkpoint(epoch) })
 }
 
+// Batch implements store.Batcher: the whole batch is sent over one borrowed
+// connection as a single framed request, so it costs one round trip while
+// other workers' calls proceed on the remaining connections.
+func (p *Pool) Batch(ops []store.BatchOp) (res [][][]byte, err error) {
+	err = p.with(func(c *Client) error { res, err = c.Batch(ops); return err })
+	return res, err
+}
+
+var _ store.Batcher = (*Pool)(nil)
+
 // Stats implements store.Service, adding the pool-wide reconnection count
 // to the server-side report.
 func (p *Pool) Stats() (st store.Stats, err error) {

@@ -52,6 +52,7 @@ const (
 	kindReveal
 	kindStats
 	kindCheckpoint
+	kindBatch
 	numKinds
 )
 
@@ -60,7 +61,7 @@ const (
 var kindNames = [numKinds]string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
-	"Delete", "Reveal", "Stats", "Checkpoint",
+	"Delete", "Reveal", "Stats", "Checkpoint", "Batch",
 }
 
 // rpcHistograms pre-creates one latency histogram per RPC kind so the
@@ -73,7 +74,10 @@ func rpcHistograms(reg *telemetry.Registry, name string) *[numKinds]*telemetry.H
 	return &h
 }
 
-// request is the wire format for one Service call.
+// request is the wire format for one Service call. A kindBatch request
+// carries its cell operations in Ops; the response flattens every read's
+// ciphertexts into Cts in op order (writes contribute nothing), and the
+// client splits them back apart by each read op's index count.
 type request struct {
 	Kind   kind
 	Name   string
@@ -84,6 +88,7 @@ type request struct {
 	Cts    [][]byte
 	Leaf   uint32
 	Value  int64
+	Ops    []store.BatchOp
 }
 
 // errCode identifies a store sentinel error on the wire, so errors.Is keeps
@@ -224,6 +229,14 @@ func dispatch(svc store.Service, req *request) *response {
 		return fail(err)
 	case kindCheckpoint:
 		return fail(svc.Checkpoint(req.Value))
+	case kindBatch:
+		res, err := store.DoBatch(svc, req.Ops)
+		if err == nil {
+			for _, cts := range res {
+				resp.Cts = append(resp.Cts, cts...)
+			}
+		}
+		return fail(err)
 	default:
 		resp.Err = fmt.Sprintf("transport: unknown request kind %d", req.Kind)
 		resp.Code = codeGeneric
@@ -549,6 +562,36 @@ func (c *Client) Checkpoint(epoch int64) error {
 	_, err := c.call(&request{Kind: kindCheckpoint, Value: epoch})
 	return err
 }
+
+// Batch implements store.Batcher: the whole op list crosses the wire as one
+// framed request and one framed response, so a batch of B cell operations
+// costs one round trip instead of B. A resend after a broken connection
+// re-applies the whole batch, which is safe because batches carry only cell
+// reads and idempotent cell writes.
+func (c *Client) Batch(ops []store.BatchOp) ([][][]byte, error) {
+	resp, err := c.call(&request{Kind: kindBatch, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]byte, len(ops))
+	flat := resp.Cts
+	for i, op := range ops {
+		if op.Write {
+			continue
+		}
+		n := len(op.Idx)
+		if n > len(flat) {
+			return nil, fmt.Errorf("transport: batch response short: %d cells left, op wants %d", len(flat), n)
+		}
+		out[i], flat = flat[:n:n], flat[n:]
+	}
+	if len(flat) != 0 {
+		return nil, fmt.Errorf("transport: batch response has %d extra cells", len(flat))
+	}
+	return out, nil
+}
+
+var _ store.Batcher = (*Client)(nil)
 
 // statsRaw fetches server-side stats without adding this client's own
 // reconnect count (the pool aggregates counts across all its clients).

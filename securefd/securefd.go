@@ -293,8 +293,14 @@ const (
 type Options struct {
 	// Protocol selects the secure method; default ProtocolSort.
 	Protocol Protocol
-	// Workers is the sorting parallelism degree (ProtocolSort and
-	// ProtocolEnclave); default 1.
+	// Workers is the parallelism degree: the sorting-network worker count
+	// (ProtocolSort and ProtocolEnclave) and the number of partitions of
+	// one lattice level materialized concurrently (all secure protocols).
+	// Default 1, the fully serial schedule. Values above 1 change only the
+	// interleaving of accesses across server-side structures, never any
+	// single structure's access sequence (see DESIGN.md §11). With a
+	// transport-backed service, size the connection pool to at least this
+	// value so concurrent materializations actually overlap round trips.
 	Workers int
 	// Network selects ProtocolSort's comparison network; the zero value
 	// is the paper's bitonic network.
@@ -438,6 +444,7 @@ func (db *Database) discoverOptions() *core.Options {
 		MaxLHS:         db.opts.MaxLHS,
 		Resume:         db.resume,
 		Telemetry:      db.opts.Telemetry,
+		Workers:        db.opts.Workers,
 		Reveal: func(fd relation.FD, holds bool) {
 			db.revealed.Add(1)
 			v := int64(0)
