@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline clean
 
 all: build vet test
 
@@ -76,6 +76,24 @@ scaling-baseline:
 # four schedulable cores (GOMAXPROCS=1 hides interleavings; 4 exposes them).
 parallel-race:
 	$(GO) test -race -count=1 -cpu 1,4 -run 'Parallel|RunBatch|Batch' ./internal/core/ ./internal/store/ ./internal/transport/
+
+# Multi-tenant suite under the race detector: session registry admission,
+# namespace isolation, concurrent tenants under chaos faults, overload
+# shedding, and two-tenant crash recovery. The registry, namespacing, and
+# per-tenant marks are exactly the state concurrent clients contend on.
+multitenant-race:
+	$(GO) test -race -count=1 -run 'MultiTenant|Session|Namespace|CrashRecoveryTwoTenants' . ./internal/store/ ./internal/transport/
+
+# Quick multi-tenant degradation check: a small client sweep over two
+# namespaces against a tight in-flight budget. Sizes are CI-friendly;
+# BENCH_multitenant.json (the committed baseline) is regenerated with
+# multitenant-baseline instead.
+multitenant-smoke: multitenant-race
+	$(GO) run ./cmd/fdbench -exp multitenant -minn 64 -clients 1,4 -dbs 2
+
+# Regenerate the committed multi-tenant baseline at the recorded settings.
+multitenant-baseline:
+	$(GO) run ./cmd/fdbench -exp multitenant -minn 128 -clients 1,2,4,8 -dbs 2 -mt-inflight 4 -mt-out BENCH_multitenant.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|multitenant|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -38,10 +38,14 @@ func main() {
 		crate   = flag.Float64("corrupt-rate", 0.01, "per-read payload corruption rate for the faults experiment's detection axis (0 disables)")
 		telOut  = flag.String("telemetry", "", "write the telemetry experiment's per-phase breakdown to this JSON file (e.g. BENCH_telemetry.json)")
 		sclOut  = flag.String("scaling-out", "", "write the scaling experiment's worker sweep and rounds comparison to this JSON file (e.g. BENCH_scaling.json)")
+		clients = flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts for the multitenant experiment")
+		dbs     = flag.Int("dbs", 2, "database namespaces the multitenant experiment's clients spread over")
+		mtInfl  = flag.Int("mt-inflight", 4, "global in-flight request budget for the multitenant experiment's server")
+		mtOut   = flag.String("mt-out", "", "write the multitenant experiment's client sweep to this JSON file (e.g. BENCH_multitenant.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -71,11 +75,12 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
 	var scalingResult *bench.ScalingResult
+	var mtResult *bench.MultiTenantResult
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -109,6 +114,11 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			scalingResult = r
 			return r, err
 		}},
+		{"multitenant", func() (renderer, error) {
+			r, err := bench.MultiTenant(minn/2, 5, clients, dbs, mtInflight, seed)
+			mtResult = r
+			return r, err
+		}},
 	}
 
 	ran := 0
@@ -138,6 +148,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return fmt.Errorf("writing %s: %w", scalingOut, err)
 		}
 		fmt.Printf("wrote %s (%d points)\n", scalingOut, len(scalingResult.Points))
+	}
+	if mtOut != "" && mtResult != nil {
+		if err := mtResult.WriteFile(mtOut); err != nil {
+			return fmt.Errorf("writing %s: %w", mtOut, err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", mtOut, len(mtResult.Points))
 	}
 	return nil
 }

@@ -52,15 +52,15 @@ func TestSweep(t *testing.T) {
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
-	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", ""); err != nil {
+	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry", "multitenant"} {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, ""); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", []int{1}, 2, 2, ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -100,7 +100,7 @@ func TestRunTelemetryArtifact(t *testing.T) {
 // batched-vs-unbatched rounds comparison.
 func TestRunScalingArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scaling.json")
-	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out); err != nil {
+	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out, []int{1}, 2, 2, ""); err != nil {
 		t.Fatalf("run(scaling): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -124,5 +124,33 @@ func TestRunScalingArtifact(t *testing.T) {
 	}
 	if res.RoundsFactor < 2 {
 		t.Errorf("rounds factor = %.1f, want ≥ 2 (batching must at least halve rounds)", res.RoundsFactor)
+	}
+}
+
+// TestRunMultiTenantArtifact: -mt-out writes the client sweep with request
+// and shed accounting per point.
+func TestRunMultiTenantArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_multitenant.json")
+	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1, 2}, 2, 2, out); err != nil {
+		t.Fatalf("run(multitenant): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.MultiTenantResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Points) != 2 { // two client counts
+		t.Fatalf("artifact has %d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.WallNS <= 0 || pt.Requests <= 0 {
+			t.Errorf("point clients=%d missing wall time or requests", pt.Clients)
+		}
+		if pt.Shed > 0 && pt.ShedRate <= 0 {
+			t.Errorf("point clients=%d shed %d but rate %f", pt.Clients, pt.Shed, pt.ShedRate)
+		}
 	}
 }

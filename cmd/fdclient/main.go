@@ -29,6 +29,8 @@ type options struct {
 	retries     int           // max attempts per storage call (0 = default)
 	callTimeout time.Duration // per-call deadline
 	redials     int           // reconnection attempts per call
+	db          string        // database namespace on a multi-tenant server
+	token       string        // session auth token
 }
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 	flag.IntVar(&o.retries, "retries", 0, "max attempts per storage call (0 = default policy, 1 = no retry)")
 	flag.DurationVar(&o.callTimeout, "call-timeout", 0, "per-call deadline (0 = default)")
 	flag.IntVar(&o.redials, "redials", 0, "reconnection attempts per call after a dropped connection (0 = default)")
+	flag.StringVar(&o.db, "db", "", "database namespace to bind the session to on a multi-tenant server (empty = root)")
+	flag.StringVar(&o.token, "token", "", "session auth token, required when the server runs with -session-token")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fdclient [flags] <file.csv>")
@@ -70,6 +74,8 @@ func run(server string, o options, path string) error {
 	if o.redials > 0 {
 		cfg.Redials = o.redials
 	}
+	cfg.Database = o.db
+	cfg.Token = o.token
 	poolSize := o.pool
 	if poolSize <= 0 {
 		poolSize = o.workers

@@ -57,6 +57,8 @@ type options struct {
 	ckptPath    string // client checkpoint file, written at level boundaries
 	resume      string // checkpoint file to continue from
 	connect     string // remote fdserver address; empty = in-process server
+	db          string // database namespace on a multi-tenant server
+	token       string // session auth token
 	telemetry   bool   // print a per-phase breakdown after discovery
 	logJSON     bool
 }
@@ -78,6 +80,8 @@ func main() {
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "write a client recovery file here at every completed lattice level (or-oram/ex-oram only)")
 	flag.StringVar(&o.resume, "resume", "", "continue a crashed run from this checkpoint file (requires -data-dir; no CSV argument)")
 	flag.StringVar(&o.connect, "connect", "", "address of a running fdserver to use instead of the in-process server")
+	flag.StringVar(&o.db, "db", "", "with -connect: database namespace to bind the session to on a multi-tenant server (empty = root)")
+	flag.StringVar(&o.token, "token", "", "with -connect: session auth token, required when the server runs with -session-token")
 	flag.BoolVar(&o.telemetry, "telemetry", false, "print per-phase wall time, ORAM access counts, and latency quantiles after discovery")
 	flag.BoolVar(&o.logJSON, "log-json", false, "log informational lines as JSON instead of key=value text")
 	flag.Parse()
@@ -220,6 +224,8 @@ func run(path string, o options) error {
 		}
 		cfg := securefd.DefaultClientConfig()
 		cfg.Metrics = reg
+		cfg.Database = o.db
+		cfg.Token = o.token
 		pool, err := securefd.DialTCPPool(o.connect, o.workers, cfg)
 		if err != nil {
 			return fmt.Errorf("connecting to %s: %w", o.connect, err)

@@ -60,6 +60,13 @@ type config struct {
 	faultSeed    int64
 	metricsAddr  string // if set, serve /metrics + /metrics.json + /debug/pprof/
 	logJSON      bool
+
+	// Multi-tenant admission control (0 / "" = unlimited or disabled).
+	maxSessions  int           // concurrently open sessions
+	maxInflight  int           // concurrently executing requests across sessions
+	sessionToken string        // shared auth token handshakes must present
+	sessionRate  float64       // per-session request rate limit (req/s)
+	idleTimeout  time.Duration // evict sessions idle this long
 }
 
 func main() {
@@ -78,6 +85,11 @@ func main() {
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for the deterministic fault/drop schedules")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "if set, serve Prometheus /metrics, /metrics.json, and /debug/pprof/ on this address")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "log as JSON lines instead of key=value text")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "cap concurrently open client sessions; excess handshakes are refused with a retryable overload error (0 = unlimited)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "cap requests executing at once across all sessions; excess requests are shed (0 = unlimited)")
+	flag.StringVar(&cfg.sessionToken, "session-token", "", "require every session handshake to present this token; sessionless requests are refused while set")
+	flag.Float64Var(&cfg.sessionRate, "session-rate", 0, "per-session request rate limit in req/s (0 = unlimited)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "evict sessions idle this long, freeing their session slots (0 = never)")
 	flag.Parse()
 
 	if err := run(*listen, cfg); err != nil {
@@ -232,7 +244,20 @@ func serve(l net.Listener, cfg config) error {
 	}
 
 	ts := transport.NewServer(svc)
+	ts.SetSessionLimits(store.SessionLimits{
+		MaxSessions: cfg.maxSessions,
+		MaxInflight: cfg.maxInflight,
+		RatePerSec:  cfg.sessionRate,
+		IdleTimeout: cfg.idleTimeout,
+		Token:       cfg.sessionToken,
+	})
 	ts.SetMetrics(reg)
+	if cfg.maxSessions > 0 || cfg.maxInflight > 0 || cfg.sessionRate > 0 ||
+		cfg.idleTimeout > 0 || cfg.sessionToken != "" {
+		log.Info("admission control on", "max_sessions", cfg.maxSessions,
+			"max_inflight", cfg.maxInflight, "session_rate", cfg.sessionRate,
+			"idle_timeout", cfg.idleTimeout.String(), "token_required", cfg.sessionToken != "")
+	}
 
 	// Drain cleanly on SIGINT or SIGTERM (what init systems and container
 	// runtimes send): stop accepting, let in-flight requests finish within
@@ -247,9 +272,11 @@ func serve(l net.Listener, cfg config) error {
 			return
 		}
 		log.Info("signal received: draining", "signal", s.String(),
-			"active_conns", ts.ActiveConns(), "grace", cfg.grace.String())
+			"active_conns", ts.ActiveConns(), "active_sessions", ts.Sessions().Active(),
+			"grace", cfg.grace.String())
 		ts.Shutdown(cfg.grace)
-		log.Info("drained")
+		log.Info("drained", "requests_shed", ts.Sessions().Shed(),
+			"handshakes_rejected", ts.Sessions().Rejected())
 	}()
 
 	var err error

@@ -253,6 +253,100 @@ func TestCrashRecoveryClientKill(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryTwoTenants: a durable multi-tenant server is killed and
+// restarted; OpenDir must restore every tenant's namespace — objects, cell
+// contents, recovery epoch, and mutations-since-epoch counter — from the WAL
+// alone and again from a snapshot, so each tenant's resume-consistency check
+// stays sound independently of its neighbors.
+func TestCrashRecoveryTwoTenants(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := securefd.OpenDir(dir, securefd.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := securefd.Namespaced(srv, "alpha")
+	beta := securefd.Namespaced(srv, "beta")
+
+	if err := alpha.CreateArray("arr", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.WriteCells("arr", []int64{0, 1}, [][]byte{[]byte("a0"), []byte("a1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alpha.Checkpoint(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.CreateArray("arr", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.Checkpoint(7); err != nil {
+		t.Fatal(err)
+	}
+	// Beta drifts past its checkpoint; alpha stays clean. The restarted
+	// server must reproduce exactly this asymmetry.
+	if err := beta.WriteCells("arr", []int64{0}, [][]byte{[]byte("b0")}); err != nil {
+		t.Fatal(err)
+	}
+	// Close without a snapshot: recovery replays the WAL, including the
+	// per-namespace checkpoint records (a hard kill leaves the same state —
+	// the WAL fsyncs every record by default).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	checkTenants := func(srv *securefd.DurableServer, phase string) {
+		t.Helper()
+		alpha := securefd.Namespaced(srv, "alpha")
+		beta := securefd.Namespaced(srv, "beta")
+		stA, err := alpha.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stA.Epoch != 3 || stA.MutationsSinceEpoch != 0 || stA.Objects != 1 {
+			t.Errorf("%s: alpha = epoch %d, dirty %d, objects %d; want 3/0/1",
+				phase, stA.Epoch, stA.MutationsSinceEpoch, stA.Objects)
+		}
+		stB, err := beta.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stB.Epoch != 7 || stB.MutationsSinceEpoch == 0 {
+			t.Errorf("%s: beta = epoch %d, dirty %d; want epoch 7 with drift",
+				phase, stB.Epoch, stB.MutationsSinceEpoch)
+		}
+		got, err := alpha.ReadCells("arr", []int64{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[0]) != "a0" || string(got[1]) != "a1" {
+			t.Errorf("%s: alpha cells = %q, %q; want a0, a1", phase, got[0], got[1])
+		}
+		if got, err := beta.ReadCells("arr", []int64{0}); err != nil || string(got[0]) != "b0" {
+			t.Errorf("%s: beta cell = %q, %v; want b0", phase, got, err)
+		}
+	}
+
+	srv2, err := securefd.OpenDir(dir, securefd.DurableOptions{})
+	if err != nil {
+		t.Fatalf("restart from WAL: %v", err)
+	}
+	checkTenants(srv2, "wal replay")
+	// Absorb everything into a snapshot and restart again: the marks must
+	// survive the snapshot format too, not just WAL replay.
+	if err := srv2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := securefd.OpenDir(dir, securefd.DurableOptions{})
+	if err != nil {
+		t.Fatalf("restart from snapshot: %v", err)
+	}
+	defer srv3.Close()
+	checkTenants(srv3, "snapshot")
+}
+
 // TestCrashRecoveryOverTCP runs the server-kill scenario with the durable
 // server behind the real TCP transport: the typed kill/corruption errors must
 // survive the wire and the recovered run must still match.

@@ -51,7 +51,10 @@ type DurableServer struct {
 	snapshots    *telemetry.Counter
 }
 
-var _ Service = (*DurableServer)(nil)
+var (
+	_ Service          = (*DurableServer)(nil)
+	_ NamespaceService = (*DurableServer)(nil)
+)
 
 // DurableOptions tunes the durable backend.
 type DurableOptions struct {
@@ -439,6 +442,29 @@ func (d *DurableServer) Checkpoint(epoch int64) error {
 		return err
 	}
 	return d.snapshotLocked()
+}
+
+// CheckpointNS implements NamespaceService: a non-root tenant's epoch mark
+// is made durable as a WAL record rather than a full snapshot — with
+// SyncEvery=1 the mark survives any crash the moment the call returns, and
+// per-tenant checkpoints stay cheap even with many tenants checkpointing at
+// every level of their traversals. Full snapshots (which absorb these
+// records and persist the marks in the snapshot payload) still happen on
+// root checkpoints and graceful shutdown.
+func (d *DurableServer) CheckpointNS(db string, epoch int64) error {
+	if db == "" {
+		return d.Checkpoint(epoch)
+	}
+	return d.mutate(func() error { return d.mem.CheckpointNS(db, epoch) },
+		&walRecord{Op: walCheckpoint, Name: db, N: epoch})
+}
+
+// StatsNS implements NamespaceService.
+func (d *DurableServer) StatsNS(db string) (Stats, error) {
+	if err := d.readGuard(); err != nil {
+		return Stats{}, err
+	}
+	return d.mem.StatsNS(db)
 }
 
 // Snapshot writes a snapshot of the current state (whatever the epoch) and

@@ -302,4 +302,30 @@ func (f *FaultService) Stats() (Stats, error) {
 	return st, nil
 }
 
-var _ Service = (*FaultService)(nil)
+// CheckpointNS implements NamespaceService, injecting faults on the same
+// schedule slot a root Checkpoint would use (re-marking a tenant epoch is
+// idempotent, so fail-after is allowed).
+func (f *FaultService) CheckpointNS(db string, epoch int64) error {
+	return f.call("Checkpoint", true, func() error { return CheckpointIn(f.svc, db, epoch) })
+}
+
+// StatsNS implements NamespaceService. Like Stats it is exempt from
+// injection; the fault counter it reports is the stack-wide total (faults
+// are a property of the shared backend, visible to every tenant's retries).
+func (f *FaultService) StatsNS(db string) (Stats, error) {
+	st, err := StatsIn(f.svc, db)
+	if err != nil {
+		return st, err
+	}
+	if f.shared {
+		st.FaultsInjected = f.errors.Value()
+	} else {
+		st.FaultsInjected += f.errors.Value()
+	}
+	return st, nil
+}
+
+var (
+	_ Service          = (*FaultService)(nil)
+	_ NamespaceService = (*FaultService)(nil)
+)

@@ -96,6 +96,19 @@ func (l *latencyService) Stats() (Stats, error) {
 	return l.svc.Stats()
 }
 
+// CheckpointNS implements NamespaceService, forwarding to the backend so
+// per-tenant epoch marks survive the decorator stack.
+func (l *latencyService) CheckpointNS(db string, epoch int64) error {
+	l.delay()
+	return CheckpointIn(l.svc, db, epoch)
+}
+
+// StatsNS implements NamespaceService.
+func (l *latencyService) StatsNS(db string) (Stats, error) {
+	l.delay()
+	return StatsIn(l.svc, db)
+}
+
 // Batch implements Batcher: the whole batch pays one round-trip delay, which
 // is the point of batching — RTT cost scales with rounds, not cells.
 func (l *latencyService) Batch(ops []BatchOp) ([][][]byte, error) {
@@ -103,4 +116,7 @@ func (l *latencyService) Batch(ops []BatchOp) ([][][]byte, error) {
 	return DoBatch(l.svc, ops)
 }
 
-var _ Batcher = (*latencyService)(nil)
+var (
+	_ Batcher          = (*latencyService)(nil)
+	_ NamespaceService = (*latencyService)(nil)
+)

@@ -211,7 +211,24 @@ func (m *metricsService) Batch(ops []BatchOp) ([][][]byte, error) {
 	return res, err
 }
 
+// CheckpointNS implements NamespaceService, timed as a Checkpoint.
+func (m *metricsService) CheckpointNS(db string, epoch int64) error {
+	t0 := time.Now()
+	err := CheckpointIn(m.svc, db, epoch)
+	m.observe(opCheckpoint, t0, err)
+	return err
+}
+
+// StatsNS implements NamespaceService, timed as a Stats.
+func (m *metricsService) StatsNS(db string) (Stats, error) {
+	t0 := time.Now()
+	st, err := StatsIn(m.svc, db)
+	m.observe(opStats, t0, err)
+	return st, err
+}
+
 var (
-	_ Service = (*metricsService)(nil)
-	_ Batcher = (*metricsService)(nil)
+	_ Service          = (*metricsService)(nil)
+	_ Batcher          = (*metricsService)(nil)
+	_ NamespaceService = (*metricsService)(nil)
 )

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Database namespaces: a multi-tenant server hosts several databases on one
+// Service by prefixing every object name with "<db>/". Engine-generated
+// object names never contain '/' (they join components with ':'), so the
+// first '/' unambiguously splits namespace from object. The empty namespace
+// "" — names with no '/' at all — is the root namespace that single-tenant
+// clients have always used; everything here is backward compatible with it.
+//
+// Leakage: the namespace prefix is part of the session identity the tenant
+// already announced in its handshake, so prefixed names reveal nothing
+// beyond which tenant is acting — the adversary's view of the whole server
+// is the union of the per-tenant traces it would have seen from N
+// single-tenant servers, plus the (public) interleaving. See DESIGN.md §12.
+
+// NamespaceOf returns the database namespace an object name belongs to: the
+// prefix before the first '/', or "" (the root namespace) when the name has
+// none.
+func NamespaceOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// ValidDBName reports whether db is usable as a database namespace: non-empty,
+// at most 128 bytes, and drawn from [A-Za-z0-9._-] so it can never contain
+// the '/' separator or frame-confusing bytes.
+func ValidDBName(db string) bool {
+	if db == "" || len(db) > 128 {
+		return false
+	}
+	for i := 0; i < len(db); i++ {
+		c := db[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NamespaceService is the optional per-namespace surface a multi-tenant
+// backend exposes alongside Service. Checkpoint/Stats on Service itself act
+// on the root namespace; these act on a named one. Decorators that wrap a
+// NamespaceService forward both methods so per-tenant marks survive the
+// whole fdserver stack (latency → faults → metrics → backend).
+type NamespaceService interface {
+	// CheckpointNS marks a recovery epoch for one database namespace.
+	CheckpointNS(db string, epoch int64) error
+	// StatsNS reports accounting restricted to one database namespace.
+	StatsNS(db string) (Stats, error)
+}
+
+// CheckpointIn marks an epoch in the given namespace on any Service: through
+// NamespaceService when the backend (or its decorators) support it, falling
+// back to the plain Checkpoint for the root namespace. A non-root namespace
+// on a backend without NamespaceService is an error rather than a silent
+// cross-tenant checkpoint.
+func CheckpointIn(svc Service, db string, epoch int64) error {
+	if db == "" {
+		return svc.Checkpoint(epoch)
+	}
+	if ns, ok := svc.(NamespaceService); ok {
+		return ns.CheckpointNS(db, epoch)
+	}
+	return fmt.Errorf("store: backend %T cannot checkpoint namespace %q", svc, db)
+}
+
+// StatsIn reports namespace-scoped stats on any Service, with the same
+// fallback rules as CheckpointIn.
+func StatsIn(svc Service, db string) (Stats, error) {
+	if db == "" {
+		return svc.Stats()
+	}
+	if ns, ok := svc.(NamespaceService); ok {
+		return ns.StatsNS(db)
+	}
+	return Stats{}, fmt.Errorf("store: backend %T cannot report namespace %q", svc, db)
+}
+
+// namespacedService scopes a Service to one database: every object name is
+// prefixed with "<db>/", reveals are tagged per-tenant, and
+// Checkpoint/Stats act on the tenant's own recovery mark. It is what the
+// transport server interposes once a session handshake has bound a
+// connection to a database, so N tenants share one backend without key
+// collisions.
+type namespacedService struct {
+	svc Service
+	db  string
+}
+
+// Namespaced returns svc scoped to the given database namespace. An empty db
+// returns svc unchanged (the root namespace needs no prefixing).
+func Namespaced(svc Service, db string) Service {
+	if db == "" {
+		return svc
+	}
+	return &namespacedService{svc: svc, db: db}
+}
+
+func (n *namespacedService) prefix(name string) string { return n.db + "/" + name }
+
+// CreateArray implements Service.
+func (n *namespacedService) CreateArray(name string, size int) error {
+	return n.svc.CreateArray(n.prefix(name), size)
+}
+
+// ArrayLen implements Service.
+func (n *namespacedService) ArrayLen(name string) (int, error) {
+	return n.svc.ArrayLen(n.prefix(name))
+}
+
+// ReadCells implements Service.
+func (n *namespacedService) ReadCells(name string, idx []int64) ([][]byte, error) {
+	return n.svc.ReadCells(n.prefix(name), idx)
+}
+
+// WriteCells implements Service.
+func (n *namespacedService) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return n.svc.WriteCells(n.prefix(name), idx, cts)
+}
+
+// CreateTree implements Service.
+func (n *namespacedService) CreateTree(name string, levels, slotsPerBucket int) error {
+	return n.svc.CreateTree(n.prefix(name), levels, slotsPerBucket)
+}
+
+// ReadPath implements Service.
+func (n *namespacedService) ReadPath(name string, leaf uint32) ([][]byte, error) {
+	return n.svc.ReadPath(n.prefix(name), leaf)
+}
+
+// WritePath implements Service.
+func (n *namespacedService) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return n.svc.WritePath(n.prefix(name), leaf, slots)
+}
+
+// WriteBuckets implements Service.
+func (n *namespacedService) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return n.svc.WriteBuckets(n.prefix(name), bucketStart, slots)
+}
+
+// Delete implements Service.
+func (n *namespacedService) Delete(name string) error {
+	return n.svc.Delete(n.prefix(name))
+}
+
+// Reveal implements Service. The tag is prefixed too: the reveal log is part
+// of the adversary's trace, and per-tenant tags keep the union-of-traces
+// leakage argument syntactic — each logged disclosure names the tenant that
+// made it.
+func (n *namespacedService) Reveal(tag string, value int64) error {
+	return n.svc.Reveal(n.prefix(tag), value)
+}
+
+// Checkpoint implements Service, marking the epoch in this database's
+// namespace only.
+func (n *namespacedService) Checkpoint(epoch int64) error {
+	return CheckpointIn(n.svc, n.db, epoch)
+}
+
+// Stats implements Service, reporting this database's namespace only.
+func (n *namespacedService) Stats() (Stats, error) {
+	return StatsIn(n.svc, n.db)
+}
+
+// Batch implements Batcher by prefixing each op and delegating through
+// DoBatch, so a backend Batcher still gets the whole batch in one call and a
+// plain backend falls back to per-op dispatch.
+func (n *namespacedService) Batch(ops []BatchOp) ([][][]byte, error) {
+	scoped := make([]BatchOp, len(ops))
+	for i, op := range ops {
+		op.Name = n.prefix(op.Name)
+		scoped[i] = op
+	}
+	return DoBatch(n.svc, scoped)
+}
+
+var (
+	_ Service = (*namespacedService)(nil)
+	_ Batcher = (*namespacedService)(nil)
+)

@@ -56,9 +56,9 @@ type RetryPolicy struct {
 }
 
 // DefaultRetryable reports whether an error is worth retrying: transient
-// and connection-level failures are; the store's semantic errors (unknown
-// object, exists, out of range, bad path) are not, because repeating the
-// identical request cannot change a semantic verdict.
+// failures, connection-level failures, and load shedding are; the store's
+// semantic errors (unknown object, exists, out of range, bad path) are not,
+// because repeating the identical request cannot change a semantic verdict.
 func DefaultRetryable(err error) bool {
 	if err == nil {
 		return false
@@ -66,6 +66,11 @@ func DefaultRetryable(err error) bool {
 	switch {
 	case errors.Is(err, ErrUnknownObject), errors.Is(err, ErrObjectExists),
 		errors.Is(err, ErrOutOfRange), errors.Is(err, ErrBadPath):
+		return false
+	case errors.Is(err, ErrUnauthorized):
+		// Fatal: the handshake was refused on its merits (bad token or
+		// malformed database name); re-presenting the same credentials
+		// cannot change the verdict.
 		return false
 	case errors.Is(err, ErrIntegrity),
 		errors.Is(err, ErrServerKilled), errors.Is(err, ErrNoSuchEpoch):
@@ -75,6 +80,11 @@ func DefaultRetryable(err error) bool {
 		// not a request-level one. Re-reading a tampered or rotted block
 		// returns the same wrong bytes.
 		return false
+	case errors.Is(err, ErrOverloaded):
+		// Load shedding: the server refused the work before executing it,
+		// so a retry after backoff is exactly what admission control wants
+		// the client to do.
+		return true
 	case errors.Is(err, ErrTransient), errors.Is(err, ErrUnavailable):
 		return true
 	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF),
@@ -95,9 +105,16 @@ func DefaultRetryable(err error) bool {
 // twice leaves the same state as applying it once. Creates and deletes are
 // not idempotent at the server, but a retried create that answers "already
 // exists" (or a retried delete answering "unknown object") after a
-// transient failure can only mean the earlier attempt applied — this
-// single-client system has no other writer — so the retry layer reconciles
-// those verdicts to success.
+// transient failure can only mean the earlier attempt applied — so the
+// retry layer reconciles those verdicts to success. That reasoning is
+// scoped to the session's own database namespace: on a multi-tenant server
+// every object name a session touches is prefixed with its database (see
+// Namespaced), so no other tenant can create or delete the objects this
+// client names, and within one namespace there is still a single writer.
+// Two clients sharing one database namespace would break the
+// reconciliation, which is why the transport binds each session to exactly
+// one database and documents one-writer-per-database as the deployment
+// contract.
 //
 // Leakage note: a retried access appears to the persistent adversary as one
 // extra access to the same object with fresh ciphertexts. Since every
@@ -312,7 +329,29 @@ func (r *RetryService) Batch(ops []BatchOp) (res [][][]byte, err error) {
 	return res, nil
 }
 
+// CheckpointNS implements NamespaceService with the same retry semantics as
+// Checkpoint.
+func (r *RetryService) CheckpointNS(db string, epoch int64) error {
+	return r.do("Checkpoint", nil, func() error { return CheckpointIn(r.svc, db, epoch) })
+}
+
+// StatsNS implements NamespaceService, adding the retry count like Stats.
+func (r *RetryService) StatsNS(db string) (Stats, error) {
+	var st Stats
+	err := r.do("Stats", nil, func() error { var e error; st, e = StatsIn(r.svc, db); return e })
+	if err != nil {
+		return Stats{}, err
+	}
+	if r.shared {
+		st.Retries = r.retries.Value()
+	} else {
+		st.Retries += r.retries.Value()
+	}
+	return st, nil
+}
+
 var (
-	_ Service = (*RetryService)(nil)
-	_ Batcher = (*RetryService)(nil)
+	_ Service          = (*RetryService)(nil)
+	_ Batcher          = (*RetryService)(nil)
+	_ NamespaceService = (*RetryService)(nil)
 )

@@ -37,10 +37,23 @@ var snapshotMagic = [8]byte{'O', 'F', 'D', 'S', 'N', 'A', 'P', '2'}
 // header cannot trigger a huge allocation before the CRC check.
 const maxSnapshotPayload = 1 << 40
 
-// snapshot is the gob wire form of a server's storage.
+// snapshot is the gob wire form of a server's storage. Marks carries the
+// recovery marks of every non-root namespace (the root namespace's mark
+// rides in the framed header for compatibility with pre-multi-tenant
+// snapshots); it lives inside the CRC-covered payload, so a flipped tenant
+// epoch fails verification exactly like a flipped root epoch. Snapshots
+// written before multi-tenancy decode with a nil Marks map, which restores
+// as "no non-root namespaces" — correct, since such servers had none.
 type snapshot struct {
 	Arrays map[string]arraySnapshot
 	Trees  map[string]treeSnapshot
+	Marks  map[string]markSnapshot
+}
+
+// markSnapshot is the wire form of one namespace's recovery mark.
+type markSnapshot struct {
+	Epoch int64
+	Dirty int64
 }
 
 type arraySnapshot struct {
@@ -68,7 +81,17 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 	for name, t := range s.trees {
 		snap.Trees[name] = treeSnapshot{Levels: t.levels, Slots: t.slots, Data: t.data}
 	}
-	epoch, dirty := s.epoch, s.dirty
+	var epoch, dirty int64
+	for db, m := range s.marks {
+		if db == "" {
+			epoch, dirty = m.epoch, m.dirty
+			continue
+		}
+		if snap.Marks == nil {
+			snap.Marks = make(map[string]markSnapshot)
+		}
+		snap.Marks[db] = markSnapshot{Epoch: m.epoch, Dirty: m.dirty}
+	}
 	s.mu.RUnlock()
 	return writeSnapshotStream(w, epoch, dirty, &snap)
 }
@@ -196,11 +219,23 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	marks := make(map[string]*nsMark, len(snap.Marks)+1)
+	if epoch != 0 || dirty != 0 {
+		marks[""] = &nsMark{epoch: epoch, dirty: dirty}
+	}
+	for db, m := range snap.Marks {
+		if db == "" {
+			return fmt.Errorf("%w: root mark duplicated in payload", ErrCorruptSnapshot)
+		}
+		if !ValidDBName(db) {
+			return fmt.Errorf("%w: invalid namespace %q in marks", ErrCorruptSnapshot, db)
+		}
+		marks[db] = &nsMark{epoch: m.Epoch, dirty: m.Dirty}
+	}
 	s.mu.Lock()
 	s.arrays = arrays
 	s.trees = trees
-	s.epoch = epoch
-	s.dirty = dirty
+	s.marks = marks
 	s.mu.Unlock()
 	return nil
 }

@@ -138,14 +138,27 @@ type Service interface {
 // Server is the in-memory reference implementation of Service. It is safe
 // for concurrent use; the parallel sorting driver issues overlapping
 // ReadCells/WriteCells on disjoint indices.
+//
+// Recovery marks are tracked per database namespace (see NamespaceOf): each
+// tenant checkpoints its own epoch, and a tenant's MutationsSinceEpoch counts
+// only that tenant's writes — another tenant's traffic must not invalidate a
+// resuming client's consistency check. The root namespace "" is what
+// un-prefixed (single-tenant) clients use, so Checkpoint/Stats keep their
+// historical meaning.
 type Server struct {
 	mu      sync.RWMutex
 	arrays  map[string]*array
 	trees   map[string]*tree
 	rec     *trace.Recorder
 	reveals []Reveal
-	epoch   int64 // last client-marked recovery epoch
-	dirty   int64 // mutations applied since that mark
+	marks   map[string]*nsMark // recovery marks keyed by namespace
+}
+
+// nsMark is one namespace's recovery state: the last client-marked epoch and
+// the count of mutations applied in that namespace since the mark.
+type nsMark struct {
+	epoch int64
+	dirty int64
 }
 
 // Reveal is one logged public disclosure.
@@ -172,11 +185,29 @@ func NewServer() *Server {
 		arrays: make(map[string]*array),
 		trees:  make(map[string]*tree),
 		rec:    trace.NewRecorder(),
+		marks:  make(map[string]*nsMark),
 	}
 }
 
 // Trace exposes the adversary's recorder.
 func (s *Server) Trace() *trace.Recorder { return s.rec }
+
+// markLocked returns the recovery mark for a namespace, creating it on first
+// use. Callers hold s.mu.
+func (s *Server) markLocked(db string) *nsMark {
+	m, ok := s.marks[db]
+	if !ok {
+		m = &nsMark{}
+		s.marks[db] = m
+	}
+	return m
+}
+
+// bumpLocked counts one mutation against the namespace that owns the object.
+// Callers hold s.mu.
+func (s *Server) bumpLocked(name string) {
+	s.markLocked(NamespaceOf(name)).dirty++
+}
 
 // Reveals returns the public values the client has disclosed since the last
 // recorder reset.
@@ -207,7 +238,7 @@ func (s *Server) CreateArray(name string, n int) error {
 		return fmt.Errorf("%w: tree %q", ErrObjectExists, name)
 	}
 	s.arrays[name] = &array{cells: make([][]byte, n)}
-	s.dirty++
+	s.bumpLocked(name)
 	s.rec.Record(trace.Event{Op: trace.OpCreateArray, Object: name, Index: int64(n)})
 	return nil
 }
@@ -268,7 +299,7 @@ func (s *Server) WriteCells(name string, idx []int64, cts [][]byte) error {
 		a.bytes += int64(len(cts[k]) - len(a.cells[i]))
 		a.cells[i] = cts[k]
 	}
-	s.dirty++
+	s.bumpLocked(name)
 	s.mu.Unlock()
 	for k, i := range idx {
 		s.rec.Record(trace.Event{Op: trace.OpWriteCell, Object: name, Index: i, Bytes: len(cts[k])})
@@ -295,7 +326,7 @@ func (s *Server) CreateTree(name string, levels, slotsPerBucket int) error {
 		slots:  slotsPerBucket,
 		data:   make([][]byte, buckets*slotsPerBucket),
 	}
-	s.dirty++
+	s.bumpLocked(name)
 	s.rec.Record(trace.Event{Op: trace.OpCreateTree, Object: name, Index: int64(levels)})
 	return nil
 }
@@ -370,7 +401,7 @@ func (s *Server) WritePath(name string, leaf uint32, slots [][]byte) error {
 			k++
 		}
 	}
-	s.dirty++
+	s.bumpLocked(name)
 	s.mu.Unlock()
 	s.rec.Record(trace.Event{Op: trace.OpWritePath, Object: name, Index: int64(leaf), Bytes: total})
 	return nil
@@ -399,7 +430,7 @@ func (s *Server) WriteBuckets(name string, bucketStart int, slots [][]byte) erro
 		t.data[first+k] = ct
 		total += len(ct)
 	}
-	s.dirty++
+	s.bumpLocked(name)
 	s.mu.Unlock()
 	s.rec.Record(trace.Event{Op: trace.OpWriteBucket, Object: name, Index: int64(bucketStart), Bytes: total})
 	return nil
@@ -416,7 +447,7 @@ func (s *Server) Delete(name string) error {
 	} else {
 		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
 	}
-	s.dirty++
+	s.bumpLocked(name)
 	s.rec.Record(trace.Event{Op: trace.OpDelete, Object: name})
 	return nil
 }
@@ -431,25 +462,40 @@ func (s *Server) Reveal(tag string, value int64) error {
 }
 
 // Checkpoint implements Service: it records the epoch mark and zeroes the
-// mutation counter. Durability is the durable backend's job; the in-memory
-// server only supports the resume-consistency check in Stats.
+// mutation counter for the root namespace. Durability is the durable
+// backend's job; the in-memory server only supports the resume-consistency
+// check in Stats.
 func (s *Server) Checkpoint(epoch int64) error {
+	return s.CheckpointNS("", epoch)
+}
+
+// CheckpointNS implements NamespaceService: it marks a recovery epoch for one
+// database namespace, leaving every other tenant's mark untouched.
+func (s *Server) CheckpointNS(db string, epoch int64) error {
 	s.mu.Lock()
-	s.epoch = epoch
-	s.dirty = 0
+	m := s.markLocked(db)
+	m.epoch = epoch
+	m.dirty = 0
 	s.mu.Unlock()
-	s.rec.Record(trace.Event{Op: trace.OpCheckpoint, Index: epoch})
+	s.rec.Record(trace.Event{Op: trace.OpCheckpoint, Object: db, Index: epoch})
 	return nil
 }
 
-// Epoch returns the last client-marked recovery epoch.
-func (s *Server) Epoch() int64 {
+// Epoch returns the root namespace's last client-marked recovery epoch.
+func (s *Server) Epoch() int64 { return s.EpochNS("") }
+
+// EpochNS returns a namespace's last client-marked recovery epoch.
+func (s *Server) EpochNS(db string) int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.epoch
+	if m, ok := s.marks[db]; ok {
+		return m.epoch
+	}
+	return 0
 }
 
-// Stats implements Service.
+// Stats implements Service: server-wide object and byte totals, with the
+// recovery mark of the root namespace (the one un-prefixed clients write to).
 func (s *Server) Stats() (Stats, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -461,7 +507,36 @@ func (s *Server) Stats() (Stats, error) {
 	for _, t := range s.trees {
 		st.StoredBytes += t.bytes
 	}
-	st.Epoch = s.epoch
-	st.MutationsSinceEpoch = s.dirty
+	if m, ok := s.marks[""]; ok {
+		st.Epoch = m.epoch
+		st.MutationsSinceEpoch = m.dirty
+	}
+	return st, nil
+}
+
+// StatsNS implements NamespaceService: accounting restricted to one database
+// namespace — only that tenant's objects, bytes, and recovery mark. A tenant
+// therefore learns nothing about its neighbors from Stats, and its
+// MutationsSinceEpoch check stays sound while other tenants keep writing.
+func (s *Server) StatsNS(db string) (Stats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var st Stats
+	for name, a := range s.arrays {
+		if NamespaceOf(name) == db {
+			st.Objects++
+			st.StoredBytes += a.bytes
+		}
+	}
+	for name, t := range s.trees {
+		if NamespaceOf(name) == db {
+			st.Objects++
+			st.StoredBytes += t.bytes
+		}
+	}
+	if m, ok := s.marks[db]; ok {
+		st.Epoch = m.epoch
+		st.MutationsSinceEpoch = m.dirty
+	}
 	return st, nil
 }

@@ -58,7 +58,7 @@ func (o walOp) String() string {
 //	WritePath:    Name, Leaf, Cts
 //	WriteBuckets: Name, N (bucketStart), Cts
 //	Delete:       Name
-//	Checkpoint:   N (epoch)
+//	Checkpoint:   Name (database namespace, "" = root), N (epoch)
 type walRecord struct {
 	Op     walOp
 	Name   string
@@ -168,7 +168,10 @@ func replayWAL(s *Server, records []*walRecord) error {
 				err = derr
 			}
 		case walCheckpoint:
-			err = s.Checkpoint(rec.N)
+			// Name carries the database namespace; records written before
+			// multi-tenancy have Name == "" and replay as root checkpoints,
+			// exactly as they always did.
+			err = s.CheckpointNS(rec.Name, rec.N)
 		default:
 			err = fmt.Errorf("unknown op %v", rec.Op)
 		}

@@ -19,6 +19,16 @@ import (
 // shutdown: Shutdown stops accepting, lets in-flight requests finish within
 // a grace period, and only then closes the connections — so a long
 // oblivious run is never cut off mid-request by an operator signal.
+//
+// A Server is multi-tenant: a connection that opens with a session
+// handshake (see ClientConfig.Database) is authenticated and admitted by
+// the session registry, and every request it sends afterwards is scoped to
+// its database namespace and gated by admission control — budget overruns
+// are shed with a retryable store.ErrOverloaded rather than queued.
+// Connections that never handshake keep the original single-tenant
+// behaviour (root namespace, no admission) unless the limits require a
+// token, in which case their requests are refused with
+// store.ErrUnauthorized.
 type Server struct {
 	svc store.Service
 
@@ -27,10 +37,14 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
+	limits   store.SessionLimits
+	registry *store.SessionRegistry
+
 	inflight atomic.Int64 // requests decoded but not yet answered
 
 	// Telemetry handles, all nil until SetMetrics; serveConn checks rpcLat
 	// once per connection so the metrics-off path is a single nil test.
+	telReg        *telemetry.Registry
 	rpcLat        *[numKinds]*telemetry.Histogram
 	inflightGauge *telemetry.Gauge
 	bytesIn       *telemetry.Counter
@@ -38,10 +52,26 @@ type Server struct {
 	connsGauge    *telemetry.Gauge
 }
 
-// NewServer wraps a service for serving over TCP.
+// NewServer wraps a service for serving over TCP. The zero session limits
+// impose no admission control; see SetSessionLimits.
 func NewServer(svc store.Service) *Server {
-	return &Server{svc: svc, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		svc:      svc,
+		conns:    make(map[net.Conn]struct{}),
+		registry: store.NewSessionRegistry(store.SessionLimits{}, nil),
+	}
 }
+
+// SetSessionLimits installs admission-control limits, rebuilding the
+// session registry. Call before Serve (live sessions do not carry over).
+func (s *Server) SetSessionLimits(limits store.SessionLimits) {
+	s.limits = limits
+	s.registry = store.NewSessionRegistry(limits, s.telReg)
+}
+
+// Sessions exposes the session registry (active counts, shed counters) for
+// tests and operator endpoints.
+func (s *Server) Sessions() *store.SessionRegistry { return s.registry }
 
 // SetMetrics attaches a telemetry registry: per-RPC server-side latency
 // (oblivfd_rpc_seconds{op=...}), the in-flight request gauge
@@ -54,11 +84,13 @@ func (s *Server) SetMetrics(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	s.telReg = reg
 	s.rpcLat = rpcHistograms(reg, "oblivfd_rpc_seconds")
 	s.inflightGauge = reg.Gauge("oblivfd_rpc_inflight")
 	s.connsGauge = reg.Gauge("oblivfd_conns_open")
 	s.bytesIn = reg.Counter("oblivfd_net_rx_bytes_total")
 	s.bytesOut = reg.Counter("oblivfd_net_tx_bytes_total")
+	s.registry = store.NewSessionRegistry(s.limits, reg)
 }
 
 // countingConn counts wire bytes as they cross the gob codecs.
@@ -88,6 +120,26 @@ func (s *Server) Serve(l net.Listener) error {
 	s.mu.Unlock()
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	if idle := s.registry.Limits().IdleTimeout; idle > 0 {
+		// Reclaim idle sessions even when the server is not at capacity, so
+		// an abandoned tenant's connection does not pin a session slot.
+		stop := make(chan struct{})
+		defer close(stop)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(idle / 2)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					s.registry.SweepIdle()
+				}
+			}
+		}()
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -122,8 +174,52 @@ func (s *Server) ActiveConns() int {
 	return len(s.conns)
 }
 
+// connState is one connection's session binding: nil until a handshake
+// succeeds, after which svc is the namespaced view every request dispatches
+// through.
+type connState struct {
+	sess      *store.Session
+	svc       store.Service
+	tenantLat *telemetry.Histogram
+}
+
+// handleHello authenticates and admits a session handshake, binding the
+// connection to its database namespace. A repeated handshake on the same
+// connection replaces the previous session (the client only re-handshakes
+// on a fresh connection, but a replaced session must not leak a slot).
+func (s *Server) handleHello(conn net.Conn, cs *connState, req *request) *response {
+	var resp response
+	if cs.sess != nil {
+		cs.sess.Close()
+		cs.sess, cs.svc, cs.tenantLat = nil, nil, nil
+	}
+	sess, err := s.registry.Open(req.Name, req.Token)
+	if err != nil {
+		resp.Err, resp.Code = encodeErr(err)
+		return &resp
+	}
+	// Eviction (idle sweep) closes the connection; the self-healing client
+	// answers by re-dialing and re-handshaking, so an evicted tenant that
+	// returns gets a fresh session transparently.
+	sess.OnEvict(func() { conn.Close() })
+	cs.sess = sess
+	cs.svc = store.Namespaced(s.svc, sess.DB)
+	if s.telReg != nil {
+		db := sess.DB
+		if db == "" {
+			db = "root"
+		}
+		cs.tenantLat = s.telReg.Histogram("oblivfd_tenant_rpc_seconds", "db", db)
+	}
+	return &resp
+}
+
 func (s *Server) serveConn(conn net.Conn) {
+	var cs connState
 	defer func() {
+		if cs.sess != nil {
+			cs.sess.Close()
+		}
 		s.track(conn, false)
 		conn.Close()
 		s.connsGauge.Add(-1)
@@ -135,6 +231,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	dec := gob.NewDecoder(rw)
 	enc := gob.NewEncoder(rw)
+	needToken := s.registry.Limits().Token != ""
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
@@ -143,12 +240,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.inflight.Add(1)
 		s.inflightGauge.Add(1)
 		var t0 time.Time
-		if s.rpcLat != nil {
+		if s.rpcLat != nil || cs.tenantLat != nil {
 			t0 = time.Now()
 		}
-		resp := dispatch(s.svc, &req)
+		var resp *response
+		switch {
+		case req.Kind == kindHello:
+			resp = s.handleHello(conn, &cs, &req)
+		case cs.sess != nil:
+			// Admission: budget overruns and rate-limit hits are shed with
+			// a retryable error before the backend sees the request.
+			if release, err := cs.sess.Begin(); err != nil {
+				resp = &response{}
+				resp.Err, resp.Code = encodeErr(err)
+			} else {
+				resp = dispatch(cs.svc, &req)
+				release()
+			}
+		case needToken:
+			resp = &response{}
+			resp.Err, resp.Code = encodeErr(fmt.Errorf(
+				"%w: server requires a session handshake with a token", store.ErrUnauthorized))
+		default:
+			// Sessionless connection on an open server: the original
+			// single-tenant path, byte-for-byte.
+			resp = dispatch(s.svc, &req)
+		}
 		if s.rpcLat != nil && req.Kind < numKinds {
 			s.rpcLat[req.Kind].ObserveSince(t0)
+		}
+		if cs.tenantLat != nil && req.Kind != kindHello {
+			cs.tenantLat.ObserveSince(t0)
 		}
 		err := enc.Encode(resp)
 		s.inflight.Add(-1)
@@ -159,28 +281,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
-		if draining {
+		if draining && cs.sess == nil {
 			return // answered the in-flight request; take no more
 		}
+		// A session connection keeps serving through a drain: fair shutdown
+		// lets admitted tenants finish while the registry refuses newcomers;
+		// Shutdown force-closes whatever outlives the grace period.
 	}
 }
 
-// Shutdown stops accepting new connections and drains: requests already
-// being served get up to grace to finish (each connection closes right
-// after its current response), then any remaining connections are closed.
-// It returns the number of connections that were still active when the
-// drain began.
+// Shutdown stops accepting new connections and drains fairly: the session
+// registry refuses new handshakes (retryable ErrOverloaded, so refused
+// clients back off and find a replacement server), sessionless connections
+// close right after their current response, and session connections keep
+// serving so admitted tenants can finish their runs — up to grace, after
+// which any remaining connections are force-closed. It returns the number
+// of connections that were still active when the drain began.
 func (s *Server) Shutdown(grace time.Duration) int {
 	s.mu.Lock()
 	s.draining = true
 	l := s.listener
 	active := len(s.conns)
 	s.mu.Unlock()
+	s.registry.Drain()
 	if l != nil {
 		_ = l.Close()
 	}
 	deadline := time.Now().Add(grace)
-	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+	for (s.inflight.Load() > 0 || s.registry.Active() > 0) && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	s.mu.Lock()

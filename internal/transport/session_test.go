@@ -1,0 +1,327 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// startSessionServer runs a multi-tenant transport server with the given
+// admission limits and returns it with its backend and address.
+func startSessionServer(t *testing.T, limits store.SessionLimits) (*Server, *store.Server, string) {
+	t.Helper()
+	backend := store.NewServer()
+	srv := NewServer(backend)
+	srv.SetSessionLimits(limits)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { l.Close() })
+	return srv, backend, l.Addr().String()
+}
+
+// sessionClientConfig returns fast-redial client settings bound to a tenant.
+func sessionClientConfig(db, token string) ClientConfig {
+	cfg := DefaultClientConfig()
+	cfg.CallTimeout = 5 * time.Second
+	cfg.DialTimeout = 2 * time.Second
+	cfg.Redials = 5
+	cfg.RedialBackoff = time.Millisecond
+	cfg.RedialMaxBackoff = 20 * time.Millisecond
+	cfg.Database = db
+	cfg.Token = token
+	return cfg
+}
+
+// TestSessionHandshakeNamespacesKeys: two handshaked tenants with identical
+// object names land in disjoint backend namespaces; a sessionless client
+// stays in the root namespace.
+func TestSessionHandshakeNamespacesKeys(t *testing.T) {
+	_, backend, addr := startSessionServer(t, store.SessionLimits{})
+
+	alpha, err := DialWith(addr, sessionClientConfig("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer alpha.Close()
+	beta, err := DialWith(addr, sessionClientConfig("beta", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer beta.Close()
+	root, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+
+	if err := alpha.CreateArray("arr", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := beta.CreateArray("arr", 5); err != nil {
+		t.Fatalf("same name in second tenant: %v", err)
+	}
+	if err := root.CreateArray("arr", 7); err != nil {
+		t.Fatalf("same name in root namespace: %v", err)
+	}
+	if n, err := alpha.ArrayLen("arr"); err != nil || n != 3 {
+		t.Errorf("alpha ArrayLen = %d, %v; want 3", n, err)
+	}
+	if n, err := beta.ArrayLen("arr"); err != nil || n != 5 {
+		t.Errorf("beta ArrayLen = %d, %v; want 5", n, err)
+	}
+	if n, err := backend.ArrayLen("arr"); err != nil || n != 7 {
+		t.Errorf("root ArrayLen = %d, %v; want 7", n, err)
+	}
+	if n, err := backend.ArrayLen("alpha/arr"); err != nil || n != 3 {
+		t.Errorf("backend alpha/arr = %d, %v; want 3 (prefix not applied)", n, err)
+	}
+
+	// Per-tenant Stats sees only the tenant's own objects and marks.
+	if err := alpha.Checkpoint(9); err != nil {
+		t.Fatal(err)
+	}
+	st, err := alpha.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 1 || st.Epoch != 9 {
+		t.Errorf("alpha Stats = %d objects epoch %d, want 1/9", st.Objects, st.Epoch)
+	}
+	if st, err := beta.Stats(); err != nil || st.Epoch != 0 {
+		t.Errorf("beta Stats epoch = %d, %v; want 0 (alpha's checkpoint leaked)", st.Epoch, err)
+	}
+}
+
+// TestSessionTokenRequired: with a token configured, bad handshakes and
+// sessionless requests are refused with the fatal ErrUnauthorized — and the
+// typed error survives the wire.
+func TestSessionTokenRequired(t *testing.T) {
+	_, _, addr := startSessionServer(t, store.SessionLimits{Token: "s3cret"})
+
+	if _, err := DialWith(addr, sessionClientConfig("alpha", "wrong")); !errors.Is(err, store.ErrUnauthorized) {
+		t.Fatalf("bad token dial: err = %v, want ErrUnauthorized", err)
+	}
+
+	// A sessionless client connects (no handshake to refuse) but every
+	// request is rejected.
+	root, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close()
+	if err := root.CreateArray("arr", 1); !errors.Is(err, store.ErrUnauthorized) {
+		t.Fatalf("sessionless request: err = %v, want ErrUnauthorized", err)
+	}
+
+	good, err := DialWith(addr, sessionClientConfig("alpha", "s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.CreateArray("arr", 1); err != nil {
+		t.Fatalf("authenticated request: %v", err)
+	}
+}
+
+// TestSessionCapacityShedsHandshake: at MaxSessions the next handshake is
+// refused with the retryable ErrOverloaded, and a freed slot admits it.
+func TestSessionCapacityShedsHandshake(t *testing.T) {
+	srv, _, addr := startSessionServer(t, store.SessionLimits{MaxSessions: 1})
+
+	first, err := DialWith(addr, sessionClientConfig("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialWith(addr, sessionClientConfig("beta", "")); !errors.Is(err, store.ErrOverloaded) {
+		t.Fatalf("over capacity: err = %v, want ErrOverloaded", err)
+	}
+	first.Close()
+	// The session slot frees when the server notices the closed conn.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions().Active() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	second, err := DialWith(addr, sessionClientConfig("beta", ""))
+	if err != nil {
+		t.Fatalf("after slot freed: %v", err)
+	}
+	second.Close()
+	if got := srv.Sessions().Rejected(); got == 0 {
+		t.Error("Rejected() = 0, want at least 1")
+	}
+}
+
+// TestSessionRateLimitSheds: a rate-limited session gets ErrOverloaded on
+// the wire once its burst is spent, and store.WithRetry rides through the
+// shedding to finish the work.
+func TestSessionRateLimitSheds(t *testing.T) {
+	srv, _, addr := startSessionServer(t, store.SessionLimits{RatePerSec: 5, Burst: 2})
+
+	c, err := DialWith(addr, sessionClientConfig("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("arr", 4); err != nil {
+		t.Fatalf("first request within burst: %v", err)
+	}
+	if _, err := c.ArrayLen("arr"); err != nil {
+		t.Fatalf("second request within burst: %v", err)
+	}
+	// Burst spent; at 5 req/s the next immediate request must be shed.
+	if _, err := c.ArrayLen("arr"); !errors.Is(err, store.ErrOverloaded) {
+		t.Fatalf("over rate: err = %v, want ErrOverloaded", err)
+	}
+	if got := srv.Sessions().Shed(); got == 0 {
+		t.Error("Shed() = 0 after a shed request")
+	}
+	// The retry stack classifies the shed as retryable and succeeds once a
+	// token refills.
+	retried := store.WithRetry(c, store.RetryPolicy{
+		MaxAttempts:    20,
+		InitialBackoff: 50 * time.Millisecond,
+		MaxBackoff:     500 * time.Millisecond,
+	})
+	if _, err := retried.ArrayLen("arr"); err != nil {
+		t.Fatalf("retry through shedding: %v", err)
+	}
+	st, err := retried.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Retries == 0 {
+		t.Error("Stats.Retries = 0; the shed path was never exercised by the retry stack")
+	}
+}
+
+// TestSessionDrainRefusesNewcomers: a draining server keeps serving its
+// admitted session but refuses new handshakes with the retryable error.
+func TestSessionDrainRefusesNewcomers(t *testing.T) {
+	srv, _, addr := startSessionServer(t, store.SessionLimits{})
+
+	c, err := DialWith(addr, sessionClientConfig("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("arr", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Sessions().Drain()
+	if _, err := DialWith(addr, sessionClientConfig("beta", "")); !errors.Is(err, store.ErrOverloaded) {
+		t.Fatalf("handshake during drain: err = %v, want ErrOverloaded", err)
+	}
+	// The admitted tenant finishes its work.
+	if n, err := c.ArrayLen("arr"); err != nil || n != 1 {
+		t.Errorf("admitted session during drain: %d, %v", n, err)
+	}
+}
+
+// TestSessionEvictionRehandshake: an idle-evicted session's connection is
+// closed server-side; the self-healing client re-dials, re-handshakes, and
+// continues in the same namespace without the caller noticing.
+func TestSessionEvictionRehandshake(t *testing.T) {
+	srv, backend, addr := startSessionServer(t, store.SessionLimits{IdleTimeout: 10 * time.Millisecond})
+
+	c, err := DialWith(addr, sessionClientConfig("alpha", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("arr", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the session go idle past the timeout, then evict it (the server's
+	// periodic sweeper would do the same; calling it directly keeps the test
+	// deterministic).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions().Evicted() == 0 && time.Now().Before(deadline) {
+		time.Sleep(15 * time.Millisecond)
+		srv.Sessions().SweepIdle()
+	}
+	if srv.Sessions().Evicted() == 0 {
+		t.Fatal("session never evicted")
+	}
+
+	// The next call rides the redial + re-handshake path transparently.
+	if n, err := c.ArrayLen("arr"); err != nil || n != 2 {
+		t.Fatalf("call after eviction = %d, %v; want 2", n, err)
+	}
+	if n, err := backend.ArrayLen("alpha/arr"); err != nil || n != 2 {
+		t.Errorf("namespace lost across re-handshake: %d, %v", n, err)
+	}
+	if c.Reconnects() == 0 {
+		t.Error("Reconnects() = 0; the eviction never forced a redial")
+	}
+}
+
+// killFirstListener closes the first n accepted connections immediately,
+// modeling a drop that lands between connect and hello.
+type killFirstListener struct {
+	net.Listener
+	mu sync.Mutex
+	n  int
+}
+
+func (l *killFirstListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	kill := l.n > 0
+	if kill {
+		l.n--
+	}
+	l.mu.Unlock()
+	if kill {
+		conn.Close()
+	}
+	return conn, err
+}
+
+// TestSessionDialHandshakeRidesOutDrops: a connection severed during the
+// initial handshake consumes redial budget instead of failing the dial; the
+// server verdict path (bad token) still fails immediately.
+func TestSessionDialHandshakeRidesOutDrops(t *testing.T) {
+	backend := store.NewServer()
+	srv := NewServer(backend)
+	srv.SetSessionLimits(store.SessionLimits{Token: "secret"})
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l := &killFirstListener{Listener: inner, n: 2}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { inner.Close() })
+	addr := inner.Addr().String()
+
+	c, err := DialWith(addr, sessionClientConfig("alpha", "secret"))
+	if err != nil {
+		t.Fatalf("dial through dropped handshakes: %v", err)
+	}
+	defer c.Close()
+	if err := c.CreateArray("arr", 2); err != nil {
+		t.Fatalf("CreateArray after healed handshake: %v", err)
+	}
+	if _, err := backend.ArrayLen("alpha/arr"); err != nil {
+		t.Errorf("namespace lost: %v", err)
+	}
+	if c.Reconnects() < 2 {
+		t.Errorf("Reconnects() = %d, want >= 2 (both kills should be redialed)", c.Reconnects())
+	}
+
+	// A server verdict must not burn redials: bad token fails at once.
+	if _, err := DialWith(addr, sessionClientConfig("alpha", "wrong")); !errors.Is(err, store.ErrUnauthorized) {
+		t.Fatalf("bad token dial = %v, want ErrUnauthorized", err)
+	}
+}

@@ -19,6 +19,17 @@
 // Every request/response crossing the wire carries only what the persistent
 // adversary is allowed to see anyway: object names, indices, and
 // ciphertexts.
+//
+// Multi-tenancy: a client configured with a Database (and optionally a
+// Token) opens its connection with a session handshake (kindHello). The
+// server authenticates it, admits it against the session budget, and scopes
+// every subsequent request on that connection to the database's namespace —
+// object names are prefixed server-side, so N clients on M databases share
+// one backend without key collisions. The handshake is replayed after every
+// re-dial, so a self-healed connection rejoins its namespace before any
+// request is re-sent. Connections that never handshake behave exactly as
+// before (root namespace, no admission control) unless the server requires
+// a token.
 package transport
 
 import (
@@ -53,6 +64,7 @@ const (
 	kindStats
 	kindCheckpoint
 	kindBatch
+	kindHello // session handshake: Name = database namespace, Token = auth
 	numKinds
 )
 
@@ -61,7 +73,7 @@ const (
 var kindNames = [numKinds]string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
-	"Delete", "Reveal", "Stats", "Checkpoint", "Batch",
+	"Delete", "Reveal", "Stats", "Checkpoint", "Batch", "Hello",
 }
 
 // rpcHistograms pre-creates one latency histogram per RPC kind so the
@@ -89,6 +101,7 @@ type request struct {
 	Leaf   uint32
 	Value  int64
 	Ops    []store.BatchOp
+	Token  string // session auth token (kindHello only)
 }
 
 // errCode identifies a store sentinel error on the wire, so errors.Is keeps
@@ -108,6 +121,8 @@ const (
 	codeServerKilled
 	codeNoSuchEpoch
 	codeIntegrity
+	codeOverloaded
+	codeUnauthorized
 )
 
 // codeSentinel maps wire codes back to the sentinel errors they stand for.
@@ -122,6 +137,8 @@ var codeSentinel = map[errCode]error{
 	codeServerKilled:    store.ErrServerKilled,
 	codeNoSuchEpoch:     store.ErrNoSuchEpoch,
 	codeIntegrity:       store.ErrIntegrity,
+	codeOverloaded:      store.ErrOverloaded,
+	codeUnauthorized:    store.ErrUnauthorized,
 }
 
 // sentinelCodes is the classification order for encoding: most specific
@@ -144,6 +161,8 @@ var sentinelCodes = []struct {
 	{codeServerKilled, store.ErrServerKilled},
 	{codeNoSuchEpoch, store.ErrNoSuchEpoch},
 	{codeIntegrity, store.ErrIntegrity},
+	{codeOverloaded, store.ErrOverloaded},
+	{codeUnauthorized, store.ErrUnauthorized},
 }
 
 // encodeErr flattens an error for the wire, preserving its most specific
@@ -267,6 +286,19 @@ type ClientConfig struct {
 	// with the shared series oblivfd_client_reconnects_total, so every
 	// client and pool built from this config reports into one place.
 	Metrics *telemetry.Registry
+	// Database, when non-empty, opens a session handshake binding this
+	// connection to the named database namespace: the server prefixes every
+	// object name with "<Database>/", isolating this client from other
+	// tenants. Empty means the root namespace with no handshake (the
+	// single-tenant behaviour). Each pooled connection opens its own
+	// session, so a pool of size P counts P sessions against the server's
+	// -max-sessions budget.
+	Database string
+	// Token is the auth token presented in the session handshake. Required
+	// when the server was started with -session-token; a mismatch fails the
+	// dial with store.ErrUnauthorized. Setting only Token (no Database)
+	// still opens a session, bound to the root namespace.
+	Token string
 }
 
 // DefaultClientConfig returns the defaults documented on ClientConfig.
@@ -345,7 +377,43 @@ func DialWith(addr string, cfg ClientConfig) (*Client, error) {
 		c.shared = true
 		c.lat = rpcHistograms(cfg.Metrics, "oblivfd_rpc_client_seconds")
 	}
+	if c.sessioned() {
+		if err := c.dialHandshake(); err != nil {
+			return nil, fmt.Errorf("transport: session handshake with %s: %w", addr, err)
+		}
+	}
 	return c, nil
+}
+
+// dialHandshake runs the initial session handshake, re-dialing on transient
+// transport failures (an injected drop can land between connect and hello,
+// exactly like mid-call). Server verdicts — bad credentials, admission
+// refusal — return immediately: retrying those inside Dial would hide the
+// typed error the caller's retry layer is meant to see.
+func (c *Client) dialHandshake() error {
+	redials := 0
+	for {
+		err := c.handshakeLocked()
+		if err == nil {
+			return nil
+		}
+		c.dropConnLocked()
+		if errors.Is(err, store.ErrUnauthorized) || errors.Is(err, store.ErrOverloaded) {
+			return err
+		}
+		if redials >= c.cfg.Redials || c.cfg.Redials < 0 {
+			return err
+		}
+		backoff := c.cfg.RedialBackoff << redials
+		if backoff > c.cfg.RedialMaxBackoff {
+			backoff = c.cfg.RedialMaxBackoff
+		}
+		time.Sleep(backoff)
+		redials++
+		if derr := c.redialLocked(); derr != nil {
+			return fmt.Errorf("transport: dial %s: %w: %w", c.addr, store.ErrUnavailable, derr)
+		}
+	}
 }
 
 // NewClient wraps an established connection. A client built this way does
@@ -411,10 +479,42 @@ func (c *Client) redialLocked() error {
 	return nil
 }
 
+// sessioned reports whether this client opens a session handshake on each
+// connection.
+func (c *Client) sessioned() bool {
+	return c.cfg.Database != "" || c.cfg.Token != ""
+}
+
+// handshakeLocked performs the session handshake on the current connection:
+// it announces the database namespace and auth token and waits for the
+// server's verdict. Called after the initial dial and after every re-dial,
+// so a self-healed connection always rejoins its namespace before any
+// request is re-sent. Caller holds c.mu (or has exclusive access during
+// dial).
+func (c *Client) handshakeLocked() error {
+	if c.cfg.CallTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+	}
+	req := request{Kind: kindHello, Name: c.cfg.Database, Token: c.cfg.Token}
+	if err := c.enc.Encode(&req); err != nil {
+		return fmt.Errorf("transport: handshake send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return fmt.Errorf("transport: handshake receive: %w", err)
+	}
+	return decodeErr(resp.Code, resp.Err)
+}
+
 // reconcileResend resolves the create/delete ambiguity after a resend: if
 // the first attempt's acknowledgement was lost but the operation applied,
-// the resend's semantic error proves it (single-client system; see the
-// package comment).
+// the resend's semantic error proves it. The inference is scoped to the
+// session's database namespace — the handshake binds this connection to one
+// database, every name it sends is prefixed into that namespace
+// server-side, and each database has a single writing client (see
+// store.RetryService) — so a concurrent tenant in another namespace can
+// never be the one that created or deleted the object and the verdict is
+// unambiguous.
 func reconcileResend(k kind, err error) bool {
 	switch k {
 	case kindCreateArray, kindCreateTree:
@@ -451,6 +551,19 @@ func (c *Client) call(req *request) (*response, error) {
 			if err := c.redialLocked(); err != nil {
 				lastErr = err
 				continue
+			}
+			if c.sessioned() {
+				if herr := c.handshakeLocked(); herr != nil {
+					c.dropConnLocked()
+					if errors.Is(herr, store.ErrUnauthorized) {
+						// Re-presenting the same credentials cannot
+						// succeed; fail the call instead of burning the
+						// redial budget.
+						return nil, fmt.Errorf("transport: session handshake: %w", herr)
+					}
+					lastErr = herr
+					continue
+				}
 			}
 		}
 		if c.cfg.CallTimeout > 0 {

@@ -156,6 +156,13 @@ var (
 	// wrong bytes — and discovery aborts with the lattice level and
 	// attribute set that tripped the check.
 	ErrIntegrity = store.ErrIntegrity
+	// ErrOverloaded marks a request shed by a multi-tenant server's
+	// admission control (session budget, in-flight budget, or rate limit).
+	// The work was never executed, so WithRetry retries it safely.
+	ErrOverloaded = store.ErrOverloaded
+	// ErrUnauthorized marks a rejected session handshake (bad token or
+	// invalid database name). It is never retried.
+	ErrUnauthorized = store.ErrUnauthorized
 )
 
 // WithFaults wraps a service with seeded, deterministic fault injection:
@@ -202,6 +209,35 @@ func DialTCPPool(addr string, size int, cfg ClientConfig) (*transport.Pool, erro
 // NewTCPServer wraps a service for serving over TCP with graceful
 // shutdown: Shutdown(grace) drains in-flight requests before closing.
 func NewTCPServer(svc Service) *transport.Server { return transport.NewServer(svc) }
+
+// Multi-tenancy. One fdserver can host many independent databases: a client
+// that sets ClientConfig.Database (and Token, if the server requires one)
+// opens a session bound to that namespace, and every storage key it touches
+// is transparently prefixed — tenants cannot observe or collide with each
+// other's objects. Admission control (SessionLimits) sheds work beyond the
+// configured budgets with the retryable ErrOverloaded instead of queuing,
+// so an overloaded server degrades gracefully rather than falling over.
+// The adversary's view of the multi-tenant server is the union of the
+// per-tenant traces plus their interleaving; each tenant's own trace keeps
+// the single-tenant leakage profile L(DB) (DESIGN.md §12).
+type (
+	// SessionLimits configures a multi-tenant server's admission control
+	// (Server.SetSessionLimits). The zero value imposes no limits.
+	SessionLimits = store.SessionLimits
+	// SessionRegistry tracks live sessions and admission counters.
+	SessionRegistry = store.SessionRegistry
+)
+
+// Namespaced scopes a Service to a database namespace: every object name,
+// batch operation, and reveal tag is prefixed with db + "/". An empty db
+// returns svc unchanged (the root namespace). The TCP server applies this
+// automatically to handshaked sessions; use it directly to host multiple
+// tenants on an in-process server.
+func Namespaced(svc Service, db string) Service { return store.Namespaced(svc, db) }
+
+// ValidDBName reports whether db is an acceptable database namespace name
+// ([A-Za-z0-9._-]+, at most 128 bytes).
+func ValidDBName(db string) bool { return store.ValidDBName(db) }
 
 // Protocol selects the attribute-level partition method.
 type Protocol int
