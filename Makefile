@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash tamper bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper failover bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline failover-baseline clean
 
 all: build vet test
 
@@ -30,9 +30,10 @@ test-short:
 	$(GO) test -short ./...
 
 # The race detector needs more than one core to be interesting, but still
-# catches ordering bugs on one.
+# catches ordering bugs on one. -shuffle=on randomizes test order so suites
+# that accidentally depend on a predecessor's state fail loudly.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Crash-injection suite: kill the server at seeded WAL offsets and the
 # client between lattice levels, recover, and require identical results.
@@ -48,6 +49,21 @@ crash:
 tamper:
 	$(GO) test -race -count=1 -run 'Tamper' .
 	$(GO) test -race -count=1 ./internal/crypto/ ./internal/oram/ ./internal/obsort/ ./internal/transport/
+
+# Replication and failover chaos suite: kill the primary of a 3-node
+# cluster at seeded WAL offsets mid-discovery and require the failover
+# client to promote a replica and finish with the identical FD set; plus
+# the per-layer properties (stream integrity, fencing, promotion).
+# -race because promotion and WAL shipping cross the replication locks.
+failover:
+	$(GO) test -race -count=1 -run 'Failover' .
+	$(GO) test -race -count=1 -run 'Replic|Fenc|Shipping|DownReplica|MalformedFence' ./internal/store/
+	$(GO) test -race -count=1 -run 'Failover|Repl' ./internal/transport/
+
+# Regenerate the committed failover baseline (replica-count sweep and
+# kill-the-primary recovery timings) at the recorded settings.
+failover-baseline:
+	$(GO) run ./cmd/fdbench -exp failover -failover-out BENCH_failover.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

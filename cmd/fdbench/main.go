@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|multitenant|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|multitenant|failover|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -42,10 +42,11 @@ func main() {
 		dbs     = flag.Int("dbs", 2, "database namespaces the multitenant experiment's clients spread over")
 		mtInfl  = flag.Int("mt-inflight", 4, "global in-flight request budget for the multitenant experiment's server")
 		mtOut   = flag.String("mt-out", "", "write the multitenant experiment's client sweep to this JSON file (e.g. BENCH_multitenant.json)")
+		foOut   = flag.String("failover-out", "", "write the failover experiment's replica sweep and recovery timings to this JSON file (e.g. BENCH_failover.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut, *foOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -75,12 +76,13 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut string) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut, failoverOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
 	var scalingResult *bench.ScalingResult
 	var mtResult *bench.MultiTenantResult
+	var foResult *bench.FailoverResult
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -119,6 +121,11 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			mtResult = r
 			return r, err
 		}},
+		{"failover", func() (renderer, error) {
+			r, err := bench.Failover(minn*2, []int{0, 1, 2}, seed)
+			foResult = r
+			return r, err
+		}},
 	}
 
 	ran := 0
@@ -154,6 +161,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return fmt.Errorf("writing %s: %w", mtOut, err)
 		}
 		fmt.Printf("wrote %s (%d points)\n", mtOut, len(mtResult.Points))
+	}
+	if failoverOut != "" && foResult != nil {
+		if err := foResult.WriteFile(failoverOut); err != nil {
+			return fmt.Errorf("writing %s: %w", failoverOut, err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", failoverOut, len(foResult.Points))
 	}
 	return nil
 }

@@ -53,14 +53,14 @@ func TestSweep(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
 	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry", "multitenant"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, ""); err != nil {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", []int{1}, 2, 2, ""); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", []int{1}, 2, 2, "", ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -100,7 +100,7 @@ func TestRunTelemetryArtifact(t *testing.T) {
 // batched-vs-unbatched rounds comparison.
 func TestRunScalingArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scaling.json")
-	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out, []int{1}, 2, 2, ""); err != nil {
+	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out, []int{1}, 2, 2, "", ""); err != nil {
 		t.Fatalf("run(scaling): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -131,7 +131,7 @@ func TestRunScalingArtifact(t *testing.T) {
 // and shed accounting per point.
 func TestRunMultiTenantArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_multitenant.json")
-	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1, 2}, 2, 2, out); err != nil {
+	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1, 2}, 2, 2, out, ""); err != nil {
 		t.Fatalf("run(multitenant): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -152,5 +152,37 @@ func TestRunMultiTenantArtifact(t *testing.T) {
 		if pt.Shed > 0 && pt.ShedRate <= 0 {
 			t.Errorf("point clients=%d shed %d but rate %f", pt.Clients, pt.Shed, pt.ShedRate)
 		}
+	}
+}
+
+// TestRunFailoverArtifact: -failover-out writes the replica-count sweep and
+// the kill-the-primary recovery timings.
+func TestRunFailoverArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_failover.json")
+	if err := run("failover", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", out); err != nil {
+		t.Fatalf("run(failover): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.FailoverResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Points) != 3 { // replica counts 0, 1, 2
+		t.Fatalf("artifact has %d points, want 3", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.WallNS <= 0 || pt.Slowdown <= 0 {
+			t.Errorf("point replicas=%d missing wall time or slowdown", pt.Replicas)
+		}
+	}
+	if res.CleanWallNS <= 0 || res.KillWallNS <= 0 || res.RecoveryNS <= 0 {
+		t.Errorf("cluster timings = clean %d, killed %d, recovery %d; want all > 0",
+			res.CleanWallNS, res.KillWallNS, res.RecoveryNS)
+	}
+	if res.Failovers < 1 {
+		t.Errorf("failovers = %d, want >= 1 (the kill point must have fired)", res.Failovers)
 	}
 }

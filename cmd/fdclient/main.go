@@ -5,6 +5,11 @@
 //
 //	fdclient -server localhost:7066 -protocol sort data.csv
 //
+// Against a replicated group, -servers lists every member; the client finds
+// the primary and fails over (promoting the freshest replica) if it dies:
+//
+//	fdclient -servers host1:7066,host2:7066,host3:7066 data.csv
+//
 // The transport is fault tolerant: every call carries a deadline
 // (-call-timeout), dropped connections re-dial with backoff (-redials),
 // and transient server failures are retried (-retries) — so a long run
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/oblivfd/oblivfd/securefd"
@@ -31,11 +37,13 @@ type options struct {
 	redials     int           // reconnection attempts per call
 	db          string        // database namespace on a multi-tenant server
 	token       string        // session auth token
+	servers     string        // comma-separated replicated fdserver addresses
 }
 
 func main() {
 	var o options
 	server := flag.String("server", "localhost:7066", "fdserver address")
+	flag.StringVar(&o.servers, "servers", "", "comma-separated addresses of a replicated fdserver group; the client follows the primary across failures (overrides -server)")
 	flag.StringVar(&o.protoName, "protocol", "sort", "sort|or-oram|ex-oram")
 	flag.IntVar(&o.workers, "workers", 1, "sorting parallelism degree")
 	flag.IntVar(&o.maxLHS, "max-lhs", 0, "bound determinant size (0 = unbounded)")
@@ -80,11 +88,30 @@ func run(server string, o options, path string) error {
 	if poolSize <= 0 {
 		poolSize = o.workers
 	}
-	conn, err := securefd.DialTCPPool(server, poolSize, cfg)
-	if err != nil {
-		return err
+	var conn securefd.Service
+	var closeConn func() error
+	if o.servers != "" {
+		var addrs []string
+		for _, a := range strings.Split(o.servers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		fo, err := securefd.DialTCPFailover(addrs, poolSize, cfg)
+		if err != nil {
+			return err
+		}
+		primary, fence := fo.Primary()
+		server = fmt.Sprintf("%s (fence %d, %d servers)", primary, fence, len(addrs))
+		conn, closeConn = fo, fo.Close
+	} else {
+		pool, err := securefd.DialTCPPool(server, poolSize, cfg)
+		if err != nil {
+			return err
+		}
+		conn, closeConn = pool, pool.Close
 	}
-	defer conn.Close()
+	defer closeConn()
 	svc := securefd.WithRetry(conn, securefd.RetryPolicy{MaxAttempts: o.retries})
 
 	fmt.Printf("uploading %d×%d cells encrypted to %s…\n", rel.NumRows(), rel.NumAttrs(), server)

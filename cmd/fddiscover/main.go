@@ -11,6 +11,12 @@
 //
 //	fddiscover -connect localhost:7066 -protocol sort data.csv
 //
+// -servers points at a replicated fdserver group instead: the client probes
+// for the primary and, if it dies mid-run, promotes the freshest replica
+// (with a higher fencing epoch) and continues where it left off:
+//
+//	fddiscover -servers host1:7066,host2:7066,host3:7066 data.csv
+//
 // The in-process server can model a remote deployment: -rtt adds
 // per-operation latency, and -fault-rate injects seeded transient storage
 // failures that the client rides out with -retries (demonstrating the
@@ -35,10 +41,22 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/oblivfd/oblivfd/securefd"
 )
+
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
 
 // options collects the run knobs so flags extend without churn.
 type options struct {
@@ -57,6 +75,7 @@ type options struct {
 	ckptPath    string // client checkpoint file, written at level boundaries
 	resume      string // checkpoint file to continue from
 	connect     string // remote fdserver address; empty = in-process server
+	servers     string // comma-separated replicated fdserver addresses (failover)
 	db          string // database namespace on a multi-tenant server
 	token       string // session auth token
 	telemetry   bool   // print a per-phase breakdown after discovery
@@ -80,6 +99,7 @@ func main() {
 	flag.StringVar(&o.ckptPath, "checkpoint", "", "write a client recovery file here at every completed lattice level (or-oram/ex-oram only)")
 	flag.StringVar(&o.resume, "resume", "", "continue a crashed run from this checkpoint file (requires -data-dir; no CSV argument)")
 	flag.StringVar(&o.connect, "connect", "", "address of a running fdserver to use instead of the in-process server")
+	flag.StringVar(&o.servers, "servers", "", "comma-separated addresses of a replicated fdserver group; the client follows the primary across failures (excludes -connect)")
 	flag.StringVar(&o.db, "db", "", "with -connect: database namespace to bind the session to on a multi-tenant server (empty = root)")
 	flag.StringVar(&o.token, "token", "", "with -connect: session auth token, required when the server runs with -session-token")
 	flag.BoolVar(&o.telemetry, "telemetry", false, "print per-phase wall time, ORAM access counts, and latency quantiles after discovery")
@@ -218,6 +238,32 @@ func run(path string, o options) error {
 	var svc securefd.Service
 	var durable *securefd.DurableServer
 	switch {
+	case o.servers != "":
+		if o.connect != "" {
+			return fmt.Errorf("-connect and -servers are mutually exclusive")
+		}
+		if o.dataDir != "" {
+			return fmt.Errorf("-servers and -data-dir are mutually exclusive (the remote fdservers own their storage)")
+		}
+		cfg := securefd.DefaultClientConfig()
+		cfg.Metrics = reg
+		cfg.Database = o.db
+		cfg.Token = o.token
+		addrs := splitAddrs(o.servers)
+		if len(addrs) == 0 {
+			return fmt.Errorf("-servers: no addresses given")
+		}
+		fo, err := securefd.DialTCPFailover(addrs, o.workers, cfg)
+		if err != nil {
+			return fmt.Errorf("connecting to %v: %w", addrs, err)
+		}
+		defer fo.Close()
+		if !o.quiet {
+			addr, fence := fo.Primary()
+			log.Info("connected to replicated servers", "primary", addr,
+				"fence", fence, "servers", len(addrs), "connections", o.workers)
+		}
+		svc = fo
 	case o.connect != "":
 		if o.dataDir != "" {
 			return fmt.Errorf("-connect and -data-dir are mutually exclusive (the remote fdserver owns its storage)")

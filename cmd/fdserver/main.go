@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -36,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -67,6 +69,14 @@ type config struct {
 	sessionToken string        // shared auth token handshakes must present
 	sessionRate  float64       // per-session request rate limit (req/s)
 	idleTimeout  time.Duration // evict sessions idle this long
+
+	// Replication (requires -data-dir). A primary ships its WAL to the
+	// -replicas peers; a -replica-of server applies that stream and refuses
+	// client operations until promoted. A replica may also carry -replicas
+	// (its own peer list) so that, once promoted, it ships to the survivors.
+	replicas  string // comma-separated peer addresses to ship to when primary
+	replicaOf string // primary's address this server replicates (replica role)
+	fence     int64  // initial fencing epoch (0 = 1, or whatever FENCE recorded)
 }
 
 func main() {
@@ -90,6 +100,9 @@ func main() {
 	flag.StringVar(&cfg.sessionToken, "session-token", "", "require every session handshake to present this token; sessionless requests are refused while set")
 	flag.Float64Var(&cfg.sessionRate, "session-rate", 0, "per-session request rate limit in req/s (0 = unlimited)")
 	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 0, "evict sessions idle this long, freeing their session slots (0 = never)")
+	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated peer addresses to ship the WAL to while primary; on a -replica-of server this takes effect at promotion (requires -data-dir)")
+	flag.StringVar(&cfg.replicaOf, "replica-of", "", "address of the primary this server replicates; refuses client ops until promoted (requires -data-dir)")
+	flag.Int64Var(&cfg.fence, "fence", 0, "initial fencing epoch; 0 defers to the FENCE file or 1, higher values force-promote past a stale primary")
 	flag.Parse()
 
 	if err := run(*listen, cfg); err != nil {
@@ -119,6 +132,38 @@ func newLogger(jsonFormat bool) *slog.Logger {
 type baseStore interface {
 	store.Service
 	Trace() *trace.Recorder
+}
+
+// health is the /healthz and /readyz response body.
+type health struct {
+	Status         string `json:"status"`
+	Role           string `json:"role"` // primary | replica | standalone
+	Fence          int64  `json:"fence,omitempty"`
+	ReplicationLag int64  `json:"replication_lag,omitempty"`
+	Watermark      int64  `json:"watermark,omitempty"`
+	Draining       bool   `json:"draining"`
+	ActiveSessions int    `json:"active_sessions"`
+}
+
+// healthSnapshot summarizes liveness and role for the operator endpoints.
+func healthSnapshot(rep *store.ReplicatedServer, ts *transport.Server) health {
+	h := health{
+		Status:         "ok",
+		Role:           "standalone",
+		Draining:       ts.Draining(),
+		ActiveSessions: ts.Sessions().Active(),
+	}
+	if rep != nil {
+		if rep.IsPrimary() {
+			h.Role = "primary"
+		} else {
+			h.Role = "replica"
+		}
+		h.Fence = rep.Fence()
+		h.ReplicationLag = rep.ReplicaLag()
+		h.Watermark = rep.Watermark()
+	}
+	return h
 }
 
 // serve runs the server on an established listener until it closes or a
@@ -173,6 +218,48 @@ func serve(l net.Listener, cfg config) error {
 		}
 		srv = mem
 	}
+
+	// Replication wraps the durable store before any decorator so every
+	// acknowledged mutation is also the one shipped to the replicas.
+	var rep *store.ReplicatedServer
+	if cfg.replicas != "" || cfg.replicaOf != "" || cfg.fence > 0 {
+		if durable == nil {
+			return fmt.Errorf("-replicas, -replica-of and -fence require -data-dir")
+		}
+		var peers []string
+		for _, p := range strings.Split(cfg.replicas, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		token := cfg.sessionToken
+		dial := func(addr string) (store.ReplicaConn, error) {
+			return transport.DialWith(addr, transport.ClientConfig{
+				Token:       token,
+				DialTimeout: 2 * time.Second,
+				CallTimeout: 30 * time.Second,
+				Redials:     -1, // the shipper handles peer loss itself
+			})
+		}
+		r, err := store.Replicated(durable, store.ReplicationConfig{
+			Primary: cfg.replicaOf == "",
+			Fence:   cfg.fence,
+			Peers:   peers,
+			Dial:    dial,
+			Metrics: reg,
+		})
+		if err != nil {
+			return fmt.Errorf("enabling replication: %w", err)
+		}
+		rep, srv = r, r
+		role := "primary"
+		if !rep.IsPrimary() {
+			role = "replica"
+		}
+		log.Info("replication on", "role", role, "fence", rep.Fence(),
+			"replicas", len(peers), "primary", cfg.replicaOf)
+	}
+
 	svc := store.WithLatency(store.Service(srv), cfg.latency)
 	var faulty *store.FaultService
 	if cfg.faultRate > 0 || cfg.spikeRate > 0 || cfg.corruptRate > 0 {
@@ -200,13 +287,49 @@ func serve(l net.Listener, cfg config) error {
 	log.Info("fdserver listening (the server sees only ciphertexts and access patterns)",
 		"addr", l.Addr().String())
 
+	ts := transport.NewServer(svc)
+	ts.SetSessionLimits(store.SessionLimits{
+		MaxSessions: cfg.maxSessions,
+		MaxInflight: cfg.maxInflight,
+		RatePerSec:  cfg.sessionRate,
+		IdleTimeout: cfg.idleTimeout,
+		Token:       cfg.sessionToken,
+	})
+	ts.SetMetrics(reg)
+	if rep != nil {
+		ts.SetReplicator(rep)
+	}
+	if cfg.maxSessions > 0 || cfg.maxInflight > 0 || cfg.sessionRate > 0 ||
+		cfg.idleTimeout > 0 || cfg.sessionToken != "" {
+		log.Info("admission control on", "max_sessions", cfg.maxSessions,
+			"max_inflight", cfg.maxInflight, "session_rate", cfg.sessionRate,
+			"idle_timeout", cfg.idleTimeout.String(), "token_required", cfg.sessionToken != "")
+	}
+
 	var metricsSrv *http.Server
 	if reg != nil {
 		ml, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener on %s: %w", cfg.metricsAddr, err)
 		}
-		metricsSrv = &http.Server{Handler: telemetry.NewMux(reg)}
+		mux := telemetry.NewMux(reg)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			h := healthSnapshot(rep, ts)
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(h)
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			// Ready means "will accept client operations": not draining and,
+			// when replicated, holding the primary role. Replicas answer 503
+			// so a load balancer only routes writers at the real primary.
+			h := healthSnapshot(rep, ts)
+			w.Header().Set("Content-Type", "application/json")
+			if h.Draining || (rep != nil && h.Role == "replica") {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			_ = json.NewEncoder(w).Encode(h)
+		})
+		metricsSrv = &http.Server{Handler: mux}
 		go func() {
 			if serr := metricsSrv.Serve(ml); serr != nil && serr != http.ErrServerClosed {
 				log.Error("metrics server failed", "err", serr)
@@ -218,7 +341,7 @@ func serve(l net.Listener, cfg config) error {
 			_ = metricsSrv.Shutdown(ctx)
 		}()
 		log.Info("telemetry endpoint up", "addr", ml.Addr().String(),
-			"paths", "/metrics /metrics.json /debug/pprof/")
+			"paths", "/metrics /metrics.json /healthz /readyz /debug/pprof/")
 	}
 
 	if cfg.statsEvery > 0 {
@@ -241,22 +364,6 @@ func serve(l net.Listener, cfg config) error {
 				log.Info("stats", attrs...)
 			}
 		}()
-	}
-
-	ts := transport.NewServer(svc)
-	ts.SetSessionLimits(store.SessionLimits{
-		MaxSessions: cfg.maxSessions,
-		MaxInflight: cfg.maxInflight,
-		RatePerSec:  cfg.sessionRate,
-		IdleTimeout: cfg.idleTimeout,
-		Token:       cfg.sessionToken,
-	})
-	ts.SetMetrics(reg)
-	if cfg.maxSessions > 0 || cfg.maxInflight > 0 || cfg.sessionRate > 0 ||
-		cfg.idleTimeout > 0 || cfg.sessionToken != "" {
-		log.Info("admission control on", "max_sessions", cfg.maxSessions,
-			"max_inflight", cfg.maxInflight, "session_rate", cfg.sessionRate,
-			"idle_timeout", cfg.idleTimeout.String(), "token_required", cfg.sessionToken != "")
 	}
 
 	// Drain cleanly on SIGINT or SIGTERM (what init systems and container

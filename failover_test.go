@@ -1,0 +1,250 @@
+package oblivfd
+
+// Kill-the-primary chaos harness for the replication subsystem: a 3-node
+// replicated cluster (1 primary, 2 replicas) serves a discovery run through
+// a failover client; the primary is killed at seeded WAL offsets
+// mid-discovery; the client must promote a replica (with a higher fencing
+// epoch) and finish with the exact FD set of an uninterrupted run. The
+// per-layer properties live in internal/store (stream integrity, fencing)
+// and internal/transport (promotion, fence-aware handshakes); this is the
+// end-to-end composition check, the replication analogue of crash_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/baseline"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/transport"
+	"github.com/oblivfd/oblivfd/securefd"
+)
+
+var failoverOpts = securefd.Options{Protocol: securefd.ProtocolSort, Workers: 2, MaxLHS: 2}
+
+// failNode is one member of the chaos cluster.
+type failNode struct {
+	addr string
+	dir  string
+	rep  *store.ReplicatedServer
+	ts   *transport.Server
+}
+
+// failCluster boots 1 primary + (n-1) replicas over real TCP sockets, every
+// node configured with all others as replication peers. kills arms the
+// primary's crash-injection point (0 = never killed).
+func failCluster(t *testing.T, n int, kills int64) []*failNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	dial := func(addr string) (store.ReplicaConn, error) {
+		return transport.DialWith(addr, transport.ClientConfig{
+			DialTimeout: time.Second, Redials: -1,
+		})
+	}
+	nodes := make([]*failNode, n)
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		opts := store.DurableOptions{}
+		if i == 0 {
+			opts.KillAfterAppends = kills
+		}
+		dir := t.TempDir()
+		d, err := store.OpenDir(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := store.Replicated(d, store.ReplicationConfig{
+			Primary:     i == 0,
+			Peers:       peers,
+			RedialEvery: 1,
+			Dial:        dial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := transport.NewServer(rep)
+		ts.SetReplicator(rep)
+		go func(l net.Listener) { _ = ts.Serve(l) }(listeners[i])
+		nodes[i] = &failNode{addr: addrs[i], dir: dir, rep: rep, ts: ts}
+		t.Cleanup(func() { ts.Shutdown(0); rep.Close() })
+	}
+	return nodes
+}
+
+// failoverService dials the whole cluster and layers the retry policy a real
+// deployment would use, so a promotion mid-call looks like one more
+// transient fault.
+func failoverService(t *testing.T, nodes []*failNode) (*transport.FailoverPool, securefd.Service) {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	cfg := securefd.DefaultClientConfig()
+	cfg.DialTimeout = time.Second
+	cfg.Redials = 1
+	f, err := securefd.DialTCPFailover(addrs, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	svc := securefd.WithRetry(f, securefd.RetryPolicy{
+		MaxAttempts:    6,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+	})
+	return f, svc
+}
+
+// cleanReplicatedRun discovers over an unkilled cluster and returns the
+// baseline report plus the primary's WAL-append counts after upload and at
+// the end — the coordinate system the kill points are placed in.
+func cleanReplicatedRun(t *testing.T) (rep *securefd.Report, afterUpload, total int64) {
+	t.Helper()
+	nodes := failCluster(t, 3, 0)
+	_, svc := failoverService(t, nodes)
+	db, err := securefd.Outsource(svc, crashRelation(t), failoverOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	afterUpload = nodes[0].rep.Durable().WALAppends()
+	report, err := db.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = nodes[0].rep.Durable().WALAppends()
+	if want := baseline.MinimalFDs(crashRelation(t)); !relation.FDSetEqual(report.Minimal, want) {
+		t.Fatalf("clean replicated run FDs = %v, want oracle %v", report.Minimal, want)
+	}
+	// Synchronous shipping: nothing outstanding at the end of a clean run.
+	if lag := nodes[0].rep.ReplicaLag(); lag != 0 {
+		t.Fatalf("clean run ends with replication lag %d", lag)
+	}
+	return report, afterUpload, total
+}
+
+// TestFailoverPrimaryKilledMidDiscovery is the tentpole acceptance test:
+// the primary dies at five seeded WAL offsets spread across the discovery
+// phase; each time the client must fail over to a promoted replica and
+// produce the identical FD set, and the dead primary's successor must hold a
+// strictly higher fence.
+func TestFailoverPrimaryKilledMidDiscovery(t *testing.T) {
+	want, afterUpload, total := cleanReplicatedRun(t)
+	if total-afterUpload < 6 {
+		t.Fatalf("discovery spans only %d appends; cannot place 5 kill points", total-afterUpload)
+	}
+	for i := int64(1); i <= 5; i++ {
+		kill := afterUpload + i*(total-afterUpload)/6
+		t.Run(fmt.Sprintf("kill@%d", kill), func(t *testing.T) {
+			nodes := failCluster(t, 3, kill)
+			f, svc := failoverService(t, nodes)
+			db, err := securefd.Outsource(svc, crashRelation(t), failoverOpts)
+			if err != nil {
+				t.Fatalf("Outsource: %v", err)
+			}
+			defer db.Close()
+			report, err := db.Discover()
+			if err != nil {
+				t.Fatalf("discovery across primary death: %v", err)
+			}
+			if !relation.FDSetEqual(report.Minimal, want.Minimal) {
+				t.Errorf("FDs = %v, want %v", report.Minimal, want.Minimal)
+			}
+			if n := f.Failovers(); n < 1 {
+				t.Errorf("failovers = %d, want >= 1 (the kill point must have fired)", n)
+			}
+			addr, fence := f.Primary()
+			if addr == nodes[0].addr {
+				t.Errorf("client still points at the killed primary %s", addr)
+			}
+			if fence < 2 {
+				t.Errorf("post-failover fence = %d, want >= 2", fence)
+			}
+			if nodes[0].rep.IsPrimary() {
+				t.Error("killed ex-primary still claims the role")
+			}
+		})
+	}
+}
+
+// TestFailoverExPrimaryRejoinsFenced: after a failover, the ex-primary's
+// directory is reopened with its original primary flags (an operator
+// restarting the crashed box unchanged). The FENCE file its successor's
+// stream left behind demotes it at boot; it cannot serve clients or accept
+// writes, and a fence-aware handshake is refused.
+func TestFailoverExPrimaryRejoinsFenced(t *testing.T) {
+	_, afterUpload, total := cleanReplicatedRun(t)
+	kill := afterUpload + (total-afterUpload)/2
+	nodes := failCluster(t, 3, kill)
+	f, svc := failoverService(t, nodes)
+	db, err := securefd.Outsource(svc, crashRelation(t), failoverOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Discover(); err != nil {
+		t.Fatalf("discovery across primary death: %v", err)
+	}
+	_, fence := f.Primary()
+	if fence < 2 {
+		t.Fatalf("post-failover fence = %d, want >= 2", fence)
+	}
+
+	// Restart the dead box from its directory, flags unchanged.
+	nodes[0].ts.Shutdown(0)
+	if err := nodes[0].rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.OpenDir(nodes[0].dir, store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := store.Replicated(d, store.ReplicationConfig{Primary: true, Fence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep2.Close()
+	if rep2.IsPrimary() {
+		t.Fatal("ex-primary rebooted into the primary role despite its successor's fence")
+	}
+	if rep2.Fence() < fence {
+		t.Errorf("rebooted fence = %d, want >= %d (learned from the successor's stream)", rep2.Fence(), fence)
+	}
+	if err := rep2.WriteCells("anything", []int64{0}, [][]byte{{1}}); err == nil ||
+		(!errors.Is(err, securefd.ErrNotPrimary) && !errors.Is(err, securefd.ErrFenced)) {
+		t.Errorf("rebooted ex-primary write = %v, want ErrNotPrimary or ErrFenced", err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := transport.NewServer(rep2)
+	ts2.SetReplicator(rep2)
+	go func() { _ = ts2.Serve(l) }()
+	defer ts2.Shutdown(0)
+	cfg := securefd.DefaultClientConfig()
+	cfg.Fence = fence
+	if _, err := securefd.DialTCPWith(l.Addr().String(), cfg); err == nil ||
+		(!errors.Is(err, securefd.ErrNotPrimary) && !errors.Is(err, securefd.ErrFenced)) {
+		t.Errorf("fence-aware dial of rebooted ex-primary = %v, want a role refusal", err)
+	}
+}

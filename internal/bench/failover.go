@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/oblivfd/oblivfd/internal/core"
+	"github.com/oblivfd/oblivfd/internal/dataset"
+	"github.com/oblivfd/oblivfd/internal/relation"
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/transport"
+)
+
+// Failover experiment: what does surviving a server loss cost? Two
+// quantities bound the answer. The steady-state price is the discovery
+// slowdown versus replica count — every mutation is synchronously shipped to
+// each replica, so the sweep shows how the wall clock grows from 0 (plain
+// durable server) to 2 replicas. The failure-time price is the recovery
+// pause: with a 3-node cluster serving a discovery over the failover client,
+// the primary is killed at a seeded WAL offset mid-run, and the experiment
+// reports the end-to-end wall clock of the interrupted run next to the clean
+// one, plus the isolated probe-promote-reconnect time a failover costs.
+
+// FailoverPoint is one replica-count measurement.
+type FailoverPoint struct {
+	Replicas int     `json:"replicas"`
+	WallNS   int64   `json:"wall_ns"`
+	Slowdown float64 `json:"slowdown"` // vs replicas=0
+}
+
+// FailoverResult is the experiment's typed output; fdbench writes it to
+// BENCH_failover.json.
+type FailoverResult struct {
+	N           int             `json:"n"`
+	Seed        int64           `json:"seed"`
+	Points      []FailoverPoint `json:"points"`
+	CleanWallNS int64           `json:"clean_wall_ns"` // 3-node TCP cluster, no kill
+	KillWallNS  int64           `json:"kill_wall_ns"`  // same run, primary killed mid-discovery
+	RecoveryNS  int64           `json:"recovery_ns"`   // probe + promote + reconnect, isolated
+	Failovers   int64           `json:"failovers"`     // failovers during the killed run
+}
+
+// benchLoopConn ships directly into an in-process replica, isolating the
+// replication work itself from transport cost in the slowdown sweep.
+type benchLoopConn struct{ r *store.ReplicatedServer }
+
+func (c benchLoopConn) Replicate(fence, seq int64, frames [][]byte) error {
+	_, err := c.r.ApplyReplicated(fence, seq, frames)
+	return err
+}
+func (c benchLoopConn) SyncSnapshot(fence, seq int64, snap []byte) error {
+	return c.r.ApplySync(fence, seq, snap)
+}
+func (c benchLoopConn) Close() error { return nil }
+
+const failoverAttrs = 4
+
+var failoverDiscoverOpts = core.Options{Workers: 2, MaxLHS: 2}
+
+// failoverSweepPoint times one full Sort discovery on a durable primary
+// shipping to `replicas` in-process replicas.
+func failoverSweepPoint(root *string, rel *relation.Relation, replicas int) (time.Duration, *core.Result, error) {
+	dir, err := os.MkdirTemp("", "oblivfd-failover-*")
+	if err != nil {
+		return 0, nil, err
+	}
+	*root = dir
+	reps := make(map[string]*store.ReplicatedServer, replicas)
+	var peers []string
+	for i := 0; i < replicas; i++ {
+		rdir := filepath.Join(dir, fmt.Sprintf("replica%d", i))
+		if err := os.Mkdir(rdir, 0o755); err != nil {
+			return 0, nil, err
+		}
+		d, err := store.OpenDir(rdir, store.DurableOptions{})
+		if err != nil {
+			return 0, nil, err
+		}
+		rep, err := store.Replicated(d, store.ReplicationConfig{Primary: false})
+		if err != nil {
+			d.Close()
+			return 0, nil, err
+		}
+		defer rep.Close()
+		name := fmt.Sprintf("replica%d", i)
+		reps[name] = rep
+		peers = append(peers, name)
+	}
+	pdir := filepath.Join(dir, "primary")
+	if err := os.Mkdir(pdir, 0o755); err != nil {
+		return 0, nil, err
+	}
+	d, err := store.OpenDir(pdir, store.DurableOptions{})
+	if err != nil {
+		return 0, nil, err
+	}
+	primary, err := store.Replicated(d, store.ReplicationConfig{
+		Primary:     true,
+		Peers:       peers,
+		RedialEvery: 1,
+		Dial: func(addr string) (store.ReplicaConn, error) {
+			return benchLoopConn{reps[addr]}, nil
+		},
+	})
+	if err != nil {
+		d.Close()
+		return 0, nil, err
+	}
+	defer primary.Close()
+
+	s, err := newSetupOn(primary, rel, MethodSort, 2, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	res, err := core.Discover(s.eng, rel.NumAttrs(), &failoverDiscoverOpts)
+	if err != nil {
+		return 0, nil, err
+	}
+	wall := time.Since(start)
+	if lag := primary.ReplicaLag(); lag != 0 {
+		return 0, nil, fmt.Errorf("bench: failover sweep ends with replication lag %d", lag)
+	}
+	return wall, res, nil
+}
+
+// failoverCluster boots a 3-node TCP cluster (node 0 primary, kill-armed
+// when kills > 0) and returns the addresses, the primary's replicated store,
+// and a shutdown func.
+func failoverCluster(root string, kills int64) ([]string, *store.ReplicatedServer, func(), error) {
+	const n = 3
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	dial := func(addr string) (store.ReplicaConn, error) {
+		return transport.DialWith(addr, transport.ClientConfig{DialTimeout: time.Second, Redials: -1})
+	}
+	var closers []func()
+	shutdown := func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+	var primary *store.ReplicatedServer
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("node%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		opts := store.DurableOptions{}
+		if i == 0 {
+			opts.KillAfterAppends = kills
+		}
+		d, err := store.OpenDir(dir, opts)
+		if err != nil {
+			shutdown()
+			return nil, nil, nil, err
+		}
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		rep, err := store.Replicated(d, store.ReplicationConfig{
+			Primary: i == 0, Peers: peers, RedialEvery: 1, Dial: dial,
+		})
+		if err != nil {
+			d.Close()
+			shutdown()
+			return nil, nil, nil, err
+		}
+		ts := transport.NewServer(rep)
+		ts.SetReplicator(rep)
+		go func(l net.Listener) { _ = ts.Serve(l) }(listeners[i])
+		closers = append(closers, func() { ts.Shutdown(0); rep.Close() })
+		if i == 0 {
+			primary = rep
+		}
+	}
+	return addrs, primary, shutdown, nil
+}
+
+// failoverClientRun discovers over the cluster through the failover client
+// and retry stack; it returns the wall clock, the failover count, and the
+// primary's WAL appends after the run (the kill-point coordinate system).
+func failoverClientRun(addrs []string, rel *relation.Relation) (time.Duration, int64, *core.Result, error) {
+	cfg := transport.DefaultClientConfig()
+	cfg.DialTimeout = time.Second
+	cfg.Redials = 1
+	f, err := transport.DialFailover(addrs, 2, cfg)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer f.Close()
+	svc := store.WithRetry(f, store.RetryPolicy{
+		MaxAttempts:    6,
+		InitialBackoff: time.Millisecond,
+		MaxBackoff:     20 * time.Millisecond,
+	})
+	s, err := newSetupOn(svc, rel, MethodSort, 2, 0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	start := time.Now()
+	res, err := core.Discover(s.eng, rel.NumAttrs(), &failoverDiscoverOpts)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return time.Since(start), f.Failovers(), res, nil
+}
+
+// Failover measures the replication slowdown and failover recovery cost.
+func Failover(n int, replicaCounts []int, seed int64) (*FailoverResult, error) {
+	rel := dataset.RND(failoverAttrs, n, seed)
+	res := &FailoverResult{N: n, Seed: seed}
+
+	// Steady-state: discovery wall clock vs replica count.
+	var base time.Duration
+	var want *core.Result
+	for _, k := range replicaCounts {
+		var root string
+		wall, got, err := failoverSweepPoint(&root, rel, k)
+		if root != "" {
+			defer os.RemoveAll(root)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bench: failover replicas=%d: %w", k, err)
+		}
+		if want == nil {
+			base, want = wall, got
+		} else if !relation.FDSetEqual(got.Minimal, want.Minimal) {
+			return nil, fmt.Errorf("bench: failover replicas=%d: FDs diverge — replication must not change results", k)
+		}
+		p := FailoverPoint{Replicas: k, WallNS: wall.Nanoseconds()}
+		if base > 0 {
+			p.Slowdown = float64(wall) / float64(base)
+		}
+		res.Points = append(res.Points, p)
+	}
+
+	// Failure-time: clean 3-node run, then the same run with the primary
+	// killed halfway through discovery.
+	root, err := os.MkdirTemp("", "oblivfd-failover-tcp-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	addrs, primary, shutdown, err := failoverCluster(filepath.Join(root, "clean"), 0)
+	if err != nil {
+		return nil, err
+	}
+	cleanWall, _, got, err := failoverClientRun(addrs, rel)
+	appends := primary.Durable().WALAppends()
+	shutdown()
+	if err != nil {
+		return nil, fmt.Errorf("bench: failover clean cluster run: %w", err)
+	}
+	if !relation.FDSetEqual(got.Minimal, want.Minimal) {
+		return nil, fmt.Errorf("bench: failover clean cluster run: FDs diverge")
+	}
+	res.CleanWallNS = cleanWall.Nanoseconds()
+
+	addrs, _, shutdown, err = failoverCluster(filepath.Join(root, "killed"), appends/2)
+	if err != nil {
+		return nil, err
+	}
+	killWall, failovers, got, err := failoverClientRun(addrs, rel)
+	shutdown()
+	if err != nil {
+		return nil, fmt.Errorf("bench: failover killed cluster run: %w", err)
+	}
+	if failovers < 1 {
+		return nil, fmt.Errorf("bench: failover kill point at %d appends never fired", appends/2)
+	}
+	if !relation.FDSetEqual(got.Minimal, want.Minimal) {
+		return nil, fmt.Errorf("bench: failover killed run: FDs diverge — failover must not change results")
+	}
+	res.KillWallNS = killWall.Nanoseconds()
+	res.Failovers = failovers
+
+	// Isolated recovery time: with the primary already dead, how long does a
+	// client take to probe the cluster, promote the freshest replica, and
+	// open a working pool? The warm client writes through a plain pool (no
+	// failover) until the primary's armed kill point fires, so nothing has
+	// been promoted when the clock starts.
+	addrs, _, shutdown, err = failoverCluster(filepath.Join(root, "recovery"), 8)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+	cfg := transport.DefaultClientConfig()
+	cfg.DialTimeout = time.Second
+	cfg.Redials = 1
+	warm, err := transport.DialPoolWith(addrs[0], 1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	_ = warm.CreateArray("seed", 8)
+	var warmErr error
+	for i := 0; i < 16 && warmErr == nil; i++ {
+		warmErr = warm.WriteCells("seed", []int64{0}, [][]byte{{byte(i)}})
+	}
+	warm.Close()
+	if warmErr == nil {
+		return nil, fmt.Errorf("bench: failover recovery kill point never fired")
+	}
+	start := time.Now()
+	f, err := transport.DialFailover(addrs, 2, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: failover recovery dial: %w", err)
+	}
+	res.RecoveryNS = time.Since(start).Nanoseconds()
+	if _, fence := f.Primary(); fence < 2 {
+		f.Close()
+		return nil, fmt.Errorf("bench: failover recovery dial did not promote (fence %d)", fence)
+	}
+	f.Close()
+	return res, nil
+}
+
+// WriteFile writes the JSON artifact.
+func (r *FailoverResult) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render prints the replica sweep and the recovery numbers.
+func (r *FailoverResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replicated storage (Sort full discovery, RND m=%d n=%d; synchronous WAL shipping)\n", failoverAttrs, r.N)
+	fmt.Fprintf(&b, "%10s %12s %10s\n", "replicas", "wall", "slowdown")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10d %12s %9.2fx\n", p.Replicas, fmtDur(time.Duration(p.WallNS)), p.Slowdown)
+	}
+	fmt.Fprintf(&b, "3-node cluster over TCP: clean %s, primary killed mid-run %s (%d failover(s)); probe+promote+reconnect %s\n",
+		fmtDur(time.Duration(r.CleanWallNS)), fmtDur(time.Duration(r.KillWallNS)),
+		r.Failovers, fmtDur(time.Duration(r.RecoveryNS)))
+	b.WriteString("identical FD sets in every run: replication and failover change timing, never results\n")
+	return b.String()
+}

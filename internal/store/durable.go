@@ -1,7 +1,9 @@
 package store
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -465,6 +467,48 @@ func (d *DurableServer) StatsNS(db string) (Stats, error) {
 		return Stats{}, err
 	}
 	return d.mem.StatsNS(db)
+}
+
+// SnapshotBytes serializes the current state into memory (the same framed
+// format SaveSnapshot writes to disk). The replication layer pushes it to a
+// replica that needs a full resync.
+func (d *DurableServer) SnapshotBytes() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return nil, ErrServerKilled
+	}
+	var buf bytes.Buffer
+	if err := d.mem.SaveSnapshot(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ResetFromSnapshot replaces the entire storage state with the snapshot
+// read from r, persists it as a new durable snapshot, and truncates the WAL
+// (whose records described the abandoned state). The replication layer uses
+// it to realign a replica with the primary's exact bytes; afterwards the
+// directory recovers to precisely the synced state.
+func (d *DurableServer) ResetFromSnapshot(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.killed {
+		return ErrServerKilled
+	}
+	fresh := NewServer()
+	if err := fresh.LoadSnapshot(r); err != nil {
+		return err
+	}
+	d.mem = fresh
+	return d.snapshotLocked()
+}
+
+// appendRecord logs a record that has no in-memory mutation to apply (the
+// replication layer's fencing marks). It respects the kill point exactly
+// like a mutation.
+func (d *DurableServer) appendRecord(rec *walRecord) error {
+	return d.mutate(func() error { return nil }, rec)
 }
 
 // Snapshot writes a snapshot of the current state (whatever the epoch) and

@@ -1,0 +1,775 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/oblivfd/oblivfd/internal/telemetry"
+	"github.com/oblivfd/oblivfd/internal/trace"
+	"sync"
+)
+
+// Primary/replica replication with fenced failover.
+//
+// A ReplicatedServer wraps a DurableServer in one of two roles. The primary
+// serves clients and, after each locally durable mutation, ships the same
+// CRC-framed WAL record to every configured replica over the transport's
+// replication stream. A replica refuses client operations (ErrNotPrimary)
+// and applies shipped records through its own durable layer, so its
+// directory recovers to exactly the primary's state at the last applied
+// record — promotion is just flipping the role.
+//
+// Ordering. The primary holds its own mutex across apply-then-ship, so the
+// ship order equals the WAL order equals the order clients observed. Each
+// shipment carries a sequence number (records shipped this reign, before the
+// batch); the replica requires it to equal its own applied count and answers
+// ErrIntegrity on any gap, torn frame, or CRC mismatch — it never applies a
+// prefix of a damaged batch. The primary heals a divergent or freshly
+// (re)connected replica by pushing a full snapshot (SyncSnapshot) and
+// resuming the stream from its current position.
+//
+// Fencing. Promotion is guarded by a monotonic fencing epoch, persisted in
+// a FENCE file (and mirrored into the WAL as an audit record) before the
+// role changes hands. Every hello and replication message carries the
+// sender's fence; a server that learns of a higher fence deposes itself and
+// answers every subsequent client operation with ErrFenced — a deposed
+// primary cannot fork the history its successor continued, even across its
+// own restarts, because the FENCE file records that it lost the role.
+//
+// Availability model. Shipping is best-effort: a down replica never blocks
+// the primary (the discovery run keeps its availability), it just falls
+// behind and is resynced by snapshot when it returns. The cost is that a
+// failover to a behind replica loses the unshipped suffix — which the
+// single-writer client immediately detects (its ORAM state no longer
+// matches) and repairs through the same retry/reconcile path it uses after
+// a redial. See DESIGN.md §13 for the leakage argument.
+
+// ReplicaConn is the primary's view of one replica: the two replication
+// RPCs. *transport.Client implements it.
+type ReplicaConn interface {
+	// Replicate ships framed WAL records; seq is the shipper's count of
+	// records shipped this reign before this batch.
+	Replicate(fence, seq int64, frames [][]byte) error
+	// SyncSnapshot replaces the replica's entire state and repositions its
+	// stream cursor at seq.
+	SyncSnapshot(fence, seq int64, snap []byte) error
+	Close() error
+}
+
+// ReplicaDialer opens a replication connection to a peer address.
+type ReplicaDialer func(addr string) (ReplicaConn, error)
+
+// ReplicationConfig parameterizes Replicated.
+type ReplicationConfig struct {
+	// Primary selects the initial role. A FENCE file recording a lost
+	// primaryship overrides it (the server boots deposed).
+	Primary bool
+	// Fence is the initial fencing epoch; a primary defaults to 1. A higher
+	// fence recorded in the FENCE file wins. Operators force-promote a
+	// server by restarting it with a fence above the cluster's highest.
+	Fence int64
+	// Peers are the replication addresses of the other cluster members.
+	Peers []string
+	// Dial opens replication connections; required when Peers is non-empty.
+	Dial ReplicaDialer
+	// RedialEvery is the cadence, in shipped records, at which a down peer
+	// is re-dialed (default 32; 1 retries on every mutation).
+	RedialEvery int
+	// Metrics, when set, exposes replication lag and ship/resync counters.
+	Metrics *telemetry.Registry
+}
+
+// Replicator is the role-management surface the transport server drives on
+// behalf of remote primaries and failover clients. ReplicatedServer
+// implements it.
+type Replicator interface {
+	IsPrimary() bool
+	Fence() int64
+	// ObserveFence records that a higher fencing epoch exists; the server
+	// deposes itself if it believed it was primary at a lower one.
+	ObserveFence(fence int64) error
+	// Promote adopts the given fence and the primary role. It fails with
+	// ErrFenced unless fence is strictly above the current one.
+	Promote(fence int64) (int64, error)
+	// ApplyReplicated applies a batch of framed WAL records shipped by the
+	// primary at the given fence and stream position; it returns the new
+	// watermark (records applied this reign).
+	ApplyReplicated(fence, seq int64, frames [][]byte) (int64, error)
+	// ApplySync replaces the whole state from a snapshot and repositions
+	// the stream cursor.
+	ApplySync(fence, seq int64, snap []byte) error
+	Watermark() int64
+}
+
+// replicaPeer is the primary's bookkeeping for one replica.
+type replicaPeer struct {
+	addr   string
+	conn   ReplicaConn
+	acked  int64 // stream position the peer has confirmed
+	downAt int64 // shipped count when the conn last failed (redial cadence)
+}
+
+// ReplicatedServer decorates a DurableServer with a replication role. It
+// implements Service, Batcher, NamespaceService, and Replicator.
+type ReplicatedServer struct {
+	mu  sync.Mutex
+	d   *DurableServer
+	cfg ReplicationConfig
+
+	primary bool
+	deposed bool // held the primary role under an older fence and lost it
+	fence   int64
+
+	peers     []*replicaPeer
+	shipped   int64 // records shipped this reign (primary side)
+	watermark int64 // records applied this reign (replica side)
+
+	lagGauge     *telemetry.Gauge
+	peersGauge   *telemetry.Gauge
+	ships        *telemetry.Counter
+	shipFailures *telemetry.Counter
+	resyncs      *telemetry.Counter
+	applied      *telemetry.Counter
+}
+
+var (
+	_ Service          = (*ReplicatedServer)(nil)
+	_ Batcher          = (*ReplicatedServer)(nil)
+	_ NamespaceService = (*ReplicatedServer)(nil)
+	_ Replicator       = (*ReplicatedServer)(nil)
+)
+
+const fenceFile = "FENCE"
+
+// loadFence reads <dir>/FENCE ("<fence> <primary|replica>"). ok is false
+// when the file does not exist (a never-replicated directory).
+func loadFence(dir string) (fence int64, primary bool, ok bool, err error) {
+	raw, rerr := os.ReadFile(filepath.Join(dir, fenceFile))
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, false, false, nil
+		}
+		return 0, false, false, rerr
+	}
+	fields := strings.Fields(string(raw))
+	if len(fields) != 2 {
+		return 0, false, false, fmt.Errorf("%w: malformed FENCE file %q", ErrIntegrity, string(raw))
+	}
+	fence, perr := strconv.ParseInt(fields[0], 10, 64)
+	if perr != nil {
+		return 0, false, false, fmt.Errorf("%w: malformed FENCE file %q", ErrIntegrity, string(raw))
+	}
+	return fence, fields[1] == "primary", true, nil
+}
+
+// saveFence durably records the fence and role via temp + fsync + rename +
+// dir sync, the same discipline as snapshots: the role change must not be
+// observable before it is durable, or a crash could resurrect a deposed
+// primary.
+func saveFence(dir string, fence int64, primary bool) error {
+	role := "replica"
+	if primary {
+		role = "primary"
+	}
+	tmp, err := os.CreateTemp(dir, "fence-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := fmt.Fprintf(tmp, "%d %s\n", fence, role); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, fenceFile)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Replicated wraps d with the given replication role. The FENCE file in d's
+// directory, when present, can only demote relative to cfg: a server that
+// durably lost the primary role boots deposed even if its flags still say
+// -replicas, unless the operator hands it a strictly higher fence.
+func Replicated(d *DurableServer, cfg ReplicationConfig) (*ReplicatedServer, error) {
+	if cfg.RedialEvery <= 0 {
+		cfg.RedialEvery = 32
+	}
+	if len(cfg.Peers) > 0 && cfg.Dial == nil {
+		return nil, errors.New("store: replication peers configured without a dialer")
+	}
+	fence, primary := cfg.Fence, cfg.Primary
+	if fence <= 0 {
+		// Fencing epochs start at 1 for every replicated role, so a probe
+		// can tell a replicated server (Stats.Fence > 0) from a plain one.
+		fence = 1
+	}
+	fileFence, filePrimary, ok, err := loadFence(d.Dir())
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if fileFence > fence {
+			// The directory has lived under a higher fence than the flags
+			// know about; whoever held it last decides the role.
+			fence = fileFence
+			primary = primary && filePrimary
+		} else if fileFence == fence && !filePrimary {
+			// Same epoch, durably recorded as lost: stay deposed.
+			primary = false
+		}
+	}
+	r := &ReplicatedServer{
+		d:       d,
+		cfg:     cfg,
+		primary: primary,
+		deposed: cfg.Primary && !primary,
+		fence:   fence,
+		// Nil-safe handles (see DurableServer).
+		lagGauge:     cfg.Metrics.Gauge("oblivfd_replication_lag_records"),
+		peersGauge:   cfg.Metrics.Gauge("oblivfd_replicas_connected"),
+		ships:        cfg.Metrics.Counter("oblivfd_replication_ships_total"),
+		shipFailures: cfg.Metrics.Counter("oblivfd_replication_ship_failures_total"),
+		resyncs:      cfg.Metrics.Counter("oblivfd_replication_resyncs_total"),
+		applied:      cfg.Metrics.Counter("oblivfd_replication_records_applied_total"),
+	}
+	for _, addr := range cfg.Peers {
+		r.peers = append(r.peers, &replicaPeer{addr: addr, downAt: -int64(cfg.RedialEvery)})
+	}
+	if err := saveFence(d.Dir(), fence, primary); err != nil {
+		return nil, err
+	}
+	if err := d.appendRecord(fenceRecord(fence, primary)); err != nil && !errors.Is(err, ErrServerKilled) {
+		return nil, err
+	}
+	return r, nil
+}
+
+func fenceRecord(fence int64, primary bool) *walRecord {
+	role := "replica"
+	if primary {
+		role = "primary"
+	}
+	return &walRecord{Op: walFence, N: fence, Name: role}
+}
+
+// Durable returns the wrapped durable backend (harness access).
+func (r *ReplicatedServer) Durable() *DurableServer { return r.d }
+
+// Trace forwards the adversary recorder (fdserver's decorators need it).
+func (r *ReplicatedServer) Trace() *trace.Recorder { return r.d.Trace() }
+
+// Dir returns the data directory path.
+func (r *ReplicatedServer) Dir() string { return r.d.Dir() }
+
+// gateLocked admits client operations only on a live primary.
+func (r *ReplicatedServer) gateLocked() error {
+	if r.deposed {
+		return fmt.Errorf("%w (fence %d)", ErrFenced, r.fence)
+	}
+	if !r.primary {
+		return ErrNotPrimary
+	}
+	return nil
+}
+
+// adoptFenceLocked durably adopts a new fence and role. Order matters: the
+// FENCE file first (if that fails, nothing changed), memory second, the WAL
+// audit record last and best-effort (a crash-injected kill must not block a
+// role change that is already durable in the FENCE file).
+func (r *ReplicatedServer) adoptFenceLocked(fence int64, becomePrimary bool) error {
+	if err := saveFence(r.d.Dir(), fence, becomePrimary); err != nil {
+		return err
+	}
+	wasPrimary := r.primary
+	r.fence = fence
+	r.primary = becomePrimary
+	if becomePrimary {
+		r.deposed = false
+	} else if wasPrimary {
+		r.deposed = true
+	}
+	if err := r.d.appendRecord(fenceRecord(fence, becomePrimary)); err != nil && !errors.Is(err, ErrServerKilled) {
+		return err
+	}
+	return nil
+}
+
+// deposeLocked records that a higher fence exists somewhere (exact value
+// unknown, e.g. a replica answered ErrFenced to a shipment): the current
+// role is lost at the current fence.
+func (r *ReplicatedServer) deposeLocked() {
+	if !r.primary {
+		return
+	}
+	// Best-effort durability: even if the file write fails the in-memory
+	// depose holds, and the successor's higher fence will fence this server
+	// again on any future contact.
+	_ = saveFence(r.d.Dir(), r.fence, false)
+	r.primary = false
+	r.deposed = true
+}
+
+// IsPrimary implements Replicator.
+func (r *ReplicatedServer) IsPrimary() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary && !r.deposed
+}
+
+// Fence implements Replicator.
+func (r *ReplicatedServer) Fence() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.fence
+}
+
+// Watermark implements Replicator.
+func (r *ReplicatedServer) Watermark() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watermark
+}
+
+// ObserveFence implements Replicator.
+func (r *ReplicatedServer) ObserveFence(fence int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fence <= r.fence {
+		return nil
+	}
+	return r.adoptFenceLocked(fence, false)
+}
+
+// Promote implements Replicator: a failover client (or operator) hands the
+// replica a fence strictly above every fence it has seen, and the replica
+// becomes the primary for that epoch. The stream cursor continues from the
+// local watermark: peers that were equally in sync need no resync, and any
+// peer whose position differs answers ErrIntegrity on the first shipment
+// and is snapshot-synced.
+func (r *ReplicatedServer) Promote(fence int64) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fence <= r.fence {
+		return r.fence, fmt.Errorf("%w: promotion fence %d not above current %d", ErrFenced, fence, r.fence)
+	}
+	if err := r.adoptFenceLocked(fence, true); err != nil {
+		return r.fence, err
+	}
+	r.shipped = r.watermark
+	for _, p := range r.peers {
+		p.acked = r.shipped
+		p.downAt = r.shipped - int64(r.cfg.RedialEvery) // retry dials immediately
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	}
+	return r.fence, nil
+}
+
+// acceptFenceLocked validates the fence on an incoming replication message.
+func (r *ReplicatedServer) acceptFenceLocked(fence int64) error {
+	switch {
+	case fence < r.fence:
+		return fmt.Errorf("%w: shipment fence %d below local %d", ErrFenced, fence, r.fence)
+	case fence > r.fence:
+		// A newer primary exists; adopt its fence (deposing ourselves if we
+		// believed we held the role).
+		return r.adoptFenceLocked(fence, false)
+	case r.primary && !r.deposed:
+		// Same fence from another server claiming primaryship: split-brain
+		// within one epoch is a configuration error; refuse the stream.
+		return fmt.Errorf("%w: two primaries at fence %d", ErrFenced, fence)
+	}
+	return nil
+}
+
+// applyRecord applies one shipped WAL record through the replica's durable
+// layer, so the record lands in the replica's own WAL and the idempotent
+// create-as-replace semantics of recovery replay hold here too.
+func applyRecord(d *DurableServer, rec *walRecord) error {
+	switch rec.Op {
+	case walCreateArray:
+		if err := d.Delete(rec.Name); err != nil && !errors.Is(err, ErrUnknownObject) {
+			return err
+		}
+		return d.CreateArray(rec.Name, int(rec.N))
+	case walWriteCells:
+		return d.WriteCells(rec.Name, rec.Idx, rec.Cts)
+	case walCreateTree:
+		if err := d.Delete(rec.Name); err != nil && !errors.Is(err, ErrUnknownObject) {
+			return err
+		}
+		return d.CreateTree(rec.Name, rec.Levels, rec.Slots)
+	case walWritePath:
+		return d.WritePath(rec.Name, rec.Leaf, rec.Cts)
+	case walWriteBuckets:
+		return d.WriteBuckets(rec.Name, int(rec.N), rec.Cts)
+	case walDelete:
+		if err := d.Delete(rec.Name); err != nil && !errors.Is(err, ErrUnknownObject) {
+			return err
+		}
+		return nil
+	case walCheckpoint:
+		return d.CheckpointNS(rec.Name, rec.N)
+	case walFence:
+		return nil // roles are not replicated
+	default:
+		return fmt.Errorf("%w: unknown replicated op %v", ErrIntegrity, rec.Op)
+	}
+}
+
+// ApplyReplicated implements Replicator. The whole batch is CRC-verified
+// before any record applies: a torn or bit-flipped stream yields
+// ErrIntegrity with zero state change, and the primary responds by pushing
+// a snapshot resync. A sequence gap (seq != watermark) is handled the same
+// way — the replica never guesses at missing records.
+func (r *ReplicatedServer) ApplyReplicated(fence, seq int64, frames [][]byte) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.acceptFenceLocked(fence); err != nil {
+		return r.watermark, err
+	}
+	if seq != r.watermark {
+		return r.watermark, fmt.Errorf("%w: replication stream position %d, local watermark %d", ErrIntegrity, seq, r.watermark)
+	}
+	records := make([]*walRecord, 0, len(frames))
+	for i, frame := range frames {
+		rec, n, err := readWALRecord(bytes.NewReader(frame))
+		if err != nil || n != int64(len(frame)) {
+			return r.watermark, fmt.Errorf("%w: replication frame %d of %d failed CRC validation", ErrIntegrity, i, len(frames))
+		}
+		records = append(records, rec)
+	}
+	for _, rec := range records {
+		if err := applyRecord(r.d, rec); err != nil {
+			return r.watermark, err
+		}
+		r.watermark++
+		r.applied.Inc()
+	}
+	return r.watermark, nil
+}
+
+// ApplySync implements Replicator: full-state resync from the primary.
+func (r *ReplicatedServer) ApplySync(fence, seq int64, snap []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.acceptFenceLocked(fence); err != nil {
+		return err
+	}
+	if err := r.d.ResetFromSnapshot(bytes.NewReader(snap)); err != nil {
+		return err
+	}
+	r.watermark = seq
+	return nil
+}
+
+// shipLocked sends frames to every peer. Failures never fail the client's
+// operation: a peer that cannot be reached is marked down and retried at
+// the redial cadence; a peer whose stream position diverged is healed with
+// a full snapshot push; a peer that answers ErrFenced deposes us.
+func (r *ReplicatedServer) shipLocked(frames [][]byte) {
+	if len(r.peers) == 0 || len(frames) == 0 {
+		return
+	}
+	seq := r.shipped
+	r.shipped += int64(len(frames))
+	connected := int64(0)
+	for _, p := range r.peers {
+		if p.conn == nil {
+			if r.shipped-p.downAt < int64(r.cfg.RedialEvery) {
+				continue
+			}
+			conn, err := r.cfg.Dial(p.addr)
+			if err != nil {
+				p.downAt = r.shipped
+				r.shipFailures.Inc()
+				continue
+			}
+			p.conn = conn
+			// A fresh connection's position is unknown; the seq check on the
+			// first shipment sorts it out (ErrIntegrity -> snapshot sync).
+		}
+		err := p.conn.Replicate(r.fence, seq, frames)
+		switch {
+		case err == nil:
+			p.acked = r.shipped
+			r.ships.Inc()
+			connected++
+		case errors.Is(err, ErrFenced):
+			// The peer knows a higher fence: we are no longer the primary.
+			r.deposeLocked()
+			r.shipFailures.Inc()
+			return
+		case errors.Is(err, ErrIntegrity):
+			if r.syncPeerLocked(p) {
+				connected++
+			}
+		default:
+			p.conn.Close()
+			p.conn = nil
+			p.downAt = r.shipped
+			r.shipFailures.Inc()
+		}
+	}
+	r.peersGauge.Set(connected)
+	r.lagGauge.Set(r.maxLagLocked())
+}
+
+// syncPeerLocked pushes a full snapshot to a diverged peer and reports
+// whether it ended the call in sync.
+func (r *ReplicatedServer) syncPeerLocked(p *replicaPeer) bool {
+	snap, err := r.d.SnapshotBytes()
+	if err == nil {
+		err = p.conn.SyncSnapshot(r.fence, r.shipped, snap)
+	}
+	if err != nil {
+		if errors.Is(err, ErrFenced) {
+			r.deposeLocked()
+		}
+		p.conn.Close()
+		p.conn = nil
+		p.downAt = r.shipped
+		r.shipFailures.Inc()
+		return false
+	}
+	p.acked = r.shipped
+	r.resyncs.Inc()
+	return true
+}
+
+// maxLagLocked is the stream distance of the slowest configured peer.
+func (r *ReplicatedServer) maxLagLocked() int64 {
+	var lag int64
+	for _, p := range r.peers {
+		if d := r.shipped - p.acked; d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
+// ReplicaLag returns the primary-side maximum replication lag in records.
+func (r *ReplicatedServer) ReplicaLag() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxLagLocked()
+}
+
+// mutate gates, applies through the durable layer, and ships the record.
+// The lock spans apply and ship so the stream order is the WAL order.
+func (r *ReplicatedServer) mutate(rec *walRecord, apply func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.gateLocked(); err != nil {
+		return err
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	frame, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	r.shipLocked([][]byte{frame})
+	return nil
+}
+
+// read gates reads onto the primary: a replica's state may be mid-batch
+// relative to the primary's, and the client's ORAM position map is coupled
+// to the single linearized history only the primary serves.
+func (r *ReplicatedServer) read(fn func() error) error {
+	r.mu.Lock()
+	if err := r.gateLocked(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.mu.Unlock()
+	return fn()
+}
+
+// CreateArray implements Service.
+func (r *ReplicatedServer) CreateArray(name string, n int) error {
+	return r.mutate(&walRecord{Op: walCreateArray, Name: name, N: int64(n)},
+		func() error { return r.d.CreateArray(name, n) })
+}
+
+// ArrayLen implements Service.
+func (r *ReplicatedServer) ArrayLen(name string) (n int, err error) {
+	err = r.read(func() error { n, err = r.d.ArrayLen(name); return err })
+	return n, err
+}
+
+// ReadCells implements Service.
+func (r *ReplicatedServer) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
+	err = r.read(func() error { cts, err = r.d.ReadCells(name, idx); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WriteCells implements Service.
+func (r *ReplicatedServer) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return r.mutate(&walRecord{Op: walWriteCells, Name: name, Idx: idx, Cts: cts},
+		func() error { return r.d.WriteCells(name, idx, cts) })
+}
+
+// CreateTree implements Service.
+func (r *ReplicatedServer) CreateTree(name string, levels, slotsPerBucket int) error {
+	return r.mutate(&walRecord{Op: walCreateTree, Name: name, Levels: levels, Slots: slotsPerBucket},
+		func() error { return r.d.CreateTree(name, levels, slotsPerBucket) })
+}
+
+// ReadPath implements Service.
+func (r *ReplicatedServer) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
+	err = r.read(func() error { cts, err = r.d.ReadPath(name, leaf); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WritePath implements Service.
+func (r *ReplicatedServer) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return r.mutate(&walRecord{Op: walWritePath, Name: name, Leaf: leaf, Cts: slots},
+		func() error { return r.d.WritePath(name, leaf, slots) })
+}
+
+// WriteBuckets implements Service.
+func (r *ReplicatedServer) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return r.mutate(&walRecord{Op: walWriteBuckets, Name: name, N: int64(bucketStart), Cts: slots},
+		func() error { return r.d.WriteBuckets(name, bucketStart, slots) })
+}
+
+// Delete implements Service.
+func (r *ReplicatedServer) Delete(name string) error {
+	return r.mutate(&walRecord{Op: walDelete, Name: name},
+		func() error { return r.d.Delete(name) })
+}
+
+// Reveal implements Service. Reveals are part of the adversary's trace at
+// the server that observed them, not recoverable state, so they are not
+// replicated.
+func (r *ReplicatedServer) Reveal(tag string, value int64) error {
+	return r.read(func() error { return r.d.Reveal(tag, value) })
+}
+
+// Checkpoint implements Service. The epoch mark replicates like any other
+// record, so a replica snapshots at the same epochs the primary does — the
+// "last epoch snapshot" a resync falls back to exists on both sides.
+func (r *ReplicatedServer) Checkpoint(epoch int64) error {
+	return r.mutate(&walRecord{Op: walCheckpoint, Name: "", N: epoch},
+		func() error { return r.d.Checkpoint(epoch) })
+}
+
+// CheckpointNS implements NamespaceService.
+func (r *ReplicatedServer) CheckpointNS(db string, epoch int64) error {
+	if db == "" {
+		return r.Checkpoint(epoch)
+	}
+	return r.mutate(&walRecord{Op: walCheckpoint, Name: db, N: epoch},
+		func() error { return r.d.CheckpointNS(db, epoch) })
+}
+
+// Batch implements Batcher: ops apply one by one through the durable layer
+// (each landing in the WAL) and ship to every replica as a single
+// Replicate call, so batching cuts replication round trips exactly as it
+// cuts client round trips.
+func (r *ReplicatedServer) Batch(ops []BatchOp) ([][][]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.gateLocked(); err != nil {
+		return nil, err
+	}
+	out := make([][][]byte, len(ops))
+	var frames [][]byte
+	for i, op := range ops {
+		if op.Write {
+			if err := r.d.WriteCells(op.Name, op.Idx, op.Cts); err != nil {
+				r.shipLocked(frames) // keep replicas aligned with what applied
+				return nil, err
+			}
+			frame, err := encodeWALRecord(&walRecord{Op: walWriteCells, Name: op.Name, Idx: op.Idx, Cts: op.Cts})
+			if err != nil {
+				r.shipLocked(frames)
+				return nil, err
+			}
+			frames = append(frames, frame)
+			continue
+		}
+		cts, err := r.d.ReadCells(op.Name, op.Idx)
+		if err != nil {
+			r.shipLocked(frames)
+			return nil, err
+		}
+		out[i] = cts
+	}
+	r.shipLocked(frames)
+	return out, nil
+}
+
+// Stats implements Service. Unlike data operations, Stats answers on any
+// role — the failover layer probes it to find the primary and the freshest
+// replica.
+func (r *ReplicatedServer) Stats() (Stats, error) {
+	st, err := r.d.Stats()
+	if err != nil {
+		return Stats{}, err
+	}
+	r.annotate(&st)
+	return st, nil
+}
+
+// StatsNS implements NamespaceService; like Stats it answers on any role.
+func (r *ReplicatedServer) StatsNS(db string) (Stats, error) {
+	st, err := r.d.StatsNS(db)
+	if err != nil {
+		return Stats{}, err
+	}
+	r.annotate(&st)
+	return st, nil
+}
+
+func (r *ReplicatedServer) annotate(st *Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st.Primary = r.primary && !r.deposed
+	st.Fence = r.fence
+	st.ReplicaLag = r.maxLagLocked()
+	st.Watermark = r.watermark
+}
+
+// Snapshot forwards to the durable layer (graceful shutdown).
+func (r *ReplicatedServer) Snapshot() error { return r.d.Snapshot() }
+
+// Close closes replication connections and the durable layer.
+func (r *ReplicatedServer) Close() error {
+	r.mu.Lock()
+	for _, p := range r.peers {
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	}
+	r.mu.Unlock()
+	return r.d.Close()
+}

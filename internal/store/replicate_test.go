@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loopConn wires a primary directly to an in-process replica, standing in for
+// the transport's replication stream.
+type loopConn struct{ r *ReplicatedServer }
+
+func (c loopConn) Replicate(fence, seq int64, frames [][]byte) error {
+	_, err := c.r.ApplyReplicated(fence, seq, frames)
+	return err
+}
+func (c loopConn) SyncSnapshot(fence, seq int64, snap []byte) error {
+	return c.r.ApplySync(fence, seq, snap)
+}
+func (c loopConn) Close() error { return nil }
+
+// newReplica opens a fresh replica-role server in its own temp dir.
+func newReplica(t *testing.T) *ReplicatedServer {
+	t.Helper()
+	d, err := OpenDir(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replicated(d, ReplicationConfig{Primary: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// newPrimary opens a primary that ships to the given replicas over loopConns.
+func newPrimary(t *testing.T, replicas ...*ReplicatedServer) *ReplicatedServer {
+	t.Helper()
+	d, err := OpenDir(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peers []string
+	byAddr := map[string]*ReplicatedServer{}
+	for i, rep := range replicas {
+		addr := string(rune('a' + i))
+		peers = append(peers, addr)
+		byAddr[addr] = rep
+	}
+	p, err := Replicated(d, ReplicationConfig{
+		Primary:     true,
+		Peers:       peers,
+		RedialEvery: 1,
+		Dial: func(addr string) (ReplicaConn, error) {
+			return loopConn{byAddr[addr]}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestReplicationMirrorsPrimaryState(t *testing.T) {
+	replica := newReplica(t)
+	primary := newPrimary(t, replica)
+
+	mutateSample(t, primary)
+	if err := primary.Checkpoint(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replica refuses client reads...
+	if _, err := replica.ReadCells("a", []int64{0}); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("replica read error = %v, want ErrNotPrimary", err)
+	}
+	// ...but its durable layer holds the primary's exact state.
+	checkSample(t, replica.Durable())
+
+	if lag := primary.ReplicaLag(); lag != 0 {
+		t.Errorf("replication lag = %d after synchronous shipping, want 0", lag)
+	}
+	if w, s := replica.Watermark(), primary.ReplicaLag(); w == 0 || s != 0 {
+		t.Errorf("watermark = %d (want > 0), lag = %d", w, s)
+	}
+}
+
+func TestReplicationBatchShipsOnce(t *testing.T) {
+	replica := newReplica(t)
+	primary := newPrimary(t, replica)
+	if err := primary.CreateArray("b", 8); err != nil {
+		t.Fatal(err)
+	}
+	before := replica.Watermark()
+	out, err := primary.Batch([]BatchOp{
+		{Write: true, Name: "b", Idx: []int64{0}, Cts: [][]byte{{1}}},
+		{Name: "b", Idx: []int64{0}},
+		{Write: true, Name: "b", Idx: []int64{1}, Cts: [][]byte{{2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[1][0], []byte{1}) {
+		t.Fatalf("batch read = %v", out[1])
+	}
+	if got := replica.Watermark() - before; got != 2 {
+		t.Errorf("replica applied %d records for the batch, want 2 (writes only)", got)
+	}
+	cts, err := replica.Durable().ReadCells("b", []int64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cts[0], []byte{1}) || !bytes.Equal(cts[1], []byte{2}) {
+		t.Errorf("replica cells = %v", cts)
+	}
+}
+
+// TestReplicaRejectsDamagedStream is the torn/bit-flipped stream property
+// test: whatever prefix truncation or single-bit corruption hits a shipped
+// frame, the replica detects it (ErrIntegrity), applies nothing, and a
+// snapshot resync restores it to the stream.
+func TestReplicaRejectsDamagedStream(t *testing.T) {
+	replica := newReplica(t)
+
+	frame, err := encodeWALRecord(&walRecord{Op: walCreateArray, Name: "x", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	damaged := make([][]byte, 0, 64)
+	for cut := 0; cut < len(frame); cut++ { // every torn prefix, header included
+		damaged = append(damaged, frame[:cut])
+	}
+	for i := 0; i < 32; i++ { // random single-bit flips across the frame
+		b := append([]byte(nil), frame...)
+		pos := rng.Intn(len(b))
+		b[pos] ^= 1 << uint(rng.Intn(8))
+		damaged = append(damaged, b)
+	}
+	damaged = append(damaged, append(append([]byte(nil), frame...), 0xEE)) // trailing garbage
+
+	for i, bad := range damaged {
+		w, err := replica.ApplyReplicated(1, replica.Watermark(), [][]byte{bad})
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("damaged frame %d: error = %v, want ErrIntegrity", i, err)
+		}
+		if w != 0 || replica.Watermark() != 0 {
+			t.Fatalf("damaged frame %d advanced the watermark to %d", i, w)
+		}
+		if _, err := replica.Durable().ArrayLen("x"); !errors.Is(err, ErrUnknownObject) {
+			t.Fatalf("damaged frame %d applied state: %v", i, err)
+		}
+	}
+
+	// A batch where only the last frame is damaged must apply nothing either.
+	good, err := encodeWALRecord(&walRecord{Op: walCreateArray, Name: "y", N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := frame[:len(frame)-3]
+	if _, err := replica.ApplyReplicated(1, 0, [][]byte{good, torn}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("mixed batch error = %v, want ErrIntegrity", err)
+	}
+	if _, err := replica.Durable().ArrayLen("y"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatal("replica applied a prefix of a damaged batch")
+	}
+
+	// The primary's answer to ErrIntegrity is a snapshot push; after it the
+	// replica is back on the stream at the primary's position.
+	src := NewServer()
+	if err := src.CreateArray("x", 8); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := src.SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ApplySync(1, 7, snap.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if w := replica.Watermark(); w != 7 {
+		t.Fatalf("watermark after sync = %d, want 7", w)
+	}
+	if _, err := replica.ApplyReplicated(1, 7, [][]byte{frame}); err != nil {
+		t.Fatalf("clean frame after resync: %v", err)
+	}
+	if n, err := replica.Durable().ArrayLen("x"); err != nil || n != 8 {
+		t.Fatalf("replica state after resync: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplicaRejectsSequenceGap(t *testing.T) {
+	replica := newReplica(t)
+	frame, err := encodeWALRecord(&walRecord{Op: walCreateArray, Name: "x", N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replica.ApplyReplicated(1, 5, [][]byte{frame}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("gap error = %v, want ErrIntegrity", err)
+	}
+	if replica.Watermark() != 0 {
+		t.Fatal("gap advanced the watermark")
+	}
+}
+
+func TestShippingHealsDivergedReplica(t *testing.T) {
+	replica := newReplica(t)
+	// Desynchronize the replica: pretend it applied 3 records of some
+	// earlier life that the primary never shipped this reign.
+	var empty bytes.Buffer
+	if err := NewServer().SaveSnapshot(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ApplySync(1, 3, empty.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	primary := newPrimary(t, replica)
+	if err := primary.CreateArray("h", 4); err != nil { // seq 0 vs watermark 3
+		t.Fatal(err)
+	}
+	if err := primary.WriteCells("h", []int64{1}, [][]byte{{42}}); err != nil {
+		t.Fatal(err)
+	}
+	cts, err := replica.Durable().ReadCells("h", []int64{1})
+	if err != nil {
+		t.Fatalf("replica not healed: %v", err)
+	}
+	if !bytes.Equal(cts[0], []byte{42}) {
+		t.Fatalf("replica cells after heal = %v", cts)
+	}
+	if lag := primary.ReplicaLag(); lag != 0 {
+		t.Errorf("lag after heal = %d", lag)
+	}
+}
+
+func TestFencingDeposesOldPrimary(t *testing.T) {
+	replica := newReplica(t)
+	primary := newPrimary(t, replica)
+	if err := primary.CreateArray("f", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failover client promotes the replica at fence 2...
+	if _, err := replica.Promote(1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("promote at non-increasing fence: %v, want ErrFenced", err)
+	}
+	fence, err := replica.Promote(2)
+	if err != nil || fence != 2 {
+		t.Fatalf("promote = (%d, %v)", fence, err)
+	}
+	if !replica.IsPrimary() {
+		t.Fatal("promoted replica is not primary")
+	}
+
+	// ...and the old primary, once it hears fence 2, refuses all writes.
+	if err := primary.ObserveFence(2); err != nil {
+		t.Fatal(err)
+	}
+	if primary.IsPrimary() {
+		t.Fatal("deposed primary still claims the role")
+	}
+	if err := primary.WriteCells("f", []int64{0}, [][]byte{{1}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed write error = %v, want ErrFenced", err)
+	}
+	if _, err := primary.ReadCells("f", []int64{0}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("deposed read error = %v, want ErrFenced", err)
+	}
+	// Stats still answer (the failover prober depends on it).
+	st, err := primary.Stats()
+	if err != nil || st.Primary || st.Fence != 2 {
+		t.Fatalf("deposed stats = %+v, %v", st, err)
+	}
+
+	// Replication from the stale fence is refused too.
+	frame, _ := encodeWALRecord(&walRecord{Op: walCreateArray, Name: "z", N: 1})
+	if _, err := replica.ApplyReplicated(1, replica.Watermark(), [][]byte{frame}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-fence shipment error = %v, want ErrFenced", err)
+	}
+}
+
+func TestFenceFileSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Replicated(d, ReplicationConfig{Primary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateArray("p", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ObserveFence(5); err != nil { // deposed at fence 5
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarting with the original primary flags cannot resurrect the role:
+	// the FENCE file recorded the loss.
+	d2, err := OpenDir(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Replicated(d2, ReplicationConfig{Primary: true, Fence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.IsPrimary() || r2.Fence() != 5 {
+		t.Fatalf("rebooted deposed primary: primary=%v fence=%d", r2.IsPrimary(), r2.Fence())
+	}
+	if err := r2.WriteCells("p", []int64{0}, [][]byte{{1}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("rebooted deposed write error = %v, want ErrFenced", err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An operator force-promotes with a strictly higher fence.
+	d3, err := OpenDir(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Replicated(d3, ReplicationConfig{Primary: true, Fence: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if !r3.IsPrimary() || r3.Fence() != 6 {
+		t.Fatalf("force-promoted: primary=%v fence=%d", r3.IsPrimary(), r3.Fence())
+	}
+	if err := r3.WriteCells("p", []int64{0}, [][]byte{{1}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformedFenceFileRefusesBoot(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := os.WriteFile(filepath.Join(dir, fenceFile), []byte("not a fence"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replicated(d, ReplicationConfig{Primary: true}); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("malformed FENCE boot error = %v, want ErrIntegrity", err)
+	}
+}
+
+func TestDownReplicaNeverBlocksPrimary(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dials := 0
+	p, err := Replicated(d, ReplicationConfig{
+		Primary:     true,
+		Peers:       []string{"down"},
+		RedialEvery: 4,
+		Dial: func(string) (ReplicaConn, error) {
+			dials++
+			return nil, errors.New("connection refused")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.CreateArray("u", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := p.WriteCells("u", []int64{0}, [][]byte{{byte(i)}}); err != nil {
+			t.Fatalf("write %d with replica down: %v", i, err)
+		}
+	}
+	if dials == 0 || dials > 8 {
+		t.Errorf("dial attempts = %d, want a handful at the redial cadence", dials)
+	}
+	if lag := p.ReplicaLag(); lag != 17 {
+		t.Errorf("lag with replica down = %d, want 17", lag)
+	}
+}

@@ -19,6 +19,21 @@ import (
 // transient blip.
 var ErrRetryBudgetExhausted = errors.New("store: retry budget exhausted")
 
+// JitterMode selects how WithRetry randomizes its exponential backoff.
+type JitterMode int
+
+const (
+	// JitterFull (the default): each delay is drawn uniformly from
+	// [0, ceiling], the "full jitter" strategy — maximum decorrelation
+	// between clients whose retry clocks started at the same failure.
+	JitterFull JitterMode = iota
+	// JitterPartial: the legacy ±(JitterFrac/2)·ceiling band around the
+	// exponential schedule.
+	JitterPartial
+	// JitterNone: the bare exponential schedule.
+	JitterNone
+)
+
 // RetryPolicy parameterizes WithRetry. The zero value of any field selects
 // the default noted on it.
 type RetryPolicy struct {
@@ -32,9 +47,18 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 	// Multiplier scales the backoff between attempts (default 2).
 	Multiplier float64
-	// JitterFrac randomizes each backoff by ±(JitterFrac/2)·backoff to
-	// decorrelate the pool workers' retries (default 0.2). Jitter is drawn
-	// from a seeded generator, so schedules stay reproducible.
+	// Jitter selects the backoff randomization strategy. The default,
+	// JitterFull, draws each delay uniformly from [0, ceiling] where the
+	// ceiling grows exponentially — the strategy that best decorrelates
+	// retry storms: after a failover or a burst of ErrOverloaded shedding,
+	// every client's clock restarts at the same instant, and partial jitter
+	// keeps them marching in near-lockstep while full jitter spreads them
+	// across the whole window. JitterPartial preserves the legacy
+	// ±(JitterFrac/2)·ceiling behavior (monotone, tightly predictable
+	// delays); JitterNone disables jitter for exact-schedule tests.
+	Jitter JitterMode
+	// JitterFrac sizes JitterPartial's band: each backoff is randomized by
+	// ±(JitterFrac/2)·backoff (default 0.2). Ignored by the other modes.
 	JitterFrac float64
 	// CallTimeout is the deadline for one logical call including all its
 	// retries; 0 means no deadline.
@@ -43,7 +67,9 @@ type RetryPolicy struct {
 	// 0 means unlimited. A run that burns its budget fails fast with
 	// ErrRetryBudgetExhausted instead of limping through a dead backend.
 	Budget int64
-	// Seed fixes the jitter schedule (default 0).
+	// Seed fixes the jitter schedule for reproducible tests. 0 (the
+	// default) seeds from the process-global generator, so independent
+	// clients draw independent schedules — the whole point of jitter.
 	Seed int64
 	// Retryable classifies errors; nil selects DefaultRetryable.
 	Retryable func(error) bool
@@ -161,7 +187,11 @@ func WithRetry(svc Service, policy RetryPolicy) *RetryService {
 	if policy.sleep == nil {
 		policy.sleep = time.Sleep
 	}
-	rs := &RetryService{svc: svc, policy: policy, rng: rand.New(rand.NewSource(policy.Seed))}
+	seed := policy.Seed
+	if seed == 0 {
+		seed = rand.Int63() // independent schedule per client (see Seed)
+	}
+	rs := &RetryService{svc: svc, policy: policy, rng: rand.New(rand.NewSource(seed))}
 	if policy.Metrics != nil {
 		rs.retries = policy.Metrics.Counter("oblivfd_retries_total")
 		rs.shared = true
@@ -175,7 +205,9 @@ func WithRetry(svc Service, policy RetryPolicy) *RetryService {
 // Metrics registry configured this is the stack-wide total.
 func (r *RetryService) Retries() int64 { return r.retries.Value() }
 
-// backoff computes the jittered delay before retry number n (1-based).
+// backoff computes the jittered delay before retry number n (1-based). The
+// exponential schedule sets the ceiling; Jitter decides where under it the
+// delay lands.
 func (r *RetryService) backoff(n int) time.Duration {
 	d := float64(r.policy.InitialBackoff)
 	for i := 1; i < n; i++ {
@@ -185,10 +217,18 @@ func (r *RetryService) backoff(n int) time.Duration {
 			break
 		}
 	}
-	r.mu.Lock()
-	jitter := (r.rng.Float64() - 0.5) * r.policy.JitterFrac * d
-	r.mu.Unlock()
-	d += jitter
+	switch r.policy.Jitter {
+	case JitterFull:
+		r.mu.Lock()
+		d *= r.rng.Float64()
+		r.mu.Unlock()
+	case JitterPartial:
+		r.mu.Lock()
+		jitter := (r.rng.Float64() - 0.5) * r.policy.JitterFrac * d
+		r.mu.Unlock()
+		d += jitter
+	case JitterNone:
+	}
 	if d < 0 {
 		d = 0
 	}

@@ -55,7 +55,9 @@ func TestRetryRecoversFromTransient(t *testing.T) {
 		t.Fatal(err)
 	}
 	var slept []time.Duration
-	r := WithRetry(backend, fastPolicy(RetryPolicy{MaxAttempts: 5}, &slept))
+	// JitterPartial keeps the schedule near-exponential so the monotonicity
+	// assertion below holds; the full-jitter default is covered separately.
+	r := WithRetry(backend, fastPolicy(RetryPolicy{MaxAttempts: 5, Jitter: JitterPartial}, &slept))
 	if err := r.WriteCells("a", []int64{0}, [][]byte{{1}}); err != nil {
 		t.Fatalf("WriteCells with 3 transient failures: %v", err)
 	}
@@ -175,6 +177,57 @@ func TestRetryJitterDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Errorf("jittered backoff %d differs: %v vs %v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestRetryFullJitterBounds: the default full-jitter mode draws every delay
+// from [0, ceiling] where the ceiling follows the exponential schedule.
+func TestRetryFullJitterBounds(t *testing.T) {
+	backend := &flaky{Server: NewServer(), err: fmt.Errorf("%w: test", ErrTransient), failures: 5}
+	_ = backend.Server.CreateArray("a", 4)
+	var slept []time.Duration
+	p := fastPolicy(RetryPolicy{MaxAttempts: 6, Seed: 7}, &slept)
+	r := WithRetry(backend, p)
+	if err := r.WriteCells("a", []int64{0}, [][]byte{{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 5 {
+		t.Fatalf("slept %d times, want 5", len(slept))
+	}
+	ceiling := 5 * time.Millisecond // InitialBackoff default
+	for i, d := range slept {
+		if d < 0 || d > ceiling {
+			t.Errorf("backoff %d = %v outside [0, %v]", i, d, ceiling)
+		}
+		if ceiling < time.Second { // MaxBackoff default
+			ceiling *= 2
+		}
+	}
+}
+
+// TestRetryFullJitterDecorrelates: two clients built with the default
+// (unseeded) policy must not share a retry schedule — synchronized storms
+// are exactly what full jitter exists to prevent.
+func TestRetryFullJitterDecorrelates(t *testing.T) {
+	run := func() []time.Duration {
+		backend := &flaky{Server: NewServer(), err: fmt.Errorf("%w: test", ErrTransient), failures: 8}
+		_ = backend.Server.CreateArray("a", 4)
+		var slept []time.Duration
+		r := WithRetry(backend, fastPolicy(RetryPolicy{MaxAttempts: 9}, &slept))
+		if err := r.WriteCells("a", []int64{0}, [][]byte{{1}}); err != nil {
+			t.Fatal(err)
+		}
+		return slept
+	}
+	a, b := run(), run()
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Errorf("two unseeded clients drew identical schedules: %v", a)
 	}
 }
 

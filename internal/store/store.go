@@ -55,6 +55,19 @@ var (
 	// ErrNoSuchEpoch is returned by OpenDirAtEpoch when no retained
 	// snapshot matches the requested recovery epoch.
 	ErrNoSuchEpoch = errors.New("store: no snapshot for requested epoch")
+
+	// ErrNotPrimary is returned by a replica asked to serve client
+	// operations: only the primary may read or mutate, because the client's
+	// ORAM state is coupled to a single linearized history. Not retryable
+	// against the same server — the failover layer rotates to another one.
+	ErrNotPrimary = errors.New("store: not the primary")
+	// ErrFenced is returned by a server that has been fenced off: it held
+	// (or believed it held) the primary role under an older fencing epoch
+	// and has since learned of a higher one. A fenced server refuses every
+	// client operation — accepting even one write would fork the history a
+	// promoted replica continued. Fatal at the issuing server; the failover
+	// layer treats it as "find the real primary".
+	ErrFenced = errors.New("store: fenced by a newer primary epoch")
 )
 
 // integrityError is a named sentinel that additionally matches ErrIntegrity
@@ -89,6 +102,19 @@ type Stats struct {
 	// trees. Both flow over the wire so the check works on any transport.
 	Epoch               int64
 	MutationsSinceEpoch int64
+
+	// Replication state, contributed by a ReplicatedServer. Primary reports
+	// whether this server currently holds the primary role; Fence is its
+	// fencing epoch; ReplicaLag is the primary-side count of shipped records
+	// the slowest configured replica has not acknowledged; Watermark is the
+	// replica-side count of replication records applied this reign (the
+	// failover layer promotes the freshest reachable replica). Failovers is
+	// added client-side by a FailoverPool.
+	Primary    bool
+	Fence      int64
+	ReplicaLag int64
+	Watermark  int64
+	Failovers  int64
 }
 
 // Service is the full server-side surface the client can invoke. Both the

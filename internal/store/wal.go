@@ -37,10 +37,11 @@ const (
 	walWriteBuckets
 	walDelete
 	walCheckpoint
+	walFence
 )
 
 var walOpNames = [...]string{
-	"CreateArray", "WriteCells", "CreateTree", "WritePath", "WriteBuckets", "Delete", "Checkpoint",
+	"CreateArray", "WriteCells", "CreateTree", "WritePath", "WriteBuckets", "Delete", "Checkpoint", "Fence",
 }
 
 func (o walOp) String() string {
@@ -59,6 +60,8 @@ func (o walOp) String() string {
 //	WriteBuckets: Name, N (bucketStart), Cts
 //	Delete:       Name
 //	Checkpoint:   Name (database namespace, "" = root), N (epoch)
+//	Fence:        N (fencing epoch), Name ("primary" or "replica" — the role
+//	              adopted with it)
 type walRecord struct {
 	Op     walOp
 	Name   string
@@ -172,6 +175,10 @@ func replayWAL(s *Server, records []*walRecord) error {
 			// multi-tenancy have Name == "" and replay as root checkpoints,
 			// exactly as they always did.
 			err = s.CheckpointNS(rec.Name, rec.N)
+		case walFence:
+			// Fencing epochs are an audit trail in the log; the FENCE file
+			// (see replicate.go) is the authoritative durable copy, so
+			// replay has nothing to apply to the in-memory state.
 		default:
 			err = fmt.Errorf("unknown op %v", rec.Op)
 		}

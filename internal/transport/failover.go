@@ -1,0 +1,371 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/oblivfd/oblivfd/internal/store"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
+)
+
+// FailoverPool is a store.Service over a *list* of servers. At any moment it
+// drives one of them — the primary — through an ordinary connection Pool;
+// when that server dies or answers with a role error, the pool re-probes the
+// list, finds (or creates, by promoting the freshest replica) a new primary,
+// and re-issues the failed call there. Layered under store.WithRetry it
+// makes an entire server loss look like one more transient fault.
+//
+// Failover procedure:
+//
+//  1. Probe every address with a sessionless Stats call.
+//  2. If a reachable server reports Primary at the highest fence seen,
+//     use it.
+//  3. Otherwise promote: pick the reachable replica with the highest
+//     watermark (the most records applied — the smallest data loss) and
+//     hand it a fence strictly above every fence seen or ever used.
+//  4. Reconnect the data pool with that fence in its handshake, so a stale
+//     ex-primary that answers the dial is fenced instead of obeyed.
+//
+// Promotion safety: the fence handed out is above anything the old primary
+// held, so the moment the new primary accepts it, the old one is refused by
+// every replica (ErrFenced on its next shipment) and by every fence-aware
+// client. Two concurrent failover clients racing a promotion cannot fork
+// history either — the loser's Promote arrives at-or-below the winner's
+// fence and is refused, and it re-probes into the winner's cluster view.
+//
+// Cross-server resend safety is the same argument as Client's redial path:
+// every write carries its exact ciphertexts (idempotent), and a create or
+// delete whose acknowledgement was lost to the failover is reconciled from
+// the new primary's verdict — the replica applied the primary's WAL record
+// before the crash, or the op never happened anywhere.
+type FailoverPool struct {
+	addrs []string
+	size  int
+	cfg   ClientConfig
+
+	mu     sync.Mutex
+	pool   *Pool
+	cur    string // address the pool currently points at
+	fence  int64  // highest fencing epoch seen or issued
+	closed bool
+
+	failovers *telemetry.Counter
+}
+
+var (
+	_ store.Service = (*FailoverPool)(nil)
+	_ store.Batcher = (*FailoverPool)(nil)
+)
+
+// DialFailover opens a failover pool of size connections against the first
+// usable server in addrs (the primary, when the cluster has one).
+func DialFailover(addrs []string, size int, cfg ClientConfig) (*FailoverPool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: no server addresses")
+	}
+	f := &FailoverPool{addrs: addrs, size: size, cfg: cfg.withDefaults()}
+	if f.cfg.Metrics != nil {
+		f.failovers = f.cfg.Metrics.Counter("oblivfd_failovers_total")
+	} else {
+		f.failovers = telemetry.NewCounter()
+	}
+	f.mu.Lock()
+	err := f.connectLocked("")
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Failovers returns how many times the pool switched servers.
+func (f *FailoverPool) Failovers() int64 { return f.failovers.Value() }
+
+// Primary returns the address currently served and the fence in use.
+func (f *FailoverPool) Primary() (addr string, fence int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur, f.fence
+}
+
+// Close closes the underlying pool.
+func (f *FailoverPool) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	if f.pool == nil {
+		return nil
+	}
+	return f.pool.Close()
+}
+
+// probeConfig strips the session and fence from the data config: probes must
+// reach replicas (which refuse fenced data sessions) and must not consume a
+// namespace session slot for longer than one Stats call.
+func (f *FailoverPool) probeConfig() ClientConfig {
+	cfg := f.cfg
+	cfg.Database = ""
+	cfg.Fence = 0
+	cfg.Redials = -1 // a probe is itself the retry loop; fail fast
+	cfg.Metrics = nil
+	return cfg
+}
+
+// connectLocked (re)establishes the data pool on the best server, promoting
+// a replica when no primary answers. avoid is the address we are failing
+// away from; it is chosen only when nothing else qualifies. Caller holds
+// f.mu.
+func (f *FailoverPool) connectLocked(avoid string) error {
+	type probe struct {
+		addr string
+		st   store.Stats
+	}
+	var (
+		probes   []probe
+		maxFence = f.fence
+		lastErr  error
+	)
+	pcfg := f.probeConfig()
+	for _, addr := range f.addrs {
+		c, err := DialWith(addr, pcfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		st, err := c.statsRaw()
+		c.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		probes = append(probes, probe{addr, st})
+		if st.Fence > maxFence {
+			maxFence = st.Fence
+		}
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("transport: no server reachable: %w: %w", store.ErrUnavailable, lastErr)
+	}
+
+	// Prefer a live primary at the newest fence; an avoided address only as
+	// the last resort (it may be the very server whose verdicts failed us).
+	pick := func(ok func(probe) bool) (string, bool) {
+		chosen, found := "", false
+		for _, p := range probes {
+			if !ok(p) {
+				continue
+			}
+			if !found || chosen == avoid {
+				chosen, found = p.addr, true
+			}
+		}
+		return chosen, found
+	}
+	replicated := maxFence > 0
+	if addr, ok := pick(func(p probe) bool { return p.st.Primary && p.st.Fence == maxFence }); ok {
+		f.fence = maxFence
+		return f.openPoolLocked(addr)
+	}
+	if !replicated {
+		// No server reports a replication role: a plain single-server (or
+		// seed-era) deployment. Serve the first reachable address with no
+		// fence in the handshake.
+		addr, _ := pick(func(probe) bool { return true })
+		f.fence = 0
+		return f.openPoolLocked(addr)
+	}
+
+	// No primary answered: promote the freshest reachable replica.
+	best, found := "", false
+	var bestWM int64 = -1
+	for _, p := range probes {
+		if p.addr == avoid && found {
+			continue
+		}
+		if p.st.Watermark > bestWM || (found && best == avoid) {
+			best, bestWM, found = p.addr, p.st.Watermark, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("transport: no replica to promote: %w", store.ErrUnavailable)
+	}
+	ctl, err := DialWith(best, pcfg)
+	if err != nil {
+		return fmt.Errorf("transport: promoting %s: %w", best, err)
+	}
+	newFence, err := ctl.Promote(maxFence + 1)
+	ctl.Close()
+	if err != nil {
+		return fmt.Errorf("transport: promoting %s to fence %d: %w", best, maxFence+1, err)
+	}
+	f.fence = newFence
+	return f.openPoolLocked(best)
+}
+
+// openPoolLocked dials the data pool against addr with the current fence in
+// its session handshake. Caller holds f.mu.
+func (f *FailoverPool) openPoolLocked(addr string) error {
+	cfg := f.cfg
+	cfg.Fence = f.fence
+	p, err := DialPoolWith(addr, f.size, cfg)
+	if err != nil {
+		return err
+	}
+	f.pool, f.cur = p, addr
+	return nil
+}
+
+// failoverClass reports whether an error means "this server is no longer
+// usable" (fail over) as opposed to "this request failed on its merits"
+// (surface to the caller / the retry layer). ErrTransient and ErrOverloaded
+// are deliberately not failover triggers: the server answered, it just wants
+// the client to back off and retry *here*.
+func failoverClass(err error) bool {
+	switch {
+	case errors.Is(err, store.ErrNotPrimary), errors.Is(err, store.ErrFenced),
+		errors.Is(err, store.ErrUnavailable), errors.Is(err, store.ErrServerKilled),
+		errors.Is(err, ErrClosed):
+		return true
+	}
+	return false
+}
+
+// do runs one logical call, failing over between attempts. appliedErr is
+// the create/delete reconciliation sentinel (see FailoverPool's type
+// comment); it only applies after at least one failover, mirroring the
+// resend rule in Client.call.
+func (f *FailoverPool) do(appliedErr error, fn func(p *Pool) error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return ErrClosed
+		}
+		p := f.pool
+		f.mu.Unlock()
+		err = fn(p)
+		if err == nil {
+			return nil
+		}
+		if attempt > 0 && appliedErr != nil && errors.Is(err, appliedErr) {
+			return nil
+		}
+		if !failoverClass(err) {
+			return err
+		}
+		if attempt >= len(f.addrs) {
+			break
+		}
+		f.failoverFrom(p)
+	}
+	if errors.Is(err, store.ErrFenced) || errors.Is(err, store.ErrUnavailable) {
+		return err
+	}
+	// Wrap so the retry layer classifies the exhaustion as retryable — the
+	// cluster may be mid-restart, and backoff-then-reprobe is the cure.
+	return fmt.Errorf("transport: every server failed: %w: %w", store.ErrUnavailable, err)
+}
+
+// failoverFrom replaces the pool that just failed. Idempotent under
+// concurrency: the workers that lost the race see the pool already swapped
+// and simply retry on the new one.
+func (f *FailoverPool) failoverFrom(old *Pool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.pool != old {
+		return
+	}
+	f.failovers.Inc()
+	avoid := f.cur
+	old.Close()
+	// On connect failure the closed pool stays installed: its fast ErrClosed
+	// verdicts route the next attempts back here to re-probe.
+	_ = f.connectLocked(avoid)
+}
+
+// CreateArray implements store.Service.
+func (f *FailoverPool) CreateArray(name string, n int) error {
+	return f.do(store.ErrObjectExists, func(p *Pool) error { return p.CreateArray(name, n) })
+}
+
+// ArrayLen implements store.Service.
+func (f *FailoverPool) ArrayLen(name string) (n int, err error) {
+	err = f.do(nil, func(p *Pool) error { n, err = p.ArrayLen(name); return err })
+	return n, err
+}
+
+// ReadCells implements store.Service.
+func (f *FailoverPool) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
+	err = f.do(nil, func(p *Pool) error { cts, err = p.ReadCells(name, idx); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WriteCells implements store.Service.
+func (f *FailoverPool) WriteCells(name string, idx []int64, cts [][]byte) error {
+	return f.do(nil, func(p *Pool) error { return p.WriteCells(name, idx, cts) })
+}
+
+// CreateTree implements store.Service.
+func (f *FailoverPool) CreateTree(name string, levels, slotsPerBucket int) error {
+	return f.do(store.ErrObjectExists, func(p *Pool) error { return p.CreateTree(name, levels, slotsPerBucket) })
+}
+
+// ReadPath implements store.Service.
+func (f *FailoverPool) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
+	err = f.do(nil, func(p *Pool) error { cts, err = p.ReadPath(name, leaf); return err })
+	if err != nil {
+		return nil, err
+	}
+	return cts, nil
+}
+
+// WritePath implements store.Service.
+func (f *FailoverPool) WritePath(name string, leaf uint32, slots [][]byte) error {
+	return f.do(nil, func(p *Pool) error { return p.WritePath(name, leaf, slots) })
+}
+
+// WriteBuckets implements store.Service.
+func (f *FailoverPool) WriteBuckets(name string, bucketStart int, slots [][]byte) error {
+	return f.do(nil, func(p *Pool) error { return p.WriteBuckets(name, bucketStart, slots) })
+}
+
+// Delete implements store.Service.
+func (f *FailoverPool) Delete(name string) error {
+	return f.do(store.ErrUnknownObject, func(p *Pool) error { return p.Delete(name) })
+}
+
+// Reveal implements store.Service.
+func (f *FailoverPool) Reveal(tag string, value int64) error {
+	return f.do(nil, func(p *Pool) error { return p.Reveal(tag, value) })
+}
+
+// Checkpoint implements store.Service.
+func (f *FailoverPool) Checkpoint(epoch int64) error {
+	return f.do(nil, func(p *Pool) error { return p.Checkpoint(epoch) })
+}
+
+// Batch implements store.Batcher. A batch re-issued on the new primary
+// re-applies idempotent cell ops, same as a redial resend.
+func (f *FailoverPool) Batch(ops []store.BatchOp) (res [][][]byte, err error) {
+	err = f.do(nil, func(p *Pool) error { res, err = p.Batch(ops); return err })
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats implements store.Service, adding the failover count to the report.
+func (f *FailoverPool) Stats() (store.Stats, error) {
+	var st store.Stats
+	err := f.do(nil, func(p *Pool) error { var e error; st, e = p.Stats(); return e })
+	if err != nil {
+		return store.Stats{}, err
+	}
+	st.Failovers = f.failovers.Value()
+	return st, nil
+}

@@ -37,8 +37,9 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	draining bool
 
-	limits   store.SessionLimits
-	registry *store.SessionRegistry
+	limits     store.SessionLimits
+	registry   *store.SessionRegistry
+	replicator store.Replicator // nil on unreplicated servers
 
 	inflight atomic.Int64 // requests decoded but not yet answered
 
@@ -72,6 +73,21 @@ func (s *Server) SetSessionLimits(limits store.SessionLimits) {
 // Sessions exposes the session registry (active counts, shed counters) for
 // tests and operator endpoints.
 func (s *Server) Sessions() *store.SessionRegistry { return s.registry }
+
+// SetReplicator installs the replication role manager: replication RPCs
+// (kindReplicate/kindSync/kindPromote) are routed to it, and session
+// handshakes become fence-aware (see handleHello). Call before Serve.
+func (s *Server) SetReplicator(rep store.Replicator) { s.replicator = rep }
+
+// Replicator returns the installed role manager (nil when unreplicated).
+func (s *Server) Replicator() store.Replicator { return s.replicator }
+
+// Draining reports whether a shutdown drain has begun (operator endpoints).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
 
 // SetMetrics attaches a telemetry registry: per-RPC server-side latency
 // (oblivfd_rpc_seconds{op=...}), the in-flight request gauge
@@ -193,6 +209,31 @@ func (s *Server) handleHello(conn net.Conn, cs *connState, req *request) *respon
 		cs.sess.Close()
 		cs.sess, cs.svc, cs.tenantLat = nil, nil, nil
 	}
+	// Fence-aware handshake: a client that knows the cluster's fencing
+	// epoch announces it (req.Value). The comparison resolves both
+	// directions of staleness before any data flows — a deposed primary
+	// learns of its successor and fences itself; a client with an outdated
+	// fence is sent back to probe.
+	if s.replicator != nil && req.Value > 0 {
+		fence := s.replicator.Fence()
+		switch {
+		case req.Value > fence:
+			_ = s.replicator.ObserveFence(req.Value)
+			resp.Err, resp.Code = encodeErr(fmt.Errorf(
+				"%w: client fence %d above local %d", store.ErrFenced, req.Value, fence))
+			resp.Fence = s.replicator.Fence()
+			return &resp
+		case req.Value < fence:
+			resp.Err, resp.Code = encodeErr(fmt.Errorf(
+				"%w: client fence %d below local %d", store.ErrFenced, req.Value, fence))
+			resp.Fence = fence
+			return &resp
+		case !s.replicator.IsPrimary():
+			resp.Err, resp.Code = encodeErr(store.ErrNotPrimary)
+			resp.Fence = fence
+			return &resp
+		}
+	}
 	sess, err := s.registry.Open(req.Name, req.Token)
 	if err != nil {
 		resp.Err, resp.Code = encodeErr(err)
@@ -247,6 +288,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch {
 		case req.Kind == kindHello:
 			resp = s.handleHello(conn, &cs, &req)
+		case req.Kind == kindReplicate || req.Kind == kindSync || req.Kind == kindPromote:
+			// Replication RPCs bypass sessions and namespacing: they carry
+			// whole WAL records (already namespaced at the primary) and role
+			// changes, authenticated by the shared session token.
+			resp = s.handleReplication(&req)
 		case cs.sess != nil:
 			// Admission: budget overruns and rate-limit hits are shed with
 			// a retryable error before the backend sees the request.
@@ -287,6 +333,42 @@ func (s *Server) serveConn(conn net.Conn) {
 		// A session connection keeps serving through a drain: fair shutdown
 		// lets admitted tenants finish while the registry refuses newcomers;
 		// Shutdown force-closes whatever outlives the grace period.
+	}
+}
+
+// handleReplication serves the replication RPCs against the installed
+// Replicator. The shared session token (when configured) gates them exactly
+// as it gates handshakes — replication messages can rewrite the whole store.
+func (s *Server) handleReplication(req *request) *response {
+	var resp response
+	fail := func(err error) *response {
+		resp.Err, resp.Code = encodeErr(err)
+		if s.replicator != nil {
+			resp.Fence = s.replicator.Fence()
+			resp.Seq = s.replicator.Watermark()
+		}
+		return &resp
+	}
+	if s.replicator == nil {
+		return fail(fmt.Errorf("%w: server is not replicated", store.ErrNotPrimary))
+	}
+	if token := s.registry.Limits().Token; token != "" && req.Token != token {
+		return fail(fmt.Errorf("%w: bad replication token", store.ErrUnauthorized))
+	}
+	switch req.Kind {
+	case kindReplicate:
+		wm, err := s.replicator.ApplyReplicated(req.Value, req.Seq, req.Cts)
+		resp.Seq = wm
+		return fail(err)
+	case kindSync:
+		if len(req.Cts) != 1 {
+			return fail(fmt.Errorf("%w: sync carries %d snapshots, want 1", store.ErrIntegrity, len(req.Cts)))
+		}
+		return fail(s.replicator.ApplySync(req.Value, req.Seq, req.Cts[0]))
+	default: // kindPromote
+		fence, err := s.replicator.Promote(req.Value)
+		resp.Fence = fence
+		return fail(err)
 	}
 }
 

@@ -64,7 +64,10 @@ const (
 	kindStats
 	kindCheckpoint
 	kindBatch
-	kindHello // session handshake: Name = database namespace, Token = auth
+	kindHello     // session handshake: Name = database namespace, Token = auth
+	kindReplicate // primary -> replica: framed WAL records (Value = fence, Seq, Cts)
+	kindSync      // primary -> replica: full snapshot resync (Value = fence, Seq, Cts[0])
+	kindPromote   // failover client -> replica: adopt fence and primary role (Value = fence)
 	numKinds
 )
 
@@ -74,6 +77,7 @@ var kindNames = [numKinds]string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
 	"Delete", "Reveal", "Stats", "Checkpoint", "Batch", "Hello",
+	"Replicate", "Sync", "Promote",
 }
 
 // rpcHistograms pre-creates one latency histogram per RPC kind so the
@@ -100,8 +104,9 @@ type request struct {
 	Cts    [][]byte
 	Leaf   uint32
 	Value  int64
+	Seq    int64 // replication stream position (kindReplicate/kindSync)
 	Ops    []store.BatchOp
-	Token  string // session auth token (kindHello only)
+	Token  string // session auth token (kindHello and replication kinds)
 }
 
 // errCode identifies a store sentinel error on the wire, so errors.Is keeps
@@ -123,6 +128,8 @@ const (
 	codeIntegrity
 	codeOverloaded
 	codeUnauthorized
+	codeNotPrimary
+	codeFenced
 )
 
 // codeSentinel maps wire codes back to the sentinel errors they stand for.
@@ -139,6 +146,8 @@ var codeSentinel = map[errCode]error{
 	codeIntegrity:       store.ErrIntegrity,
 	codeOverloaded:      store.ErrOverloaded,
 	codeUnauthorized:    store.ErrUnauthorized,
+	codeNotPrimary:      store.ErrNotPrimary,
+	codeFenced:          store.ErrFenced,
 }
 
 // sentinelCodes is the classification order for encoding: most specific
@@ -163,6 +172,8 @@ var sentinelCodes = []struct {
 	{codeIntegrity, store.ErrIntegrity},
 	{codeOverloaded, store.ErrOverloaded},
 	{codeUnauthorized, store.ErrUnauthorized},
+	{codeNotPrimary, store.ErrNotPrimary},
+	{codeFenced, store.ErrFenced},
 }
 
 // encodeErr flattens an error for the wire, preserving its most specific
@@ -207,6 +218,8 @@ type response struct {
 	N     int
 	Cts   [][]byte
 	Stats store.Stats
+	Fence int64 // replication responses: the responder's fencing epoch
+	Seq   int64 // replication responses: the responder's watermark
 }
 
 func dispatch(svc store.Service, req *request) *response {
@@ -299,6 +312,13 @@ type ClientConfig struct {
 	// dial with store.ErrUnauthorized. Setting only Token (no Database)
 	// still opens a session, bound to the root namespace.
 	Token string
+	// Fence, when positive, is carried in the session handshake: the
+	// client's view of the cluster's fencing epoch. A server that believes
+	// it is primary at a lower fence learns it was deposed and refuses the
+	// session with store.ErrFenced; a client whose fence is stale gets the
+	// same refusal and re-probes. Zero means fence-unaware (single-server
+	// deployments).
+	Fence int64
 }
 
 // DefaultClientConfig returns the defaults documented on ClientConfig.
@@ -398,7 +418,10 @@ func (c *Client) dialHandshake() error {
 			return nil
 		}
 		c.dropConnLocked()
-		if errors.Is(err, store.ErrUnauthorized) || errors.Is(err, store.ErrOverloaded) {
+		if errors.Is(err, store.ErrUnauthorized) || errors.Is(err, store.ErrOverloaded) ||
+			errors.Is(err, store.ErrFenced) || errors.Is(err, store.ErrNotPrimary) {
+			// Role verdicts included: re-dialing the same server cannot make
+			// it the primary — the failover layer must re-probe instead.
 			return err
 		}
 		if redials >= c.cfg.Redials || c.cfg.Redials < 0 {
@@ -482,7 +505,7 @@ func (c *Client) redialLocked() error {
 // sessioned reports whether this client opens a session handshake on each
 // connection.
 func (c *Client) sessioned() bool {
-	return c.cfg.Database != "" || c.cfg.Token != ""
+	return c.cfg.Database != "" || c.cfg.Token != "" || c.cfg.Fence > 0
 }
 
 // handshakeLocked performs the session handshake on the current connection:
@@ -495,7 +518,7 @@ func (c *Client) handshakeLocked() error {
 	if c.cfg.CallTimeout > 0 {
 		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
 	}
-	req := request{Kind: kindHello, Name: c.cfg.Database, Token: c.cfg.Token}
+	req := request{Kind: kindHello, Name: c.cfg.Database, Token: c.cfg.Token, Value: c.cfg.Fence}
 	if err := c.enc.Encode(&req); err != nil {
 		return fmt.Errorf("transport: handshake send: %w", err)
 	}
@@ -732,3 +755,31 @@ func (c *Client) Stats() (store.Stats, error) {
 	}
 	return st, nil
 }
+
+// Replicate implements store.ReplicaConn: ship framed WAL records to a
+// replica. seq is the shipper's stream position before this batch; the
+// replica refuses (store.ErrIntegrity) unless it matches its watermark.
+func (c *Client) Replicate(fence, seq int64, frames [][]byte) error {
+	_, err := c.call(&request{Kind: kindReplicate, Value: fence, Seq: seq, Cts: frames, Token: c.cfg.Token})
+	return err
+}
+
+// SyncSnapshot implements store.ReplicaConn: replace the replica's whole
+// state with a snapshot and reposition its stream cursor at seq.
+func (c *Client) SyncSnapshot(fence, seq int64, snap []byte) error {
+	_, err := c.call(&request{Kind: kindSync, Value: fence, Seq: seq, Cts: [][]byte{snap}, Token: c.cfg.Token})
+	return err
+}
+
+// Promote asks the server to adopt the given fencing epoch and the primary
+// role; it returns the server's resulting fence. The failover layer calls it
+// on the freshest reachable replica once no primary answers.
+func (c *Client) Promote(fence int64) (int64, error) {
+	resp, err := c.call(&request{Kind: kindPromote, Value: fence, Token: c.cfg.Token})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Fence, nil
+}
+
+var _ store.ReplicaConn = (*Client)(nil)

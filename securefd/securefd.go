@@ -163,6 +163,12 @@ var (
 	// ErrUnauthorized marks a rejected session handshake (bad token or
 	// invalid database name). It is never retried.
 	ErrUnauthorized = store.ErrUnauthorized
+	// ErrNotPrimary marks an operation sent to a replica: only the primary
+	// serves clients. DialTCPFailover treats it as "rotate to the primary".
+	ErrNotPrimary = store.ErrNotPrimary
+	// ErrFenced marks a server deposed by a newer primary epoch. It is
+	// fatal at that server; DialTCPFailover re-probes for the successor.
+	ErrFenced = store.ErrFenced
 )
 
 // WithFaults wraps a service with seeded, deterministic fault injection:
@@ -204,6 +210,19 @@ func DialTCPWith(addr string, cfg ClientConfig) (*transport.Client, error) {
 // server, letting concurrent workers issue storage calls in parallel.
 func DialTCPPool(addr string, size int, cfg ClientConfig) (*transport.Pool, error) {
 	return transport.DialPoolWith(addr, size, cfg)
+}
+
+// DialTCPFailover connects a pool of size connections against a *list* of
+// replicated fdservers (see fdserver -replicas): calls are served by the
+// current primary, and when it dies or is deposed the pool probes the list,
+// promotes the freshest replica if no primary answers, and re-issues the
+// failed call there. Layer WithRetry on top and an entire server loss looks
+// like one more transient fault:
+//
+//	svc, _ := securefd.DialTCPFailover(addrs, workers, securefd.DefaultClientConfig())
+//	db, _ := securefd.Outsource(securefd.WithRetry(svc, securefd.RetryPolicy{}), rel, opts)
+func DialTCPFailover(addrs []string, size int, cfg ClientConfig) (*transport.FailoverPool, error) {
+	return transport.DialFailover(addrs, size, cfg)
 }
 
 // NewTCPServer wraps a service for serving over TCP with graceful
