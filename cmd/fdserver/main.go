@@ -74,9 +74,10 @@ type config struct {
 	// -replicas peers; a -replica-of server applies that stream and refuses
 	// client operations until promoted. A replica may also carry -replicas
 	// (its own peer list) so that, once promoted, it ships to the survivors.
-	replicas  string // comma-separated peer addresses to ship to when primary
-	replicaOf string // primary's address this server replicates (replica role)
-	fence     int64  // initial fencing epoch (0 = 1, or whatever FENCE recorded)
+	replicas    string        // comma-separated peer addresses to ship to when primary
+	replicaOf   string        // primary's address this server replicates (replica role)
+	fence       int64         // initial fencing epoch (0 = 1, or whatever FENCE recorded)
+	shipTimeout time.Duration // per-shipment deadline on replication calls
 }
 
 func main() {
@@ -103,6 +104,7 @@ func main() {
 	flag.StringVar(&cfg.replicas, "replicas", "", "comma-separated peer addresses to ship the WAL to while primary; on a -replica-of server this takes effect at promotion (requires -data-dir)")
 	flag.StringVar(&cfg.replicaOf, "replica-of", "", "address of the primary this server replicates; refuses client ops until promoted (requires -data-dir)")
 	flag.Int64Var(&cfg.fence, "fence", 0, "initial fencing epoch; 0 defers to the FENCE file or 1, higher values force-promote past a stale primary")
+	flag.DurationVar(&cfg.shipTimeout, "ship-timeout", 5*time.Second, "deadline per replication call; a peer that exceeds it is marked down and resynced by snapshot when it returns")
 	flag.Parse()
 
 	if err := run(*listen, cfg); err != nil {
@@ -233,11 +235,18 @@ func serve(l net.Listener, cfg config) error {
 			}
 		}
 		token := cfg.sessionToken
+		shipTimeout := cfg.shipTimeout
+		if shipTimeout <= 0 {
+			shipTimeout = 5 * time.Second
+		}
 		dial := func(addr string) (store.ReplicaConn, error) {
 			return transport.DialWith(addr, transport.ClientConfig{
 				Token:       token,
 				DialTimeout: 2 * time.Second,
-				CallTimeout: 30 * time.Second,
+				// Short per-call deadline: a hung (not merely dead) peer can
+				// stall writers for at most one shipment before it is marked
+				// down and skipped until the redial cadence.
+				CallTimeout: shipTimeout,
 				Redials:     -1, // the shipper handles peer loss itself
 			})
 		}

@@ -489,18 +489,21 @@ func (d *DurableServer) SnapshotBytes() ([]byte, error) {
 // read from r, persists it as a new durable snapshot, and truncates the WAL
 // (whose records described the abandoned state). The replication layer uses
 // it to realign a replica with the primary's exact bytes; afterwards the
-// directory recovers to precisely the synced state.
+// directory recovers to precisely the synced state. The state is loaded in
+// place — LoadSnapshot swaps only the object tables and recovery marks, and
+// only after a successful decode — so the replica's accumulated adversary
+// trace recorder and reveal log survive the resync (the per-replica trace
+// accounting of DESIGN.md §13) and anything holding the old Trace() pointer
+// keeps observing a live recorder.
 func (d *DurableServer) ResetFromSnapshot(r io.Reader) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.killed {
 		return ErrServerKilled
 	}
-	fresh := NewServer()
-	if err := fresh.LoadSnapshot(r); err != nil {
+	if err := d.mem.LoadSnapshot(r); err != nil {
 		return err
 	}
-	d.mem = fresh
 	return d.snapshotLocked()
 }
 

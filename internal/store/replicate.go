@@ -12,6 +12,7 @@ import (
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
 	"sync"
+	"sync/atomic"
 )
 
 // Primary/replica replication with fenced failover.
@@ -24,7 +25,7 @@ import (
 // directory recovers to exactly the primary's state at the last applied
 // record — promotion is just flipping the role.
 //
-// Ordering. The primary holds its own mutex across apply-then-ship, so the
+// Ordering. The primary holds its ship mutex across apply-then-ship, so the
 // ship order equals the WAL order equals the order clients observed. Each
 // shipment carries a sequence number (records shipped this reign, before the
 // batch); the replica requires it to equal its own applied count and answers
@@ -43,11 +44,18 @@ import (
 //
 // Availability model. Shipping is best-effort: a down replica never blocks
 // the primary (the discovery run keeps its availability), it just falls
-// behind and is resynced by snapshot when it returns. The cost is that a
-// failover to a behind replica loses the unshipped suffix — which the
-// single-writer client immediately detects (its ORAM state no longer
-// matches) and repairs through the same retry/reconcile path it uses after
-// a redial. See DESIGN.md §13 for the leakage argument.
+// behind and is resynced by snapshot when it returns. A dead peer fails
+// fast at dial; a hung peer (connection open, nothing answering) costs at
+// most one ship deadline — the dialer's call timeout, which fdserver keeps
+// short for replication connections — before it is marked down and skipped
+// until the redial cadence, and even that stall is confined to writers:
+// shipping happens outside the role mutex, so reads, Stats probes (which
+// failover depends on), and fence observations never wait behind a slow
+// peer. The cost is that a failover to a behind replica loses the
+// unshipped suffix — which the single-writer client immediately detects
+// (its ORAM state no longer matches) and repairs through the same
+// retry/reconcile path it uses after a redial. See DESIGN.md §13 for the
+// leakage argument.
 
 // ReplicaConn is the primary's view of one replica: the two replication
 // RPCs. *transport.Client implements it.
@@ -106,27 +114,37 @@ type Replicator interface {
 	Watermark() int64
 }
 
-// replicaPeer is the primary's bookkeeping for one replica.
+// replicaPeer is the primary's bookkeeping for one replica. conn and downAt
+// are guarded by the owning server's shipMu; acked is atomic so lag reads
+// (probes, telemetry) never wait behind an in-flight shipment.
 type replicaPeer struct {
 	addr   string
 	conn   ReplicaConn
-	acked  int64 // stream position the peer has confirmed
-	downAt int64 // shipped count when the conn last failed (redial cadence)
+	acked  atomic.Int64 // stream position the peer has confirmed
+	downAt int64        // shipped count when the conn last failed (redial cadence)
 }
 
 // ReplicatedServer decorates a DurableServer with a replication role. It
 // implements Service, Batcher, NamespaceService, and Replicator.
+//
+// Locking: shipMu serializes mutations and their shipments, so the stream
+// order equals the WAL order; it is the only lock held across replication
+// network calls. mu guards the role state and the replica-side stream
+// cursor and is held only for memory operations, so role probes and client
+// reads proceed while a shipment is in flight. Lock order is shipMu before
+// mu; the durable layer's own locks nest innermost.
 type ReplicatedServer struct {
-	mu  sync.Mutex
 	d   *DurableServer
 	cfg ReplicationConfig
 
-	primary bool
-	deposed bool // held the primary role under an older fence and lost it
-	fence   int64
+	shipMu  sync.Mutex
+	peers   []*replicaPeer
+	shipped atomic.Int64 // records shipped this reign (primary side)
 
-	peers     []*replicaPeer
-	shipped   int64 // records shipped this reign (primary side)
+	mu        sync.Mutex
+	primary   bool
+	deposed   bool // held the primary role under an older fence and lost it
+	fence     int64
 	watermark int64 // records applied this reign (replica side)
 
 	lagGauge     *telemetry.Gauge
@@ -311,10 +329,12 @@ func (r *ReplicatedServer) adoptFenceLocked(fence int64, becomePrimary bool) err
 	return nil
 }
 
-// deposeLocked records that a higher fence exists somewhere (exact value
+// depose records that a higher fence exists somewhere (exact value
 // unknown, e.g. a replica answered ErrFenced to a shipment): the current
 // role is lost at the current fence.
-func (r *ReplicatedServer) deposeLocked() {
+func (r *ReplicatedServer) depose() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.primary {
 		return
 	}
@@ -364,6 +384,8 @@ func (r *ReplicatedServer) ObserveFence(fence int64) error {
 // peer whose position differs answers ErrIntegrity on the first shipment
 // and is snapshot-synced.
 func (r *ReplicatedServer) Promote(fence int64) (int64, error) {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if fence <= r.fence {
@@ -372,10 +394,10 @@ func (r *ReplicatedServer) Promote(fence int64) (int64, error) {
 	if err := r.adoptFenceLocked(fence, true); err != nil {
 		return r.fence, err
 	}
-	r.shipped = r.watermark
+	r.shipped.Store(r.watermark)
 	for _, p := range r.peers {
-		p.acked = r.shipped
-		p.downAt = r.shipped - int64(r.cfg.RedialEvery) // retry dials immediately
+		p.acked.Store(r.watermark)
+		p.downAt = r.watermark - int64(r.cfg.RedialEvery) // retry dials immediately
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
@@ -482,25 +504,30 @@ func (r *ReplicatedServer) ApplySync(fence, seq int64, snap []byte) error {
 	return nil
 }
 
-// shipLocked sends frames to every peer. Failures never fail the client's
-// operation: a peer that cannot be reached is marked down and retried at
-// the redial cadence; a peer whose stream position diverged is healed with
-// a full snapshot push; a peer that answers ErrFenced deposes us.
-func (r *ReplicatedServer) shipLocked(frames [][]byte) {
+// ship sends frames to every peer at the fence they were applied under
+// (never the current fence: a fence adopted between apply and ship must
+// not launder a deposed server's record into the successor's stream — a
+// peer at the newer fence refuses the stale shipment instead). Failures
+// never fail the client's operation: a peer that cannot be reached is
+// marked down and retried at the redial cadence; a peer whose stream
+// position diverged is healed with a full snapshot push; a peer that
+// answers ErrFenced deposes us. Caller holds shipMu, never mu.
+func (r *ReplicatedServer) ship(fence int64, frames [][]byte) {
 	if len(r.peers) == 0 || len(frames) == 0 {
 		return
 	}
-	seq := r.shipped
-	r.shipped += int64(len(frames))
+	seq := r.shipped.Load()
+	shipped := seq + int64(len(frames))
+	r.shipped.Store(shipped)
 	connected := int64(0)
 	for _, p := range r.peers {
 		if p.conn == nil {
-			if r.shipped-p.downAt < int64(r.cfg.RedialEvery) {
+			if shipped-p.downAt < int64(r.cfg.RedialEvery) {
 				continue
 			}
 			conn, err := r.cfg.Dial(p.addr)
 			if err != nil {
-				p.downAt = r.shipped
+				p.downAt = shipped
 				r.shipFailures.Inc()
 				continue
 			}
@@ -508,59 +535,63 @@ func (r *ReplicatedServer) shipLocked(frames [][]byte) {
 			// A fresh connection's position is unknown; the seq check on the
 			// first shipment sorts it out (ErrIntegrity -> snapshot sync).
 		}
-		err := p.conn.Replicate(r.fence, seq, frames)
+		err := p.conn.Replicate(fence, seq, frames)
 		switch {
 		case err == nil:
-			p.acked = r.shipped
+			p.acked.Store(shipped)
 			r.ships.Inc()
 			connected++
 		case errors.Is(err, ErrFenced):
 			// The peer knows a higher fence: we are no longer the primary.
-			r.deposeLocked()
+			r.depose()
 			r.shipFailures.Inc()
 			return
 		case errors.Is(err, ErrIntegrity):
-			if r.syncPeerLocked(p) {
+			if r.syncPeer(fence, p) {
 				connected++
 			}
 		default:
 			p.conn.Close()
 			p.conn = nil
-			p.downAt = r.shipped
+			p.downAt = shipped
 			r.shipFailures.Inc()
 		}
 	}
 	r.peersGauge.Set(connected)
-	r.lagGauge.Set(r.maxLagLocked())
+	r.lagGauge.Set(r.maxLag())
 }
 
-// syncPeerLocked pushes a full snapshot to a diverged peer and reports
-// whether it ended the call in sync.
-func (r *ReplicatedServer) syncPeerLocked(p *replicaPeer) bool {
+// syncPeer pushes a full snapshot to a diverged peer and reports whether it
+// ended the call in sync. Caller holds shipMu.
+func (r *ReplicatedServer) syncPeer(fence int64, p *replicaPeer) bool {
+	shipped := r.shipped.Load()
 	snap, err := r.d.SnapshotBytes()
 	if err == nil {
-		err = p.conn.SyncSnapshot(r.fence, r.shipped, snap)
+		err = p.conn.SyncSnapshot(fence, shipped, snap)
 	}
 	if err != nil {
 		if errors.Is(err, ErrFenced) {
-			r.deposeLocked()
+			r.depose()
 		}
 		p.conn.Close()
 		p.conn = nil
-		p.downAt = r.shipped
+		p.downAt = shipped
 		r.shipFailures.Inc()
 		return false
 	}
-	p.acked = r.shipped
+	p.acked.Store(shipped)
 	r.resyncs.Inc()
 	return true
 }
 
-// maxLagLocked is the stream distance of the slowest configured peer.
-func (r *ReplicatedServer) maxLagLocked() int64 {
+// maxLag is the stream distance of the slowest configured peer. The peer
+// table is fixed at construction and the positions are atomic, so no lock
+// is needed — probes stay responsive while a shipment is in flight.
+func (r *ReplicatedServer) maxLag() int64 {
+	shipped := r.shipped.Load()
 	var lag int64
 	for _, p := range r.peers {
-		if d := r.shipped - p.acked; d > lag {
+		if d := shipped - p.acked.Load(); d > lag {
 			lag = d
 		}
 	}
@@ -569,27 +600,38 @@ func (r *ReplicatedServer) maxLagLocked() int64 {
 
 // ReplicaLag returns the primary-side maximum replication lag in records.
 func (r *ReplicatedServer) ReplicaLag() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.maxLagLocked()
+	return r.maxLag()
 }
 
-// mutate gates, applies through the durable layer, and ships the record.
-// The lock spans apply and ship so the stream order is the WAL order.
+// mutate gates, applies through the durable layer, and synchronously ships
+// the record before acknowledging the client — an acknowledged write is on
+// every reachable replica, the invariant the failover harness leans on.
+// shipMu spans the whole call so the stream order is the WAL order; mu is
+// released before the network calls so a slow peer stalls only writers.
+// The frame is encoded before apply: an encoding failure rejects the
+// operation outright, rather than applying a record that could never ship —
+// a divergence the stream position check would never see, since shipped
+// would not advance either.
 func (r *ReplicatedServer) mutate(rec *walRecord, apply func() error) error {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if err := r.gateLocked(); err != nil {
-		return err
-	}
-	if err := apply(); err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	frame, err := encodeWALRecord(rec)
 	if err != nil {
+		r.mu.Unlock()
 		return err
 	}
-	r.shipLocked([][]byte{frame})
+	if err := apply(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	fence := r.fence
+	r.mu.Unlock()
+	r.ship(fence, [][]byte{frame})
 	return nil
 }
 
@@ -695,35 +737,43 @@ func (r *ReplicatedServer) CheckpointNS(db string, epoch int64) error {
 // Replicate call, so batching cuts replication round trips exactly as it
 // cuts client round trips.
 func (r *ReplicatedServer) Batch(ops []BatchOp) ([][][]byte, error) {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if err := r.gateLocked(); err != nil {
+		r.mu.Unlock()
 		return nil, err
 	}
+	fence := r.fence
 	out := make([][][]byte, len(ops))
 	var frames [][]byte
+	fail := func(err error) ([][][]byte, error) {
+		r.mu.Unlock()
+		r.ship(fence, frames) // keep replicas aligned with what applied
+		return nil, err
+	}
 	for i, op := range ops {
 		if op.Write {
-			if err := r.d.WriteCells(op.Name, op.Idx, op.Cts); err != nil {
-				r.shipLocked(frames) // keep replicas aligned with what applied
-				return nil, err
-			}
+			// Encode first, as in mutate: a frame that cannot ship must not
+			// apply.
 			frame, err := encodeWALRecord(&walRecord{Op: walWriteCells, Name: op.Name, Idx: op.Idx, Cts: op.Cts})
 			if err != nil {
-				r.shipLocked(frames)
-				return nil, err
+				return fail(err)
+			}
+			if err := r.d.WriteCells(op.Name, op.Idx, op.Cts); err != nil {
+				return fail(err)
 			}
 			frames = append(frames, frame)
 			continue
 		}
 		cts, err := r.d.ReadCells(op.Name, op.Idx)
 		if err != nil {
-			r.shipLocked(frames)
-			return nil, err
+			return fail(err)
 		}
 		out[i] = cts
 	}
-	r.shipLocked(frames)
+	r.mu.Unlock()
+	r.ship(fence, frames)
 	return out, nil
 }
 
@@ -751,11 +801,11 @@ func (r *ReplicatedServer) StatsNS(db string) (Stats, error) {
 
 func (r *ReplicatedServer) annotate(st *Stats) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	st.Primary = r.primary && !r.deposed
 	st.Fence = r.fence
-	st.ReplicaLag = r.maxLagLocked()
 	st.Watermark = r.watermark
+	r.mu.Unlock()
+	st.ReplicaLag = r.maxLag()
 }
 
 // Snapshot forwards to the durable layer (graceful shutdown).
@@ -763,13 +813,13 @@ func (r *ReplicatedServer) Snapshot() error { return r.d.Snapshot() }
 
 // Close closes replication connections and the durable layer.
 func (r *ReplicatedServer) Close() error {
-	r.mu.Lock()
+	r.shipMu.Lock()
 	for _, p := range r.peers {
 		if p.conn != nil {
 			p.conn.Close()
 			p.conn = nil
 		}
 	}
-	r.mu.Unlock()
+	r.shipMu.Unlock()
 	return r.d.Close()
 }

@@ -392,3 +392,99 @@ func TestDownReplicaNeverBlocksPrimary(t *testing.T) {
 		t.Errorf("lag with replica down = %d, want 17", lag)
 	}
 }
+
+// TestResyncPreservesAdversaryTrace pins the trace-continuity contract of
+// ResetFromSnapshot: a snapshot resync replaces the replica's object state
+// but not its accumulated adversary recorder or reveal log, so the
+// per-replica trace accounting (DESIGN.md §13) holds across resyncs and a
+// cached Trace() pointer keeps observing a live recorder.
+func TestResyncPreservesAdversaryTrace(t *testing.T) {
+	replica := newReplica(t)
+	rec := replica.Trace()
+	if err := replica.Durable().Reveal("pre", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := NewServer().SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ApplySync(1, 3, snap.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	if replica.Trace() != rec {
+		t.Fatal("snapshot resync replaced the adversary trace recorder")
+	}
+	got := replica.Durable().Reveals()
+	if len(got) != 1 || got[0].Tag != "pre" {
+		t.Fatalf("reveal log after resync = %v, want the pre-sync entry preserved", got)
+	}
+}
+
+// blockingConn is a replica connection whose Replicate hangs (connection
+// open, peer not answering) until released, modeling a partitioned peer.
+type blockingConn struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (c *blockingConn) Replicate(fence, seq int64, frames [][]byte) error {
+	c.entered <- struct{}{}
+	<-c.release
+	return nil
+}
+func (c *blockingConn) SyncSnapshot(fence, seq int64, snap []byte) error { return nil }
+func (c *blockingConn) Close() error                                    { return nil }
+
+// TestHungPeerDoesNotBlockReads asserts the availability contract of the
+// split-lock design: while a shipment hangs on a partitioned peer, only
+// writers wait — reads, Stats (the failover prober's lifeline), lag
+// telemetry, and fence observations all answer. A regression here shows up
+// as this test deadlocking against the suite timeout.
+func TestHungPeerDoesNotBlockReads(t *testing.T) {
+	d, err := OpenDir(t.TempDir(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := &blockingConn{entered: make(chan struct{}), release: make(chan struct{})}
+	p, err := Replicated(d, ReplicationConfig{
+		Primary:     true,
+		Peers:       []string{"hung"},
+		RedialEvery: 1,
+		Dial:        func(string) (ReplicaConn, error) { return conn, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- p.CreateArray("x", 2) }()
+	<-conn.entered // the record is applied; its shipment is now hanging
+
+	// The applied record is already readable on the primary...
+	if n, err := p.ArrayLen("x"); err != nil || n != 2 {
+		t.Fatalf("read during hung shipment: n=%d err=%v", n, err)
+	}
+	// ...probes answer with the role and the visible lag...
+	st, err := p.Stats()
+	if err != nil || !st.Primary {
+		t.Fatalf("stats during hung shipment = %+v, %v", st, err)
+	}
+	if lag := p.ReplicaLag(); lag != 1 {
+		t.Errorf("lag during hung shipment = %d, want 1", lag)
+	}
+	// ...and role changes are not queued behind the stalled writer.
+	if err := p.ObserveFence(9); err != nil {
+		t.Fatalf("fence observation during hung shipment: %v", err)
+	}
+	if p.IsPrimary() {
+		t.Fatal("higher fence did not depose during hung shipment")
+	}
+
+	close(conn.release)
+	if err := <-done; err != nil {
+		t.Fatalf("mutation with hung peer: %v", err)
+	}
+}

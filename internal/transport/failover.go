@@ -21,9 +21,10 @@ import (
 //  1. Probe every address with a sessionless Stats call.
 //  2. If a reachable server reports Primary at the highest fence seen,
 //     use it.
-//  3. Otherwise promote: pick the reachable replica with the highest
-//     watermark (the most records applied — the smallest data loss) and
-//     hand it a fence strictly above every fence seen or ever used.
+//  3. Otherwise promote: pick the reachable replica at the newest fence,
+//     breaking ties by watermark (the most records applied in that reign —
+//     the smallest data loss), and hand it a fence strictly above every
+//     fence seen or ever used.
 //  4. Reconnect the data pool with that fence in its handshake, so a stale
 //     ex-primary that answers the dial is fenced instead of obeyed.
 //
@@ -176,15 +177,27 @@ func (f *FailoverPool) connectLocked(avoid string) error {
 		return f.openPoolLocked(addr)
 	}
 
-	// No primary answered: promote the freshest reachable replica.
+	// No primary answered: promote the freshest reachable replica — newest
+	// fence first, watermark only as a tie-break within that fence.
+	// Watermarks are per-reign stream positions, not comparable across
+	// fencing epochs: after successive failovers a server stranded in an
+	// older reign can report a numerically higher watermark than the newest
+	// reign's survivor, but its history was superseded the moment the newer
+	// fence was issued — promoting it would resurrect a forked past rather
+	// than lose only the documented unshipped suffix. The avoided address is
+	// still only chosen when nothing else qualifies.
 	best, found := "", false
-	var bestWM int64 = -1
-	for _, p := range probes {
-		if p.addr == avoid && found {
-			continue
-		}
-		if p.st.Watermark > bestWM || (found && best == avoid) {
-			best, bestWM, found = p.addr, p.st.Watermark, true
+	var bestFence, bestWM int64 = -1, -1
+	for pass := 0; pass < 2 && !found; pass++ {
+		for _, p := range probes {
+			if pass == 0 && p.addr == avoid {
+				continue
+			}
+			if found && (p.st.Fence < bestFence ||
+				(p.st.Fence == bestFence && p.st.Watermark <= bestWM)) {
+				continue
+			}
+			best, bestFence, bestWM, found = p.addr, p.st.Fence, p.st.Watermark, true
 		}
 	}
 	if !found {

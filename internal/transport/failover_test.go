@@ -227,3 +227,97 @@ func TestFailoverPoolPlainServerPassthrough(t *testing.T) {
 		t.Fatalf("ArrayLen = %d, %v", n, err)
 	}
 }
+
+// serveRep exposes one replicated store over TCP with the replication
+// handshake wired, returning its address.
+func serveRep(t *testing.T, rep *store.ReplicatedServer, limits store.SessionLimits) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	ts := NewServer(rep)
+	ts.SetSessionLimits(limits)
+	ts.SetReplicator(rep)
+	go func() { _ = ts.Serve(l) }()
+	t.Cleanup(func() { ts.Shutdown(0); rep.Close() })
+	return l.Addr().String()
+}
+
+// replicaAt builds a replica-role server positioned at the given fencing
+// epoch and stream watermark, the coordinates the promotion logic ranks by.
+func replicaAt(t *testing.T, fence, watermark int64) *store.ReplicatedServer {
+	t.Helper()
+	d, err := store.OpenDir(t.TempDir(), store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Replicated(d, store.ReplicationConfig{Primary: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := store.NewServer().SaveSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.ApplySync(fence, watermark, snap.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestPromotionPrefersNewestFence: watermarks are per-reign stream
+// positions, so a replica stranded in an older fencing epoch must lose the
+// promotion to a newest-fence survivor even when its watermark is
+// numerically far higher — promoting the stranded one would resurrect a
+// superseded history fork.
+func TestPromotionPrefersNewestFence(t *testing.T) {
+	staleAddr := serveRep(t, replicaAt(t, 1, 100), store.SessionLimits{})
+	freshAddr := serveRep(t, replicaAt(t, 2, 5), store.SessionLimits{})
+
+	f, err := DialFailover([]string{staleAddr, freshAddr}, 1, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	addr, fence := f.Primary()
+	if addr != freshAddr {
+		t.Fatalf("promoted %s (old reign, watermark 100), want %s (newest fence)", addr, freshAddr)
+	}
+	if fence != 3 {
+		t.Errorf("promotion fence = %d, want 3 (above every fence seen)", fence)
+	}
+}
+
+// TestUnauthenticatedHelloCannotFence: the fence claim in a handshake is
+// state-changing (it can durably depose the primary), so on a
+// token-protected server it must be refused with ErrUnauthorized before the
+// fence is acted on — reaching the port must not be enough to fence the
+// cluster off.
+func TestUnauthenticatedHelloCannotFence(t *testing.T) {
+	d, err := store.OpenDir(t.TempDir(), store.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := store.Replicated(d, store.ReplicationConfig{Primary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := serveRep(t, rep, store.SessionLimits{Token: "s3cret"})
+
+	if _, err := DialWith(addr, ClientConfig{Fence: 99, Token: "wrong", Redials: -1}); !errors.Is(err, store.ErrUnauthorized) {
+		t.Fatalf("bad-token fence-bearing dial = %v, want ErrUnauthorized", err)
+	}
+	if !rep.IsPrimary() || rep.Fence() != 1 {
+		t.Fatalf("unauthenticated hello changed the role: primary=%v fence=%d", rep.IsPrimary(), rep.Fence())
+	}
+
+	// The genuine token still exercises the fence-aware handshake: a higher
+	// client fence deposes the stale primary exactly as before.
+	if _, err := DialWith(addr, ClientConfig{Fence: 99, Token: "s3cret", Redials: -1}); !errors.Is(err, store.ErrFenced) {
+		t.Fatalf("authenticated fence-bearing dial = %v, want ErrFenced", err)
+	}
+	if rep.IsPrimary() || rep.Fence() != 99 {
+		t.Fatalf("authenticated higher fence did not depose: primary=%v fence=%d", rep.IsPrimary(), rep.Fence())
+	}
+}

@@ -213,8 +213,16 @@ func (s *Server) handleHello(conn net.Conn, cs *connState, req *request) *respon
 	// epoch announces it (req.Value). The comparison resolves both
 	// directions of staleness before any data flows — a deposed primary
 	// learns of its successor and fences itself; a client with an outdated
-	// fence is sent back to probe.
+	// fence is sent back to probe. The fence claim is state-changing
+	// (ObserveFence durably deposes a stale primary), so it is token-gated
+	// exactly like the replication RPCs: an unauthenticated Hello must not
+	// be able to fence a token-protected server off.
 	if s.replicator != nil && req.Value > 0 {
+		if token := s.registry.Limits().Token; token != "" && req.Token != token {
+			resp.Err, resp.Code = encodeErr(fmt.Errorf(
+				"%w: fence-bearing handshake requires the session token", store.ErrUnauthorized))
+			return &resp
+		}
 		fence := s.replicator.Fence()
 		switch {
 		case req.Value > fence:
