@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash tamper failover bench experiments examples telemetry-smoke scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline failover-baseline clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper failover bench experiments examples telemetry-smoke trace-smoke tracing-baseline scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline failover-baseline clean
 
 all: build vet test
 
@@ -77,6 +77,18 @@ experiments:
 # with -telemetry, and curl assertions on /metrics, /metrics.json, pprof.
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# End-to-end tracing check: a replicated 2-server pair, a discovery with
+# -trace-out, and tracecheck assertions on the merged artifact (client and
+# server spans share a trace ID, causal chain down to replication shipping),
+# plus /trace.json and the replica's role gauges.
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestDistributedTraceCausalTree' .
+	./scripts/trace_smoke.sh
+
+# Regenerate the committed tracing-overhead baseline at the recorded settings.
+tracing-baseline:
+	$(GO) run ./cmd/fdbench -exp telemetry -tracing-out BENCH_tracing.json
 
 # Quick scaling check: a small worker sweep plus the batched-vs-unbatched
 # rounds comparison. Sizes are CI-friendly; BENCH_scaling.json (the

@@ -37,6 +37,7 @@ func main() {
 		frate   = flag.Float64("fault-rate", 0.02, "transient error and spike rate for the faults experiment")
 		crate   = flag.Float64("corrupt-rate", 0.01, "per-read payload corruption rate for the faults experiment's detection axis (0 disables)")
 		telOut  = flag.String("telemetry", "", "write the telemetry experiment's per-phase breakdown to this JSON file (e.g. BENCH_telemetry.json)")
+		trcOut  = flag.String("tracing-out", "", "write the telemetry experiment's tracing-overhead axis to this JSON file (e.g. BENCH_tracing.json)")
 		sclOut  = flag.String("scaling-out", "", "write the scaling experiment's worker sweep and rounds comparison to this JSON file (e.g. BENCH_scaling.json)")
 		clients = flag.String("clients", "1,2,4,8", "comma-separated concurrent client counts for the multitenant experiment")
 		dbs     = flag.Int("dbs", 2, "database namespaces the multitenant experiment's clients spread over")
@@ -46,7 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut, *foOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *trcOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut, *foOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -76,10 +77,17 @@ func sweep(minn, maxn int) []int {
 
 type renderer interface{ Render() string }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut, failoverOut string) error {
+// joined concatenates two experiment renderings — the telemetry breakdown
+// followed by its tracing-overhead axis.
+type joined struct{ a, b renderer }
+
+func (j joined) Render() string { return j.a.Render() + "\n" + j.b.Render() }
+
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, tracingOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut, failoverOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
+	var tracingResult *bench.TracingResult
 	var scalingResult *bench.ScalingResult
 	var mtResult *bench.MultiTenantResult
 	var foResult *bench.FailoverResult
@@ -109,7 +117,15 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 		{"telemetry", func() (renderer, error) {
 			r, err := bench.Telemetry(sweep(minn, maxn/2), seed)
 			telemetryResult = r
-			return r, err
+			if err != nil {
+				return r, err
+			}
+			tr, err := bench.TracingOverhead(sweep(minn, maxn/2), seed)
+			tracingResult = tr
+			if err != nil {
+				return r, err
+			}
+			return joined{r, tr}, nil
 		}},
 		{"scaling", func() (renderer, error) {
 			r, err := bench.Scaling(minn, 6, threads, rtt, seed)
@@ -149,6 +165,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return fmt.Errorf("writing %s: %w", telemetryOut, err)
 		}
 		fmt.Printf("wrote %s (%d points)\n", telemetryOut, len(telemetryResult.Points))
+	}
+	if tracingOut != "" && tracingResult != nil {
+		if err := tracingResult.WriteFile(tracingOut); err != nil {
+			return fmt.Errorf("writing %s: %w", tracingOut, err)
+		}
+		fmt.Printf("wrote %s (%d points)\n", tracingOut, len(tracingResult.Points))
 	}
 	if scalingOut != "" && scalingResult != nil {
 		if err := scalingResult.WriteFile(scalingOut); err != nil {

@@ -53,14 +53,14 @@ func TestSweep(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
 	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry", "multitenant"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", ""); err != nil {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", []int{1}, 2, 2, "", ""); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", "", []int{1}, 2, 2, "", ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -96,11 +96,43 @@ func TestRunTelemetryArtifact(t *testing.T) {
 	}
 }
 
+// TestRunTracingArtifact: -tracing-out writes the telemetry experiment's
+// tracing-overhead axis — an off/on wall-time pair per (method, n), with
+// spans actually recorded on the traced side.
+func TestRunTracingArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_tracing.json")
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", out, "", []int{1}, 2, 2, "", ""); err != nil {
+		t.Fatalf("run(telemetry): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.TracingResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Points) != 3 { // 3 methods × sweep(16, 16) = one size
+		t.Fatalf("artifact has %d points, want 3", len(res.Points))
+	}
+	if res.SampleEvery != 1 {
+		t.Errorf("sample_every = %d, want 1 (worst-case sampling)", res.SampleEvery)
+	}
+	for _, pt := range res.Points {
+		if pt.WallOffNS <= 0 || pt.WallOnNS <= 0 {
+			t.Errorf("point %s/%d missing wall times", pt.Method, pt.N)
+		}
+		if pt.Spans == 0 {
+			t.Errorf("point %s/%d recorded no spans on the traced side", pt.Method, pt.N)
+		}
+	}
+}
+
 // TestRunScalingArtifact: -scaling-out writes the worker sweep and the
 // batched-vs-unbatched rounds comparison.
 func TestRunScalingArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scaling.json")
-	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", out, []int{1}, 2, 2, "", ""); err != nil {
+	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", "", out, []int{1}, 2, 2, "", ""); err != nil {
 		t.Fatalf("run(scaling): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -131,7 +163,7 @@ func TestRunScalingArtifact(t *testing.T) {
 // and shed accounting per point.
 func TestRunMultiTenantArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_multitenant.json")
-	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1, 2}, 2, 2, out, ""); err != nil {
+	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1, 2}, 2, 2, out, ""); err != nil {
 		t.Fatalf("run(multitenant): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -159,7 +191,7 @@ func TestRunMultiTenantArtifact(t *testing.T) {
 // the kill-the-primary recovery timings.
 func TestRunFailoverArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_failover.json")
-	if err := run("failover", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", []int{1}, 2, 2, "", out); err != nil {
+	if err := run("failover", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", out); err != nil {
 		t.Fatalf("run(failover): %v", err)
 	}
 	data, err := os.ReadFile(out)

@@ -14,6 +14,10 @@
 // (-call-timeout), dropped connections re-dial with backoff (-redials),
 // and transient server failures are retried (-retries) — so a long run
 // survives restarts and flaky networks. Counters are reported at the end.
+//
+// -telemetry <file> writes the run's phase/metric snapshot — per-level
+// wall time, RPC latency quantiles, retry counters — as JSON, the same
+// breakdown fddiscover prints with its -telemetry flag.
 package main
 
 import (
@@ -38,6 +42,7 @@ type options struct {
 	db          string        // database namespace on a multi-tenant server
 	token       string        // session auth token
 	servers     string        // comma-separated replicated fdserver addresses
+	telemetry   string        // write the phase/metric snapshot JSON here
 }
 
 func main() {
@@ -53,6 +58,7 @@ func main() {
 	flag.IntVar(&o.redials, "redials", 0, "reconnection attempts per call after a dropped connection (0 = default)")
 	flag.StringVar(&o.db, "db", "", "database namespace to bind the session to on a multi-tenant server (empty = root)")
 	flag.StringVar(&o.token, "token", "", "session auth token, required when the server runs with -session-token")
+	flag.StringVar(&o.telemetry, "telemetry", "", "write the run's phase/metric snapshot (per-level wall time, RPC latency quantiles) as JSON to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fdclient [flags] <file.csv>")
@@ -75,6 +81,13 @@ func run(server string, o options, path string) error {
 		return err
 	}
 
+	// The registry instruments every layer — transport RPC latency, retry
+	// counters, lattice phases — exactly like fddiscover's -telemetry.
+	var reg *securefd.Registry
+	if o.telemetry != "" {
+		reg = securefd.NewRegistry()
+	}
+
 	cfg := securefd.DefaultClientConfig()
 	if o.callTimeout > 0 {
 		cfg.CallTimeout = o.callTimeout
@@ -84,6 +97,7 @@ func run(server string, o options, path string) error {
 	}
 	cfg.Database = o.db
 	cfg.Token = o.token
+	cfg.Metrics = reg
 	poolSize := o.pool
 	if poolSize <= 0 {
 		poolSize = o.workers
@@ -112,14 +126,19 @@ func run(server string, o options, path string) error {
 		conn, closeConn = pool, pool.Close
 	}
 	defer closeConn()
-	svc := securefd.WithRetry(conn, securefd.RetryPolicy{MaxAttempts: o.retries})
+	var svc securefd.Service = securefd.WithRetry(conn, securefd.RetryPolicy{MaxAttempts: o.retries, Metrics: reg})
+	// Client-side per-op latency histograms measure the full round trip the
+	// protocol actually waits on, retries included.
+	svc = securefd.WithTelemetry(svc, reg)
 
 	fmt.Printf("uploading %d×%d cells encrypted to %s…\n", rel.NumRows(), rel.NumAttrs(), server)
-	start := time.Now()
+	wallStart := time.Now()
+	start := wallStart
 	db, err := securefd.Outsource(svc, rel, securefd.Options{
-		Protocol: protocol,
-		Workers:  o.workers,
-		MaxLHS:   o.maxLHS,
+		Protocol:  protocol,
+		Workers:   o.workers,
+		MaxLHS:    o.maxLHS,
+		Telemetry: reg,
 	})
 	if err != nil {
 		return err
@@ -139,6 +158,16 @@ func run(server string, o options, path string) error {
 		len(report.Minimal), protocol, time.Since(start).Round(time.Millisecond))
 	if st, err := svc.Stats(); err == nil && (st.Retries > 0 || st.Reconnects > 0) {
 		fmt.Printf("fault tolerance: %d retries, %d reconnects\n", st.Retries, st.Reconnects)
+	}
+	if reg != nil {
+		b, err := reg.MarshalBreakdownJSON(time.Since(wallStart))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.telemetry, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", o.telemetry)
 	}
 	return nil
 }

@@ -27,6 +27,13 @@
 // -connect) client-side RPC latency quantiles. -log-json switches the
 // informational log lines to JSON; the FD lines themselves stay plain.
 //
+// -trace-out records the run as a distributed trace and writes a Chrome
+// trace-event JSON artifact (open it at https://ui.perfetto.dev). With
+// -connect or -servers, span contexts ride the frame protocol's fixed-size
+// header, the servers' spans are fetched back over the TraceDump RPC, and
+// the artifact shows one causal tree per trace: lattice level → client RPC
+// → server dispatch → WAL append → per-replica shipment.
+//
 // Long runs can survive crashes on both sides. -data-dir makes the
 // in-process server durable (WAL + snapshots); -checkpoint makes the client
 // write a recovery file at every completed lattice level (ORAM protocols
@@ -79,6 +86,7 @@ type options struct {
 	db          string // database namespace on a multi-tenant server
 	token       string // session auth token
 	telemetry   bool   // print a per-phase breakdown after discovery
+	traceOut    string // write a merged Chrome trace-event artifact here
 	logJSON     bool
 }
 
@@ -103,6 +111,7 @@ func main() {
 	flag.StringVar(&o.db, "db", "", "with -connect: database namespace to bind the session to on a multi-tenant server (empty = root)")
 	flag.StringVar(&o.token, "token", "", "with -connect: session auth token, required when the server runs with -session-token")
 	flag.BoolVar(&o.telemetry, "telemetry", false, "print per-phase wall time, ORAM access counts, and latency quantiles after discovery")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the run's distributed trace (client and server spans merged) as Chrome trace-event JSON to this file")
 	flag.BoolVar(&o.logJSON, "log-json", false, "log informational lines as JSON instead of key=value text")
 	flag.Parse()
 
@@ -158,7 +167,8 @@ func runResume(o options) error {
 		return err
 	}
 	reg := o.newRegistry()
-	db, srv, err := securefd.ResumeFromDir(o.dataDir, o.resume, securefd.DurableOptions{})
+	tr := o.newTracer()
+	db, srv, err := securefd.ResumeFromDir(o.dataDir, o.resume, securefd.DurableOptions{Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -166,6 +176,7 @@ func runResume(o options) error {
 	// Checkpoints carry no telemetry wiring; re-instrument the rebuilt
 	// ORAM handles so post-resume accesses are counted.
 	db.SetTelemetry(reg)
+	db.SetTrace(tr)
 	if !o.quiet {
 		log.Info("resumed from checkpoint", "path", o.resume, "epoch", cp.Epoch,
 			"completed_levels", cp.Epoch, "data_dir", o.dataDir)
@@ -181,6 +192,9 @@ func runResume(o options) error {
 	}
 	printReport(db, report, o, start, log)
 	printBreakdown(reg, time.Since(start))
+	if err := writeTrace(o, tr, nil, log); err != nil {
+		return err
+	}
 	if err := srv.Snapshot(); err != nil {
 		return err
 	}
@@ -211,6 +225,60 @@ func printBreakdown(reg *securefd.Registry, wall time.Duration) {
 	fmt.Print(reg.Breakdown(wall))
 }
 
+// newTracer returns the run's span recorder, or nil when -trace-out is off
+// (a nil tracer turns every span point into a no-op).
+func (o options) newTracer() *securefd.Tracer {
+	if o.traceOut == "" {
+		return nil
+	}
+	return securefd.NewTracer(securefd.TracerConfig{Service: "fddiscover", SampleEvery: 1})
+}
+
+// writeTrace merges this process's spans with the server-side spans sharing
+// their trace IDs (fetched over the TraceDump RPC when dump is non-nil) and
+// writes the Chrome trace-event artifact. An unreachable server degrades to
+// a client-only artifact rather than failing the run.
+func writeTrace(o options, tr *securefd.Tracer, dump func(string) ([]securefd.SpanRecord, error), log *slog.Logger) error {
+	if tr == nil {
+		return nil
+	}
+	recs := tr.Records()
+	ids := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		ids[r.Trace] = true
+	}
+	remoteSpans := 0
+	if dump != nil {
+		remote, err := dump("")
+		if err != nil {
+			log.Warn("server trace dump failed; writing client spans only", "err", err)
+		} else {
+			for _, r := range remote {
+				if ids[r.Trace] {
+					recs = append(recs, r)
+					remoteSpans++
+				}
+			}
+		}
+	}
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := securefd.WriteChromeTrace(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if !o.quiet {
+		log.Info("trace written", "path", o.traceOut,
+			"spans", len(recs), "server_spans", remoteSpans)
+	}
+	return nil
+}
+
 func run(path string, o options) error {
 	log := newLogger(o.logJSON)
 	protocol, err := securefd.ParseProtocol(o.protoName)
@@ -235,6 +303,10 @@ func run(path string, o options) error {
 	}
 
 	reg := o.newRegistry()
+	tr := o.newTracer()
+	// dumpTrace, when remote, fetches the servers' span rings so the
+	// artifact holds both halves of every trace.
+	var dumpTrace func(string) ([]securefd.SpanRecord, error)
 	var svc securefd.Service
 	var durable *securefd.DurableServer
 	switch {
@@ -249,6 +321,7 @@ func run(path string, o options) error {
 		cfg.Metrics = reg
 		cfg.Database = o.db
 		cfg.Token = o.token
+		cfg.Trace = tr
 		addrs := splitAddrs(o.servers)
 		if len(addrs) == 0 {
 			return fmt.Errorf("-servers: no addresses given")
@@ -264,6 +337,7 @@ func run(path string, o options) error {
 				"fence", fence, "servers", len(addrs), "connections", o.workers)
 		}
 		svc = fo
+		dumpTrace = fo.TraceDump
 	case o.connect != "":
 		if o.dataDir != "" {
 			return fmt.Errorf("-connect and -data-dir are mutually exclusive (the remote fdserver owns its storage)")
@@ -272,6 +346,7 @@ func run(path string, o options) error {
 		cfg.Metrics = reg
 		cfg.Database = o.db
 		cfg.Token = o.token
+		cfg.Trace = tr
 		pool, err := securefd.DialTCPPool(o.connect, o.workers, cfg)
 		if err != nil {
 			return fmt.Errorf("connecting to %s: %w", o.connect, err)
@@ -281,8 +356,9 @@ func run(path string, o options) error {
 			log.Info("connected to remote server", "addr", o.connect, "connections", o.workers)
 		}
 		svc = pool
+		dumpTrace = pool.TraceDump
 	case o.dataDir != "":
-		durable, err = securefd.OpenDir(o.dataDir, securefd.DurableOptions{})
+		durable, err = securefd.OpenDir(o.dataDir, securefd.DurableOptions{Trace: tr})
 		if err != nil {
 			return err
 		}
@@ -319,6 +395,7 @@ func run(path string, o options) error {
 		Network:   network,
 		MaxLHS:    o.maxLHS,
 		Telemetry: reg,
+		Trace:     tr,
 	})
 	if err != nil {
 		return err
@@ -345,6 +422,9 @@ func run(path string, o options) error {
 		}
 	}
 	printBreakdown(reg, time.Since(start))
+	if err := writeTrace(o, tr, dumpTrace, log); err != nil {
+		return err
+	}
 	if durable != nil {
 		if err := durable.Snapshot(); err != nil {
 			return err

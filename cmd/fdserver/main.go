@@ -20,9 +20,13 @@
 //
 // With -metrics-addr the server additionally exposes operator telemetry:
 // Prometheus text at /metrics, the same snapshot as JSON at /metrics.json,
-// and the Go profiler under /debug/pprof/. Everything exported is an
-// operation count, byte size, or latency — quantities the storage server
-// observes anyway, so the endpoint adds nothing to the leakage profile.
+// recent distributed-tracing spans as Chrome trace-event JSON at
+// /trace.json (Perfetto-loadable), and the Go profiler under
+// /debug/pprof/. Everything exported is an operation count, byte size, or
+// latency — quantities the storage server observes anyway, so the
+// endpoints add nothing to the leakage profile; span contexts ride the
+// frame protocol in a fixed-size, always-present header, so enabling
+// tracing never changes a frame's length (DESIGN.md §14).
 // Logs are human-readable key=value lines by default; -log-json switches
 // to one JSON object per line for log shippers.
 package main
@@ -41,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
@@ -62,6 +67,11 @@ type config struct {
 	faultSeed    int64
 	metricsAddr  string // if set, serve /metrics + /metrics.json + /debug/pprof/
 	logJSON      bool
+
+	// Distributed tracing (spans exported at /trace.json on -metrics-addr).
+	traceSample   int           // record every Nth trace (0 disables tracing)
+	traceCapacity int           // span ring-buffer size
+	traceSlow     time.Duration // log spans at least this slow (0 = never)
 
 	// Multi-tenant admission control (0 / "" = unlimited or disabled).
 	maxSessions  int           // concurrently open sessions
@@ -96,6 +106,9 @@ func main() {
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "seed for the deterministic fault/drop schedules")
 	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "if set, serve Prometheus /metrics, /metrics.json, and /debug/pprof/ on this address")
 	flag.BoolVar(&cfg.logJSON, "log-json", false, "log as JSON lines instead of key=value text")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "head-sample every Nth trace into the span ring buffer (0 disables tracing)")
+	flag.IntVar(&cfg.traceCapacity, "trace-capacity", 4096, "span ring-buffer capacity; oldest spans are evicted first")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 0, "log a structured slow-span event for spans at least this long, sampled or not (0 = never)")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "cap concurrently open client sessions; excess handshakes are refused with a retryable overload error (0 = unlimited)")
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "cap requests executing at once across all sessions; excess requests are shed (0 = unlimited)")
 	flag.StringVar(&cfg.sessionToken, "session-token", "", "require every session handshake to present this token; sessionless requests are refused while set")
@@ -181,6 +194,25 @@ func serve(l net.Listener, cfg config) error {
 		reg = telemetry.New()
 	}
 
+	// One tracer spans every layer of a request: RPC dispatch, store ops,
+	// WAL appends, replication shipping. Its span contexts arrive in the
+	// frame protocol's fixed-size header, so client spans and these server
+	// spans share trace IDs and merge into one causal tree. Tracing is
+	// leakage-neutral by construction (DESIGN.md §14).
+	var otr *otrace.Tracer
+	if cfg.traceSample > 0 {
+		otr = otrace.New(otrace.Config{
+			Service:     "fdserver",
+			Capacity:    cfg.traceCapacity,
+			SampleEvery: cfg.traceSample,
+			SlowSpan:    cfg.traceSlow,
+			OnSlowSpan: func(r otrace.Record) {
+				log.Warn("slow span", "span_name", r.Name, "trace", r.Trace,
+					"span", r.Span, "dur", time.Duration(r.Dur).String())
+			},
+		})
+	}
+
 	var srv baseStore
 	var durable *store.DurableServer
 	var mem *store.Server
@@ -188,7 +220,7 @@ func serve(l net.Listener, cfg config) error {
 		if cfg.snapshotPath != "" {
 			return fmt.Errorf("-snapshot and -data-dir are mutually exclusive")
 		}
-		d, err := store.OpenDir(cfg.dataDir, store.DurableOptions{Metrics: reg})
+		d, err := store.OpenDir(cfg.dataDir, store.DurableOptions{Metrics: reg, Trace: otr})
 		if err != nil {
 			return fmt.Errorf("opening data dir %s: %w", cfg.dataDir, err)
 		}
@@ -243,6 +275,9 @@ func serve(l net.Listener, cfg config) error {
 			return transport.DialWith(addr, transport.ClientConfig{
 				Token:       token,
 				DialTimeout: 2 * time.Second,
+				// Shipments carry the primary's span context so the
+				// replica's apply spans join the same causal tree.
+				Trace: otr,
 				// Short per-call deadline: a hung (not merely dead) peer can
 				// stall writers for at most one shipment before it is marked
 				// down and skipped until the redial cadence.
@@ -256,6 +291,7 @@ func serve(l net.Listener, cfg config) error {
 			Peers:   peers,
 			Dial:    dial,
 			Metrics: reg,
+			Trace:   otr,
 		})
 		if err != nil {
 			return fmt.Errorf("enabling replication: %w", err)
@@ -305,6 +341,7 @@ func serve(l net.Listener, cfg config) error {
 		Token:       cfg.sessionToken,
 	})
 	ts.SetMetrics(reg)
+	ts.SetTracer(otr)
 	if rep != nil {
 		ts.SetReplicator(rep)
 	}
@@ -322,6 +359,7 @@ func serve(l net.Listener, cfg config) error {
 			return fmt.Errorf("metrics listener on %s: %w", cfg.metricsAddr, err)
 		}
 		mux := telemetry.NewMux(reg)
+		mux.Handle("/trace.json", otr.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			h := healthSnapshot(rep, ts)
 			w.Header().Set("Content-Type", "application/json")
@@ -350,7 +388,7 @@ func serve(l net.Listener, cfg config) error {
 			_ = metricsSrv.Shutdown(ctx)
 		}()
 		log.Info("telemetry endpoint up", "addr", ml.Addr().String(),
-			"paths", "/metrics /metrics.json /healthz /readyz /debug/pprof/")
+			"paths", "/metrics /metrics.json /trace.json /healthz /readyz /debug/pprof/")
 	}
 
 	if cfg.statsEvery > 0 {

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/relation"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
@@ -79,6 +80,16 @@ type Options struct {
 	// not change the leakage profile, and the span calls issue no oblivious
 	// accesses of their own.
 	Telemetry *telemetry.Registry
+	// Trace, if non-nil, records causal spans for the traversal into the
+	// distributed-tracing ring: one root "discover" span, a child
+	// "lattice/level-NN" per level, and per-candidate children on the
+	// serial path. The level span is bound to the traversal goroutine
+	// while its level runs, so transport RPC spans (and, through the wire
+	// context, server-side store and replication spans) nest causally
+	// under it. Like Telemetry, spans observe only wall time over
+	// server-visible work — no oblivious accesses of their own and no
+	// change to any frame's size (DESIGN.md §14).
+	Trace *otrace.Tracer
 	// Workers bounds how many of one level's partition materializations
 	// proceed concurrently when the engine supports it (ParallelEngine).
 	// 0 means runtime.GOMAXPROCS(0); 1 forces the serial per-candidate
@@ -119,6 +130,39 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		return nil, fmt.Errorf("core: empty database")
 	}
 	reg := opts.Telemetry // nil registry: every span below is a no-op
+
+	// Causal spans: one root for the whole traversal, one child per level.
+	// The running level's span stays bound to this goroutine so everything
+	// the engine does for it — client RPC spans, and through the wire
+	// context the server's own spans — links under it. Nil tracer: every
+	// call below is a no-op. An aborting error path leaves the running
+	// level's span unrecorded (mirroring the telemetry spans) while the
+	// deferred cleanup still ends the root and keeps the goroutine
+	// binding balanced.
+	otr := opts.Trace
+	dsp := otr.Start("discover")
+	releaseRoot := dsp.Bind()
+	var olsp *otrace.Span
+	var releaseLevel func()
+	beginLevel := func(name string) {
+		olsp = otr.Start(name)
+		releaseLevel = olsp.Bind()
+	}
+	endLevel := func() {
+		if releaseLevel != nil {
+			releaseLevel()
+			releaseLevel = nil
+		}
+		olsp.End()
+		olsp = nil
+	}
+	defer func() {
+		if releaseLevel != nil {
+			releaseLevel()
+		}
+		releaseRoot()
+		dsp.End()
+	}()
 
 	workers := opts.Workers
 	if workers == 0 {
@@ -211,6 +255,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 	} else {
 		// Level 1: materialize every singleton partition.
 		lsp := reg.StartSpan("lattice/level-01")
+		beginLevel("lattice/level-01")
 		level = relation.AllSingletons(m)
 		if parallel {
 			attrs := make([]int, len(level))
@@ -218,7 +263,9 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 				attrs[i] = x.First()
 			}
 			csp := reg.StartSpan("candidate/single-batch")
+			ocsp := otr.Start("candidate/single-batch")
 			cards, err := pe.CardinalitySingleBatch(attrs, workers)
+			ocsp.End()
 			csp.End()
 			if err != nil {
 				return nil, describeIntegrityLevel(err, 1)
@@ -230,7 +277,11 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		} else {
 			for _, x := range level {
 				csp := reg.StartSpan("candidate/single")
+				ocsp := otr.Start("candidate/single")
+				creleased := ocsp.Bind()
 				card, err := engine.CardinalitySingle(x.First())
+				creleased()
+				ocsp.End()
 				csp.End()
 				if err != nil {
 					return nil, describeIntegrity(err, 1, x)
@@ -239,6 +290,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 				res.SetsMaterialized++
 			}
 		}
+		endLevel()
 		lsp.End()
 		if opts.Checkpoint != nil {
 			if err := opts.Checkpoint(snapshotState(1)); err != nil {
@@ -253,6 +305,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		// cost of ascending from level NN. Error paths return without End;
 		// the run aborts and the partial breakdown is never reported.
 		lsp := reg.StartSpan(fmt.Sprintf("lattice/level-%02d", l))
+		beginLevel(fmt.Sprintf("lattice/level-%02d", l))
 
 		// ComputeDependencies: refresh C⁺ for this level.
 		for _, x := range level {
@@ -333,6 +386,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 
 		if opts.MaxLHS > 0 && l >= opts.MaxLHS+1 {
+			endLevel()
 			lsp.End()
 			break // LHS at the next level would exceed the bound
 		}
@@ -385,7 +439,9 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 				jobs[i] = UnionJob{X1: c.x1, X2: c.x2}
 			}
 			usp := reg.StartSpan("candidate/union-batch")
+			ousp := otr.Start("candidate/union-batch")
 			cards, err := pe.CardinalityUnionBatch(jobs, workers)
+			ousp.End()
 			usp.End()
 			if err != nil {
 				return nil, describeIntegrityLevel(err, l+1)
@@ -398,7 +454,11 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		} else {
 			for _, c := range cands {
 				usp := reg.StartSpan("candidate/union")
+				ousp := otr.Start("candidate/union")
+				ureleased := ousp.Bind()
 				card, err := engine.CardinalityUnion(c.x1, c.x2)
+				ureleased()
+				ousp.End()
 				usp.End()
 				if err != nil {
 					return nil, describeIntegrity(err, l+1, c.z)
@@ -418,6 +478,7 @@ func Discover(engine Engine, m int, opts *Options) (*Result, error) {
 		}
 		prevLevel = kept
 		level = next
+		endLevel()
 		lsp.End()
 
 		// Level boundary: partitions for `level` are materialized, obsolete

@@ -1,0 +1,140 @@
+package otrace
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU;
+// loadable by Perfetto and chrome://tracing). We emit complete ("X")
+// events plus process_name metadata so each service gets its own lane.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   json.Number    `json:"ts"`
+	Dur  json.Number    `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint32         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// micros renders nanoseconds as a microsecond decimal with fixed precision
+// so exports are byte-stable (no float shortest-repr drift).
+func micros(ns int64) json.Number {
+	neg := ns < 0
+	if neg {
+		ns = -ns
+	}
+	s := strconv.FormatInt(ns/1000, 10) + "." + pad3(ns%1000)
+	if neg {
+		s = "-" + s
+	}
+	return json.Number(s)
+}
+
+func pad3(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+func traceTid(trace string) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, trace)
+	return h.Sum32()%1_000_000 + 1
+}
+
+// WriteChrome renders records as a Chrome trace-event JSON document.
+// Timestamps are rebased to the earliest span so the timeline starts at
+// zero. Records from multiple services (client + servers merged by trace
+// ID) land in separate process lanes. The output is deterministic for a
+// given record set.
+func WriteChrome(w io.Writer, recs []Record) error {
+	recs = append([]Record(nil), recs...)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].Span < recs[j].Span
+	})
+
+	var base int64
+	if len(recs) > 0 {
+		base = recs[0].Start
+	}
+
+	// Assign stable pids by sorted service name.
+	services := map[string]int{}
+	var names []string
+	for _, r := range recs {
+		if _, ok := services[r.Service]; !ok {
+			services[r.Service] = 0
+			names = append(names, r.Service)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		services[n] = i + 1
+	}
+
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, n := range names {
+		label := n
+		if label == "" {
+			label = "unknown"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Ts:   "0",
+			Pid:  services[n],
+			Tid:  0,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, r := range recs {
+		args := map[string]any{"trace": r.Trace, "span": r.Span}
+		if r.Parent != "" {
+			args["parent"] = r.Parent
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: r.Name,
+			Cat:  "oblivfd",
+			Ph:   "X",
+			Ts:   micros(r.Start - base),
+			Dur:  micros(r.Dur),
+			Pid:  services[r.Service],
+			Tid:  traceTid(r.Trace),
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// Handler serves the tracer's current ring as Chrome trace-event JSON
+// (mounted at /trace.json next to /metrics). Safe on a nil tracer: serves
+// an empty document.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteChrome(w, t.Records()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package otrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenRecords is a fixed two-service trace: a client lattice-level span
+// containing an RPC span, whose server-side handler contains a WAL append
+// and a replication ship — the shape a real merged artifact has.
+func goldenRecords() []Record {
+	const trace = "0102030405060708090a0b0c0d0e0f10"
+	base := int64(1700000000000000000)
+	return []Record{
+		{Trace: trace, Span: "1111111111111111", Name: "lattice/level-02",
+			Service: "fddiscover", Start: base, Dur: 5_000_000},
+		{Trace: trace, Span: "2222222222222222", Parent: "1111111111111111",
+			Name: "rpc/Batch", Service: "fddiscover", Start: base + 500_000, Dur: 3_000_000},
+		{Trace: trace, Span: "3333333333333333", Parent: "2222222222222222",
+			Name: "server/Batch", Service: "fdserver", Start: base + 700_000, Dur: 2_500_000},
+		{Trace: trace, Span: "4444444444444444", Parent: "3333333333333333",
+			Name: "wal/append", Service: "fdserver", Start: base + 800_000, Dur: 400_000},
+		{Trace: trace, Span: "5555555555555555", Parent: "3333333333333333",
+			Name: "repl/ship:127.0.0.1:7071", Service: "fdserver", Start: base + 1_300_000, Dur: 1_100_123},
+	}
+}
+
+func TestChromeExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestChromeExportParses(t *testing.T) {
+	// Structural checks independent of the golden bytes: valid JSON, one
+	// process lane per service, events rebased to t=0.
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenRecords()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   json.Number     `json:"ts"`
+			Pid  int             `json:"pid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var meta, slices int
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			slices++
+			pids[e.Pid] = true
+		}
+	}
+	if meta != 2 {
+		t.Fatalf("got %d process_name events, want 2 (fddiscover + fdserver)", meta)
+	}
+	if slices != 5 || len(pids) != 2 {
+		t.Fatalf("got %d slices over %d pids, want 5 over 2", slices, len(pids))
+	}
+	if doc.TraceEvents[2].Ts != "0.000" { // first slice after 2 metadata events
+		t.Fatalf("first slice ts = %s, want 0.000 (rebased)", doc.TraceEvents[2].Ts)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChromeExportEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export invalid: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatal("empty export missing traceEvents")
+	}
+}

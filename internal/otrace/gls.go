@@ -1,0 +1,128 @@
+package otrace
+
+// Goroutine-local span bindings.
+//
+// Bind/Active sit on the hot path of every traced RPC: the transport client
+// asks Active for the span to parent an rpc/ span under, and the server
+// dispatcher binds each request span around its handler. The obvious
+// dependency-free goroutine identity — parsing the header of
+// runtime.Stack — walks and symbolizes the whole call stack, which costs
+// microseconds and grows with stack depth; measured against a loopback
+// discovery run it roughly doubled wall time.
+//
+// Instead the binding rides in the runtime's profiler-label slot, the one
+// true goroutine-local cell the runtime exposes: runtime_setProfLabel /
+// runtime_getProfLabel are the linknamed accessors runtime/pprof itself
+// uses, and the runtime documents their signatures as frozen (see
+// go.dev/issue/67401). Each Bind allocates a fresh label value and keys a
+// global registry by that pointer, so:
+//
+//   - Active is a pointer load plus one map lookup — no stack walk;
+//   - foreign labels (set by runtime/pprof.Do in user code) miss the
+//     registry and Active reports no binding, rather than otrace ever
+//     casting memory it does not own;
+//   - the label value itself has the exact memory layout the running
+//     toolchain's profile builder expects (see gls_label*.go), so a CPU
+//     profile taken while a span is bound decodes it as an ordinary label
+//     set instead of crashing.
+//
+// A binding is inherited by goroutines spawned while it is active (the
+// runtime copies the label pointer at go-statement time), which gives
+// spawned workers the spawning request's span as their parent — the same
+// semantics pprof labels have. Release on the binding goroutine restores
+// the previous label; an inherited pointer whose binding was released
+// simply stops resolving.
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+//go:linkname setProfLabel runtime/pprof.runtime_setProfLabel
+func setProfLabel(p unsafe.Pointer)
+
+//go:linkname getProfLabel runtime/pprof.runtime_getProfLabel
+func getProfLabel() unsafe.Pointer
+
+// bindingCell is the mutable slot a label pointer resolves to. Request
+// loops rebind thousands of times per second; making the registry value a
+// cell turns each rebind into one atomic store instead of a map operation.
+type bindingCell struct {
+	sp atomic.Pointer[Span]
+}
+
+// bindings maps a binding's label pointer to its cell. Holding the pointer
+// as a key also keeps the label value alive for the goroutines that
+// inherited it, independent of the binder's own lifetime.
+var bindings sync.Map // label pointer (unsafe.Pointer) -> *bindingCell
+
+// Active returns the span bound to the calling goroutine, or nil.
+func Active() *Span {
+	p := getProfLabel()
+	if p == nil {
+		return nil
+	}
+	if v, ok := bindings.Load(p); ok {
+		return v.(*bindingCell).sp.Load()
+	}
+	return nil
+}
+
+// Bind makes the span the calling goroutine's active span and returns a
+// release func that restores the previous binding. Always call release on
+// the same goroutine, typically via defer. While bound, any pprof labels
+// the caller had set are shadowed (and restored on release).
+func (s *Span) Bind() func() {
+	if s == nil {
+		return func() {}
+	}
+	prev := getProfLabel()
+	cell := &bindingCell{}
+	cell.sp.Store(s)
+	p := newBindingLabel()
+	bindings.Store(p, cell)
+	setProfLabel(p)
+	return func() {
+		bindings.Delete(p)
+		setProfLabel(prev)
+	}
+}
+
+// Binding is a reusable goroutine-local binding for request loops: install
+// it once with NewBinding on the loop goroutine, point it at each request's
+// span with Set (one atomic store, no allocation), and Release it when the
+// loop ends. The transport server holds one per connection so per-request
+// rebinding costs nothing.
+type Binding struct {
+	p    unsafe.Pointer
+	prev unsafe.Pointer
+	cell *bindingCell
+}
+
+// NewBinding installs an empty binding on the calling goroutine. Until Set
+// is called, Active resolves to nil as if nothing were bound.
+func NewBinding() *Binding {
+	b := &Binding{p: newBindingLabel(), prev: getProfLabel(), cell: &bindingCell{}}
+	bindings.Store(b.p, b.cell)
+	setProfLabel(b.p)
+	return b
+}
+
+// Set points the binding at the given span (nil clears it).
+func (b *Binding) Set(s *Span) {
+	if b == nil {
+		return
+	}
+	b.cell.sp.Store(s)
+}
+
+// Release uninstalls the binding and restores whatever label the goroutine
+// had before NewBinding. Call it on the binding goroutine.
+func (b *Binding) Release() {
+	if b == nil {
+		return
+	}
+	bindings.Delete(b.p)
+	setProfLabel(b.prev)
+}

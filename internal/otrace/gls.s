@@ -1,0 +1,2 @@
+// Empty assembly file: required so the go:linkname pull declarations in
+// gls.go may omit function bodies.

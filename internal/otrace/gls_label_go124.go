@@ -1,0 +1,35 @@
+//go:build go1.24
+
+package otrace
+
+import "unsafe"
+
+// The value installed in the profiler-label slot must decode as a
+// runtime/pprof label set if a CPU profile samples a goroutine while a
+// span is bound. On go1.24+ that representation is
+//
+//	type labelMap struct{ LabelSet }
+//	type LabelSet struct{ list []label }
+//	type label struct{ key, value string }
+//
+// mirrored structurally here. otrace never reads these fields back — the
+// binding is resolved through the registry keyed by the pointer — the
+// layout exists purely so the profile builder sees a well-formed label.
+type profLabel struct {
+	key, value string //nolint:unused // read by the runtime profile builder
+}
+
+type profLabelSet struct {
+	list []profLabel //nolint:unused // read by the runtime profile builder
+}
+
+type profLabelMap struct {
+	profLabelSet
+}
+
+// newBindingLabel allocates a fresh, uniquely-addressed label value for one
+// Bind call.
+func newBindingLabel() unsafe.Pointer {
+	lm := &profLabelMap{profLabelSet{list: []profLabel{{key: "oblivfd.otrace", value: "span-binding"}}}}
+	return unsafe.Pointer(lm)
+}

@@ -1,0 +1,18 @@
+//go:build !go1.24
+
+package otrace
+
+import "unsafe"
+
+// Before go1.24, runtime/pprof's labelMap is a plain map[string]string and
+// the profiler-label slot holds a pointer to one. See gls_label_go124.go
+// for why the layout must match: a CPU profile sampling a bound goroutine
+// decodes this value as a label set.
+type profLabelMap map[string]string
+
+// newBindingLabel allocates a fresh, uniquely-addressed label value for one
+// Bind call.
+func newBindingLabel() unsafe.Pointer {
+	lm := profLabelMap{"oblivfd.otrace": "span-binding"}
+	return unsafe.Pointer(&lm)
+}

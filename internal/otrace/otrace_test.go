@@ -1,0 +1,284 @@
+package otrace
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	tr := New(Config{Service: "test"})
+	root := tr.StartRoot("root")
+	ctx := root.Context()
+	if !ctx.Valid() || !ctx.Sampled {
+		t.Fatalf("root context invalid: %+v", ctx)
+	}
+	got := FromWire(ctx.Wire())
+	if got != ctx {
+		t.Fatalf("wire roundtrip: got %+v want %+v", got, ctx)
+	}
+
+	unsampled := SpanContext{Trace: ctx.Trace, Span: ctx.Span, Sampled: false}
+	if got := FromWire(unsampled.Wire()); got != unsampled {
+		t.Fatalf("unsampled roundtrip: got %+v want %+v", got, unsampled)
+	}
+}
+
+func TestWireZeroContextStaysConstantSize(t *testing.T) {
+	// The zero context still encodes with a non-zero version byte so the
+	// frame codec can never elide the field.
+	b := SpanContext{}.Wire()
+	if len(b) != WireSize {
+		t.Fatalf("zero context wire length = %d, want %d", len(b), WireSize)
+	}
+	if b[0] != wireVersion {
+		t.Fatalf("zero context version byte = %d, want %d", b[0], wireVersion)
+	}
+	if got := FromWire(b); got.Valid() {
+		t.Fatalf("zero context decoded as valid: %+v", got)
+	}
+	// Unknown version decodes to the zero context rather than garbage.
+	bogus := make([]byte, WireSize)
+	bogus[0] = 99
+	bogus[1] = 1
+	if got := FromWire(bogus); got.Valid() {
+		t.Fatalf("unknown version decoded as valid: %+v", got)
+	}
+	// Truncated and overlong headers decode to the zero context too.
+	if got := FromWire(b[:WireSize-1]); got.Valid() {
+		t.Fatalf("truncated header decoded as valid: %+v", got)
+	}
+	if got := FromWire(append(append([]byte(nil), b...), 0)); got.Valid() {
+		t.Fatalf("overlong header decoded as valid: %+v", got)
+	}
+}
+
+func TestWireSizeMatchesLayout(t *testing.T) {
+	if WireSize != 1+16+8+1 {
+		t.Fatalf("WireSize = %d, want 26", WireSize)
+	}
+}
+
+func TestChildLinksToParent(t *testing.T) {
+	tr := New(Config{Service: "test"})
+	root := tr.StartRoot("root")
+	child := tr.StartChild("child", root.Context())
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatalf("child trace %v != root trace %v", child.Context().Trace, root.Context().Trace)
+	}
+	if child.parent != root.Context().Span {
+		t.Fatalf("child parent %v != root span %v", child.parent, root.Context().Span)
+	}
+	child.End()
+	root.End()
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Parent != recs[1].Span {
+		t.Fatalf("record parent %q != root span %q", recs[0].Parent, recs[1].Span)
+	}
+	if recs[0].Trace != recs[1].Trace {
+		t.Fatalf("records disagree on trace: %q vs %q", recs[0].Trace, recs[1].Trace)
+	}
+}
+
+func TestInvalidParentStartsRoot(t *testing.T) {
+	tr := New(Config{Service: "test"})
+	s := tr.StartChild("orphan", SpanContext{})
+	if !s.Context().Valid() {
+		t.Fatal("orphan did not get a fresh trace")
+	}
+	if s.parent != zeroSpan {
+		t.Fatalf("orphan has parent %v", s.parent)
+	}
+}
+
+func TestRingBufferBounded(t *testing.T) {
+	tr := New(Config{Service: "test", Capacity: 8})
+	for i := 0; i < 20; i++ {
+		sp := tr.StartRoot(fmt.Sprintf("span-%02d", i))
+		sp.End()
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want 8", len(recs))
+	}
+	// Oldest-first: the survivors are spans 12..19.
+	for i, r := range recs {
+		want := fmt.Sprintf("span-%02d", 12+i)
+		if r.Name != want {
+			t.Fatalf("record %d = %q, want %q", i, r.Name, want)
+		}
+	}
+	if tr.Recorded() != 20 {
+		t.Fatalf("Recorded() = %d, want 20", tr.Recorded())
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(Config{Service: "test", SampleEvery: 4})
+	for i := 0; i < 16; i++ {
+		root := tr.StartRoot("root")
+		// Children inherit the head decision.
+		child := tr.StartChild("child", root.Context())
+		child.End()
+		root.End()
+	}
+	recs := tr.Records()
+	if len(recs) != 8 { // 4 sampled roots x (root + child)
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+}
+
+func TestBindParentsDeepSpans(t *testing.T) {
+	tr := New(Config{Service: "test"})
+	req := tr.StartRoot("request")
+	release := req.Bind()
+	inner := tr.Start("inner") // no explicit context: must find the binding
+	if inner.Context().Trace != req.Context().Trace {
+		t.Fatal("bound span not inherited by Start")
+	}
+	if inner.parent != req.Context().Span {
+		t.Fatal("inner span not parented to bound span")
+	}
+	release()
+	orphan := tr.Start("after-release")
+	if orphan.Context().Trace == req.Context().Trace {
+		t.Fatal("binding leaked past release")
+	}
+}
+
+func TestBindRestoresPrevious(t *testing.T) {
+	tr := New(Config{Service: "test"})
+	outer := tr.StartRoot("outer")
+	releaseOuter := outer.Bind()
+	inner := tr.StartRoot("inner")
+	releaseInner := inner.Bind()
+	if Active() != inner {
+		t.Fatal("inner binding not active")
+	}
+	releaseInner()
+	if Active() != outer {
+		t.Fatal("outer binding not restored")
+	}
+	releaseOuter()
+	if Active() != nil {
+		t.Fatal("binding leaked")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartRoot("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.End()
+	release := sp.Bind()
+	release()
+	if sp.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if tr.Records() != nil || tr.Recorded() != 0 {
+		t.Fatal("nil tracer has records")
+	}
+	tr.Reset()
+	if tr.Start("y") != nil || tr.StartChild("z", SpanContext{}) != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	var buf bytes.Buffer
+	tr.Handler().ServeHTTP(discardResponse{&buf}, nil)
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatal("nil tracer handler did not serve an empty document")
+	}
+}
+
+type discardResponse struct{ w *bytes.Buffer }
+
+func (d discardResponse) Header() http.Header         { return http.Header{} }
+func (d discardResponse) Write(b []byte) (int, error) { return d.w.Write(b) }
+func (d discardResponse) WriteHeader(int)             {}
+
+func TestSlowSpanHook(t *testing.T) {
+	var mu sync.Mutex
+	var slow []Record
+	tr := New(Config{
+		Service:     "test",
+		SampleEvery: 1 << 30, // effectively unsampled after the first
+		SlowSpan:    time.Nanosecond,
+		OnSlowSpan: func(r Record) {
+			mu.Lock()
+			slow = append(slow, r)
+			mu.Unlock()
+		},
+	})
+	tr.StartRoot("first").End() // sampled (head of the cycle)
+	s := tr.StartRoot("second") // unsampled, but still slow
+	time.Sleep(time.Millisecond)
+	s.End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slow) != 2 {
+		t.Fatalf("slow hook fired %d times, want 2 (sampled and unsampled)", len(slow))
+	}
+	if slow[1].Name != "second" || slow[1].Dur <= 0 {
+		t.Fatalf("bad slow record: %+v", slow[1])
+	}
+	if len(tr.Records()) != 1 {
+		t.Fatalf("unsampled slow span leaked into the ring: %d records", len(tr.Records()))
+	}
+}
+
+// TestConcurrentRecording exercises the ring buffer and the goroutine
+// bindings from many goroutines at once; run under -race.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(Config{Service: "test", Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartRoot(fmt.Sprintf("g%d", g))
+				release := root.Bind()
+				child := tr.Start("child")
+				child.End()
+				release()
+				root.End()
+				tr.Records()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Recorded(); got != 8*200*2 {
+		t.Fatalf("Recorded() = %d, want %d", got, 8*200*2)
+	}
+	if len(tr.Records()) != 64 {
+		t.Fatalf("ring holds %d, want capacity 64", len(tr.Records()))
+	}
+	if Active() != nil {
+		t.Fatal("a binding leaked")
+	}
+}
+
+func TestRecordsJSONRoundTrip(t *testing.T) {
+	tr := New(Config{Service: "svc"})
+	root := tr.StartRoot("op")
+	tr.StartChild("sub", root.Context()).End()
+	root.End()
+	b, err := MarshalRecords(tr.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalRecords(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "sub" || back[0].Service != "svc" {
+		t.Fatalf("bad roundtrip: %+v", back)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 	"github.com/oblivfd/oblivfd/internal/trace"
 )
@@ -51,6 +52,7 @@ type DurableServer struct {
 	walAppendLat *telemetry.Histogram
 	snapshotLat  *telemetry.Histogram
 	snapshots    *telemetry.Counter
+	otr          *otrace.Tracer // nil-safe span recorder (wal/append, store/snapshot)
 }
 
 var (
@@ -77,6 +79,10 @@ type DurableOptions struct {
 	// Metrics, when set, times WAL appends (oblivfd_wal_append_seconds)
 	// and snapshots (oblivfd_snapshot_seconds) into the registry.
 	Metrics *telemetry.Registry
+	// Trace, when set, records one span per WAL append (wal/append) and
+	// per snapshot write (store/snapshot), parented under the request span
+	// bound to the serving goroutine.
+	Trace *otrace.Tracer
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -265,6 +271,7 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 		walAppendLat: opts.Metrics.Histogram("oblivfd_wal_append_seconds"),
 		snapshotLat:  opts.Metrics.Histogram("oblivfd_snapshot_seconds"),
 		snapshots:    opts.Metrics.Counter("oblivfd_snapshots_total"),
+		otr:          opts.Trace,
 	}
 	if opts.KillAfterAppends > 0 {
 		ds.armed = true
@@ -323,6 +330,7 @@ func (d *DurableServer) logMutation(rec *walRecord) error {
 	if d.walAppendLat != nil {
 		defer d.walAppendLat.ObserveSince(time.Now())
 	}
+	defer d.otr.Start("wal/append").End()
 	if d.armed {
 		d.kills--
 		if d.kills == 0 {
@@ -535,6 +543,7 @@ func (d *DurableServer) snapshotLocked() error {
 		defer d.snapshotLat.ObserveSince(time.Now())
 		defer d.snapshots.Inc()
 	}
+	defer d.otr.Start("store/snapshot").End()
 	seq := d.snapSeq + 1
 	final := snapPath(d.dir, seq)
 	tmp, err := os.CreateTemp(d.dir, "snap-*.tmp")

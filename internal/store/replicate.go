@@ -9,10 +9,12 @@ import (
 	"strconv"
 	"strings"
 
-	"github.com/oblivfd/oblivfd/internal/telemetry"
-	"github.com/oblivfd/oblivfd/internal/trace"
 	"sync"
 	"sync/atomic"
+
+	"github.com/oblivfd/oblivfd/internal/otrace"
+	"github.com/oblivfd/oblivfd/internal/telemetry"
+	"github.com/oblivfd/oblivfd/internal/trace"
 )
 
 // Primary/replica replication with fenced failover.
@@ -88,8 +90,16 @@ type ReplicationConfig struct {
 	// RedialEvery is the cadence, in shipped records, at which a down peer
 	// is re-dialed (default 32; 1 retries on every mutation).
 	RedialEvery int
-	// Metrics, when set, exposes replication lag and ship/resync counters.
+	// Metrics, when set, exposes replication lag and ship/resync counters,
+	// plus the role/fence/watermark gauges both roles publish (replicas
+	// included — /healthz was previously the only place a replica reported
+	// them).
 	Metrics *telemetry.Registry
+	// Trace, when set, records spans for per-peer shipments
+	// (repl/ship:<addr>), snapshot resyncs (repl/resync:<addr>), and
+	// replica-side batch applies (repl/apply), parented under the request
+	// span bound to the serving goroutine.
+	Trace *otrace.Tracer
 }
 
 // Replicator is the role-management surface the transport server drives on
@@ -153,6 +163,11 @@ type ReplicatedServer struct {
 	shipFailures *telemetry.Counter
 	resyncs      *telemetry.Counter
 	applied      *telemetry.Counter
+	// Role-state gauges published by both roles (not just the shipping
+	// primary): 0/1 role flag, fencing epoch, and stream position.
+	roleGauge      *telemetry.Gauge
+	fenceGauge     *telemetry.Gauge
+	watermarkGauge *telemetry.Gauge
 }
 
 var (
@@ -266,7 +281,12 @@ func Replicated(d *DurableServer, cfg ReplicationConfig) (*ReplicatedServer, err
 		shipFailures: cfg.Metrics.Counter("oblivfd_replication_ship_failures_total"),
 		resyncs:      cfg.Metrics.Counter("oblivfd_replication_resyncs_total"),
 		applied:      cfg.Metrics.Counter("oblivfd_replication_records_applied_total"),
+
+		roleGauge:      cfg.Metrics.Gauge("oblivfd_replication_role"),
+		fenceGauge:     cfg.Metrics.Gauge("oblivfd_replication_fence"),
+		watermarkGauge: cfg.Metrics.Gauge("oblivfd_replication_watermark"),
 	}
+	r.publishRoleLocked()
 	for _, addr := range cfg.Peers {
 		r.peers = append(r.peers, &replicaPeer{addr: addr, downAt: -int64(cfg.RedialEvery)})
 	}
@@ -295,6 +315,21 @@ func (r *ReplicatedServer) Trace() *trace.Recorder { return r.d.Trace() }
 
 // Dir returns the data directory path.
 func (r *ReplicatedServer) Dir() string { return r.d.Dir() }
+
+// publishRoleLocked mirrors the role state into the gauges so replicas —
+// which never run ship() — still report role, fence, and watermark on
+// /metrics and /metrics.json, matching what /healthz says. Called wherever
+// the state changes; caller holds r.mu (or has exclusive access during
+// construction). Nil-safe when metrics are off.
+func (r *ReplicatedServer) publishRoleLocked() {
+	role := int64(0)
+	if r.primary && !r.deposed {
+		role = 1
+	}
+	r.roleGauge.Set(role)
+	r.fenceGauge.Set(r.fence)
+	r.watermarkGauge.Set(r.watermark)
+}
 
 // gateLocked admits client operations only on a live primary.
 func (r *ReplicatedServer) gateLocked() error {
@@ -326,6 +361,7 @@ func (r *ReplicatedServer) adoptFenceLocked(fence int64, becomePrimary bool) err
 	if err := r.d.appendRecord(fenceRecord(fence, becomePrimary)); err != nil && !errors.Is(err, ErrServerKilled) {
 		return err
 	}
+	r.publishRoleLocked()
 	return nil
 }
 
@@ -344,6 +380,7 @@ func (r *ReplicatedServer) depose() {
 	_ = saveFence(r.d.Dir(), r.fence, false)
 	r.primary = false
 	r.deposed = true
+	r.publishRoleLocked()
 }
 
 // IsPrimary implements Replicator.
@@ -480,13 +517,17 @@ func (r *ReplicatedServer) ApplyReplicated(fence, seq int64, frames [][]byte) (i
 		}
 		records = append(records, rec)
 	}
+	asp := r.cfg.Trace.Start("repl/apply")
+	defer asp.End()
 	for _, rec := range records {
 		if err := applyRecord(r.d, rec); err != nil {
+			r.publishRoleLocked()
 			return r.watermark, err
 		}
 		r.watermark++
 		r.applied.Inc()
 	}
+	r.publishRoleLocked()
 	return r.watermark, nil
 }
 
@@ -501,6 +542,7 @@ func (r *ReplicatedServer) ApplySync(fence, seq int64, snap []byte) error {
 		return err
 	}
 	r.watermark = seq
+	r.publishRoleLocked()
 	return nil
 }
 
@@ -521,14 +563,24 @@ func (r *ReplicatedServer) ship(fence int64, frames [][]byte) {
 	r.shipped.Store(shipped)
 	connected := int64(0)
 	for _, p := range r.peers {
+		// One span per peer per shipment: this is the unit an operator
+		// wants visible when asking "which replica stalled this level".
+		// The span is bound so the Replicate RPC (and through its wire
+		// context, the replica's apply spans) parent under it — one causal
+		// chain from the client's mutation to the replica's WAL.
+		ssp := r.cfg.Trace.Start("repl/ship:" + p.addr)
+		release := ssp.Bind()
+		endShip := func() { release(); ssp.End() }
 		if p.conn == nil {
 			if shipped-p.downAt < int64(r.cfg.RedialEvery) {
+				endShip()
 				continue
 			}
 			conn, err := r.cfg.Dial(p.addr)
 			if err != nil {
 				p.downAt = shipped
 				r.shipFailures.Inc()
+				endShip()
 				continue
 			}
 			p.conn = conn
@@ -545,6 +597,7 @@ func (r *ReplicatedServer) ship(fence int64, frames [][]byte) {
 			// The peer knows a higher fence: we are no longer the primary.
 			r.depose()
 			r.shipFailures.Inc()
+			endShip()
 			return
 		case errors.Is(err, ErrIntegrity):
 			if r.syncPeer(fence, p) {
@@ -556,6 +609,7 @@ func (r *ReplicatedServer) ship(fence int64, frames [][]byte) {
 			p.downAt = shipped
 			r.shipFailures.Inc()
 		}
+		endShip()
 	}
 	r.peersGauge.Set(connected)
 	r.lagGauge.Set(r.maxLag())
@@ -564,6 +618,7 @@ func (r *ReplicatedServer) ship(fence int64, frames [][]byte) {
 // syncPeer pushes a full snapshot to a diverged peer and reports whether it
 // ended the call in sync. Caller holds shipMu.
 func (r *ReplicatedServer) syncPeer(fence int64, p *replicaPeer) bool {
+	defer r.cfg.Trace.Start("repl/resync:" + p.addr).End()
 	shipped := r.shipped.Load()
 	snap, err := r.d.SnapshotBytes()
 	if err == nil {

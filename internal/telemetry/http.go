@@ -3,7 +3,25 @@ package telemetry
 import (
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 )
+
+// CollectRuntime samples Go runtime health into gauges: live goroutines,
+// heap bytes and objects, cumulative GC pause nanoseconds, and completed GC
+// cycles. The metrics handlers call it per scrape so the values are fresh
+// without a background poller.
+func (r *Registry) CollectRuntime() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("go_heap_objects").Set(int64(ms.HeapObjects))
+	r.Gauge("go_gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	r.Gauge("go_gc_cycles").Set(int64(ms.NumGC))
+}
 
 // NewMux returns the operator HTTP mux: Prometheus text on /metrics, the
 // JSON snapshot on /metrics.json, and the standard runtime profiles under
@@ -11,10 +29,12 @@ import (
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.CollectRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		r.CollectRuntime()
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})

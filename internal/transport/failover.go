@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
@@ -118,6 +119,12 @@ func (f *FailoverPool) probeConfig() ClientConfig {
 // away from; it is chosen only when nothing else qualifies. Caller holds
 // f.mu.
 func (f *FailoverPool) connectLocked(avoid string) error {
+	// One span covers the whole probe sweep; a promotion (when needed)
+	// gets its own child naming the server it elevated.
+	psp := f.cfg.Trace.Start("failover/probe")
+	defer psp.End()
+	release := psp.Bind()
+	defer release()
 	type probe struct {
 		addr string
 		st   store.Stats
@@ -203,6 +210,8 @@ func (f *FailoverPool) connectLocked(avoid string) error {
 	if !found {
 		return fmt.Errorf("transport: no replica to promote: %w", store.ErrUnavailable)
 	}
+	ssp := f.cfg.Trace.Start("failover/promote:" + best)
+	defer ssp.End()
 	ctl, err := DialWith(best, pcfg)
 	if err != nil {
 		return fmt.Errorf("transport: promoting %s: %w", best, err)
@@ -370,6 +379,39 @@ func (f *FailoverPool) Batch(ops []store.BatchOp) (res [][][]byte, err error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// TraceDump gathers buffered span records from every reachable server in
+// the cluster, not just the current primary: replication-ship spans live
+// on the primary, but apply spans live on the replicas, and a merged
+// artifact wants both sides. Unreachable servers are skipped silently; an
+// error is returned only when no server answered at all.
+func (f *FailoverPool) TraceDump(traceFilter string) ([]otrace.Record, error) {
+	pcfg := f.probeConfig()
+	var (
+		recs    []otrace.Record
+		lastErr error
+		got     bool
+	)
+	for _, addr := range f.addrs {
+		c, err := DialWith(addr, pcfg)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r, err := c.TraceDump(traceFilter)
+		c.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		recs = append(recs, r...)
+		got = true
+	}
+	if !got {
+		return nil, fmt.Errorf("transport: trace dump: no server reachable: %w", lastErr)
+	}
+	return recs, nil
 }
 
 // Stats implements store.Service, adding the failover count to the report.

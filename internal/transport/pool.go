@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
@@ -209,6 +210,13 @@ func (p *Pool) Batch(ops []store.BatchOp) (res [][][]byte, err error) {
 }
 
 var _ store.Batcher = (*Pool)(nil)
+
+// TraceDump fetches the server's buffered span records over one borrowed
+// connection (see Client.TraceDump).
+func (p *Pool) TraceDump(traceFilter string) (recs []otrace.Record, err error) {
+	err = p.with(func(c *Client) error { recs, err = c.TraceDump(traceFilter); return err })
+	return recs, err
+}
 
 // Stats implements store.Service, adding the pool-wide reconnection count
 // to the server-side report.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
@@ -42,6 +43,8 @@ type Server struct {
 	replicator store.Replicator // nil on unreplicated servers
 
 	inflight atomic.Int64 // requests decoded but not yet answered
+
+	tracer *otrace.Tracer // nil until SetTracer; server-side span recording
 
 	// Telemetry handles, all nil until SetMetrics; serveConn checks rpcLat
 	// once per connection so the metrics-off path is a single nil test.
@@ -108,6 +111,16 @@ func (s *Server) SetMetrics(reg *telemetry.Registry) {
 	s.bytesOut = reg.Counter("oblivfd_net_tx_bytes_total")
 	s.registry = store.NewSessionRegistry(s.limits, reg)
 }
+
+// SetTracer attaches a span recorder: every dispatched request runs under
+// a server-side span (server/<op>) linked to the client's span via the
+// frame's constant-size context header, and bound to the handling
+// goroutine so store/WAL/replication spans nest under it. Call before
+// Serve; nil disables recording (frames still carry the header).
+func (s *Server) SetTracer(tr *otrace.Tracer) { s.tracer = tr }
+
+// Tracer returns the installed span recorder (nil when tracing is off).
+func (s *Server) Tracer() *otrace.Tracer { return s.tracer }
 
 // countingConn counts wire bytes as they cross the gob codecs.
 type countingConn struct {
@@ -281,6 +294,14 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(rw)
 	enc := gob.NewEncoder(rw)
 	needToken := s.registry.Limits().Token != ""
+	// One goroutine-local binding for the whole connection: each request
+	// points it at its span with a single atomic store, so store/WAL/
+	// replication spans started while handling the request nest under it.
+	var bind *otrace.Binding
+	if s.tracer != nil {
+		bind = otrace.NewBinding()
+		defer bind.Release()
+	}
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
@@ -292,6 +313,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.rpcLat != nil || cs.tenantLat != nil {
 			t0 = time.Now()
 		}
+		// The server-side span links to the client's RPC span through the
+		// frame's constant-size context header. An invalid header (untraced
+		// client) starts a fresh server-local root instead.
+		var span *otrace.Span
+		if s.tracer != nil && req.Kind < numKinds {
+			span = s.tracer.StartChild(serverSpanNames[req.Kind], otrace.FromWire(req.Ctx))
+			bind.Set(span)
+		}
 		var resp *response
 		switch {
 		case req.Kind == kindHello:
@@ -301,6 +330,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			// whole WAL records (already namespaced at the primary) and role
 			// changes, authenticated by the shared session token.
 			resp = s.handleReplication(&req)
+		case req.Kind == kindTraceDump:
+			resp = s.handleTraceDump(&req)
 		case cs.sess != nil:
 			// Admission: budget overruns and rate-limit hits are shed with
 			// a retryable error before the backend sees the request.
@@ -320,6 +351,8 @@ func (s *Server) serveConn(conn net.Conn) {
 			// single-tenant path, byte-for-byte.
 			resp = dispatch(s.svc, &req)
 		}
+		bind.Set(nil)
+		span.End()
 		if s.rpcLat != nil && req.Kind < numKinds {
 			s.rpcLat[req.Kind].ObserveSince(t0)
 		}
@@ -378,6 +411,37 @@ func (s *Server) handleReplication(req *request) *response {
 		resp.Fence = fence
 		return fail(err)
 	}
+}
+
+// handleTraceDump serves the operator span-dump RPC: the server's current
+// span ring as a JSON array in Cts[0], optionally filtered to one trace ID
+// (req.Name, lowercase hex). It is token-gated like replication control —
+// span records reveal operation timings an unauthenticated peer has no
+// business reading on a token-protected server. A server without a tracer
+// answers with an empty record set.
+func (s *Server) handleTraceDump(req *request) *response {
+	var resp response
+	if token := s.registry.Limits().Token; token != "" && req.Token != token {
+		resp.Err, resp.Code = encodeErr(fmt.Errorf("%w: bad trace-dump token", store.ErrUnauthorized))
+		return &resp
+	}
+	recs := s.tracer.Records()
+	if req.Name != "" {
+		kept := recs[:0]
+		for _, r := range recs {
+			if r.Trace == req.Name {
+				kept = append(kept, r)
+			}
+		}
+		recs = kept
+	}
+	b, err := otrace.MarshalRecords(recs)
+	if err != nil {
+		resp.Err, resp.Code = encodeErr(err)
+		return &resp
+	}
+	resp.Cts = [][]byte{b}
+	return &resp
 }
 
 // Shutdown stops accepting new connections and drains fairly: the session

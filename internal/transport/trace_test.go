@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/oblivfd/oblivfd/internal/otrace"
+	"github.com/oblivfd/oblivfd/internal/store"
+)
+
+// encodeSession gob-encodes a fixed request sequence, stamping every request
+// with the given trace context, and returns the total encoded length. A
+// fresh encoder per call keeps the type-definition preamble identical across
+// variants, so any length difference comes from the context bytes alone.
+func encodeSession(t *testing.T, ctx otrace.SpanContext) int {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	reqs := []request{
+		{Kind: kindHello, Name: "db", Token: "secret"},
+		{Kind: kindCreateArray, Name: "a", N: 64},
+		{Kind: kindWriteCells, Name: "a", Idx: []int64{0, 1}, Cts: [][]byte{{0xAB}, {0xCD}}},
+		{Kind: kindReadCells, Name: "a", Idx: []int64{0, 1}},
+		{Kind: kindBatch, Ops: []store.BatchOp{{Name: "a", Idx: []int64{2}, Cts: [][]byte{{0xEF}}}}},
+	}
+	for i := range reqs {
+		reqs[i].Ctx = ctx.Wire()
+		if err := enc.Encode(&reqs[i]); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	return buf.Len()
+}
+
+// TestFrameSizeTraceNeutral is the codec half of the leakage argument
+// (DESIGN.md §14): the encoded length of every request is identical whether
+// the context is zero (tracing off), sampled, or unsampled — and identical
+// across different ID values, including IDs whose bytes are all ≥ 0x80
+// (which a varint-per-element encoding would inflate).
+func TestFrameSizeTraceNeutral(t *testing.T) {
+	high := otrace.SpanContext{Sampled: true}
+	low := otrace.SpanContext{Sampled: false}
+	for i := 0; i < 16; i++ {
+		high.Trace[i] = byte(0x80 + i)
+		low.Trace[i] = byte(i + 1)
+	}
+	for i := 0; i < 8; i++ {
+		high.Span[i] = byte(0xF0 + i)
+		low.Span[i] = byte(i + 1)
+	}
+
+	off := encodeSession(t, otrace.SpanContext{})
+	sampledHigh := encodeSession(t, high)
+	unsampledLow := encodeSession(t, low)
+	if off != sampledHigh || off != unsampledLow {
+		t.Fatalf("frame bytes leak tracing state: off=%d sampled(high IDs)=%d unsampled(low IDs)=%d",
+			off, sampledHigh, unsampledLow)
+	}
+}
+
+// tallyListener counts every byte the server reads off accepted
+// connections: the adversary's exact view of client→server traffic volume.
+type tallyListener struct {
+	net.Listener
+	n *atomic.Int64
+}
+
+func (l tallyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return tallyConn{Conn: c, n: l.n}, nil
+}
+
+type tallyConn struct {
+	net.Conn
+	n *atomic.Int64
+}
+
+func (c tallyConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// runCountedSession runs a fixed op sequence against a fresh server and
+// returns how many bytes the server read from the client.
+func runCountedSession(t *testing.T, tr *otrace.Tracer) int64 {
+	t.Helper()
+	var n atomic.Int64
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(backend)
+	go func() { _ = srv.Serve(tallyListener{Listener: l, n: &n}) }()
+	defer l.Close()
+
+	cfg := DefaultClientConfig()
+	cfg.Trace = tr
+	c, err := DialWith(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c.CreateArray("a", 64); err != nil {
+		t.Fatalf("CreateArray: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.WriteCells("a", []int64{int64(i)}, [][]byte{{byte(i)}}); err != nil {
+			t.Fatalf("WriteCells: %v", err)
+		}
+		if _, err := c.ReadCells("a", []int64{int64(i)}); err != nil {
+			t.Fatalf("ReadCells: %v", err)
+		}
+	}
+	if _, err := c.ArrayLen("a"); err != nil {
+		t.Fatalf("ArrayLen: %v", err)
+	}
+	// Every request byte has been read by the server once its response is
+	// back, so the counter is stable here; Close sends nothing.
+	c.Close()
+	return n.Load()
+}
+
+// TestWireBytesTraceNeutral is the end-to-end half of the leakage argument:
+// the server-side byte count of a whole session is identical with tracing
+// off, fully sampled, and mixed sampled/unsampled.
+func TestWireBytesTraceNeutral(t *testing.T) {
+	off := runCountedSession(t, nil)
+	on := runCountedSession(t, otrace.New(otrace.Config{Service: "c", SampleEvery: 1}))
+	mixed := runCountedSession(t, otrace.New(otrace.Config{Service: "c", SampleEvery: 2}))
+	if off != on || off != mixed {
+		t.Fatalf("session bytes leak tracing state: off=%d sampled=%d mixed=%d", off, on, mixed)
+	}
+	if off == 0 {
+		t.Fatal("counting listener saw no bytes")
+	}
+}
+
+// TestTraceDumpMergesCausalTree drives traced RPCs through a traced server
+// and checks the two halves join: the TraceDump RPC returns server spans
+// whose trace IDs match the client's and whose parents are the client RPC
+// spans that carried them in.
+func TestTraceDumpMergesCausalTree(t *testing.T) {
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(backend)
+	srv.SetTracer(otrace.New(otrace.Config{Service: "fdserver", SampleEvery: 1}))
+	go func() { _ = srv.Serve(l) }()
+	defer l.Close()
+
+	client := otrace.New(otrace.Config{Service: "fddiscover", SampleEvery: 1})
+	cfg := DefaultClientConfig()
+	cfg.Trace = client
+	c, err := DialWith(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	// A bound root models the lattice-level span: the RPC spans must
+	// parent under it, and the server spans under the RPC spans.
+	root := client.StartRoot("lattice/level-01")
+	release := root.Bind()
+	if err := c.CreateArray("a", 8); err != nil {
+		t.Fatalf("CreateArray: %v", err)
+	}
+	if err := c.WriteCells("a", []int64{0}, [][]byte{{1}}); err != nil {
+		t.Fatalf("WriteCells: %v", err)
+	}
+	release()
+	root.End()
+
+	traceID := root.Context().Trace.String()
+	clientRecs := client.Records()
+	rpcSpans := map[string]string{} // span ID -> name
+	for _, r := range clientRecs {
+		if r.Trace != traceID {
+			t.Fatalf("client span %q on unexpected trace %s", r.Name, r.Trace)
+		}
+		if strings.HasPrefix(r.Name, "rpc/") {
+			if r.Parent != root.Context().Span.String() {
+				t.Fatalf("%s parent = %q, want root span %q", r.Name, r.Parent, root.Context().Span)
+			}
+			rpcSpans[r.Span] = r.Name
+		}
+	}
+	if len(rpcSpans) != 2 {
+		t.Fatalf("client recorded %d rpc spans, want 2: %+v", len(rpcSpans), clientRecs)
+	}
+
+	serverRecs, err := c.TraceDump(traceID)
+	if err != nil {
+		t.Fatalf("TraceDump: %v", err)
+	}
+	serverSide := 0
+	for _, r := range serverRecs {
+		if r.Trace != traceID {
+			t.Fatalf("TraceDump returned foreign trace %s (filter %s)", r.Trace, traceID)
+		}
+		if !strings.HasPrefix(r.Name, "server/") {
+			continue
+		}
+		if r.Service != "fdserver" {
+			t.Fatalf("server span service = %q", r.Service)
+		}
+		if _, ok := rpcSpans[r.Parent]; !ok {
+			t.Fatalf("server span %q parent %q is not a client rpc span", r.Name, r.Parent)
+		}
+		serverSide++
+	}
+	if serverSide != 2 {
+		t.Fatalf("server recorded %d dispatch spans for the trace, want 2: %+v", serverSide, serverRecs)
+	}
+}
+
+// TestTraceDumpTokenGated: on a token-protected server the span dump is an
+// authenticated operator surface, exactly like replication control.
+func TestTraceDumpTokenGated(t *testing.T) {
+	backend := store.NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := NewServer(backend)
+	srv.SetTracer(otrace.New(otrace.Config{Service: "fdserver"}))
+	srv.SetSessionLimits(store.SessionLimits{Token: "hunter2"})
+	go func() { _ = srv.Serve(l) }()
+	defer l.Close()
+
+	bad := DefaultClientConfig()
+	bad.Token = "wrong"
+	cb, err := DialWith(l.Addr().String(), bad)
+	if err == nil {
+		defer cb.Close()
+		if _, err := cb.TraceDump(""); err == nil {
+			t.Fatal("TraceDump with a bad token succeeded")
+		}
+	}
+
+	good := DefaultClientConfig()
+	good.Token = "hunter2"
+	cg, err := DialWith(l.Addr().String(), good)
+	if err != nil {
+		t.Fatalf("dial with token: %v", err)
+	}
+	defer cg.Close()
+	if _, err := cg.TraceDump(""); err != nil {
+		t.Fatalf("TraceDump with the right token: %v", err)
+	}
+}

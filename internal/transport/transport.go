@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
 )
@@ -68,6 +69,7 @@ const (
 	kindReplicate // primary -> replica: framed WAL records (Value = fence, Seq, Cts)
 	kindSync      // primary -> replica: full snapshot resync (Value = fence, Seq, Cts[0])
 	kindPromote   // failover client -> replica: adopt fence and primary role (Value = fence)
+	kindTraceDump // operator: fetch the server's span ring (Name = trace-ID filter)
 	numKinds
 )
 
@@ -77,7 +79,18 @@ var kindNames = [numKinds]string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
 	"Delete", "Reveal", "Stats", "Checkpoint", "Batch", "Hello",
-	"Replicate", "Sync", "Promote",
+	"Replicate", "Sync", "Promote", "TraceDump",
+}
+
+// rpcSpanNames and serverSpanNames pre-build the per-kind span names so the
+// per-call path never concatenates strings.
+var rpcSpanNames, serverSpanNames [numKinds]string
+
+func init() {
+	for k, op := range kindNames {
+		rpcSpanNames[k] = "rpc/" + op
+		serverSpanNames[k] = "server/" + op
+	}
 }
 
 // rpcHistograms pre-creates one latency histogram per RPC kind so the
@@ -107,6 +120,18 @@ type request struct {
 	Seq    int64 // replication stream position (kindReplicate/kindSync)
 	Ops    []store.BatchOp
 	Token  string // session auth token (kindHello and replication kinds)
+	// Ctx is the distributed-tracing context header. It is fixed-size and
+	// always present: otrace.Wire returns exactly WireSize bytes with a
+	// non-zero version byte even for the zero context, so gob never elides
+	// the field, and gob's byte-string encoding (length prefix + raw
+	// bytes) costs the same number of frame bytes no matter what IDs the
+	// header carries. Every frame of a given request therefore has exactly
+	// the same length whether tracing is off, on, sampled, or unsampled:
+	// the adversary's view is independent of tracing state (DESIGN.md
+	// §14). Deliberately a byte string, not a [WireSize]byte array — gob
+	// encodes array elements as per-element varints, which would make
+	// frame length depend on the ID bytes' values.
+	Ctx []byte
 }
 
 // errCode identifies a store sentinel error on the wire, so errors.Is keeps
@@ -312,6 +337,12 @@ type ClientConfig struct {
 	// dial with store.ErrUnauthorized. Setting only Token (no Database)
 	// still opens a session, bound to the root namespace.
 	Token string
+	// Trace, when set, starts one client-side span per RPC (named
+	// rpc/<op>, parented under the goroutine's bound span) and stamps its
+	// context into the frame header so server-side spans link causally to
+	// it. Nil disables span recording; the frame header is carried at
+	// constant size either way.
+	Trace *otrace.Tracer
 	// Fence, when positive, is carried in the session handshake: the
 	// client's view of the cluster's fencing epoch. A server that believes
 	// it is primary at a lower fence learns it was deposed and refuses the
@@ -519,6 +550,7 @@ func (c *Client) handshakeLocked() error {
 		_ = c.conn.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
 	}
 	req := request{Kind: kindHello, Name: c.cfg.Database, Token: c.cfg.Token, Value: c.cfg.Fence}
+	req.Ctx = otrace.SpanContext{}.Wire() // constant-size header, like every frame
 	if err := c.enc.Encode(&req); err != nil {
 		return fmt.Errorf("transport: handshake send: %w", err)
 	}
@@ -549,6 +581,18 @@ func reconcileResend(k kind, err error) bool {
 }
 
 func (c *Client) call(req *request) (*response, error) {
+	// The RPC span covers the whole self-healing call (redials included)
+	// and its context rides in the constant-size frame header. With no
+	// tracer the header still goes out, carrying the zero context — frame
+	// bytes are identical either way. The span is started before taking
+	// c.mu so it parents under the calling goroutine's bound span, not
+	// under whatever was bound when the lock became free.
+	var span *otrace.Span
+	if c.cfg.Trace != nil && req.Kind < numKinds {
+		span = c.cfg.Trace.Start(rpcSpanNames[req.Kind])
+		defer span.End()
+	}
+	req.Ctx = span.Context().Wire()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -780,6 +824,22 @@ func (c *Client) Promote(fence int64) (int64, error) {
 		return 0, err
 	}
 	return resp.Fence, nil
+}
+
+// TraceDump fetches the server's buffered span records, optionally
+// filtered to one trace ID (lowercase hex; empty fetches everything). The
+// RPC is token-gated like replication control: on a token-protected server
+// the client's configured Token must match. fddiscover -trace-out uses it
+// to merge server-side spans into the per-run flight-recorder artifact.
+func (c *Client) TraceDump(traceFilter string) ([]otrace.Record, error) {
+	resp, err := c.call(&request{Kind: kindTraceDump, Name: traceFilter, Token: c.cfg.Token})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Cts) == 0 {
+		return nil, nil
+	}
+	return otrace.UnmarshalRecords(resp.Cts[0])
 }
 
 var _ store.ReplicaConn = (*Client)(nil)

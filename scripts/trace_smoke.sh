@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Tracing smoke test: boot a replicated 2-server fdserver pair, run a small
+# discovery over TCP with -trace-out, and validate the merged artifact —
+# JSON parses, client and server spans share one trace ID, a causal chain
+# lattice level → RPC → server dispatch exists, and a per-peer replication
+# shipment span is present. Also asserts the live /trace.json endpoint and
+# the replica's role/fence gauges. Run via `make trace-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-17166}"
+RPORT="${SMOKE_REPLICA_PORT:-17167}"
+MPORT="${SMOKE_METRICS_PORT:-19190}"
+RMPORT="${SMOKE_REPLICA_METRICS_PORT:-19191}"
+TMP="$(mktemp -d)"
+PRIMARY_PID=""
+REPLICA_PID=""
+
+cleanup() {
+    for pid in "$PRIMARY_PID" "$REPLICA_PID"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -TERM "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$TMP/fdserver" ./cmd/fdserver
+go build -o "$TMP/fddiscover" ./cmd/fddiscover
+go build -o "$TMP/tracecheck" ./scripts/tracecheck
+
+cat > "$TMP/data.csv" <<'EOF'
+Position,Department,City
+Engineer,R&D,Zurich
+Engineer,R&D,Zurich
+Sales,Market,Geneva
+Sales,Market,Basel
+Manager,R&D,Zurich
+Manager,Market,Geneva
+EOF
+
+echo "== starting replica on :$RPORT"
+"$TMP/fdserver" -listen "127.0.0.1:$RPORT" -data-dir "$TMP/replica" \
+    -replica-of "127.0.0.1:$PORT" -metrics-addr "127.0.0.1:$RMPORT" \
+    > "$TMP/replica.log" 2>&1 &
+REPLICA_PID=$!
+
+echo "== starting primary on :$PORT (ships to the replica)"
+"$TMP/fdserver" -listen "127.0.0.1:$PORT" -data-dir "$TMP/primary" \
+    -replicas "127.0.0.1:$RPORT" -metrics-addr "127.0.0.1:$MPORT" \
+    > "$TMP/primary.log" 2>&1 &
+PRIMARY_PID=$!
+
+wait_up() { # wait_up <url> <pid> <log>
+    for i in $(seq 1 50); do
+        if curl -fsS "$1" > /dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "fdserver died during startup:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "endpoint $1 never came up" >&2
+    exit 1
+}
+wait_up "http://127.0.0.1:$MPORT/metrics" "$PRIMARY_PID" "$TMP/primary.log"
+wait_up "http://127.0.0.1:$RMPORT/metrics" "$REPLICA_PID" "$TMP/replica.log"
+
+echo "== running discovery against the pair with -trace-out"
+"$TMP/fddiscover" -servers "127.0.0.1:$PORT,127.0.0.1:$RPORT" -protocol sort \
+    -trace-out "$TMP/run.trace.json" "$TMP/data.csv" \
+    > "$TMP/discover.out" 2> "$TMP/discover.log"
+
+echo "== validating the merged artifact"
+"$TMP/tracecheck" -require-ship "$TMP/run.trace.json"
+
+fail=0
+check() { # check <file> <pattern> <what>
+    if ! grep -q "$2" "$1"; then
+        echo "MISSING: $3 (pattern: $2)" >&2
+        fail=1
+    fi
+}
+
+echo "== asserting the live /trace.json endpoint"
+curl -fsS "http://127.0.0.1:$MPORT/trace.json" > "$TMP/server.trace.json"
+check "$TMP/server.trace.json" '"traceEvents"' "trace-event document at /trace.json"
+check "$TMP/server.trace.json" 'repl/ship:' "replication shipment span at /trace.json"
+
+echo "== asserting replica role gauges and runtime gauges"
+curl -fsS "http://127.0.0.1:$RMPORT/metrics" > "$TMP/replica.metrics"
+check "$TMP/replica.metrics" 'oblivfd_replication_role 0' "replica role gauge"
+check "$TMP/replica.metrics" 'oblivfd_replication_fence' "replica fence gauge"
+check "$TMP/replica.metrics" 'oblivfd_replication_watermark' "replica watermark gauge"
+check "$TMP/replica.metrics" 'go_goroutines' "runtime goroutine gauge"
+check "$TMP/replica.metrics" 'go_gc_pause_total_ns' "runtime GC pause gauge"
+curl -fsS "http://127.0.0.1:$RMPORT/metrics.json" > "$TMP/replica.metrics.json"
+check "$TMP/replica.metrics.json" 'oblivfd_replication_role' "replication gauges in /metrics.json"
+
+echo "== draining both servers (SIGTERM)"
+kill -TERM "$PRIMARY_PID" "$REPLICA_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+wait "$REPLICA_PID" 2>/dev/null || true
+PRIMARY_PID=""
+REPLICA_PID=""
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "trace smoke test FAILED" >&2
+    exit 1
+fi
+echo "trace smoke test OK"

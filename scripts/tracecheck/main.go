@@ -1,0 +1,152 @@
+// Command tracecheck validates a merged trace artifact written by
+// fddiscover -trace-out (or served at /trace.json): the file parses as a
+// Chrome trace-event document, spans from at least -min-services distinct
+// services share a trace ID, and — when both halves are present — at least
+// one causal chain lattice level → client RPC → server dispatch exists.
+//
+//	tracecheck [-min-services 2] [-require-ship] run.trace.json
+//
+// It is the assertion half of `make trace-smoke`: a human eyeballs the
+// artifact in Perfetto; CI runs this instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+type doc struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+// span is one X event reshaped for chain walking.
+type span struct {
+	name    string
+	service string
+	trace   string
+	id      string
+	parent  string
+}
+
+func str(args map[string]any, key string) string {
+	if v, ok := args[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+func run() error {
+	minServices := flag.Int("min-services", 2, "require spans from at least this many distinct services on one trace ID")
+	requireShip := flag.Bool("require-ship", false, "require a per-peer replication shipment span (replicated deployments)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: tracecheck [flags] <trace.json>")
+	}
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return fmt.Errorf("%s does not parse as a trace-event document: %w", flag.Arg(0), err)
+	}
+
+	procs := map[int]string{}
+	for _, e := range d.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			procs[e.Pid] = str(e.Args, "name")
+		}
+	}
+	byID := map[string]span{}
+	var spans []span
+	tracesPerService := map[string]map[string]bool{} // trace -> services
+	for _, e := range d.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		s := span{
+			name:    e.Name,
+			service: procs[e.Pid],
+			trace:   str(e.Args, "trace"),
+			id:      str(e.Args, "span"),
+			parent:  str(e.Args, "parent"),
+		}
+		spans = append(spans, s)
+		byID[s.id] = s
+		if tracesPerService[s.trace] == nil {
+			tracesPerService[s.trace] = map[string]bool{}
+		}
+		tracesPerService[s.trace][s.service] = true
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("document holds no spans")
+	}
+
+	shared := ""
+	for trace, svcs := range tracesPerService {
+		if len(svcs) >= *minServices {
+			shared = trace
+			break
+		}
+	}
+	if shared == "" {
+		return fmt.Errorf("no trace ID is shared by %d services: the client and server halves did not merge", *minServices)
+	}
+
+	// ancestor reports whether s has an ancestor whose name starts with
+	// prefix — the causal-containment relation the artifact exists to show.
+	ancestor := func(s span, prefix string) bool {
+		for p, ok := byID[s.parent]; ok; p, ok = byID[p.parent] {
+			if strings.HasPrefix(p.name, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	if *minServices >= 2 {
+		chain := false
+		for _, s := range spans {
+			if strings.HasPrefix(s.name, "server/") && ancestor(s, "rpc/") && ancestor(s, "lattice/level-") {
+				chain = true
+				break
+			}
+		}
+		if !chain {
+			return fmt.Errorf("no server dispatch span is causally contained in a client RPC under a lattice level")
+		}
+	}
+	if *requireShip {
+		ship := false
+		for _, s := range spans {
+			if strings.HasPrefix(s.name, "repl/ship:") {
+				ship = true
+				break
+			}
+		}
+		if !ship {
+			return fmt.Errorf("-require-ship: no per-peer replication shipment span found")
+		}
+	}
+
+	fmt.Printf("tracecheck OK: %d spans, %d services, shared trace %s\n",
+		len(spans), len(procs), shared)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}

@@ -35,6 +35,7 @@ package securefd
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,7 @@ import (
 	"github.com/oblivfd/oblivfd/internal/enclave"
 	"github.com/oblivfd/oblivfd/internal/obsort"
 	"github.com/oblivfd/oblivfd/internal/oram"
+	"github.com/oblivfd/oblivfd/internal/otrace"
 	"github.com/oblivfd/oblivfd/internal/relation"
 	"github.com/oblivfd/oblivfd/internal/store"
 	"github.com/oblivfd/oblivfd/internal/telemetry"
@@ -192,6 +194,29 @@ type Registry = telemetry.Registry
 
 // NewRegistry creates an empty metrics registry.
 func NewRegistry() *Registry { return telemetry.New() }
+
+// Distributed tracing. A Tracer records causal spans — 128-bit trace IDs
+// with parent/child links — into a bounded in-process ring, and its span
+// contexts ride the TCP frames in a fixed-size, always-present header, so
+// enabling tracing never changes any frame's length (DESIGN.md §14). Share
+// one tracer between Options.Trace and ClientConfig.Trace to get a single
+// causal tree from lattice level down to the server's WAL. A nil *Tracer
+// disables recording at near-zero cost.
+type (
+	Tracer       = otrace.Tracer
+	TracerConfig = otrace.Config
+	SpanRecord   = otrace.Record
+)
+
+// NewTracer creates a span recorder. The Service field labels this
+// process's spans in exported artifacts ("fddiscover", "fdserver", ...).
+func NewTracer(cfg TracerConfig) *Tracer { return otrace.New(cfg) }
+
+// WriteChromeTrace renders span records as Chrome trace-event JSON,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
+	return otrace.WriteChrome(w, recs)
+}
 
 // WithTelemetry wraps a service so every storage operation records its
 // latency, outcome, and payload bytes into the registry. A nil registry
@@ -381,6 +406,11 @@ type Options struct {
 	// lattice spans. It is honored by the secure protocols (sort, or-oram,
 	// ex-oram); the benchmarking baselines ignore it.
 	Telemetry *Registry
+	// Trace, if non-nil, records causal distributed-tracing spans for the
+	// lattice traversal (see core.Options.Trace). Share the tracer with
+	// the transport ClientConfig so RPC spans — and, through the wire
+	// context, server-side spans — nest under the lattice-level spans.
+	Trace *Tracer
 }
 
 // Database is the client's handle to one outsourced database: it owns the
@@ -499,6 +529,7 @@ func (db *Database) discoverOptions() *core.Options {
 		MaxLHS:         db.opts.MaxLHS,
 		Resume:         db.resume,
 		Telemetry:      db.opts.Telemetry,
+		Trace:          db.opts.Trace,
 		Workers:        db.opts.Workers,
 		Reveal: func(fd relation.FD, holds bool) {
 			db.revealed.Add(1)
@@ -648,6 +679,12 @@ func (db *Database) SetTelemetry(reg *Registry) {
 		eng.SetTelemetry(reg)
 	}
 }
+
+// SetTrace attaches a span recorder to the handle, so lattice-traversal
+// spans are recorded on subsequent Discover calls. Use it to instrument a
+// handle built by Resume (checkpoints carry no tracer wiring) or to attach
+// a tracer after Outsource.
+func (db *Database) SetTrace(tr *Tracer) { db.opts.Trace = tr }
 
 // NumRows returns the live record count.
 func (db *Database) NumRows() int { return db.engine.NumRows() }
