@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test test-race test-short crash tamper failover bench experiments examples telemetry-smoke trace-smoke tracing-baseline scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline failover-baseline clean
+.PHONY: all build vet staticcheck lint test test-race test-short crash tamper failover scrub scrub-baseline bench experiments examples telemetry-smoke trace-smoke tracing-baseline scaling-smoke scaling-baseline parallel-race multitenant-race multitenant-smoke multitenant-baseline failover-baseline clean
 
 all: build vet test
 
@@ -64,6 +64,21 @@ failover:
 # kill-the-primary recovery timings) at the recorded settings.
 failover-baseline:
 	$(GO) run ./cmd/fdbench -exp failover -failover-out BENCH_failover.json
+
+# Self-healing chaos suite: seeded corruption (array cells, ORAM tree slots,
+# WAL bytes, snapshot files) and an ENOSPC window injected mid-discovery on a
+# replicated cluster over TCP, requiring identical FD sets with at least one
+# repair per scenario; plus the scrubber/repair/disk-fault unit and property
+# suites. -race because sweeps interleave with live mutations.
+scrub:
+	$(GO) test -race -count=1 -run 'TestScrub' .
+	$(GO) test -race -count=1 -run 'Scrub|Repair|SelfHeal|DiskFull|Fsync|ShortWrite|Corrupt' ./internal/store/
+	$(GO) test -race -count=1 -run 'Scrub|Repair|DiskFull' ./internal/transport/
+
+# Regenerate the committed scrubbing baseline (overhead and time-to-repair
+# axes) at the recorded settings.
+scrub-baseline:
+	$(GO) run ./cmd/fdbench -exp scrub -scrub-out BENCH_scrub.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

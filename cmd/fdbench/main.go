@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|multitenant|failover|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|fig4|fig5|fig6a|fig6b|fig7|ablation-compression|ablation-network|faults|recovery|telemetry|scaling|multitenant|failover|scrub|all")
 		rows    = flag.Int("rows", 512, "rows sampled per dataset (table2); paper uses 8192")
 		runs    = flag.Int("runs", 9, "runs per group (table2); paper uses 9")
 		maxn    = flag.Int("maxn", 2048, "largest n in scalability sweeps (fig4/fig5/fig6b/fig7)")
@@ -44,10 +44,11 @@ func main() {
 		mtInfl  = flag.Int("mt-inflight", 4, "global in-flight request budget for the multitenant experiment's server")
 		mtOut   = flag.String("mt-out", "", "write the multitenant experiment's client sweep to this JSON file (e.g. BENCH_multitenant.json)")
 		foOut   = flag.String("failover-out", "", "write the failover experiment's replica sweep and recovery timings to this JSON file (e.g. BENCH_failover.json)")
+		scOut   = flag.String("scrub-out", "", "write the scrub experiment's overhead and time-to-repair axes to this JSON file (e.g. BENCH_scrub.json)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *trcOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut, *foOut); err != nil {
+	if err := run(*exp, *rows, *runs, *minn, *maxn, *fign, parseInts(*threads), *rtt, *t2rtt, *frate, *crate, *seed, *telOut, *trcOut, *sclOut, parseInts(*clients), *dbs, *mtInfl, *mtOut, *foOut, *scOut); err != nil {
 		fmt.Fprintln(os.Stderr, "fdbench:", err)
 		os.Exit(1)
 	}
@@ -83,7 +84,7 @@ type joined struct{ a, b renderer }
 
 func (j joined) Render() string { return j.a.Render() + "\n" + j.b.Render() }
 
-func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, tracingOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut, failoverOut string) error {
+func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt time.Duration, faultRate, corruptRate float64, seed int64, telemetryOut, tracingOut, scalingOut string, clients []int, dbs, mtInflight int, mtOut, failoverOut, scrubOut string) error {
 	// The telemetry experiment covers the fig4/fig5 sizes and the smaller
 	// fig7 dynamics range; its JSON artifact lands wherever -telemetry says.
 	var telemetryResult *bench.TelemetryResult
@@ -91,6 +92,7 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 	var scalingResult *bench.ScalingResult
 	var mtResult *bench.MultiTenantResult
 	var foResult *bench.FailoverResult
+	var scResult *bench.ScrubResult
 	experiments := []struct {
 		name string
 		run  func() (renderer, error)
@@ -142,6 +144,11 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			foResult = r
 			return r, err
 		}},
+		{"scrub", func() (renderer, error) {
+			r, err := bench.Scrub(minn*2, 8, seed)
+			scResult = r
+			return r, err
+		}},
 	}
 
 	ran := 0
@@ -189,6 +196,12 @@ func run(exp string, rows, runs, minn, maxn, fign int, threads []int, rtt, t2rtt
 			return fmt.Errorf("writing %s: %w", failoverOut, err)
 		}
 		fmt.Printf("wrote %s (%d points)\n", failoverOut, len(foResult.Points))
+	}
+	if scrubOut != "" && scResult != nil {
+		if err := scResult.WriteFile(scrubOut); err != nil {
+			return fmt.Errorf("writing %s: %w", scrubOut, err)
+		}
+		fmt.Printf("wrote %s\n", scrubOut)
 	}
 	return nil
 }

@@ -53,14 +53,14 @@ func TestSweep(t *testing.T) {
 func TestRunSingleExperiments(t *testing.T) {
 	// Tiny parameters: every experiment must run end to end.
 	for _, exp := range []string{"table1", "fig5", "fig7", "faults", "telemetry", "multitenant"} {
-		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", ""); err != nil {
+		if err := run(exp, 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", "", ""); err != nil {
 			t.Errorf("run(%s): %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", ""); err == nil {
+	if err := run("bogus", 16, 2, 16, 32, 16, []int{1}, time.Millisecond, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", "", ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // per (method, n) containing phase and access-count data.
 func TestRunTelemetryArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", "", []int{1}, 2, 2, "", ""); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, out, "", "", []int{1}, 2, 2, "", "", ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -101,7 +101,7 @@ func TestRunTelemetryArtifact(t *testing.T) {
 // spans actually recorded on the traced side.
 func TestRunTracingArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_tracing.json")
-	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", out, "", []int{1}, 2, 2, "", ""); err != nil {
+	if err := run("telemetry", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", out, "", []int{1}, 2, 2, "", "", ""); err != nil {
 		t.Fatalf("run(telemetry): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -132,7 +132,7 @@ func TestRunTracingArtifact(t *testing.T) {
 // batched-vs-unbatched rounds comparison.
 func TestRunScalingArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scaling.json")
-	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", "", out, []int{1}, 2, 2, "", ""); err != nil {
+	if err := run("scaling", 16, 2, 16, 32, 16, []int{1, 2}, 0, 0, 0.05, 0.05, 1, "", "", out, []int{1}, 2, 2, "", "", ""); err != nil {
 		t.Fatalf("run(scaling): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -163,7 +163,7 @@ func TestRunScalingArtifact(t *testing.T) {
 // and shed accounting per point.
 func TestRunMultiTenantArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_multitenant.json")
-	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1, 2}, 2, 2, out, ""); err != nil {
+	if err := run("multitenant", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1, 2}, 2, 2, out, "", ""); err != nil {
 		t.Fatalf("run(multitenant): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -191,7 +191,7 @@ func TestRunMultiTenantArtifact(t *testing.T) {
 // the kill-the-primary recovery timings.
 func TestRunFailoverArtifact(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_failover.json")
-	if err := run("failover", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", out); err != nil {
+	if err := run("failover", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", out, ""); err != nil {
 		t.Fatalf("run(failover): %v", err)
 	}
 	data, err := os.ReadFile(out)
@@ -216,5 +216,31 @@ func TestRunFailoverArtifact(t *testing.T) {
 	}
 	if res.Failovers < 1 {
 		t.Errorf("failovers = %d, want >= 1 (the kill point must have fired)", res.Failovers)
+	}
+}
+
+// TestRunScrubArtifact: -scrub-out writes the scrubbing-overhead and
+// time-to-repair axes.
+func TestRunScrubArtifact(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scrub.json")
+	if err := run("scrub", 16, 2, 16, 32, 16, []int{1}, 0, 0, 0.05, 0.05, 1, "", "", "", []int{1}, 2, 2, "", "", out); err != nil {
+		t.Fatalf("run(scrub): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+	var res bench.ScrubResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if res.BaseWallNS <= 0 || res.ScrubWallNS <= 0 {
+		t.Errorf("wall times = base %d, scrubbed %d; want both > 0", res.BaseWallNS, res.ScrubWallNS)
+	}
+	if res.RepairSamples <= 0 || res.MeanRepairNS <= 0 || res.MaxRepairNS < res.MeanRepairNS {
+		t.Errorf("repair axis = %d samples, mean %d, max %d", res.RepairSamples, res.MeanRepairNS, res.MaxRepairNS)
+	}
+	if res.ScrubRepairs < int64(res.RepairSamples) {
+		t.Errorf("scrub repairs = %d, want >= %d", res.ScrubRepairs, res.RepairSamples)
 	}
 }

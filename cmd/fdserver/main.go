@@ -88,6 +88,10 @@ type config struct {
 	replicaOf   string        // primary's address this server replicates (replica role)
 	fence       int64         // initial fencing epoch (0 = 1, or whatever FENCE recorded)
 	shipTimeout time.Duration // per-shipment deadline on replication calls
+
+	// Background integrity scrubbing (requires -data-dir).
+	scrubInterval time.Duration // pause between full sweeps (0 = off)
+	scrubRate     int64         // scrub work units per second (cells / KiB)
 }
 
 func main() {
@@ -118,6 +122,8 @@ func main() {
 	flag.StringVar(&cfg.replicaOf, "replica-of", "", "address of the primary this server replicates; refuses client ops until promoted (requires -data-dir)")
 	flag.Int64Var(&cfg.fence, "fence", 0, "initial fencing epoch; 0 defers to the FENCE file or 1, higher values force-promote past a stale primary")
 	flag.DurationVar(&cfg.shipTimeout, "ship-timeout", 5*time.Second, "deadline per replication call; a peer that exceeds it is marked down and resynced by snapshot when it returns")
+	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0, "background integrity scrub: pause between full sweeps over snapshots, WAL, and stored cells (0 disables; requires -data-dir)")
+	flag.Int64Var(&cfg.scrubRate, "scrub-rate", 65536, "scrub rate limit in work units per second (one unit per cell verified or KiB of file scanned; 0 = unlimited)")
 	flag.Parse()
 
 	if err := run(*listen, cfg); err != nil {
@@ -157,16 +163,21 @@ type health struct {
 	ReplicationLag int64  `json:"replication_lag,omitempty"`
 	Watermark      int64  `json:"watermark,omitempty"`
 	Draining       bool   `json:"draining"`
+	Degraded       bool   `json:"degraded"` // disk full: read-only, writes shed
 	ActiveSessions int    `json:"active_sessions"`
 }
 
 // healthSnapshot summarizes liveness and role for the operator endpoints.
-func healthSnapshot(rep *store.ReplicatedServer, ts *transport.Server) health {
+func healthSnapshot(durable *store.DurableServer, rep *store.ReplicatedServer, ts *transport.Server) health {
 	h := health{
 		Status:         "ok",
 		Role:           "standalone",
 		Draining:       ts.Draining(),
 		ActiveSessions: ts.Sessions().Active(),
+	}
+	if durable != nil && durable.Degraded() {
+		h.Degraded = true
+		h.Status = "degraded"
 	}
 	if rep != nil {
 		if rep.IsPrimary() {
@@ -305,6 +316,25 @@ func serve(l net.Listener, cfg config) error {
 			"replicas", len(peers), "primary", cfg.replicaOf)
 	}
 
+	// Background integrity scrubbing sweeps snapshots, the WAL, and every
+	// stored cell on a fixed, data-independent schedule, repairing from a
+	// replica (or from live memory, for file damage) before foreground
+	// reads trip over the corruption. Trace-neutral: DESIGN.md §15.
+	if cfg.scrubInterval > 0 {
+		if durable == nil {
+			return fmt.Errorf("-scrub-interval requires -data-dir")
+		}
+		scrubber := store.NewScrubber(durable, rep, store.ScrubConfig{
+			Interval: cfg.scrubInterval,
+			Rate:     cfg.scrubRate,
+			Metrics:  reg,
+		})
+		scrubber.Start()
+		defer scrubber.Close()
+		log.Info("integrity scrubbing on", "interval", cfg.scrubInterval.String(),
+			"rate", cfg.scrubRate, "repair", rep != nil)
+	}
+
 	svc := store.WithLatency(store.Service(srv), cfg.latency)
 	var faulty *store.FaultService
 	if cfg.faultRate > 0 || cfg.spikeRate > 0 || cfg.corruptRate > 0 {
@@ -361,17 +391,18 @@ func serve(l net.Listener, cfg config) error {
 		mux := telemetry.NewMux(reg)
 		mux.Handle("/trace.json", otr.Handler())
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-			h := healthSnapshot(rep, ts)
+			h := healthSnapshot(durable, rep, ts)
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(h)
 		})
 		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-			// Ready means "will accept client operations": not draining and,
-			// when replicated, holding the primary role. Replicas answer 503
-			// so a load balancer only routes writers at the real primary.
-			h := healthSnapshot(rep, ts)
+			// Ready means "will accept client operations": not draining,
+			// not degraded read-only (disk full), and, when replicated,
+			// holding the primary role. Replicas answer 503 so a load
+			// balancer only routes writers at the real primary.
+			h := healthSnapshot(durable, rep, ts)
 			w.Header().Set("Content-Type", "application/json")
-			if h.Draining || (rep != nil && h.Role == "replica") {
+			if h.Draining || h.Degraded || (rep != nil && h.Role == "replica") {
 				w.WriteHeader(http.StatusServiceUnavailable)
 			}
 			_ = json.NewEncoder(w).Encode(h)

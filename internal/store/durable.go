@@ -2,8 +2,10 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -40,6 +42,7 @@ type DurableServer struct {
 	mem  *Server
 	dir  string
 	opts DurableOptions
+	fsys FS
 
 	wal     *walWriter
 	snapSeq int64 // sequence number of the newest snapshot on disk
@@ -49,10 +52,27 @@ type DurableServer struct {
 	armed   bool
 	recInfo RecoveryInfo
 
-	walAppendLat *telemetry.Histogram
-	snapshotLat  *telemetry.Histogram
-	snapshots    *telemetry.Counter
-	otr          *otrace.Tracer // nil-safe span recorder (wal/append, store/snapshot)
+	// failed, once set, wraps ErrServerKilled and makes every operation
+	// refuse: a fail-stop condition (fsync failure, unrecoverable torn
+	// write) where continuing could acknowledge writes that never become
+	// durable.
+	failed error
+	// parked holds records applied to memory whose WAL append was refused
+	// with ErrDiskFull. While any are parked the server is degraded
+	// (read-only): writes shed with a retryable error, reads proceed. Later
+	// appends drain the queue first (preserving log order), and a successful
+	// snapshot absorbs the parked effects wholesale and clears it.
+	parked   []*walRecord
+	degraded bool
+
+	walAppendLat  *telemetry.Histogram
+	snapshotLat   *telemetry.Histogram
+	snapshots     *telemetry.Counter
+	prunes        *telemetry.Counter
+	pruneFailures *telemetry.Counter
+	sheds         *telemetry.Counter
+	degradedGauge *telemetry.Gauge
+	otr           *otrace.Tracer // nil-safe span recorder (wal/append, store/snapshot)
 }
 
 var (
@@ -83,6 +103,10 @@ type DurableOptions struct {
 	// per snapshot write (store/snapshot), parented under the request span
 	// bound to the serving goroutine.
 	Trace *otrace.Tracer
+	// FS selects the filesystem the WAL, snapshots, and FENCE file go
+	// through. Nil means the real one (OSFS); the disk-fault harness passes
+	// a FaultFS to inject ENOSPC, short writes, fsync failures, and bit rot.
+	FS FS
 }
 
 func (o DurableOptions) withDefaults() DurableOptions {
@@ -91,6 +115,9 @@ func (o DurableOptions) withDefaults() DurableOptions {
 	}
 	if o.KeepSnapshots <= 0 {
 		o.KeepSnapshots = 2
+	}
+	if o.FS == nil {
+		o.FS = OSFS
 	}
 	return o
 }
@@ -116,8 +143,8 @@ func snapPath(dir string, seq int64) string {
 }
 
 // listSnapshots returns the snapshot sequence numbers in dir, ascending.
-func listSnapshots(dir string) ([]int64, error) {
-	entries, err := os.ReadDir(dir)
+func listSnapshots(fsys FS, dir string) ([]int64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -160,10 +187,11 @@ func OpenDirAtEpoch(dir string, epoch int64, opts DurableOptions) (*DurableServe
 
 func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	seqs, err := listSnapshots(dir)
+	seqs, err := listSnapshots(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -181,7 +209,7 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 	}
 	var loadErr error
 	for i := len(seqs) - 1; i >= 0; i-- {
-		f, err := os.Open(snapPath(dir, seqs[i]))
+		f, err := fsys.Open(snapPath(dir, seqs[i]))
 		if err != nil {
 			return nil, err
 		}
@@ -230,14 +258,14 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 	case rollback:
 		// The log extends the *newest* state; after rollback it no longer
 		// applies. Discard it.
-		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		if err := fsys.Remove(walPath); err != nil && !os.IsNotExist(err) {
 			return nil, err
 		}
 		// Newer snapshots than the matched one describe futures the client
 		// abandoned; prune them so the next snapshot sequence stays sane.
 		for _, seq := range seqs {
 			if seq > info.SnapshotSeq {
-				if err := os.Remove(snapPath(dir, seq)); err != nil && !os.IsNotExist(err) {
+				if err := fsys.Remove(snapPath(dir, seq)); err != nil && !os.IsNotExist(err) {
 					return nil, err
 				}
 			}
@@ -247,15 +275,15 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 		// Replaying it over an older one would fabricate state; drop it
 		// and report the data loss.
 		info.WALDiscarded = true
-		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+		if err := fsys.Remove(walPath); err != nil && !os.IsNotExist(err) {
 			return nil, err
 		}
 	default:
-		if err := replayWALFile(mem, walPath, &info); err != nil {
+		if err := replayWALFile(fsys, mem, walPath, &info); err != nil {
 			return nil, err
 		}
 	}
-	w, err := openWALWriter(walPath, opts.SyncEvery)
+	w, err := openWALWriter(fsys, walPath, opts.SyncEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -263,27 +291,46 @@ func openDir(dir string, opts DurableOptions, wantEpoch int64) (*DurableServer, 
 		mem:     mem,
 		dir:     dir,
 		opts:    opts,
+		fsys:    fsys,
 		wal:     w,
 		snapSeq: info.SnapshotSeq,
 		recInfo: info,
 		// Nil-safe: with no registry these handles are nil and observing
 		// them no-ops.
-		walAppendLat: opts.Metrics.Histogram("oblivfd_wal_append_seconds"),
-		snapshotLat:  opts.Metrics.Histogram("oblivfd_snapshot_seconds"),
-		snapshots:    opts.Metrics.Counter("oblivfd_snapshots_total"),
-		otr:          opts.Trace,
+		walAppendLat:  opts.Metrics.Histogram("oblivfd_wal_append_seconds"),
+		snapshotLat:   opts.Metrics.Histogram("oblivfd_snapshot_seconds"),
+		snapshots:     opts.Metrics.Counter("oblivfd_snapshots_total"),
+		prunes:        opts.Metrics.Counter("oblivfd_snapshots_pruned_total"),
+		pruneFailures: opts.Metrics.Counter("oblivfd_snapshot_prune_failures_total"),
+		sheds:         opts.Metrics.Counter("oblivfd_disk_full_sheds_total"),
+		degradedGauge: opts.Metrics.Gauge("oblivfd_store_degraded"),
+		otr:           opts.Trace,
 	}
 	if opts.KillAfterAppends > 0 {
 		ds.armed = true
 		ds.kills = opts.KillAfterAppends
 	}
+	// What recovery found and did, on /metrics rather than log-only: ops can
+	// alert on torn tails and discarded logs without scraping stderr.
+	opts.Metrics.Gauge("oblivfd_recovery_snapshot_seq").Set(info.SnapshotSeq)
+	opts.Metrics.Gauge("oblivfd_recovery_wal_replayed").Set(int64(info.WALReplayed))
+	opts.Metrics.Gauge("oblivfd_recovery_wal_truncated_offset").Set(info.WALTruncatedAt)
+	opts.Metrics.Gauge("oblivfd_recovery_torn_tail").Set(b2i(info.TornTail))
+	opts.Metrics.Gauge("oblivfd_recovery_wal_discarded").Set(b2i(info.WALDiscarded))
 	return ds, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // replayWALFile replays every complete record of the log at path into mem
 // and truncates a torn tail in place. A missing log is a no-op.
-func replayWALFile(mem *Server, path string, info *RecoveryInfo) error {
-	f, err := os.Open(path)
+func replayWALFile(fsys FS, mem *Server, path string, info *RecoveryInfo) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -299,7 +346,7 @@ func replayWALFile(mem *Server, path string, info *RecoveryInfo) error {
 	info.TornTail = torn
 	info.WALTruncatedAt = validEnd
 	if torn {
-		if err := os.Truncate(path, validEnd); err != nil {
+		if err := fsys.Truncate(path, validEnd); err != nil {
 			return err
 		}
 	}
@@ -344,28 +391,110 @@ func (d *DurableServer) logMutation(rec *walRecord) error {
 	return d.wal.append(rec)
 }
 
-// mutate runs apply against memory and logs the record on success.
+// mutate runs apply against memory and logs the record on success. A WAL
+// append refused for lack of disk space parks the record (memory already
+// holds the effect) and returns a retryable error wrapping ErrDiskFull;
+// while anything is parked the server is degraded and sheds further writes
+// up front. Fail-stop WAL errors latch the server dead.
 func (d *DurableServer) mutate(apply func() error, rec *walRecord) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.killed {
-		return ErrServerKilled
+	if err := d.aliveLocked(); err != nil {
+		return err
+	}
+	// Drain parked records first so the log stays in apply order; if the
+	// disk is still full, shed this write before touching memory.
+	if err := d.flushParkedLocked(); err != nil {
+		d.sheds.Inc()
+		return err
 	}
 	if err := apply(); err != nil {
 		return err
 	}
-	return d.logMutation(rec)
+	if err := d.logMutation(rec); err != nil {
+		switch {
+		case errors.Is(err, ErrDiskFull):
+			d.parked = append(d.parked, rec)
+			d.setDegradedLocked(true)
+			d.sheds.Inc()
+			return err
+		case errors.Is(err, errWALFailStop):
+			return d.failStopLocked(err)
+		}
+		return err
+	}
+	return nil
 }
 
-// readGuard serializes reads with the kill flag. The inner Server has its
-// own RWMutex; this lock only makes "dead servers answer nothing" strict.
-func (d *DurableServer) readGuard() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// aliveLocked is the common liveness gate: a fired kill point or a latched
+// fail-stop condition makes every operation refuse.
+func (d *DurableServer) aliveLocked() error {
+	if d.failed != nil {
+		return d.failed
+	}
 	if d.killed {
 		return ErrServerKilled
 	}
 	return nil
+}
+
+// failStopLocked latches the server dead. The wrapped ErrServerKilled makes
+// the condition fatal to retry classification, exactly like a crash — which
+// is the point: after an fsync failure the kernel may have discarded dirty
+// pages, so pretending to continue could acknowledge writes that never reach
+// the disk (the fsyncgate failure mode). Only a process restart (reopening
+// the directory, which re-reads what is actually on disk) clears it.
+func (d *DurableServer) failStopLocked(cause error) error {
+	if d.failed == nil {
+		d.failed = fmt.Errorf("%w: fail-stop: %v", ErrServerKilled, cause)
+		slog.Error("store: entering fail-stop", "cause", cause)
+	}
+	return d.failed
+}
+
+// flushParkedLocked appends parked records in order; on success the server
+// leaves degraded mode. An ErrDiskFull return means the disk is still full.
+func (d *DurableServer) flushParkedLocked() error {
+	for len(d.parked) > 0 {
+		if err := d.wal.append(d.parked[0]); err != nil {
+			if errors.Is(err, errWALFailStop) {
+				return d.failStopLocked(err)
+			}
+			return err
+		}
+		d.parked = d.parked[1:]
+	}
+	if d.degraded {
+		d.setDegradedLocked(false)
+	}
+	return nil
+}
+
+func (d *DurableServer) setDegradedLocked(v bool) {
+	d.degraded = v
+	d.degradedGauge.Set(b2i(v))
+	if v {
+		slog.Warn("store: disk full — degraded to read-only, writes shed as retryable", "parked", len(d.parked))
+	} else {
+		slog.Info("store: disk space recovered — leaving degraded mode")
+	}
+}
+
+// Degraded reports whether the server is shedding writes for lack of disk
+// space (reads still serve). fdserver surfaces it on /readyz.
+func (d *DurableServer) Degraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// readGuard serializes reads with the kill flag. The inner Server has its
+// own RWMutex; this lock only makes "dead servers answer nothing" strict.
+// Degraded (disk-full) mode deliberately does NOT block reads.
+func (d *DurableServer) readGuard() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.aliveLocked()
 }
 
 // CreateArray implements Service.
@@ -445,8 +574,8 @@ func (d *DurableServer) Reveal(tag string, value int64) error {
 func (d *DurableServer) Checkpoint(epoch int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.killed {
-		return ErrServerKilled
+	if err := d.aliveLocked(); err != nil {
+		return err
 	}
 	if err := d.mem.Checkpoint(epoch); err != nil {
 		return err
@@ -483,8 +612,8 @@ func (d *DurableServer) StatsNS(db string) (Stats, error) {
 func (d *DurableServer) SnapshotBytes() ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.killed {
-		return nil, ErrServerKilled
+	if err := d.aliveLocked(); err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	if err := d.mem.SaveSnapshot(&buf); err != nil {
@@ -506,8 +635,8 @@ func (d *DurableServer) SnapshotBytes() ([]byte, error) {
 func (d *DurableServer) ResetFromSnapshot(r io.Reader) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.killed {
-		return ErrServerKilled
+	if err := d.aliveLocked(); err != nil {
+		return err
 	}
 	if err := d.mem.LoadSnapshot(r); err != nil {
 		return err
@@ -527,8 +656,8 @@ func (d *DurableServer) appendRecord(rec *walRecord) error {
 func (d *DurableServer) Snapshot() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.killed {
-		return ErrServerKilled
+	if err := d.aliveLocked(); err != nil {
+		return err
 	}
 	return d.snapshotLocked()
 }
@@ -546,44 +675,68 @@ func (d *DurableServer) snapshotLocked() error {
 	defer d.otr.Start("store/snapshot").End()
 	seq := d.snapSeq + 1
 	final := snapPath(d.dir, seq)
-	tmp, err := os.CreateTemp(d.dir, "snap-*.tmp")
+	tmp, err := d.fsys.CreateTemp(d.dir, "snap-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	fail := func(err error) error {
-		tmp.Close()
-		os.Remove(tmpName)
-		return err
-	}
+	// Running out of space while writing the temp file is recoverable: the
+	// old snapshot and WAL are untouched, so clean up and stay (or go)
+	// degraded. Everything past the temp write follows fail-stop rules —
+	// a failed fsync or rename after we may already depend on the new file
+	// cannot be waved off.
 	if err := d.mem.SaveSnapshot(tmp); err != nil {
-		return fail(err)
+		if cerr := tmp.Close(); cerr != nil {
+			slog.Warn("store: closing aborted snapshot temp", "err", cerr)
+		}
+		if rerr := d.fsys.Remove(tmpName); rerr != nil {
+			slog.Warn("store: removing aborted snapshot temp", "file", tmpName, "err", rerr)
+		}
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		return fail(err)
+		tmp.Close()
+		d.fsys.Remove(tmpName)
+		return d.failStopLocked(fmt.Errorf("syncing snapshot %q: %w", tmpName, err))
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		d.fsys.Remove(tmpName)
+		return d.failStopLocked(fmt.Errorf("closing snapshot %q: %w", tmpName, err))
+	}
+	if err := d.fsys.Rename(tmpName, final); err != nil {
+		d.fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, final); err != nil {
-		os.Remove(tmpName)
-		return err
-	}
-	if err := syncDir(d.dir); err != nil {
-		return err
+	if err := syncDir(d.fsys, d.dir); err != nil {
+		return d.failStopLocked(fmt.Errorf("syncing data directory: %w", err))
 	}
 	d.snapSeq = seq
 
 	if err := d.wal.truncate(); err != nil {
+		if errors.Is(err, errWALFailStop) {
+			return d.failStopLocked(err)
+		}
 		return err
 	}
+	// The snapshot absorbed the full in-memory state, including every parked
+	// record's effect — the disk-full backlog is durable now.
+	if len(d.parked) > 0 || d.degraded {
+		d.parked = nil
+		d.setDegradedLocked(false)
+	}
 
-	// Prune beyond the retention window; failures here cost only disk.
-	seqs, err := listSnapshots(d.dir)
+	// Prune beyond the retention window; failures here cost only disk, but
+	// they are counted and logged, not swallowed — unpruned snapshots on a
+	// nearly-full disk are how degraded mode becomes permanent.
+	seqs, err := listSnapshots(d.fsys, d.dir)
 	if err == nil && len(seqs) > d.opts.KeepSnapshots {
 		for _, old := range seqs[:len(seqs)-d.opts.KeepSnapshots] {
-			os.Remove(snapPath(d.dir, old))
+			if rerr := d.fsys.Remove(snapPath(d.dir, old)); rerr != nil {
+				d.pruneFailures.Inc()
+				slog.Warn("store: pruning old snapshot failed", "seq", old, "err", rerr)
+			} else {
+				d.prunes.Inc()
+			}
 		}
 	}
 	return nil
@@ -591,8 +744,8 @@ func (d *DurableServer) snapshotLocked() error {
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
 // durable.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	f, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -609,6 +762,80 @@ func (d *DurableServer) Stats() (Stats, error) {
 		return Stats{}, err
 	}
 	return d.mem.Stats()
+}
+
+// ApplyRepair installs repaired ciphertexts (a walRepairCells/walRepairSlots
+// record) into memory and logs the record, so the self-heal survives a
+// restart. Like any mutation it is shed while the disk is full — the
+// in-memory install still lands, which is what foreground reads see.
+func (d *DurableServer) ApplyRepair(rec *walRecord) error {
+	isTree := rec.Op == walRepairSlots
+	return d.mutate(func() error { return d.mem.InstallStored(rec.Name, isTree, rec.Idx, rec.Cts) }, rec)
+}
+
+// ObjectNames lists live objects in the scrubber's fixed sweep order.
+func (d *DurableServer) ObjectNames() ([]string, error) {
+	if err := d.readGuard(); err != nil {
+		return nil, err
+	}
+	return d.mem.ObjectNames(), nil
+}
+
+// ObjectExtent reports an object's stored-cell count and kind.
+func (d *DurableServer) ObjectExtent(name string) (int, bool, error) {
+	if err := d.readGuard(); err != nil {
+		return 0, false, err
+	}
+	return d.mem.ObjectExtent(name)
+}
+
+// VerifyStored checks stored checksums over [lo, hi) of the named object.
+func (d *DurableServer) VerifyStored(name string, lo, hi int) ([]int64, bool, error) {
+	if err := d.readGuard(); err != nil {
+		return nil, false, err
+	}
+	return d.mem.VerifyStored(name, lo, hi)
+}
+
+// StoredVerified returns checksum-verified ciphertexts (the repair donor
+// path).
+func (d *DurableServer) StoredVerified(name string, isTree bool, idx []int64) ([][]byte, error) {
+	if err := d.readGuard(); err != nil {
+		return nil, err
+	}
+	return d.mem.StoredVerified(name, isTree, idx)
+}
+
+// CorruptStored flips one stored bit without updating its checksum — the
+// chaos harness's bit-rot hook.
+func (d *DurableServer) CorruptStored(name string, isTree bool, i int64, bit uint) error {
+	if err := d.readGuard(); err != nil {
+		return err
+	}
+	return d.mem.CorruptStored(name, isTree, i, bit)
+}
+
+// walScrubView captures, under the durable lock, what the WAL scrubber may
+// safely read: the log path, the size of the valid prefix, and the number of
+// compactions so far. A scan's verdict only counts if the truncation count
+// is unchanged afterwards — otherwise a concurrent compaction rewrote the
+// file under the scan and any "corruption" seen is an artifact.
+func (d *DurableServer) walScrubView() (path string, size, truncations int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return filepath.Join(d.dir, walName), d.wal.size, d.wal.truncations
+}
+
+// snapshotScrubView captures the snapshot sequences currently on disk plus
+// the newest sequence the server has written.
+func (d *DurableServer) snapshotScrubView() (seqs []int64, newest int64, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.aliveLocked(); err != nil {
+		return nil, 0, err
+	}
+	seqs, err = listSnapshots(d.fsys, d.dir)
+	return seqs, d.snapSeq, err
 }
 
 // WALSize returns the current log size in bytes (for the recovery bench).

@@ -336,7 +336,7 @@ func TestSnapshotRetention(t *testing.T) {
 		}
 	}
 	d.Close()
-	seqs, err := listSnapshots(dir)
+	seqs, err := listSnapshots(OSFS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -71,6 +73,14 @@ type ReplicaConn interface {
 	Close() error
 }
 
+// RepairFetcher is the optional third replication RPC: fetch
+// checksum-verified ciphertexts from a peer to heal local corruption.
+// *transport.Client implements it; the primary type-asserts per connection
+// so older ReplicaConn fakes keep working.
+type RepairFetcher interface {
+	FetchRepair(fence int64, name string, isTree bool, idx []int64) ([][]byte, error)
+}
+
 // ReplicaDialer opens a replication connection to a peer address.
 type ReplicaDialer func(addr string) (ReplicaConn, error)
 
@@ -121,6 +131,10 @@ type Replicator interface {
 	// ApplySync replaces the whole state from a snapshot and repositions
 	// the stream cursor.
 	ApplySync(fence, seq int64, snap []byte) error
+	// FetchRepair serves checksum-verified ciphertexts to a peer healing
+	// corruption (the donor side of repair-from-replica). Any role answers;
+	// the caller's fence must be current.
+	FetchRepair(fence int64, name string, isTree bool, idx []int64) ([][]byte, error)
 	Watermark() int64
 }
 
@@ -157,12 +171,15 @@ type ReplicatedServer struct {
 	fence     int64
 	watermark int64 // records applied this reign (replica side)
 
+	repaired atomic.Int64 // corrupt cells healed from a peer (MTTR bench + harness)
+
 	lagGauge     *telemetry.Gauge
 	peersGauge   *telemetry.Gauge
 	ships        *telemetry.Counter
 	shipFailures *telemetry.Counter
 	resyncs      *telemetry.Counter
 	applied      *telemetry.Counter
+	repairs      *telemetry.Counter
 	// Role-state gauges published by both roles (not just the shipping
 	// primary): 0/1 role flag, fencing epoch, and stream position.
 	roleGauge      *telemetry.Gauge
@@ -181,8 +198,8 @@ const fenceFile = "FENCE"
 
 // loadFence reads <dir>/FENCE ("<fence> <primary|replica>"). ok is false
 // when the file does not exist (a never-replicated directory).
-func loadFence(dir string) (fence int64, primary bool, ok bool, err error) {
-	raw, rerr := os.ReadFile(filepath.Join(dir, fenceFile))
+func loadFence(fsys FS, dir string) (fence int64, primary bool, ok bool, err error) {
+	raw, rerr := fsys.ReadFile(filepath.Join(dir, fenceFile))
 	if rerr != nil {
 		if os.IsNotExist(rerr) {
 			return 0, false, false, nil
@@ -204,19 +221,19 @@ func loadFence(dir string) (fence int64, primary bool, ok bool, err error) {
 // dir sync, the same discipline as snapshots: the role change must not be
 // observable before it is durable, or a crash could resurrect a deposed
 // primary.
-func saveFence(dir string, fence int64, primary bool) error {
+func saveFence(fsys FS, dir string, fence int64, primary bool) error {
 	role := "replica"
 	if primary {
 		role = "primary"
 	}
-	tmp, err := os.CreateTemp(dir, "fence-*.tmp")
+	tmp, err := fsys.CreateTemp(dir, "fence-*.tmp")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
 	if _, err := fmt.Fprintf(tmp, "%d %s\n", fence, role); err != nil {
@@ -226,14 +243,14 @@ func saveFence(dir string, fence int64, primary bool) error {
 		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, fenceFile)); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, filepath.Join(dir, fenceFile)); err != nil {
+		fsys.Remove(tmpName)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // Replicated wraps d with the given replication role. The FENCE file in d's
@@ -253,7 +270,7 @@ func Replicated(d *DurableServer, cfg ReplicationConfig) (*ReplicatedServer, err
 		// can tell a replicated server (Stats.Fence > 0) from a plain one.
 		fence = 1
 	}
-	fileFence, filePrimary, ok, err := loadFence(d.Dir())
+	fileFence, filePrimary, ok, err := loadFence(d.fsys, d.Dir())
 	if err != nil {
 		return nil, err
 	}
@@ -281,6 +298,7 @@ func Replicated(d *DurableServer, cfg ReplicationConfig) (*ReplicatedServer, err
 		shipFailures: cfg.Metrics.Counter("oblivfd_replication_ship_failures_total"),
 		resyncs:      cfg.Metrics.Counter("oblivfd_replication_resyncs_total"),
 		applied:      cfg.Metrics.Counter("oblivfd_replication_records_applied_total"),
+		repairs:      cfg.Metrics.Counter("oblivfd_repairs_total"),
 
 		roleGauge:      cfg.Metrics.Gauge("oblivfd_replication_role"),
 		fenceGauge:     cfg.Metrics.Gauge("oblivfd_replication_fence"),
@@ -290,7 +308,7 @@ func Replicated(d *DurableServer, cfg ReplicationConfig) (*ReplicatedServer, err
 	for _, addr := range cfg.Peers {
 		r.peers = append(r.peers, &replicaPeer{addr: addr, downAt: -int64(cfg.RedialEvery)})
 	}
-	if err := saveFence(d.Dir(), fence, primary); err != nil {
+	if err := saveFence(d.fsys, d.Dir(), fence, primary); err != nil {
 		return nil, err
 	}
 	if err := d.appendRecord(fenceRecord(fence, primary)); err != nil && !errors.Is(err, ErrServerKilled) {
@@ -347,7 +365,7 @@ func (r *ReplicatedServer) gateLocked() error {
 // audit record last and best-effort (a crash-injected kill must not block a
 // role change that is already durable in the FENCE file).
 func (r *ReplicatedServer) adoptFenceLocked(fence int64, becomePrimary bool) error {
-	if err := saveFence(r.d.Dir(), fence, becomePrimary); err != nil {
+	if err := saveFence(r.d.fsys, r.d.Dir(), fence, becomePrimary); err != nil {
 		return err
 	}
 	wasPrimary := r.primary
@@ -377,7 +395,7 @@ func (r *ReplicatedServer) depose() {
 	// Best-effort durability: even if the file write fails the in-memory
 	// depose holds, and the successor's higher fence will fence this server
 	// again on any future contact.
-	_ = saveFence(r.d.Dir(), r.fence, false)
+	_ = saveFence(r.d.fsys, r.d.Dir(), r.fence, false)
 	r.primary = false
 	r.deposed = true
 	r.publishRoleLocked()
@@ -488,6 +506,10 @@ func applyRecord(d *DurableServer, rec *walRecord) error {
 		return nil
 	case walCheckpoint:
 		return d.CheckpointNS(rec.Name, rec.N)
+	case walRepairCells, walRepairSlots:
+		// A primary-side repair replays here as an install: same bytes, no
+		// dirty bump, no trace event — the replica stays byte-identical.
+		return d.ApplyRepair(rec)
 	case walFence:
 		return nil // roles are not replicated
 	default:
@@ -543,6 +565,146 @@ func (r *ReplicatedServer) ApplySync(fence, seq int64, snap []byte) error {
 	}
 	r.watermark = seq
 	r.publishRoleLocked()
+	return nil
+}
+
+// FetchRepair implements Replicator: the donor side of repair-from-replica.
+// Any role answers — a replica's healthy copy is exactly what a corrupt
+// primary needs — but the requester's fence must be current, so a fenced-off
+// ex-primary cannot pull state it no longer owns, and the bytes are
+// re-verified against the local checksums before they leave (a donor never
+// propagates its own rot; it answers ErrIntegrity instead and heals itself
+// through its own scrubber).
+func (r *ReplicatedServer) FetchRepair(fence int64, name string, isTree bool, idx []int64) ([][]byte, error) {
+	r.mu.Lock()
+	if err := r.acceptFenceLocked(fence); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
+	return r.d.StoredVerified(name, isTree, idx)
+}
+
+// RepairStored heals corrupt cells on the primary by fetching verified
+// bytes from the freshest peer that has them, re-installing locally (WAL
+// record included, so the heal survives a restart), and shipping the same
+// record so replicas converge. It fails — wrapping ErrIntegrity, the same
+// fatal class PR 4 established — when no reachable peer holds a healthy
+// copy: self-healing must never degrade fail-loudly into silent corruption.
+func (r *ReplicatedServer) RepairStored(name string, isTree bool, idx []int64) error {
+	r.shipMu.Lock()
+	defer r.shipMu.Unlock()
+	return r.repairStoredLocked(name, isTree, idx)
+}
+
+// repairStoredLocked is RepairStored with shipMu already held (Batch repairs
+// mid-batch without releasing the stream order lock).
+func (r *ReplicatedServer) repairStoredLocked(name string, isTree bool, idx []int64) error {
+	r.mu.Lock()
+	if err := r.gateLocked(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	fence := r.fence
+	r.mu.Unlock()
+
+	// Freshest-acked peer first: the peer with the highest confirmed stream
+	// position is least likely to be missing the object entirely.
+	order := append([]*replicaPeer(nil), r.peers...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].acked.Load() > order[j].acked.Load() })
+	lastErr := errors.New("no replicas configured")
+	for _, p := range order {
+		if p.conn == nil {
+			conn, err := r.cfg.Dial(p.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			p.conn = conn
+		}
+		rf, ok := p.conn.(RepairFetcher)
+		if !ok {
+			lastErr = fmt.Errorf("peer %s cannot serve repairs", p.addr)
+			continue
+		}
+		cts, err := rf.FetchRepair(fence, name, isTree, idx)
+		if err != nil {
+			if errors.Is(err, ErrFenced) {
+				r.depose()
+				return fmt.Errorf("%w: deposed during repair of %q", ErrFenced, name)
+			}
+			lastErr = err
+			continue
+		}
+		op := walRepairCells
+		if isTree {
+			op = walRepairSlots
+		}
+		rec := &walRecord{Op: op, Name: name, Idx: idx, Cts: cts}
+		frame, err := encodeWALRecord(rec)
+		if err != nil {
+			return err
+		}
+		if aerr := r.d.ApplyRepair(rec); aerr != nil {
+			// A full disk parks the record rather than appending it; the
+			// in-memory install may still have landed, in which case the
+			// repair stands for readers now and becomes durable when the
+			// parked queue drains. Only a repair that left the cells corrupt
+			// is a failure.
+			healed := false
+			if errors.Is(aerr, ErrDiskFull) {
+				_, verr := r.d.StoredVerified(name, isTree, idx)
+				healed = verr == nil
+			}
+			if !healed {
+				return aerr
+			}
+		}
+		r.repaired.Add(int64(len(idx)))
+		r.repairs.Add(int64(len(idx)))
+		slog.Warn("store: repaired corrupt cells from replica",
+			"object", name, "tree", isTree, "cells", len(idx), "peer", p.addr)
+		r.ship(fence, [][]byte{frame})
+		return nil
+	}
+	return fmt.Errorf("%w: %q cells %v corrupt and no healthy replica copy reachable: %v",
+		ErrIntegrity, name, idx, lastErr)
+}
+
+// Repairs reports how many cells have been healed from peers since start.
+func (r *ReplicatedServer) Repairs() int64 { return r.repaired.Load() }
+
+// MarkDiverged is the replica-side repair path: it poisons the replica's
+// stream position so the primary's next shipment fails the sequence check
+// and triggers the existing snapshot resync, replacing every local byte
+// with the primary's verified state. (The poisoned watermark also demotes
+// this replica in failover elections — a known-corrupt replica must not win
+// a promotion on freshness.) No-op on a live primary.
+func (r *ReplicatedServer) MarkDiverged() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.primary && !r.deposed {
+		return
+	}
+	r.watermark = -1
+	r.publishRoleLocked()
+	slog.Warn("store: replica marked diverged — awaiting snapshot resync from primary")
+}
+
+// tryRepair attempts a repair-from-replica for a foreground read that hit
+// corruption. It returns nil when the repair landed (retry the read), the
+// original error when repair does not apply here (no corruption detail, no
+// peers), and the repair's own error otherwise — which keeps a disk-full
+// shed retryable (ErrDiskFull) instead of laundering it into the fatal
+// ErrIntegrity the caller started with.
+func (r *ReplicatedServer) tryRepair(err error) error {
+	var cce *CorruptCellsError
+	if !errors.As(err, &cce) || len(r.peers) == 0 {
+		return err
+	}
+	if rerr := r.RepairStored(cce.Object, cce.Tree, cce.Idx); rerr != nil {
+		return rerr
+	}
 	return nil
 }
 
@@ -715,9 +877,18 @@ func (r *ReplicatedServer) ArrayLen(name string) (n int, err error) {
 	return n, err
 }
 
-// ReadCells implements Service.
+// ReadCells implements Service. A read that hits corruption triggers one
+// repair-from-replica attempt and retries; only if no healthy copy exists
+// does the client see ErrIntegrity (the PR 4 fail-loudly contract).
 func (r *ReplicatedServer) ReadCells(name string, idx []int64) (cts [][]byte, err error) {
 	err = r.read(func() error { cts, err = r.d.ReadCells(name, idx); return err })
+	if err != nil {
+		if rerr := r.tryRepair(err); rerr == nil {
+			err = r.read(func() error { cts, err = r.d.ReadCells(name, idx); return err })
+		} else {
+			err = rerr
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -736,9 +907,17 @@ func (r *ReplicatedServer) CreateTree(name string, levels, slotsPerBucket int) e
 		func() error { return r.d.CreateTree(name, levels, slotsPerBucket) })
 }
 
-// ReadPath implements Service.
+// ReadPath implements Service. Corruption on the path repairs from a
+// replica and retries, like ReadCells.
 func (r *ReplicatedServer) ReadPath(name string, leaf uint32) (cts [][]byte, err error) {
 	err = r.read(func() error { cts, err = r.d.ReadPath(name, leaf); return err })
+	if err != nil {
+		if rerr := r.tryRepair(err); rerr == nil {
+			err = r.read(func() error { cts, err = r.d.ReadPath(name, leaf); return err })
+		} else {
+			err = rerr
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -823,7 +1002,27 @@ func (r *ReplicatedServer) Batch(ops []BatchOp) ([][][]byte, error) {
 		}
 		cts, err := r.d.ReadCells(op.Name, op.Idx)
 		if err != nil {
-			return fail(err)
+			// Mid-batch corruption: repair inline (shipMu is already held)
+			// and retry the read once before giving up. The batch's pending
+			// frames ship first so the donor replica reflects every write
+			// this batch already applied — repairing against a peer that
+			// lags the unshipped writes could install stale bytes.
+			var cce *CorruptCellsError
+			if errors.As(err, &cce) && len(r.peers) > 0 {
+				r.mu.Unlock()
+				r.ship(fence, frames)
+				frames = nil
+				rerr := r.repairStoredLocked(cce.Object, cce.Tree, cce.Idx)
+				r.mu.Lock()
+				if rerr == nil {
+					cts, err = r.d.ReadCells(op.Name, op.Idx)
+				} else {
+					err = rerr // keeps a disk-full shed retryable
+				}
+			}
+			if err != nil {
+				return fail(err)
+			}
 		}
 		out[i] = cts
 	}

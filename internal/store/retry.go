@@ -106,6 +106,13 @@ func DefaultRetryable(err error) bool {
 		// not a request-level one. Re-reading a tampered or rotted block
 		// returns the same wrong bytes.
 		return false
+	case errors.Is(err, ErrDiskFull):
+		// Degraded read-only mode: the server applied nothing durable and
+		// shed the write for lack of disk space. The condition clears when
+		// space frees (compaction, pruning, operator action), so backing
+		// off and retrying is correct — unlike ErrIntegrity, nothing is
+		// wrong with the data.
+		return true
 	case errors.Is(err, ErrOverloaded):
 		// Load shedding: the server refused the work before executing it,
 		// so a retry after backoff is exactly what admission control wants

@@ -178,8 +178,14 @@ func (sn *snapshot) restore() (map[string]*array, map[string]*tree, error) {
 		if obj.cells == nil {
 			obj.cells = [][]byte{}
 		}
-		for _, c := range a.Cells {
+		// Checksums are not persisted: the snapshot frame's CRC already
+		// vouches for the bytes read here, so recomputing per-cell sums from
+		// them re-establishes the in-memory integrity baseline the scrubber
+		// verifies against.
+		obj.sums = make([]uint32, len(obj.cells))
+		for i, c := range obj.cells {
 			obj.bytes += int64(len(c))
+			obj.sums[i] = cellSum(c)
 		}
 		arrays[name] = obj
 	}
@@ -199,8 +205,10 @@ func (sn *snapshot) restore() (map[string]*array, map[string]*tree, error) {
 			return nil, nil, fmt.Errorf("%w: tree %q has %d slots, want %d", ErrCorruptSnapshot, name, len(t.Data), wantSlots)
 		}
 		obj := &tree{levels: t.Levels, slots: t.Slots, data: t.Data}
-		for _, c := range t.Data {
+		obj.sums = make([]uint32, len(obj.data))
+		for i, c := range obj.data {
 			obj.bytes += int64(len(c))
+			obj.sums[i] = cellSum(c)
 		}
 		trees[name] = obj
 	}

@@ -7,6 +7,8 @@ package store
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"sort"
 	"sync"
 
 	"github.com/oblivfd/oblivfd/internal/trace"
@@ -56,6 +58,14 @@ var (
 	// snapshot matches the requested recovery epoch.
 	ErrNoSuchEpoch = errors.New("store: no snapshot for requested epoch")
 
+	// ErrDiskFull is returned when the durable backend cannot append to its
+	// WAL or write a snapshot because the disk is out of space. The write
+	// did not become durable (it is parked and re-appended once space
+	// frees), so the server sheds it while reads continue — degraded
+	// read-only mode. Retryable: freeing space (compaction, pruning, an
+	// operator) makes the identical request succeed.
+	ErrDiskFull = errors.New("store: disk full")
+
 	// ErrNotPrimary is returned by a replica asked to serve client
 	// operations: only the primary may read or mutate, because the client's
 	// ORAM state is coupled to a single linearized history. Not retryable
@@ -69,6 +79,30 @@ var (
 	// layer treats it as "find the real primary".
 	ErrFenced = errors.New("store: fenced by a newer primary epoch")
 )
+
+// CorruptCellsError reports stored ciphertexts that failed their
+// server-side checksum: latent corruption (bit rot) in the live store, as
+// opposed to tampering the client's AEAD layer detects end-to-end. It
+// matches ErrIntegrity under errors.Is; the self-healing layer additionally
+// uses the location to fetch authoritative bytes from a healthy replica and
+// rewrite in place (see scrub.go), so the error reaches a client only when
+// no healthy copy exists.
+type CorruptCellsError struct {
+	Object string
+	Tree   bool    // Idx are flat slot indices of a bucket tree, not array cells
+	Idx    []int64 // corrupt positions, ascending
+}
+
+func (e *CorruptCellsError) Error() string {
+	kind := "array"
+	if e.Tree {
+		kind = "tree"
+	}
+	return fmt.Sprintf("store: integrity verification failed: %s %q: %d stored cells failed checksum (first at %d)",
+		kind, e.Object, len(e.Idx), e.Idx[0])
+}
+
+func (e *CorruptCellsError) Is(target error) bool { return target == ErrIntegrity }
 
 // integrityError is a named sentinel that additionally matches ErrIntegrity
 // under errors.Is, so callers can branch on the specific failure
@@ -193,8 +227,15 @@ type Reveal struct {
 	Value int64
 }
 
+// Stored objects carry one CRC32 per cell/slot, maintained on every write
+// and checked on every read and scrub pass. The server holds no keys, so
+// this is not a substitute for the client's AEAD verification — it is how
+// the server itself notices latent corruption (bit rot) early enough to
+// repair from a replica instead of serving bytes the client will fatally
+// reject.
 type array struct {
 	cells [][]byte
+	sums  []uint32
 	bytes int64
 }
 
@@ -202,8 +243,13 @@ type tree struct {
 	levels int
 	slots  int // per bucket
 	data   [][]byte
+	sums   []uint32
 	bytes  int64
 }
+
+// cellSum is the stored-cell checksum. An empty or never-written cell sums
+// to 0, which crc32 also assigns to the empty payload — consistent.
+func cellSum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
 
 // NewServer returns an empty server with trace counting active.
 func NewServer() *Server {
@@ -263,7 +309,7 @@ func (s *Server) CreateArray(name string, n int) error {
 	if _, ok := s.trees[name]; ok {
 		return fmt.Errorf("%w: tree %q", ErrObjectExists, name)
 	}
-	s.arrays[name] = &array{cells: make([][]byte, n)}
+	s.arrays[name] = &array{cells: make([][]byte, n), sums: make([]uint32, n)}
 	s.bumpLocked(name)
 	s.rec.Record(trace.Event{Op: trace.OpCreateArray, Object: name, Index: int64(n)})
 	return nil
@@ -290,15 +336,22 @@ func (s *Server) ReadCells(name string, idx []int64) ([][]byte, error) {
 	}
 	out := make([][]byte, len(idx))
 	total := 0
+	var bad []int64
 	for k, i := range idx {
 		if i < 0 || i >= int64(len(a.cells)) {
 			s.mu.RUnlock()
 			return nil, fmt.Errorf("%w: array %q index %d (len %d)", ErrOutOfRange, name, i, len(a.cells))
 		}
+		if cellSum(a.cells[i]) != a.sums[i] {
+			bad = append(bad, i)
+		}
 		out[k] = a.cells[i]
 		total += len(out[k])
 	}
 	s.mu.RUnlock()
+	if len(bad) > 0 {
+		return nil, &CorruptCellsError{Object: name, Idx: bad}
+	}
 	for k, i := range idx {
 		s.rec.Record(trace.Event{Op: trace.OpReadCell, Object: name, Index: i, Bytes: len(out[k])})
 	}
@@ -324,6 +377,7 @@ func (s *Server) WriteCells(name string, idx []int64, cts [][]byte) error {
 		}
 		a.bytes += int64(len(cts[k]) - len(a.cells[i]))
 		a.cells[i] = cts[k]
+		a.sums[i] = cellSum(cts[k])
 	}
 	s.bumpLocked(name)
 	s.mu.Unlock()
@@ -351,6 +405,7 @@ func (s *Server) CreateTree(name string, levels, slotsPerBucket int) error {
 		levels: levels,
 		slots:  slotsPerBucket,
 		data:   make([][]byte, buckets*slotsPerBucket),
+		sums:   make([]uint32, buckets*slotsPerBucket),
 	}
 	s.bumpLocked(name)
 	s.rec.Record(trace.Event{Op: trace.OpCreateTree, Object: name, Index: int64(levels)})
@@ -388,14 +443,22 @@ func (s *Server) ReadPath(name string, leaf uint32) ([][]byte, error) {
 	}
 	out := make([][]byte, 0, len(nodes)*t.slots)
 	total := 0
+	var bad []int64
 	for _, n := range nodes {
 		for j := 0; j < t.slots; j++ {
 			ct := t.data[n*t.slots+j]
+			if cellSum(ct) != t.sums[n*t.slots+j] {
+				bad = append(bad, int64(n*t.slots+j))
+			}
 			out = append(out, ct)
 			total += len(ct)
 		}
 	}
 	s.mu.RUnlock()
+	if len(bad) > 0 {
+		sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+		return nil, &CorruptCellsError{Object: name, Tree: true, Idx: bad}
+	}
 	s.rec.Record(trace.Event{Op: trace.OpReadPath, Object: name, Index: int64(leaf), Bytes: total})
 	return out, nil
 }
@@ -423,6 +486,7 @@ func (s *Server) WritePath(name string, leaf uint32, slots [][]byte) error {
 		for j := 0; j < t.slots; j++ {
 			t.bytes += int64(len(slots[k]) - len(t.data[n*t.slots+j]))
 			t.data[n*t.slots+j] = slots[k]
+			t.sums[n*t.slots+j] = cellSum(slots[k])
 			total += len(slots[k])
 			k++
 		}
@@ -454,6 +518,7 @@ func (s *Server) WriteBuckets(name string, bucketStart int, slots [][]byte) erro
 	for k, ct := range slots {
 		t.bytes += int64(len(ct) - len(t.data[first+k]))
 		t.data[first+k] = ct
+		t.sums[first+k] = cellSum(ct)
 		total += len(ct)
 	}
 	s.bumpLocked(name)
@@ -565,4 +630,163 @@ func (s *Server) StatsNS(db string) (Stats, error) {
 		st.MutationsSinceEpoch = m.dirty
 	}
 	return st, nil
+}
+
+// ObjectNames returns every live object name, sorted. The scrubber sweeps
+// them in this fixed order so its access pattern is a function of the public
+// structure only (DESIGN.md §15).
+func (s *Server) ObjectNames() []string {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.arrays)+len(s.trees))
+	for name := range s.arrays {
+		names = append(names, name)
+	}
+	for name := range s.trees {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// ObjectExtent reports an object's stored-cell count (array cells, or flat
+// tree slots) and whether it is a tree.
+func (s *Server) ObjectExtent(name string) (n int, isTree bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if a, ok := s.arrays[name]; ok {
+		return len(a.cells), false, nil
+	}
+	if t, ok := s.trees[name]; ok {
+		return len(t.data), true, nil
+	}
+	return 0, false, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+}
+
+// VerifyStored checks the checksums of the cell/slot range [lo, hi) and
+// returns the corrupt positions (nil when clean). Verification holds only
+// the read lock and records nothing in the adversary trace: the scrubber is
+// the server inspecting its own memory, not a client access.
+func (s *Server) VerifyStored(name string, lo, hi int) (bad []int64, isTree bool, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cells, sums := [][]byte(nil), []uint32(nil)
+	if a, ok := s.arrays[name]; ok {
+		cells, sums = a.cells, a.sums
+	} else if t, ok := s.trees[name]; ok {
+		cells, sums, isTree = t.data, t.sums, true
+	} else {
+		return nil, false, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	if lo < 0 || hi > len(cells) || lo > hi {
+		return nil, isTree, fmt.Errorf("%w: %q range [%d,%d) of %d", ErrOutOfRange, name, lo, hi, len(cells))
+	}
+	for i := lo; i < hi; i++ {
+		if cellSum(cells[i]) != sums[i] {
+			bad = append(bad, int64(i))
+		}
+	}
+	return bad, isTree, nil
+}
+
+// StoredVerified returns the ciphertexts at the given positions after
+// re-verifying their checksums — the donor side of repair-from-replica: a
+// peer must never serve bytes its own store has rotted. Like VerifyStored it
+// records no trace events.
+func (s *Server) StoredVerified(name string, isTree bool, idx []int64) ([][]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cells, sums, err := s.storedLocked(name, isTree)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(idx))
+	var bad []int64
+	for k, i := range idx {
+		if i < 0 || i >= int64(len(cells)) {
+			return nil, fmt.Errorf("%w: %q index %d (len %d)", ErrOutOfRange, name, i, len(cells))
+		}
+		if cellSum(cells[i]) != sums[i] {
+			bad = append(bad, i)
+			continue
+		}
+		out[k] = cells[i]
+	}
+	if len(bad) > 0 {
+		return nil, &CorruptCellsError{Object: name, Tree: isTree, Idx: bad}
+	}
+	return out, nil
+}
+
+// InstallStored rewrites the given positions with repaired ciphertexts,
+// updating checksums. A repair re-establishes bytes the object logically
+// already held, so it bumps no namespace dirty counter (a resuming client's
+// MutationsSinceEpoch check must not trip on a background repair) and
+// records no adversary-trace event (the canonical client trace is unchanged
+// by self-healing; the repair itself is visible to the adversary through the
+// replication view, which DESIGN.md §15 argues leaks nothing new).
+func (s *Server) InstallStored(name string, isTree bool, idx []int64, cts [][]byte) error {
+	if len(idx) != len(cts) {
+		return fmt.Errorf("store: InstallStored on %q: %d indices, %d ciphertexts", name, len(idx), len(cts))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cells, sums, err := s.storedLocked(name, isTree)
+	if err != nil {
+		return err
+	}
+	for k, i := range idx {
+		if i < 0 || i >= int64(len(cells)) {
+			return fmt.Errorf("%w: %q index %d (len %d)", ErrOutOfRange, name, i, len(cells))
+		}
+		delta := int64(len(cts[k]) - len(cells[i]))
+		if a, ok := s.arrays[name]; ok {
+			a.bytes += delta
+		} else if t, ok := s.trees[name]; ok {
+			t.bytes += delta
+		}
+		cells[i] = cts[k]
+		sums[i] = cellSum(cts[k])
+	}
+	return nil
+}
+
+// storedLocked resolves an object's cell and sum slices. Callers hold s.mu.
+func (s *Server) storedLocked(name string, isTree bool) ([][]byte, []uint32, error) {
+	if isTree {
+		t, ok := s.trees[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: tree %q", ErrUnknownObject, name)
+		}
+		return t.data, t.sums, nil
+	}
+	a, ok := s.arrays[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: array %q", ErrUnknownObject, name)
+	}
+	return a.cells, a.sums, nil
+}
+
+// CorruptStored flips one bit of a stored ciphertext without touching its
+// checksum — the bit-rot injection the scrub/repair harness uses. It fails
+// if the cell is empty (there is no byte to flip). Injection only; never
+// called outside tests and the chaos/bench harnesses.
+func (s *Server) CorruptStored(name string, isTree bool, i int64, bit uint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cells, _, err := s.storedLocked(name, isTree)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= int64(len(cells)) {
+		return fmt.Errorf("%w: %q index %d (len %d)", ErrOutOfRange, name, i, len(cells))
+	}
+	if len(cells[i]) == 0 {
+		return fmt.Errorf("store: CorruptStored: %q cell %d is empty", name, i)
+	}
+	// Copy-on-rot: the stored slice may alias a buffer a reader still holds.
+	rotted := append([]byte(nil), cells[i]...)
+	rotted[int(bit/8)%len(rotted)] ^= 1 << (bit % 8)
+	cells[i] = rotted
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"syscall"
 )
 
 // Write-ahead log: every mutating storage operation is appended as one
@@ -38,10 +39,13 @@ const (
 	walDelete
 	walCheckpoint
 	walFence
+	walRepairCells
+	walRepairSlots
 )
 
 var walOpNames = [...]string{
 	"CreateArray", "WriteCells", "CreateTree", "WritePath", "WriteBuckets", "Delete", "Checkpoint", "Fence",
+	"RepairCells", "RepairSlots",
 }
 
 func (o walOp) String() string {
@@ -62,6 +66,9 @@ func (o walOp) String() string {
 //	Checkpoint:   Name (database namespace, "" = root), N (epoch)
 //	Fence:        N (fencing epoch), Name ("primary" or "replica" — the role
 //	              adopted with it)
+//	RepairCells:  Name, Idx, Cts (array self-heal; replays as an install —
+//	              no dirty bump, no trace event)
+//	RepairSlots:  Name, Idx (flat slot indices), Cts (tree self-heal)
 type walRecord struct {
 	Op     walOp
 	Name   string
@@ -179,6 +186,10 @@ func replayWAL(s *Server, records []*walRecord) error {
 			// Fencing epochs are an audit trail in the log; the FENCE file
 			// (see replicate.go) is the authoritative durable copy, so
 			// replay has nothing to apply to the in-memory state.
+		case walRepairCells:
+			err = s.InstallStored(rec.Name, false, rec.Idx, rec.Cts)
+		case walRepairSlots:
+			err = s.InstallStored(rec.Name, true, rec.Idx, rec.Cts)
 		default:
 			err = fmt.Errorf("unknown op %v", rec.Op)
 		}
@@ -189,17 +200,27 @@ func replayWAL(s *Server, records []*walRecord) error {
 	return nil
 }
 
+// errWALFailStop classifies WAL failures the durable layer must treat as
+// fail-stop: an fsync error (the kernel may have dropped dirty pages — data
+// already acknowledged could be gone, so continuing risks acking writes that
+// never become durable; the "fsyncgate" lesson), or a torn write that could
+// not be rolled back (the on-disk log no longer matches the in-memory size
+// accounting). Disk-full with a clean rollback is NOT fail-stop — it wraps
+// ErrDiskFull and the server degrades to read-only instead.
+var errWALFailStop = errors.New("store: WAL fail-stop")
+
 // walWriter appends framed records to the log file.
 type walWriter struct {
-	f         *os.File
-	syncEvery int   // fsync cadence in records; <=1 syncs every append
-	pending   int   // appends since last fsync
-	appended  int64 // total records appended (kill-point accounting)
-	size      int64 // current file size in bytes
+	f           File
+	syncEvery   int   // fsync cadence in records; <=1 syncs every append
+	pending     int   // appends since last fsync
+	appended    int64 // total records appended (kill-point accounting)
+	size        int64 // current file size in bytes
+	truncations int64 // times truncate() ran (scrub race guard)
 }
 
-func openWALWriter(path string, syncEvery int) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWALWriter(fsys FS, path string, syncEvery int) (*walWriter, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -211,25 +232,44 @@ func openWALWriter(path string, syncEvery int) (*walWriter, error) {
 	return &walWriter{f: f, syncEvery: syncEvery, size: info.Size()}, nil
 }
 
-// append frames and writes one record, fsyncing per the cadence.
+// append frames and writes one record, fsyncing per the cadence. A failed
+// write (ENOSPC) is rolled back by truncating to the pre-append size so the
+// log never carries a torn frame the next recovery would mistake for a
+// crash; only if that rollback itself fails does the error escalate to
+// fail-stop.
 func (w *walWriter) append(rec *walRecord) error {
 	frame, err := encodeWALRecord(rec)
 	if err != nil {
 		return err
 	}
 	if _, err := w.f.Write(frame); err != nil {
-		return fmt.Errorf("store: appending WAL record: %w", err)
+		if terr := w.f.Truncate(w.size); terr != nil {
+			return fmt.Errorf("%w: append failed (%v) and rollback truncate failed: %v", errWALFailStop, err, terr)
+		}
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			return fmt.Errorf("%w: append failed (%v) and rollback seek failed: %v", errWALFailStop, err, serr)
+		}
+		if errors.Is(err, ErrDiskFull) || isENOSPC(err) {
+			return fmt.Errorf("store: appending WAL record: %w", err)
+		}
+		return fmt.Errorf("%w: appending WAL record: %v", errWALFailStop, err)
 	}
 	w.size += int64(len(frame))
 	w.appended++
 	w.pending++
 	if w.syncEvery <= 1 || w.pending >= w.syncEvery {
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("store: syncing WAL: %w", err)
+			return fmt.Errorf("%w: syncing WAL: %v", errWALFailStop, err)
 		}
 		w.pending = 0
 	}
 	return nil
+}
+
+// isENOSPC reports whether err is the real filesystem's out-of-space errno
+// (the injected form already wraps ErrDiskFull).
+func isENOSPC(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
 }
 
 // appendTorn simulates a crash mid-append for the kill-point harness: it
@@ -267,10 +307,11 @@ func (w *walWriter) truncate() error {
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		return fmt.Errorf("%w: syncing truncated WAL: %v", errWALFailStop, err)
 	}
 	w.size = 0
 	w.pending = 0
+	w.truncations++
 	return nil
 }
 

@@ -325,7 +325,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		switch {
 		case req.Kind == kindHello:
 			resp = s.handleHello(conn, &cs, &req)
-		case req.Kind == kindReplicate || req.Kind == kindSync || req.Kind == kindPromote:
+		case req.Kind == kindReplicate || req.Kind == kindSync || req.Kind == kindPromote || req.Kind == kindRepair:
 			// Replication RPCs bypass sessions and namespacing: they carry
 			// whole WAL records (already namespaced at the primary) and role
 			// changes, authenticated by the shared session token.
@@ -406,6 +406,10 @@ func (s *Server) handleReplication(req *request) *response {
 			return fail(fmt.Errorf("%w: sync carries %d snapshots, want 1", store.ErrIntegrity, len(req.Cts)))
 		}
 		return fail(s.replicator.ApplySync(req.Value, req.Seq, req.Cts[0]))
+	case kindRepair:
+		cts, err := s.replicator.FetchRepair(req.Value, req.Name, req.N == 1, req.Idx)
+		resp.Cts = cts
+		return fail(err)
 	default: // kindPromote
 		fence, err := s.replicator.Promote(req.Value)
 		resp.Fence = fence

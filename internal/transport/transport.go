@@ -70,6 +70,7 @@ const (
 	kindSync      // primary -> replica: full snapshot resync (Value = fence, Seq, Cts[0])
 	kindPromote   // failover client -> replica: adopt fence and primary role (Value = fence)
 	kindTraceDump // operator: fetch the server's span ring (Name = trace-ID filter)
+	kindRepair    // peer -> peer: fetch verified ciphertexts for self-healing (Value = fence, Name, N = tree flag, Idx)
 	numKinds
 )
 
@@ -79,7 +80,7 @@ var kindNames = [numKinds]string{
 	"CreateArray", "ArrayLen", "ReadCells", "WriteCells",
 	"CreateTree", "ReadPath", "WritePath", "WriteBuckets",
 	"Delete", "Reveal", "Stats", "Checkpoint", "Batch", "Hello",
-	"Replicate", "Sync", "Promote", "TraceDump",
+	"Replicate", "Sync", "Promote", "TraceDump", "Repair",
 }
 
 // rpcSpanNames and serverSpanNames pre-build the per-kind span names so the
@@ -155,6 +156,7 @@ const (
 	codeUnauthorized
 	codeNotPrimary
 	codeFenced
+	codeDiskFull
 )
 
 // codeSentinel maps wire codes back to the sentinel errors they stand for.
@@ -173,6 +175,7 @@ var codeSentinel = map[errCode]error{
 	codeUnauthorized:    store.ErrUnauthorized,
 	codeNotPrimary:      store.ErrNotPrimary,
 	codeFenced:          store.ErrFenced,
+	codeDiskFull:        store.ErrDiskFull,
 }
 
 // sentinelCodes is the classification order for encoding: most specific
@@ -199,6 +202,7 @@ var sentinelCodes = []struct {
 	{codeUnauthorized, store.ErrUnauthorized},
 	{codeNotPrimary, store.ErrNotPrimary},
 	{codeFenced, store.ErrFenced},
+	{codeDiskFull, store.ErrDiskFull},
 }
 
 // encodeErr flattens an error for the wire, preserving its most specific
@@ -405,7 +409,10 @@ type Client struct {
 	lat        *[numKinds]*telemetry.Histogram // nil when metrics are off
 }
 
-var _ store.Service = (*Client)(nil)
+var (
+	_ store.Service       = (*Client)(nil)
+	_ store.RepairFetcher = (*Client)(nil)
+)
 
 // Dial connects to a transport server with the default self-healing
 // configuration.
@@ -813,6 +820,21 @@ func (c *Client) Replicate(fence, seq int64, frames [][]byte) error {
 func (c *Client) SyncSnapshot(fence, seq int64, snap []byte) error {
 	_, err := c.call(&request{Kind: kindSync, Value: fence, Seq: seq, Cts: [][]byte{snap}, Token: c.cfg.Token})
 	return err
+}
+
+// FetchRepair implements store.RepairFetcher: fetch checksum-verified
+// ciphertexts from a peer to heal local corruption. Token-gated like the
+// other replication control RPCs.
+func (c *Client) FetchRepair(fence int64, name string, isTree bool, idx []int64) ([][]byte, error) {
+	treeFlag := 0
+	if isTree {
+		treeFlag = 1
+	}
+	resp, err := c.call(&request{Kind: kindRepair, Value: fence, Name: name, N: treeFlag, Idx: idx, Token: c.cfg.Token})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Cts, nil
 }
 
 // Promote asks the server to adopt the given fencing epoch and the primary

@@ -171,6 +171,11 @@ var (
 	// ErrFenced marks a server deposed by a newer primary epoch. It is
 	// fatal at that server; DialTCPFailover re-probes for the successor.
 	ErrFenced = store.ErrFenced
+	// ErrDiskFull marks a write shed because the server's disk is full and
+	// it has degraded to read-only mode. Nothing was durably applied, and
+	// the condition clears when space frees, so WithRetry retries it with
+	// backoff like ErrOverloaded.
+	ErrDiskFull = store.ErrDiskFull
 )
 
 // WithFaults wraps a service with seeded, deterministic fault injection:
